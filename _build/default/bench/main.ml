@@ -1,0 +1,147 @@
+(** Benchmark harness: one Bechamel test per regenerated table and figure
+    (the full experiment registry), plus micro-benchmarks of the substrate
+    (incremental monitoring, reference evaluation, model checking,
+    realizability analysis, simulation stepping).
+
+    Scenario simulations are pre-warmed once so the per-table benchmarks
+    measure table regeneration over the shared outcomes, not ten repeated
+    20-second simulations per sample. *)
+
+open Bechamel
+open Toolkit
+
+let null_formatter =
+  (* render into a scratch buffer that is cleared after each run *)
+  let buf = Buffer.create 65536 in
+  let ppf = Format.formatter_of_buffer buf in
+  fun f ->
+    f ppf;
+    Format.pp_print_flush ppf ();
+    let n = Buffer.length buf in
+    Buffer.clear buf;
+    n
+
+(* ------------------------------------------------------------------ *)
+(* One benchmark per experiment (table / figure)                        *)
+
+let experiment_tests =
+  List.map
+    (fun (e : Core.Experiments.t) ->
+      Test.make ~name:e.Core.Experiments.id
+        (Staged.stage (fun () -> null_formatter e.Core.Experiments.run)))
+    Core.Experiments.all
+
+(* ------------------------------------------------------------------ *)
+(* Substrate micro-benchmarks                                           *)
+
+let bench_monitor_step =
+  let open Tl in
+  let goal = Vehicle.Goals.g4.Kaos.Goal.formal in
+  let state =
+    State.of_list
+      [
+        (Vehicle.Signals.host_speed, Value.Float 0.);
+        (Vehicle.Signals.host_accel, Value.Float 0.);
+        (Vehicle.Signals.throttle_pedal, Value.Float 0.);
+        (Vehicle.Signals.hmi_go, Value.Bool false);
+        (Vehicle.Signals.va_source, Value.Sym "Driver");
+      ]
+  in
+  let m0 = Rtmon.Incremental.create ~dt:0.001 goal in
+  Test.make ~name:"micro_monitor_step_goal4"
+    (Staged.stage (fun () -> ignore (Rtmon.Incremental.step m0 state)))
+
+let bench_monitor_trace =
+  let open Tl in
+  let trace =
+    Trace.init ~dt:0.001 1000 (fun i ->
+        State.of_list
+          [ ("p", Value.Bool (i mod 3 = 0)); ("q", Value.Bool (i mod 5 <> 0)) ])
+  in
+  let phi =
+    Formula.entails
+      (Formula.prev_for 0.05 (Formula.bvar "p"))
+      (Formula.once_within 0.01 (Formula.bvar "q"))
+  in
+  Test.make ~name:"micro_monitor_1k_states"
+    (Staged.stage (fun () -> ignore (Rtmon.Incremental.run_trace phi trace)))
+
+let bench_reference_eval =
+  let open Tl in
+  let trace =
+    Trace.init ~dt:1.0 64 (fun i -> State.of_list [ ("p", Value.Bool (i mod 2 = 0)) ])
+  in
+  let phi = Formula.hist (Formula.once (Formula.bvar "p")) in
+  Test.make ~name:"micro_reference_eval"
+    (Staged.stage (fun () -> ignore (Eval.series trace phi)))
+
+let bench_mc_elevator =
+  Test.make ~name:"micro_mc_elevator_composition"
+    (Staged.stage (fun () -> ignore (Elevator.Verification.check ())))
+
+let bench_patterns =
+  let form = List.hd Kaos.Patterns.forms in
+  Test.make ~name:"micro_realizability_table"
+    (Staged.stage (fun () -> ignore (Kaos.Patterns.table form)))
+
+let bench_sim_elevator =
+  Test.make ~name:"micro_elevator_sim_5s"
+    (Staged.stage (fun () ->
+         let config = { Elevator.Simulation.default_config with duration = 5.0 } in
+         ignore (Elevator.Simulation.run ~config ())))
+
+let bench_vehicle_scenario =
+  Test.make ~name:"micro_vehicle_scenario_1"
+    (Staged.stage (fun () -> ignore (Scenarios.Runner.run (Scenarios.Defs.get 1))))
+
+let micro_tests =
+  [
+    bench_monitor_step;
+    bench_monitor_trace;
+    bench_reference_eval;
+    bench_mc_elevator;
+    bench_patterns;
+    bench_sim_elevator;
+    bench_vehicle_scenario;
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let run_test test =
+  let quota = Time.second 0.25 in
+  let cfg = Benchmark.cfg ~limit:200 ~quota ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let raw = Benchmark.all cfg instances test in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let pp_result name result =
+  Hashtbl.iter
+    (fun _k ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ t ] ->
+          let t, unit_ =
+            if t > 1e9 then (t /. 1e9, "s")
+            else if t > 1e6 then (t /. 1e6, "ms")
+            else if t > 1e3 then (t /. 1e3, "us")
+            else (t, "ns")
+          in
+          Fmt.pr "%-34s %10.2f %s/run@." name t unit_
+      | _ -> Fmt.pr "%-34s (no estimate)@." name)
+    result
+
+let () =
+  (* Pre-warm the scenario outcomes so table benches measure regeneration. *)
+  Fmt.pr "pre-warming scenario simulations…@.";
+  List.iter
+    (fun n -> ignore (Core.Experiments.outcome n))
+    (List.init 10 (fun i -> i + 1));
+  Fmt.pr "@.%-34s %14s@." "benchmark" "time";
+  Fmt.pr "%s@." (String.make 50 '-');
+  List.iter
+    (fun test ->
+      let name = Test.Elt.name (List.hd (Test.elements test)) in
+      pp_result name (run_test test))
+    (micro_tests @ experiment_tests)

@@ -1,0 +1,53 @@
+(** [experiments] — regenerate the thesis's tables and figures.
+
+    {v
+    experiments list            # list experiment ids
+    experiments all             # run every experiment
+    experiments run table_d_1 fig_5_2 ...
+    v} *)
+
+open Cmdliner
+
+let run_one (e : Core.Experiments.t) =
+  Fmt.pr "==================================================================@.";
+  Fmt.pr "%s — %s@." e.Core.Experiments.id e.Core.Experiments.title;
+  Fmt.pr "==================================================================@.";
+  e.Core.Experiments.run Fmt.stdout;
+  Fmt.pr "@.@."
+
+let list_cmd =
+  let doc = "List experiment ids." in
+  Cmd.v (Cmd.info "list" ~doc)
+    (Term.(
+       const (fun () ->
+           List.iter
+             (fun (e : Core.Experiments.t) ->
+               Fmt.pr "%-14s %s@." e.Core.Experiments.id e.Core.Experiments.title)
+             Core.Experiments.all)
+       $ const ()))
+
+let all_cmd =
+  let doc = "Run every experiment (regenerates every table and figure)." in
+  Cmd.v (Cmd.info "all" ~doc)
+    (Term.(const (fun () -> List.iter run_one Core.Experiments.all) $ const ()))
+
+let run_cmd =
+  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
+  let doc = "Run the named experiments." in
+  let run ids =
+    List.iter
+      (fun id ->
+        match Core.Experiments.get id with
+        | Some e -> run_one e
+        | None ->
+            Fmt.epr "unknown experiment %s (try 'experiments list')@." id;
+            exit 1)
+      ids
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids)
+
+let () =
+  let doc = "Regenerate the tables and figures of the thesis evaluation." in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "experiments" ~doc) [ list_cmd; all_cmd; run_cmd ]))

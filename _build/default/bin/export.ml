@@ -1,0 +1,77 @@
+(** [export] — write scenario traces, figure series and violation tables as
+    CSV files for external plotting.
+
+    {v
+    export figures --out-dir plots/          # every fig_5_* as CSV
+    export scenario 3 --out-dir plots/       # full trace + violations
+    export scenario 3 --repaired -s host_speed -s ca_accel_req
+    v} *)
+
+open Cmdliner
+
+let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
+
+let figures_cmd =
+  let out_dir =
+    Arg.(value & opt string "." & info [ "out-dir"; "o" ] ~doc:"Output directory.")
+  in
+  let run out_dir =
+    ensure_dir out_dir;
+    let cache = Hashtbl.create 10 in
+    List.iter
+      (fun (fig : Scenarios.Figures.t) ->
+        let n = fig.Scenarios.Figures.scenario in
+        let o =
+          match Hashtbl.find_opt cache n with
+          | Some o -> o
+          | None ->
+              let o = Scenarios.Runner.run (Scenarios.Defs.get n) in
+              Hashtbl.add cache n o;
+              o
+        in
+        let path = Filename.concat out_dir (fig.Scenarios.Figures.id ^ ".csv") in
+        Scenarios.Export.write_file path (Scenarios.Export.figure_csv fig o);
+        Fmt.pr "wrote %s@." path)
+      Scenarios.Figures.all
+  in
+  Cmd.v (Cmd.info "figures" ~doc:"Export every regenerated figure as CSV.")
+    Term.(const run $ out_dir)
+
+let scenario_cmd =
+  let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"SCENARIO") in
+  let out_dir =
+    Arg.(value & opt string "." & info [ "out-dir"; "o" ] ~doc:"Output directory.")
+  in
+  let repaired =
+    Arg.(value & flag & info [ "repaired" ] ~doc:"Run with every defect fixed.")
+  in
+  let signals =
+    Arg.(value & opt_all string [] & info [ "signal"; "s" ] ~doc:"Restrict trace columns.")
+  in
+  let stride =
+    Arg.(value & opt int 10 & info [ "stride" ] ~doc:"Keep every Nth state (default 10).")
+  in
+  let run n out_dir repaired signals stride =
+    ensure_dir out_dir;
+    let defects =
+      if repaired then Vehicle.Defects.repaired else Vehicle.Defects.as_evaluated
+    in
+    let o = Scenarios.Runner.run ~defects (Scenarios.Defs.get n) in
+    let suffix = if repaired then "_repaired" else "" in
+    let trace_path = Filename.concat out_dir (Fmt.str "scenario_%d%s.csv" n suffix) in
+    let signals = match signals with [] -> None | l -> Some l in
+    Scenarios.Export.write_file trace_path
+      (Scenarios.Export.trace_csv ?signals ~stride o.Scenarios.Runner.trace);
+    Fmt.pr "wrote %s@." trace_path;
+    let viol_path =
+      Filename.concat out_dir (Fmt.str "scenario_%d%s_violations.csv" n suffix)
+    in
+    Scenarios.Export.write_file viol_path (Scenarios.Export.violations_csv o);
+    Fmt.pr "wrote %s@." viol_path
+  in
+  Cmd.v (Cmd.info "scenario" ~doc:"Export one scenario's trace and violations as CSV.")
+    Term.(const run $ n $ out_dir $ repaired $ signals $ stride)
+
+let () =
+  let doc = "Export traces, figures and violation tables as CSV." in
+  exit (Cmd.eval (Cmd.group (Cmd.info "export" ~doc) [ figures_cmd; scenario_cmd ]))

@@ -1,0 +1,61 @@
+(** [icpa_tool] — render the completed ICPA tables and audit them against
+    their control graphs.
+
+    {v
+    icpa_tool elevator            # the Ch. 4 running example
+    icpa_tool hoistway            # the redundant-responsibility example
+    icpa_tool vehicle [N]         # Appendix C table(s)
+    icpa_tool audit               # cross-step validation (Fig. 1.2)
+    v} *)
+
+open Cmdliner
+
+let render t = Fmt.pr "%a@." Icpa.Render.pp t
+
+let elevator_cmd =
+  Cmd.v
+    (Cmd.info "elevator" ~doc:"Render the Maintain[DoorClosedOrElevatorStopped] ICPA.")
+    Term.(const (fun () -> render Elevator.Icpa_tables.door_closed_or_stopped) $ const ())
+
+let hoistway_cmd =
+  Cmd.v
+    (Cmd.info "hoistway" ~doc:"Render the hoistway-limit ICPA (redundant responsibility).")
+    Term.(const (fun () -> render Elevator.Icpa_tables.below_hoistway_limit) $ const ())
+
+let vehicle_cmd =
+  let n = Arg.(value & pos 0 (some int) None & info [] ~docv:"N") in
+  let run n =
+    match n with
+    | Some n -> render (Vehicle.Icpa_vehicle.table n)
+    | None -> List.iter (fun (_, t) -> render t) Vehicle.Icpa_vehicle.tables
+  in
+  Cmd.v (Cmd.info "vehicle" ~doc:"Render the Appendix C ICPA tables.") Term.(const run $ n)
+
+let audit_cmd =
+  let run () =
+    let report name graph table =
+      match Icpa.Procedure.audit graph table with
+      | [] -> Fmt.pr "%-45s OK@." name
+      | issues ->
+          Fmt.pr "%-45s %d issue(s)@." name (List.length issues);
+          List.iter (fun i -> Fmt.pr "  - %a@." Icpa.Procedure.pp_issue i) issues
+    in
+    report "elevator: DoorClosedOrElevatorStopped" Elevator.System.graph
+      Elevator.Icpa_tables.door_closed_or_stopped;
+    report "elevator: BelowHoistwayUpperLimit" Elevator.System.graph
+      Elevator.Icpa_tables.below_hoistway_limit;
+    List.iter
+      (fun (n, t) ->
+        report (Fmt.str "vehicle: goal %d" n) Vehicle.System.graph t)
+      Vehicle.Icpa_vehicle.tables
+  in
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Audit every completed ICPA against its control graph.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "Render and audit Indirect Control Path Analysis tables." in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "icpa_tool" ~doc)
+          [ elevator_cmd; hoistway_cmd; vehicle_cmd; audit_cmd ]))

@@ -1,0 +1,40 @@
+(** [simulate] — run one evaluation scenario and print its violation table,
+    optionally with every defect repaired.
+
+    {v
+    simulate 1                 # scenario 1 as the thesis evaluated it
+    simulate 6 --repaired      # the counterfactual: defects fixed
+    simulate 3 --signal host_speed --signal ca_accel_req
+    v} *)
+
+open Cmdliner
+
+let run n repaired signals =
+  let defects =
+    if repaired then Vehicle.Defects.repaired else Vehicle.Defects.as_evaluated
+  in
+  let o = Scenarios.Runner.run ~defects (Scenarios.Defs.get n) in
+  Fmt.pr "%s@.%s@.@." o.Scenarios.Runner.scenario.Scenarios.Defs.title
+    o.Scenarios.Runner.scenario.Scenarios.Defs.description;
+  Fmt.pr "%a@." Scenarios.Results.pp_table o;
+  List.iter
+    (fun sig_name ->
+      Fmt.pr "@.%s (downsampled):@." sig_name;
+      let s =
+        Scenarios.Figures.extract ~max_points:40 o.Scenarios.Runner.trace
+          (0., o.Scenarios.Runner.end_time)
+          sig_name sig_name
+      in
+      List.iter (fun (t, v) -> Fmt.pr "  %8.3f  %10.4f@." t v) s.Scenarios.Figures.points)
+    signals
+
+let () =
+  let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"SCENARIO") in
+  let repaired =
+    Arg.(value & flag & info [ "repaired" ] ~doc:"Run with every seeded defect fixed.")
+  in
+  let signals =
+    Arg.(value & opt_all string [] & info [ "signal"; "s" ] ~doc:"Also print this signal.")
+  in
+  let doc = "Run a semi-autonomous vehicle evaluation scenario." in
+  exit (Cmd.eval (Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ n $ repaired $ signals)))

@@ -1,0 +1,51 @@
+(** The Ch. 3 framework on the stop-vehicle example: fully composable
+    decompositions, redundancy, demons, angels, and restrictive reductions.
+
+    Run with: [dune exec examples/emergence_demo.exe] *)
+
+open Tl
+
+let show name analysis =
+  Fmt.pr "%-55s %a@." name Compose.Composability.pp_analysis analysis
+
+let () =
+  let open Compose.Examples.Stop_vehicle in
+  Fmt.pr "Parent goal (Eq. 3.4): %a@.@." Formula.pp goal;
+
+  (* Fully composable (Eqs. 3.5–3.6). *)
+  show "CA alone, exact decomposition"
+    (Compose.Composability.analyze ~parent:goal fully_composable_subgoals);
+
+  (* Fully composable with redundancy (Eqs. 3.12–3.13). *)
+  show "CA + ACC, redundant decomposition"
+    (Compose.Composability.analyze_redundant ~parent:goal [ redundant_subgoals ]);
+
+  (* Emergent but partially composable: the unrealizable detection case
+     (Eq. 3.19) lives in X; dropping it leaves a demon. *)
+  show "realizable part only (Eq. 3.19 missing => demon X)"
+    (Compose.Composability.analyze ~parent:goal
+       (detection_assumption :: realizable_subgoals));
+
+  (* An angel Y: something unknown also stops the vehicle (Eq. 3.31). *)
+  show "with the emergent angel Unknown.StopVehicle"
+    (Compose.Composability.analyze_redundant ~parent:goal
+       [ [ actuation_with_angel; Formula.entails object_in_path ca_stop ] ]);
+
+  (* Restrictive OR-reduction (§3.3.5): the acceleration envelope. *)
+  let open Compose.Examples.Acceleration_envelope in
+  Fmt.pr "@.Envelope goal (Eq. 3.47):      %a@." Formula.pp goal;
+  Fmt.pr "Restrictive subgoal (Eq. 3.48): %a@." Formula.pp restrictive_subgoal;
+
+  (* And-reduction checking (Darimont's four conditions). *)
+  let open Compose.Examples.Table_3_1 in
+  Fmt.pr "@.Darimont checks for the Table 3.1 reductions of %a:@." Formula.pp goal;
+  Fmt.pr "  {A=>C, C=>D, D=>B}: %a@." Compose.Andred.pp
+    (Compose.Andred.check ~parent:goal reduction_1);
+  Fmt.pr "  {A=>E, E=>B}:       %a@." Compose.Andred.pp
+    (Compose.Andred.check ~parent:goal reduction_2);
+  Fmt.pr "  {A=>E} alone:       %a@." Compose.Andred.pp
+    (Compose.Andred.check ~parent:goal [ List.hd reduction_2 ]);
+  Fmt.pr "  ... but it completes with E=>B: %b@."
+    (Compose.Andred.completes_with ~parent:goal
+       ~subgoals:[ List.hd reduction_2 ]
+       (List.nth reduction_2 1))

@@ -1,0 +1,29 @@
+(** Run a thesis evaluation scenario with hierarchical monitoring — defaults
+    to scenario 1; pass a scenario number and optionally [--repaired].
+
+    Run with: [dune exec examples/vehicle_scenario.exe -- 6] *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let repaired = List.mem "--repaired" args in
+  let n =
+    match List.filter_map int_of_string_opt args with [] -> 1 | n :: _ -> n
+  in
+  let defects =
+    if repaired then Vehicle.Defects.repaired else Vehicle.Defects.as_evaluated
+  in
+  let scenario = Scenarios.Defs.get n in
+  Fmt.pr "Scenario %d: %s@.%s@.@." n scenario.Scenarios.Defs.title
+    scenario.Scenarios.Defs.description;
+  let outcome = Scenarios.Runner.run ~defects scenario in
+  Fmt.pr "%a@." Scenarios.Results.pp_table outcome;
+  (* Per-goal hit / false-positive / false-negative classification. *)
+  List.iter
+    (fun (g, report) ->
+      if report.Rtmon.Report.entries <> [] then
+        Fmt.pr "Goal %d: hits=%d false-negatives=%d false-positives=%d@." g
+          report.Rtmon.Report.hits report.Rtmon.Report.false_negatives
+          report.Rtmon.Report.false_positives)
+    outcome.Scenarios.Runner.reports;
+  Fmt.pr "@.Composability estimate for this run: %a@." Compose.Runtime.pp
+    (Scenarios.Runner.estimate [ outcome ])

@@ -1,0 +1,1 @@
+lib/compose/andred.ml: Fmt Formula Kaos List Tl

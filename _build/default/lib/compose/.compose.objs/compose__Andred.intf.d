@@ -1,0 +1,1 @@
+lib/compose/andred.mli: Format Formula Tl

@@ -1,0 +1,1 @@
+lib/compose/composability.ml: Andred Fmt Formula Kaos List State Tl Trace

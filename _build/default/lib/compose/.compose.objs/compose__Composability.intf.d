@@ -1,0 +1,1 @@
+lib/compose/composability.mli: Format Formula Tl Trace

@@ -1,0 +1,1 @@
+lib/compose/examples.ml: Formula Term Tl

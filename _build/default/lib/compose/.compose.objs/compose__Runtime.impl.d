@@ -1,0 +1,1 @@
+lib/compose/runtime.ml: Fmt List Rtmon

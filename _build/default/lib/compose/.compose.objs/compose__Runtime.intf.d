@@ -1,0 +1,1 @@
+lib/compose/runtime.mli: Format Rtmon

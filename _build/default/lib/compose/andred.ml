@@ -1,0 +1,64 @@
+(** Darimont's and-reductions (§3.1.2): the four conditions a set of subgoals
+    must meet to be a *complete and-reduction* of a parent goal, decided by
+    exhaustive evaluation over bounded boolean traces. *)
+
+open Tl
+
+let vars_of parent subgoals =
+  Formula.dedup (List.concat_map Formula.vars_list (parent :: subgoals))
+
+let body = function Formula.Always g -> g | g -> g
+let conj_bodies gs = Formula.conj (List.map body gs)
+
+let entails vars f g =
+  Kaos.Patterns.entails_on_all_traces vars (body f) (body g)
+
+let equivalent vars f g = entails vars f g && entails vars g f
+
+(** Satisfiability of the conjunction of invariants over bounded traces. *)
+let consistent vars gs =
+  let b = conj_bodies gs in
+  List.exists
+    (fun tr -> Kaos.Patterns.trace_sat tr b)
+    (Kaos.Patterns.all_traces vars Kaos.Patterns.check_len)
+
+type check = {
+  infers_parent : bool;  (** (1) G₁,…,Gₙ ⊢ G *)
+  minimal : bool;  (** (2) no proper subset infers G *)
+  is_consistent : bool;  (** (3) G₁,…,Gₙ ⊬ false *)
+  nontrivial : bool;  (** (4) not a mere restatement of G *)
+}
+
+let complete c = c.infers_parent && c.minimal && c.is_consistent && c.nontrivial
+
+(** [check ~parent subgoals] — evaluate Darimont's four conditions. *)
+let check ~parent subgoals : check =
+  let vars = vars_of parent subgoals in
+  let infers_parent = entails vars (conj_bodies subgoals |> Formula.always) parent in
+  let without i = List.filteri (fun j _ -> j <> i) subgoals in
+  let minimal =
+    infers_parent
+    && List.for_all
+         (fun i ->
+           let rest = without i in
+           rest = []
+           || not (entails vars (Formula.always (conj_bodies rest)) parent))
+         (List.init (List.length subgoals) (fun i -> i))
+  in
+  let is_consistent = consistent vars subgoals in
+  let nontrivial =
+    match subgoals with
+    | [ g ] -> not (equivalent vars g parent)
+    | _ -> true
+  in
+  { infers_parent; minimal; is_consistent; nontrivial }
+
+(** [completes_with ~parent ~subgoals x] — does adding the (hypothetical,
+    possibly unrealizable) goal [x] turn a partial and-reduction into a
+    complete one (§3.1.2's definition of partial and-reduction)? *)
+let completes_with ~parent ~subgoals x = complete (check ~parent (subgoals @ [ x ]))
+
+let pp ppf c =
+  Fmt.pf ppf "infers-parent=%b minimal=%b consistent=%b nontrivial=%b => %s"
+    c.infers_parent c.minimal c.is_consistent c.nontrivial
+    (if complete c then "complete and-reduction" else "not a complete and-reduction")

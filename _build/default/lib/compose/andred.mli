@@ -1,0 +1,34 @@
+(** Darimont's and-reductions (§3.1.2): the four conditions a set of
+    subgoals must meet to be a {e complete and-reduction} of a parent goal,
+    decided by exhaustive evaluation over bounded boolean traces. *)
+
+open Tl
+
+val vars_of : Formula.t -> Formula.t list -> string list
+val body : Formula.t -> Formula.t
+(** Strip a top-level □. *)
+
+val conj_bodies : Formula.t list -> Formula.t
+val entails : string list -> Formula.t -> Formula.t -> bool
+val equivalent : string list -> Formula.t -> Formula.t -> bool
+
+val consistent : string list -> Formula.t list -> bool
+(** Satisfiability of the conjunction of invariants over bounded traces. *)
+
+type check = {
+  infers_parent : bool;  (** (1) G₁,…,Gₙ ⊢ G *)
+  minimal : bool;  (** (2) no proper subset infers G *)
+  is_consistent : bool;  (** (3) G₁,…,Gₙ ⊬ false *)
+  nontrivial : bool;  (** (4) not a mere restatement of G *)
+}
+
+val complete : check -> bool
+
+val check : parent:Formula.t -> Formula.t list -> check
+(** Evaluate Darimont's four conditions. *)
+
+val completes_with : parent:Formula.t -> subgoals:Formula.t list -> Formula.t -> bool
+(** Does adding the (possibly unrealizable) goal turn a partial
+    and-reduction into a complete one (§3.1.2)? *)
+
+val pp : Format.formatter -> check -> unit

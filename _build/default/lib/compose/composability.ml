@@ -1,0 +1,150 @@
+(** The thesis's composability hierarchy (Ch. 3), decided semantically.
+
+    Let C be the set of (bounded) traces satisfying all subgoals and P the
+    set satisfying the parent goal.
+
+    - C = P          : fully composable (Eq. 3.1);
+    - C ⊂ P          : the subgoals are *restrictive* — they satisfy the
+                       parent but forbid some acceptable behaviours
+                       (the source of run-time false positives);
+    - C ⊃ P          : *demon* emergence — traces exist where every subgoal
+                       holds yet the parent fails; the missing behaviour is
+                       the X of Eq. 3.14 and the subgoals are at best
+                       emergent-but-partially-composable;
+    - incomparable   : both phenomena at once.
+
+    With redundancy (Eq. 3.9) C is replaced by the union of the groups'
+    trace sets, and the parent-only region P \ ∪ᵢCᵢ is the *angel* Y of
+    Eq. 3.23. *)
+
+open Tl
+
+type verdict =
+  | Fully_composable
+  | Restrictive  (** subgoals entail the parent but are strictly stronger *)
+  | Partially_composable  (** demon witnesses exist (emergence X ≠ ∅) *)
+  | Unrelated  (** both restriction and demon witnesses exist *)
+
+let verdict_to_string = function
+  | Fully_composable -> "fully composable"
+  | Restrictive -> "restrictive (composes the parent with a margin)"
+  | Partially_composable -> "emergent but partially composable"
+  | Unrelated -> "emergent (restrictive and incomplete)"
+
+type analysis = {
+  verdict : verdict;
+  demon_witnesses : Trace.t list;
+      (** traces where all subgoals hold but the parent fails — the hidden
+          dependency X working against goal satisfaction *)
+  restriction_witnesses : Trace.t list;
+      (** traces where the parent holds but some subgoal fails — behaviour
+          the decomposition forbids (or, with redundancy, the angel Y) *)
+}
+
+let sat tr f = Kaos.Patterns.trace_sat tr (Andred.body f)
+let sat_all tr fs = List.for_all (fun f -> sat tr f) fs
+
+let traces_over vars =
+  List.concat_map
+    (fun len -> Kaos.Patterns.all_traces vars len)
+    [ 1; 2; Kaos.Patterns.check_len ]
+
+let classify demon restr =
+  match (demon, restr) with
+  | [], [] -> Fully_composable
+  | [], _ -> Restrictive
+  | _, [] -> Partially_composable
+  | _, _ -> Unrelated
+
+(* Subgoals typically constrain *auxiliary* variables the parent does not
+   mention (CA.StopVehicle in the Eq. 3.5–3.6 example). The thesis's
+   state-space pictures (Figs. 3.3–3.6) live in the parent's state space, so
+   a restriction witness is a parent-variable trace that satisfies the
+   parent but admits *no* extension of the auxiliary variables satisfying
+   the subgoals. [extends sat_group tr aux] decides extension existence by
+   enumerating auxiliary traces of the same length. *)
+let extendable ~aux ~len sat_pred tr =
+  if aux = [] then sat_pred tr
+  else
+    let aux_traces = Kaos.Patterns.all_traces aux len in
+    List.exists
+      (fun (atr : Trace.t) ->
+        let merged =
+          Trace.init ~dt:1.0 len (fun i ->
+              State.update (State.to_list (Trace.get atr i)) (Trace.get tr i))
+        in
+        sat_pred merged)
+      aux_traces
+
+let analyze_general ~parent ~(sat_decomposition : Trace.t -> bool) ~all_vars : analysis =
+  let parent_vars = Formula.vars parent in
+  let aux = List.filter (fun v -> not (List.mem v parent_vars)) all_vars in
+  let demon =
+    List.filter
+      (fun tr -> sat_decomposition tr && not (sat tr parent))
+      (traces_over all_vars)
+  in
+  let restr =
+    List.concat_map
+      (fun len ->
+        List.filter
+          (fun tr ->
+            sat tr parent && not (extendable ~aux ~len sat_decomposition tr))
+          (Kaos.Patterns.all_traces parent_vars len))
+      [ 1; 2; Kaos.Patterns.check_len ]
+  in
+  { verdict = classify demon restr; demon_witnesses = demon; restriction_witnesses = restr }
+
+(** [analyze ~parent subgoals] — single-decomposition analysis (Eq. 3.1 /
+    Eq. 3.14): demon witnesses are full traces where every subgoal holds but
+    the parent fails; restriction witnesses are parent-space traces the
+    decomposition forbids outright. *)
+let analyze ~parent subgoals : analysis =
+  let all_vars =
+    Formula.dedup (List.concat_map Formula.vars_list (parent :: subgoals))
+  in
+  analyze_general ~parent
+    ~sat_decomposition:(fun tr -> sat_all tr subgoals)
+    ~all_vars
+
+(** [analyze_redundant ~parent groups] — redundant decomposition analysis
+    (Eq. 3.9 / Eq. 3.23): the parent should hold exactly when at least one
+    and-reduction group holds. [restriction_witnesses] is then the angel
+    region Y. *)
+let analyze_redundant ~parent groups : analysis =
+  let all_vars =
+    Formula.dedup
+      (List.concat_map Formula.vars_list (parent :: List.concat groups))
+  in
+  analyze_general ~parent
+    ~sat_decomposition:(fun tr -> List.exists (fun g -> sat_all tr g) groups)
+    ~all_vars
+
+(** Fully composable iff the conjunction is materially equivalent to the
+    parent (Eq. 3.1–3.3). *)
+let fully_composable ~parent subgoals = (analyze ~parent subgoals).verdict = Fully_composable
+
+(** Fully composable with redundancy iff the disjunction of group
+    conjunctions is materially equivalent to the parent (Eq. 3.9–3.11). *)
+let fully_composable_with_redundancy ~parent groups =
+  (analyze_redundant ~parent groups).verdict = Fully_composable
+
+(** The thesis's *composability measure* (§3.4): the extent to which the
+    emergent regions X and Y are small, here the fraction of bounded traces
+    exhibiting neither demon nor restriction behaviour. 1.0 means fully
+    composable. *)
+let composability ~parent groups =
+  let all_vars =
+    Formula.dedup
+      (List.concat_map Formula.vars_list (parent :: List.concat groups))
+  in
+  let traces = traces_over all_vars in
+  let a = analyze_redundant ~parent groups in
+  let bad = List.length a.demon_witnesses + List.length a.restriction_witnesses in
+  1. -. (float_of_int bad /. float_of_int (max 1 (List.length traces)))
+
+let pp_analysis ppf a =
+  Fmt.pf ppf "%s (demon witnesses: %d, restriction/angel witnesses: %d)"
+    (verdict_to_string a.verdict)
+    (List.length a.demon_witnesses)
+    (List.length a.restriction_witnesses)

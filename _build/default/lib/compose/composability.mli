@@ -1,0 +1,51 @@
+(** The thesis's composability hierarchy (Ch. 3), decided semantically over
+    bounded boolean traces.
+
+    Subgoals typically constrain {e auxiliary} variables the parent does
+    not mention (CA.StopVehicle in the Eq. 3.5–3.6 example). Following the
+    state-space pictures of Figs. 3.3–3.6, which live in the parent's state
+    space:
+
+    - a {e demon} witness is a full trace where every subgoal holds yet the
+      parent fails — the hidden behaviour X of Eq. 3.14;
+    - a {e restriction} witness is a parent-variable trace satisfying the
+      parent that admits {e no} extension of the auxiliary variables
+      satisfying the subgoals — behaviour the decomposition forbids (or,
+      with redundancy, the angel region Y of Eq. 3.23). *)
+
+open Tl
+
+type verdict =
+  | Fully_composable
+  | Restrictive  (** subgoals entail the parent but are strictly stronger *)
+  | Partially_composable  (** demon witnesses exist (emergence X ≠ ∅) *)
+  | Unrelated  (** both restriction and demon witnesses exist *)
+
+val verdict_to_string : verdict -> string
+
+type analysis = {
+  verdict : verdict;
+  demon_witnesses : Trace.t list;
+  restriction_witnesses : Trace.t list;
+}
+
+val analyze : parent:Formula.t -> Formula.t list -> analysis
+(** Single-decomposition analysis (Eq. 3.1 / Eq. 3.14). *)
+
+val analyze_redundant : parent:Formula.t -> Formula.t list list -> analysis
+(** Redundant decomposition analysis (Eq. 3.9 / Eq. 3.23): the parent
+    should hold exactly when at least one and-reduction group holds. *)
+
+val fully_composable : parent:Formula.t -> Formula.t list -> bool
+(** Material equivalence with the parent over the parent's state space
+    (Eqs. 3.1–3.3). *)
+
+val fully_composable_with_redundancy : parent:Formula.t -> Formula.t list list -> bool
+(** Eqs. 3.9–3.11. *)
+
+val composability : parent:Formula.t -> Formula.t list list -> float
+(** The §3.4 composability measure: the fraction of bounded traces
+    exhibiting neither demon nor restriction behaviour; 1.0 means fully
+    composable. *)
+
+val pp_analysis : Format.formatter -> analysis -> unit

@@ -1,0 +1,110 @@
+(** The worked examples of Chapter 3, used by tests and by the experiment
+    harness to regenerate Tables 3.1–3.2 and Figures 3.1–3.6. *)
+
+open Tl
+
+let v = Formula.bvar
+
+(** Table 3.1: goal G = A ⇒ B with two alternative and-reductions,
+    {G₁¹,G₁²,G₁³} over {A,B,C,D} and {G₂¹,G₂²} over {A,B,E}. *)
+module Table_3_1 = struct
+  let goal = Formula.entails (v "A") (v "B")
+  let g11 = Formula.entails (v "A") (v "C")
+  let g12 = Formula.entails (v "C") (v "D")
+  let g13 = Formula.entails (v "D") (v "B")
+  let g21 = Formula.entails (v "A") (v "E")
+  let g22 = Formula.entails (v "E") (v "B")
+  let reduction_1 = [ g11; g12; g13 ]
+  let reduction_2 = [ g21; g22 ]
+end
+
+(** Table 3.2: the same subgoals with emergence acknowledged. The hidden
+    dependency F ⇒ ¬C (unknown at elaboration time) makes subgoal G₁¹
+    unrealizable whenever F holds; what the system can actually achieve is
+    the weakening (A ∧ ¬F) ⇒ C. The dependency becomes an assumption
+    "serving as a subgoal", and the missing subgoal □¬F completes the
+    reduction — both live in X₁ (§3.3.1). *)
+module Table_3_2 = struct
+  include Table_3_1
+
+  let hidden_dependency = Formula.entails (v "F") (Formula.not_ (v "C"))
+
+  (** The achievable part of G₁¹ under the hidden dependency. *)
+  let g11_achievable =
+    Formula.entails (Formula.and_ (v "A") (Formula.not_ (v "F"))) (v "C")
+
+  let achievable_reduction = [ g11_achievable; g12; g13; hidden_dependency ]
+  let missing_subgoal = Formula.always (Formula.not_ (v "F"))
+  let x1 = [ hidden_dependency; missing_subgoal ]
+end
+
+(** The stop-vehicle example threaded through §3.2–§3.3. *)
+module Stop_vehicle = struct
+  let object_in_path = v "ObjectInPath"
+  let stop_vehicle = v "StopVehicle"
+  let ca_stop = v "CA.StopVehicle"
+  let acc_stop = v "ACC.StopVehicle"
+  let ca_detected = v "CA.ObjectInPathDetected"
+  let ca_not_detected = v "CA.ObjectInPathNotDetected"
+  let acc_detected = v "ACC.ObjectInPathDetected"
+  let acc_not_detected = v "ACC.ObjectInPathNotDetected"
+  let unknown_stop = v "Unknown.StopVehicle"
+
+  (** Eq. 3.4: the parent goal. *)
+  let goal = Formula.entails object_in_path stop_vehicle
+
+  (** Eqs. 3.5–3.6: subgoals that fully compose the goal for CA. *)
+  let fully_composable_subgoals =
+    [
+      Formula.always (Formula.iff object_in_path ca_stop);
+      Formula.entails ca_stop stop_vehicle;
+    ]
+
+  (** Eqs. 3.12–3.13: redundant satisfaction by CA and ACC. *)
+  let redundant_subgoals =
+    [
+      Formula.always (Formula.iff object_in_path (Formula.or_ ca_stop acc_stop));
+      Formula.entails (Formula.or_ ca_stop acc_stop) stop_vehicle;
+    ]
+
+  (** Eq. 3.17: uncertainty in object detection as a latent dependency. *)
+  let detection_assumption =
+    Formula.always
+      (Formula.iff object_in_path (Formula.or_ ca_detected ca_not_detected))
+
+  (** Eqs. 3.18–3.20; Eq. 3.19 is the unrealizable part living in X. *)
+  let realizable_subgoals =
+    [ Formula.entails ca_detected ca_stop; Formula.entails ca_stop stop_vehicle ]
+
+  let unrealizable_subgoal = Formula.entails ca_not_detected ca_stop
+
+  (** Eq. 3.31 with the emergent angel [Unknown.StopVehicle]. *)
+  let actuation_with_angel =
+    Formula.entails
+      (Formula.disj [ ca_stop; acc_stop; unknown_stop ])
+      stop_vehicle
+
+  (** Eqs. 3.39–3.41: conjunctive division in the presence of non-ideal
+    detection; Eq. 3.40 is realizable even though Eq. 3.41 is not. *)
+  let conjunctive_goal =
+    Formula.entails (Formula.or_ (v "InPathDetected") (v "InPathNotDetected"))
+      stop_vehicle
+
+  let conjunctive_realizable = Formula.entails (v "InPathDetected") stop_vehicle
+  let conjunctive_unrealizable = Formula.entails (v "InPathNotDetected") stop_vehicle
+end
+
+(** §3.3.5's acceleration-envelope restriction: Eq. 3.47 → Eq. 3.48. *)
+module Acceleration_envelope = struct
+  let limit = 2.0
+  let envelope = 0.5
+
+  let goal =
+    Formula.always (Formula.lt (Term.var "VehicleAcceleration") (Term.float limit))
+
+  let restrictive_subgoal =
+    Formula.always
+      (Formula.lt
+         (Term.var "VehicleAccelerationRequests")
+         (Term.float (limit -. envelope)))
+end

@@ -1,0 +1,44 @@
+(** Run-time estimation of composability (§3.4, §5.1.2).
+
+    X and Y cannot be known statically; the thesis estimates them by
+    monitoring the goal and its subgoals together. False negatives witness a
+    non-empty X (the subgoals missed a real hazard); false positives witness
+    restriction or redundancy (or the angel Y). *)
+
+type estimate = {
+  scenarios : int;
+  hits : int;
+  false_negatives : int;
+  false_positives : int;
+}
+
+let empty = { scenarios = 0; hits = 0; false_negatives = 0; false_positives = 0 }
+
+let add est (r : Rtmon.Report.t) =
+  {
+    scenarios = est.scenarios + 1;
+    hits = est.hits + r.Rtmon.Report.hits;
+    false_negatives = est.false_negatives + r.Rtmon.Report.false_negatives;
+    false_positives = est.false_positives + r.Rtmon.Report.false_positives;
+  }
+
+let of_reports reports = List.fold_left add empty reports
+
+(** Evidence that the decomposition is only partial: X ≠ ∅ (Eq. 3.14). *)
+let demon_evidence est = est.false_negatives > 0
+
+(** Evidence of restriction or redundancy in the subgoals, or of the angel Y
+    (Eq. 3.23). *)
+let restriction_evidence est = est.false_positives > 0
+
+(** Fraction of goal violations the subgoals predicted: the practical value
+    of the partial decomposition (§3.3.3). 1.0 when every hazard had a
+    subsystem-level precursor. *)
+let coverage est =
+  let total = est.hits + est.false_negatives in
+  if total = 0 then 1.0 else float_of_int est.hits /. float_of_int total
+
+let pp ppf est =
+  Fmt.pf ppf
+    "scenarios=%d hits=%d false-negatives=%d false-positives=%d coverage=%.2f"
+    est.scenarios est.hits est.false_negatives est.false_positives (coverage est)

@@ -1,0 +1,30 @@
+(** Run-time estimation of composability (§3.4, §5.1.2).
+
+    X and Y cannot be known statically; the thesis estimates them by
+    monitoring the goal and its subgoals together. False negatives witness
+    a non-empty X (the subgoals missed a real hazard); false positives
+    witness restriction or redundancy (or the angel Y). *)
+
+type estimate = {
+  scenarios : int;
+  hits : int;
+  false_negatives : int;
+  false_positives : int;
+}
+
+val empty : estimate
+val add : estimate -> Rtmon.Report.t -> estimate
+val of_reports : Rtmon.Report.t list -> estimate
+
+val demon_evidence : estimate -> bool
+(** Evidence that the decomposition is only partial: X ≠ ∅ (Eq. 3.14). *)
+
+val restriction_evidence : estimate -> bool
+(** Evidence of restrictive or redundant subgoals, or of the angel Y. *)
+
+val coverage : estimate -> float
+(** Fraction of goal violations the subgoals predicted — the practical
+    value of the partial decomposition (§3.3.3); 1.0 when every hazard had
+    a subsystem-level precursor (vacuously 1.0 with no violations). *)
+
+val pp : Format.formatter -> estimate -> unit

@@ -1,0 +1,1 @@
+lib/core/core.ml: Compose Elevator Experiments Hazard Icpa Kaos Mc Rtmon Scenarios Sim Tl Vehicle

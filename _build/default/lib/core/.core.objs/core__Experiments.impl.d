@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Compose Elevator Fmt Format Formula Hashtbl Hazard Icpa Kaos List Mc Scenarios String Tl Vehicle

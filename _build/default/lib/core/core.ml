@@ -1,0 +1,44 @@
+(** Composite-safety: the public façade.
+
+    This library reproduces Black, {i System Safety as an Emergent Property
+    in Composite Systems} (CMU, 2009). The thesis's three contributions map
+    to:
+
+    - {!Compose} — the formal definition of emergent and composable goal
+      behaviours (Ch. 3);
+    - {!Icpa} — Indirect Control Path Analysis (Ch. 4);
+    - {!Rtmon} together with {!Scenarios} — hierarchical run-time safety
+      monitoring and its evaluation on a semi-autonomous vehicle (Ch. 5).
+
+    Substrates: {!Tl} (temporal logic), {!Kaos} (goal-oriented requirements
+    engineering), {!Mc} (explicit-state model checking), {!Sim} (synchronous
+    discrete-time simulation). Worked systems: {!Elevator} (the Ch. 4
+    running example) and {!Vehicle} (the Ch. 5 evaluation system). *)
+
+module Tl = Tl
+module Kaos = Kaos
+module Compose = Compose
+module Mc = Mc
+module Sim = Sim
+module Rtmon = Rtmon
+module Icpa = Icpa
+module Elevator = Elevator
+module Vehicle = Vehicle
+module Scenarios = Scenarios
+module Hazard = Hazard
+
+(** The experiment registry regenerating every thesis table and figure. *)
+module Experiments = Experiments
+
+(** {1 Quickstart helpers} *)
+
+(** [monitor_goal goal trace] — run the goal's monitor over a trace and
+    return its violation intervals. *)
+let monitor_goal (goal : Kaos.Goal.t) (trace : Tl.Trace.t) =
+  let ok = Rtmon.Incremental.run_trace goal.Kaos.Goal.formal trace in
+  Rtmon.Violation.of_series ~dt:(Tl.Trace.dt trace) ok
+
+(** [decomposition_verdict ~parent subgoals] — classify a decomposition per
+    Ch. 3 over all bounded boolean traces. *)
+let decomposition_verdict ~parent subgoals =
+  (Compose.Composability.analyze ~parent subgoals).Compose.Composability.verdict

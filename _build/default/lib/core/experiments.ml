@@ -1,0 +1,344 @@
+(** The experiment registry: one entry per table and figure of the thesis
+    that this repository regenerates (see DESIGN.md's per-experiment index).
+
+    Each experiment renders the corresponding artifact to a formatter;
+    [bin/experiments.exe] prints them and [bench/main.exe] times them. *)
+
+open Tl
+
+type t = { id : string; title : string; run : Format.formatter -> unit }
+
+(* Scenario outcomes are shared by the D tables, the figures and the
+   summary; memoize per scenario number. *)
+let outcome_cache : (int, Scenarios.Runner.outcome) Hashtbl.t = Hashtbl.create 10
+
+let outcome n =
+  match Hashtbl.find_opt outcome_cache n with
+  | Some o -> o
+  | None ->
+      let o = Scenarios.Runner.run (Scenarios.Defs.get n) in
+      Hashtbl.add outcome_cache n o;
+      o
+
+let clear_cache () = Hashtbl.reset outcome_cache
+
+(* ------------------------------------------------------------------ *)
+
+let fig_2_2 ppf =
+  Fmt.pf ppf
+    "@[<v>Figure 2.2 — Partial fault tree for a semi-autonomous automotive \
+     system@,@,%a@,"
+    (fun ppf () -> Hazard.Fta.pp ppf Hazard.Fta.fig_2_2)
+    ();
+  Fmt.pf ppf "@,Minimal cut sets:@,";
+  List.iter
+    (fun cut -> Fmt.pf ppf "  {%s}@," (String.concat ", " cut))
+    (Hazard.Fta.cut_sets Hazard.Fta.fig_2_2);
+  Fmt.pf ppf "@,Single-point failures: %s@,"
+    (String.concat "; " (Hazard.Fta.single_points Hazard.Fta.fig_2_2));
+  Fmt.pf ppf "Top-event probability over 1000 h: %.2e@]"
+    (Hazard.Fta.probability ~hours:1000. Hazard.Fta.fig_2_2)
+
+let fig_2_3 ppf = Hazard.Fmea.pp ppf Hazard.Fmea.fig_2_3
+
+let table_2_2 ppf =
+  Fmt.pf ppf "@[<v>Goal pattern classifications (Table 2.2)@,";
+  List.iter
+    (fun (cls, pattern) -> Fmt.pf ppf "%-10s %s@," cls pattern)
+    [
+      ("Achieve", "P => eventually Q");
+      ("Cease", "P => eventually not Q");
+      ("Maintain", "P => always Q");
+      ("Avoid", "P => always not Q");
+    ];
+  Fmt.pf ppf "@]"
+
+let pp_andred ppf name parent subgoals =
+  Fmt.pf ppf "%-22s %a@,  %a@," name
+    Fmt.(list ~sep:(any " ; ") Formula.pp)
+    subgoals Compose.Andred.pp
+    (Compose.Andred.check ~parent subgoals)
+
+let table_3_1 ppf =
+  let open Compose.Examples.Table_3_1 in
+  Fmt.pf ppf "@[<v>Table 3.1 — Subgoals for goal G: %a@," Formula.pp goal;
+  pp_andred ppf "reduction {G1_1,G1_2,G1_3}" goal reduction_1;
+  pp_andred ppf "reduction {G2_1,G2_2}" goal reduction_2;
+  Fmt.pf ppf "@]"
+
+let table_3_2 ppf =
+  let open Compose.Examples.Table_3_2 in
+  Fmt.pf ppf "@[<v>Table 3.2 — Same subgoals with emergence acknowledged@,";
+  Fmt.pf ppf "Hidden dependency: %a@," Formula.pp hidden_dependency;
+  Fmt.pf ppf "Missing subgoal:   %a@," Formula.pp missing_subgoal;
+  let a = Compose.Composability.analyze ~parent:goal achievable_reduction in
+  Fmt.pf ppf "achievable reduction, X1 unresolved: %a@,"
+    Compose.Composability.pp_analysis a;
+  let a2 =
+    Compose.Composability.analyze ~parent:goal (achievable_reduction @ [ missing_subgoal ])
+  in
+  Fmt.pf ppf "achievable reduction + missing subgoal □¬F: %a@,"
+    Compose.Composability.pp_analysis a2;
+  Fmt.pf ppf "@]"
+
+let fig_3_x ppf =
+  let open Compose.Examples.Stop_vehicle in
+  Fmt.pf ppf "@[<v>Figures 3.1–3.6 — Composability of the stop-vehicle goal@,";
+  Fmt.pf ppf "Goal: %a@,@," Formula.pp goal;
+  let show name analysis =
+    Fmt.pf ppf "%-52s %a@," name Compose.Composability.pp_analysis analysis
+  in
+  show "fully composable (Eqs. 3.5-3.6)"
+    (Compose.Composability.analyze ~parent:goal fully_composable_subgoals);
+  show "fully composable with redundancy (Eqs. 3.12-3.13)"
+    (Compose.Composability.analyze_redundant ~parent:goal [ redundant_subgoals ]);
+  show "partial: realizable subgoals only (Eq. 3.19 in X)"
+    (Compose.Composability.analyze ~parent:goal
+       (detection_assumption :: realizable_subgoals));
+  show "partial, completed by the unrealizable subgoal"
+    (Compose.Composability.analyze ~parent:goal
+       ((detection_assumption :: realizable_subgoals) @ [ unrealizable_subgoal ]));
+  Fmt.pf ppf "@,Conjunctive division (Eqs. 3.39-3.41):@,";
+  let c =
+    Compose.Andred.check ~parent:conjunctive_goal
+      [ conjunctive_realizable; conjunctive_unrealizable ]
+  in
+  Fmt.pf ppf "  {realizable, unrealizable} of the detection split: %a@," Compose.Andred.pp c;
+  Fmt.pf ppf "@]"
+
+let elevator_table part ppf =
+  let t = Elevator.Icpa_tables.door_closed_or_stopped in
+  match part with
+  | `Rows_dc ->
+      Fmt.pf ppf
+        "@[<v>Table 4.1 — Indirect control paths for \
+         Maintain[DoorClosedOrElevatorStopped] (1 of 2)@,%a@]"
+        (Fmt.list ~sep:(Fmt.any "@,@,") Icpa.Render.pp_row)
+        (List.filteri (fun i _ -> i = 0) t.Icpa.Table.rows)
+  | `Rows_es ->
+      Fmt.pf ppf
+        "@[<v>Table 4.2 — Indirect control paths for \
+         Maintain[DoorClosedOrElevatorStopped] (2 of 2)@,%a@]"
+        (Fmt.list ~sep:(Fmt.any "@,@,") Icpa.Render.pp_row)
+        (List.filteri (fun i _ -> i > 0) t.Icpa.Table.rows)
+  | `Full -> Fmt.pf ppf "%a" Icpa.Render.pp t
+
+let table_4_4 ppf =
+  let t = Elevator.Icpa_tables.door_closed_or_stopped in
+  Fmt.pf ppf
+    "@[<v>Table 4.4 — Subgoals of Maintain[DoorClosedOrElevatorStopped]@,%a@]"
+    (Fmt.list ~sep:(Fmt.any "@,@,") Icpa.Render.pp_subgoal)
+    t.Icpa.Table.subgoals
+
+let check_4_4 ppf =
+  Fmt.pf ppf "@[<v>Mechanized verification of the Ch. 4 decomposition@,";
+  Fmt.pf ppf "Table 4.4 subgoals + relationships 01-22 |= parent goal: %a@,"
+    Mc.Checker.pp_outcome
+    (Elevator.Verification.check ());
+  Fmt.pf ppf "@,Without the closed-door domain assumption (r22): %a@,"
+    Mc.Checker.pp_outcome
+    (Elevator.Verification.check_without_closed_door_assumption ());
+  Fmt.pf ppf
+    "@,Naive decomposition (Figs. 4.12-4.13, single-agent subgoals): %a@,"
+    Mc.Checker.pp_outcome
+    (Elevator.Verification.check_naive ());
+  Fmt.pf ppf "@]"
+
+let table_4_5 ppf =
+  Fmt.pf ppf
+    "@[<v>Table 4.5 — Goal controllability/observability requirements for \
+     A => B forms@,";
+  List.iter
+    (fun form ->
+      Fmt.pf ppf "@,Form %s:@," form.Kaos.Patterns.form_name;
+      List.iter
+        (fun row -> Fmt.pf ppf "  %a@," Kaos.Patterns.pp_row row)
+        (Kaos.Patterns.table form))
+    (List.filteri (fun i _ -> i < 3) Kaos.Patterns.forms);
+  Fmt.pf ppf "@]"
+
+let table_b n ppf =
+  (* B.1 covers the three two-variable forms; B.2–B.13 the twelve
+     three-variable forms. *)
+  let forms =
+    if n = 1 then List.filteri (fun i _ -> i < 3) Kaos.Patterns.forms
+    else [ List.nth Kaos.Patterns.forms (n + 1) ]
+  in
+  Fmt.pf ppf "@[<v>Table B.%d — Goal realizability patterns and alternative goals@," n;
+  List.iter
+    (fun form ->
+      Fmt.pf ppf "@,Form %s:@," form.Kaos.Patterns.form_name;
+      List.iter
+        (fun row -> Fmt.pf ppf "  %a@," Kaos.Patterns.pp_row row)
+        (Kaos.Patterns.table form))
+    forms;
+  Fmt.pf ppf "@]"
+
+let fig_4_5 ppf =
+  Fmt.pf ppf "@[<v>Figure 4.5 — Partial design of a distributed elevator control system@,";
+  Fmt.pf ppf "@,Indirect control paths of dc (DoorClosed):@,%a" Icpa.Control_graph.pp_forest
+    (Icpa.Control_graph.indirect_control_path ~max_depth:4 Elevator.System.graph "dc");
+  Fmt.pf ppf "@,Indirect control paths of es_stopped (ElevatorSpeed):@,%a"
+    Icpa.Control_graph.pp_forest
+    (Icpa.Control_graph.indirect_control_path ~max_depth:4 Elevator.System.graph
+       "es_stopped");
+  Fmt.pf ppf "@]"
+
+let fig_5_1 ppf =
+  Fmt.pf ppf "@[<v>Figure 5.1 — Semi-autonomous automotive system@,";
+  Fmt.pf ppf "@,Indirect control paths of host_accel (VehicleAcceleration):@,%a"
+    Icpa.Control_graph.pp_forest
+    (Icpa.Control_graph.indirect_control_path ~max_depth:3 Vehicle.System.graph
+       "host_accel");
+  Fmt.pf ppf "@]"
+
+let table_5 part ppf =
+  let goals =
+    match part with
+    | `One -> List.filteri (fun i _ -> i < 4) Vehicle.Goals.all
+    | `Two -> List.filteri (fun i _ -> i >= 4) Vehicle.Goals.all
+  in
+  Fmt.pf ppf "@[<v>Safety goals for a semi-autonomous vehicle (Table 5.%s)@,"
+    (match part with `One -> "1" | `Two -> "2");
+  List.iter (fun (n, g) -> Fmt.pf ppf "@,%d. %a@," n Kaos.Goal.pp g) goals;
+  Fmt.pf ppf "@]"
+
+let table_5_3 ppf =
+  Fmt.pf ppf "@[<v>Table 5.3 — Monitoring locations of goals and subgoals@,";
+  Fmt.pf ppf "%-6s %-55s %s@," "Id" "Goal/Subgoal" "Location";
+  Fmt.pf ppf "%s@," (String.make 84 '-');
+  List.iter
+    (fun (e : Vehicle.Monitors.entry) ->
+      Fmt.pf ppf "%-6s %-55s %s@," e.Vehicle.Monitors.id
+        e.Vehicle.Monitors.goal.Kaos.Goal.name
+        (Vehicle.Monitors.location_to_string e.Vehicle.Monitors.location))
+    Vehicle.Monitors.all;
+  Fmt.pf ppf "@]"
+
+let appendix_c ppf =
+  Fmt.pf ppf "@[<v>Appendix C — ICPA for the semi-autonomous automotive system@,";
+  List.iter
+    (fun (n, t) -> Fmt.pf ppf "@,=== ICPA for goal %d ===@,%a@," n Icpa.Render.pp t)
+    Vehicle.Icpa_vehicle.tables;
+  Fmt.pf ppf "@]"
+
+let table_d n ppf = Scenarios.Results.pp_table ppf (outcome n)
+
+let fig_5 id ppf =
+  let fig = Scenarios.Figures.get id in
+  Scenarios.Figures.render ppf fig (outcome fig.Scenarios.Figures.scenario)
+
+let summary ppf =
+  let outcomes = List.map outcome (List.init 10 (fun i -> i + 1)) in
+  Fmt.pf ppf "@[<v>Evaluation summary (all scenarios)@,@,%a@,@,"
+    Scenarios.Results.pp_summary outcomes;
+  Fmt.pf ppf "Composability estimate (§3.4): %a@,@," Compose.Runtime.pp
+    (Scenarios.Runner.estimate outcomes);
+  Fmt.pf ppf
+    "False negatives witness residual emergence (X != {}); false positives \
+     witness restrictive/redundant coverage and masked subsystem defects — \
+     the subgoals only partially compose the system goals (§5.5).@]"
+
+let assumption_check ppf =
+  (* §4.3/§4.4.4 mechanized: the documented critical assumptions of the
+     vehicle ICPA, monitored over every scenario. The seeded defects appear
+     as violations of exactly the assumptions they break; the repaired
+     system leaves (almost) all of them intact. *)
+  Fmt.pf ppf "@[<v>Critical-assumption monitoring (Appendix C relationships)@,@,";
+  Fmt.pf ppf "%-4s" "Rel";
+  List.iter (fun n -> Fmt.pf ppf " S%-3d" n) (List.init 10 (fun i -> i + 1));
+  Fmt.pf ppf "  Name / expected breakers@,%s@," (String.make 96 '-');
+  let per_scenario =
+    List.map (fun n -> (n, Vehicle.Relationships.check (outcome n).Scenarios.Runner.trace))
+      (List.init 10 (fun i -> i + 1))
+  in
+  List.iter
+    (fun (r : Vehicle.Relationships.t) ->
+      Fmt.pf ppf "R%-3d" r.Vehicle.Relationships.number;
+      List.iter
+        (fun (_, checks) ->
+          let _, ivs =
+            List.find
+              (fun ((r' : Vehicle.Relationships.t), _) ->
+                r'.Vehicle.Relationships.number = r.Vehicle.Relationships.number)
+              checks
+          in
+          Fmt.pf ppf " %-4d" (List.length ivs))
+        per_scenario;
+      Fmt.pf ppf "  %s%s@," r.Vehicle.Relationships.name
+        (match r.Vehicle.Relationships.broken_by with
+        | [] -> ""
+        | ds -> Fmt.str "  [breakers: %s]" (String.concat ", " ds)))
+    Vehicle.Relationships.all;
+  Fmt.pf ppf "@]"
+
+let sweep mk ppf = Scenarios.Sweeps.pp ppf (mk ())
+
+let repaired ppf =
+  (* The counterfactual the thesis could not run: the same scenarios with
+     every defect repaired. The nine goals then hold everywhere. *)
+  let outcomes =
+    List.map
+      (fun s -> Scenarios.Runner.run ~defects:Vehicle.Defects.repaired s)
+      Scenarios.Defs.all
+  in
+  Fmt.pf ppf "@[<v>Ablation — all defects repaired@,@,%a@]"
+    Scenarios.Results.pp_summary outcomes
+
+(* ------------------------------------------------------------------ *)
+
+let all : t list =
+  [
+    { id = "fig_2_2"; title = "Fault tree for unintended sudden acceleration"; run = fig_2_2 };
+    { id = "fig_2_3"; title = "FMEA for the long-range radar sensor"; run = fig_2_3 };
+    { id = "table_2_2"; title = "Goal pattern classes"; run = table_2_2 };
+    { id = "table_3_1"; title = "And-reductions of G = A => B"; run = table_3_1 };
+    { id = "table_3_2"; title = "And-reductions with emergence"; run = table_3_2 };
+    { id = "fig_3_x"; title = "Composability classifications (Figs. 3.1-3.6)"; run = fig_3_x };
+    { id = "table_4_1"; title = "Elevator indirect control paths (1/2)"; run = elevator_table `Rows_dc };
+    { id = "table_4_2"; title = "Elevator indirect control paths (2/2)"; run = elevator_table `Rows_es };
+    { id = "table_4_3"; title = "Elevator goal elaboration (full ICPA)"; run = elevator_table `Full };
+    { id = "table_4_4"; title = "Elevator subsystem subgoals"; run = table_4_4 };
+    { id = "check_4_4"; title = "Model-checked composition of Table 4.4"; run = check_4_4 };
+    { id = "table_4_5"; title = "Realizability of A => B forms"; run = table_4_5 };
+  ]
+  @ List.map
+      (fun n ->
+        {
+          id = Fmt.str "table_b_%d" n;
+          title = Fmt.str "Appendix B realizability table B.%d" n;
+          run = table_b n;
+        })
+      (List.init 13 (fun i -> i + 1))
+  @ [
+      { id = "fig_4_5"; title = "Elevator control graph"; run = fig_4_5 };
+      { id = "fig_5_1"; title = "Vehicle control graph"; run = fig_5_1 };
+      { id = "table_5_1"; title = "Vehicle safety goals (1/2)"; run = table_5 `One };
+      { id = "table_5_2"; title = "Vehicle safety goals (2/2)"; run = table_5 `Two };
+      { id = "table_5_3"; title = "Monitoring locations"; run = table_5_3 };
+      { id = "appendix_c"; title = "ICPA tables for the nine goals"; run = appendix_c };
+    ]
+  @ List.map
+      (fun n ->
+        {
+          id = Fmt.str "table_d_%d" n;
+          title = Fmt.str "Scenario %d goal/subgoal violations" n;
+          run = table_d n;
+        })
+      (List.init 10 (fun i -> i + 1))
+  @ List.map
+      (fun (f : Scenarios.Figures.t) ->
+        { id = f.Scenarios.Figures.id; title = f.Scenarios.Figures.caption; run = fig_5 f.Scenarios.Figures.id })
+      Scenarios.Figures.all
+  @ [
+      { id = "assumption_check"; title = "Critical-assumption monitoring across scenarios"; run = assumption_check };
+      { id = "ablation_latch"; title = "Sweep: attribution latch vs false negatives"; run = sweep Scenarios.Sweeps.latch_sweep };
+      { id = "ablation_debounce"; title = "Sweep: selection debounce vs override window"; run = sweep Scenarios.Sweeps.debounce_sweep };
+      { id = "ablation_damping"; title = "Sweep: plant damping vs goal-1 excursions"; run = sweep Scenarios.Sweeps.damping_sweep };
+      { id = "ablation_window"; title = "Sweep: classification window vs hit/FP/FN"; run = sweep Scenarios.Sweeps.window_sweep };
+      { id = "summary"; title = "Cross-scenario summary and composability estimate"; run = summary };
+      { id = "repaired"; title = "Ablation: all defects repaired"; run = repaired };
+    ]
+
+let get id = List.find_opt (fun e -> e.id = id) all
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,1 @@
+lib/elevator/buttons.ml: Fmt List Sim State Tl Value

@@ -1,0 +1,1 @@
+lib/elevator/goals.ml: Formula Kaos Term Tl

@@ -1,0 +1,1 @@
+lib/elevator/icpa_tables.ml: Formula Fun Goals Icpa Kaos Relationships Tl

@@ -1,0 +1,1 @@
+lib/elevator/relationships.ml: Formula Goals Icpa List Tl

@@ -1,0 +1,1 @@
+lib/elevator/simulation.ml: Buttons Float Goals Icpa_tables Kaos List Rtmon Sim Tl Trace Value

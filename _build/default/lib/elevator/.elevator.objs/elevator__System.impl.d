@@ -1,0 +1,1 @@
+lib/elevator/system.ml: Icpa Kaos List

@@ -1,0 +1,1 @@
+lib/elevator/verification.ml: Goals Icpa Kaos List Mc Relationships

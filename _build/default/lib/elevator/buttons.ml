@@ -1,0 +1,86 @@
+(** Hall and car button controllers (Fig. 4.5): one software agent per
+    button. A passenger press latches the corresponding call; the dispatch
+    controller clears a call when it has been served (doors opened at the
+    requested floor).
+
+    Variables:
+    - ["hall_button_press_F_D"], ["car_button_press_F"] — passenger inputs
+      (momentary, driven by the scenario script);
+    - ["hall_call_F_D"], ["car_call_F"] — latched calls on the network
+      (direct control of the button controllers);
+    - ["served_floor"] — the dispatch controller's feedback clearing calls. *)
+
+open Tl
+
+type direction = Up | Down
+
+let direction_to_string = function Up -> "up" | Down -> "down"
+
+let hall_press f d = Fmt.str "hall_button_press_%d_%s" f (direction_to_string d)
+let hall_call f d = Fmt.str "hall_call_%d_%s" f (direction_to_string d)
+let car_press f = Fmt.str "car_button_press_%d" f
+let car_call f = Fmt.str "car_call_%d" f
+
+(** One car-button controller per floor [f]: latches the press into the
+    call until the floor is served. *)
+let car_button_controller ~floor:f : Sim.Component.t =
+  Sim.Component.make
+    ~name:(Fmt.str "CarButtonController_%d" f)
+    ~outputs:[ (car_call f, Value.Bool false) ]
+    (fun ctx ->
+      let pressed = Sim.Component.read_bool ctx (car_press f) in
+      let latched = Sim.Component.read_bool ctx (car_call f) in
+      let served =
+        match Sim.Component.read ctx "served_floor" with
+        | Value.Int sf -> sf = f
+        | _ -> false
+      in
+      [ (car_call f, Value.Bool ((pressed || latched) && not served)) ])
+
+(** One hall-button controller per floor and direction. *)
+let hall_button_controller ~floor:f ~direction:d : Sim.Component.t =
+  Sim.Component.make
+    ~name:(Fmt.str "HallButtonController_%d_%s" f (direction_to_string d))
+    ~outputs:[ (hall_call f d, Value.Bool false) ]
+    (fun ctx ->
+      let pressed = Sim.Component.read_bool ctx (hall_press f d) in
+      let latched = Sim.Component.read_bool ctx (hall_call f d) in
+      let served =
+        match Sim.Component.read ctx "served_floor" with
+        | Value.Int sf -> sf = f
+        | _ -> false
+      in
+      [ (hall_call f d, Value.Bool ((pressed || latched) && not served)) ])
+
+(** All button-controller components for a building of [floors] floors
+    (floor 1 has no down hall button; the top floor no up button). *)
+let all ~floors : Sim.Component.t list =
+  List.concat_map
+    (fun f ->
+      car_button_controller ~floor:f
+      :: ((if f < floors then [ hall_button_controller ~floor:f ~direction:Up ] else [])
+         @ if f > 1 then [ hall_button_controller ~floor:f ~direction:Down ] else []))
+    (List.init floors (fun i -> i + 1))
+
+(** Initial values for the passenger-facing press inputs (owned by the
+    scenario's Passenger stimulus). *)
+let press_inputs ~floors =
+  List.concat_map
+    (fun f ->
+      (car_press f, Value.Bool false)
+      :: ((if f < floors then [ (hall_press f Up, Value.Bool false) ] else [])
+         @ if f > 1 then [ (hall_press f Down, Value.Bool false) ] else []))
+    (List.init floors (fun i -> i + 1))
+
+(** Outstanding calls visible in a snapshot, nearest-first relative to the
+    given floor — the dispatch controller's view. *)
+let outstanding ~floors (s : State.t) ~from =
+  let calls =
+    List.filter
+      (fun f ->
+        State.bool s (car_call f)
+        || (f < floors && State.bool s (hall_call f Up))
+        || (f > 1 && State.bool s (hall_call f Down)))
+      (List.init floors (fun i -> i + 1))
+  in
+  List.sort (fun a b -> compare (abs (a - from)) (abs (b - from))) calls

@@ -1,0 +1,130 @@
+(** Safety goals of the distributed elevator system (Ch. 4).
+
+    State-variable conventions (shared by the formulas, the model-checking
+    abstraction and the simulation):
+    - ["dc"]  DoorClosed (sensed, bool)
+    - ["db"]  DoorBlocked (sensed, bool)
+    - ["es_stopped"]  IsStopped(ElevatorSpeed) (sensed, bool)
+    - ["drs_stopped"] IsStopped(DriveSpeed) (actuator state, bool)
+    - ["dmc"] DoorMotorCommand ∈ {OPEN, CLOSE}
+    - ["drc"] DriveCommand ∈ {STOP, GO}
+    - ["ew"], ["etp"] ElevatorWeight / ElevatorTopPosition (floats)
+    - ["eb_applied"] EmergencyBrake applied (bool) *)
+
+open Tl
+
+(* Actuation delays, in seconds. The model-checking abstraction uses
+   dt = 1 s so these are also counts of discrete states; the thesis's
+   composition argument needs every min/max delay to exceed a single state
+   (relationships 08/09 and 20/21). *)
+let min_open_delay = 2.0
+let max_open_delay = 3.0
+let min_close_delay = 2.0
+let max_close_delay = 3.0
+let min_go_delay = 2.0
+let max_go_delay = 3.0
+let min_stop_delay = 2.0
+let max_stop_delay = 3.0
+
+let dc = Formula.bvar "dc"
+let db = Formula.bvar "db"
+let es_stopped = Formula.bvar "es_stopped"
+let drs_stopped = Formula.bvar "drs_stopped"
+let dmc_is s = Formula.var_is "dmc" s
+let drc_is s = Formula.var_is "drc" s
+
+(** Fig. 4.6: Maintain[DriveStoppedWhenOverweight]. *)
+let drive_stopped_when_overweight ~weight_threshold =
+  Kaos.Goal.maintain "DriveStoppedWhenOverweight"
+    ~informal:
+      "If the elevator weight exceeds the weight threshold, then the elevator \
+       speed shall be STOPPED."
+    (Formula.entails
+       (Formula.prev (Formula.gt (Term.var "ew") (Term.float weight_threshold)))
+       es_stopped)
+
+(** Fig. 4.8: Maintain[DoorClosedOrElevatorStopped] — the running example. *)
+let door_closed_or_stopped =
+  Kaos.Goal.maintain "DoorClosedOrElevatorStopped"
+    ~informal:
+      "At all times the door shall be closed or the elevator speed shall be \
+       STOPPED."
+    (Formula.always (Formula.or_ dc es_stopped))
+
+(** Fig. 4.9: Maintain[ElevatorBelowHoistwayUpperLimit]. *)
+let below_hoistway_limit ~hoistway_upper_limit =
+  Kaos.Goal.maintain "ElevatorBelowHoistwayUpperLimit"
+    ~informal:"The top of the elevator shall never exceed the upper limit of the hoistway."
+    (Formula.always (Formula.le (Term.var "etp") (Term.float hoistway_upper_limit)))
+
+(** Fig. 4.10: Achieve[StopBeforeHoistwayUpperLimit] — primary (drive
+    controller) responsibility for the hoistway goal. *)
+let stop_before_hoistway_limit ~hoistway_upper_limit ~max_stopping_distance =
+  Kaos.Goal.achieve "StopBeforeHoistwayUpperLimit"
+    ~informal:"If the elevator nears the upper hoistway limit, then the drive shall be stopped."
+    (Formula.entails
+       (Formula.prev
+          (Formula.ge (Term.var "etp")
+             (Term.float (hoistway_upper_limit -. max_stopping_distance))))
+       (drc_is "STOP"))
+
+(** Fig. 4.11: Achieve[EmergencyStopBeforeHoistwayUpperLimit] — secondary
+    (emergency brake) responsibility. *)
+let emergency_stop_before_hoistway_limit ~hoistway_upper_limit
+    ~max_emergency_braking_distance =
+  Kaos.Goal.achieve "EmergencyStopBeforeHoistwayUpperLimit"
+    ~informal:
+      "If the elevator nears the upper hoistway limit, then the emergency \
+       brake shall be applied."
+    (Formula.entails
+       (Formula.prev
+          (Formula.ge (Term.var "etp")
+             (Term.float (hoistway_upper_limit -. max_emergency_braking_distance))))
+       (Formula.bvar "eb_applied"))
+
+(** Fig. 4.12: Achieve[CloseDoorWhenElevatorMoving] — the naive door-only
+    subgoal that fails to compose the parent (discussed in §4.5.1). *)
+let close_door_when_moving =
+  Kaos.Goal.achieve "CloseDoorWhenElevatorMoving"
+    ~informal:"If the elevator is moving, then the door shall be commanded to CLOSE."
+    (Formula.entails
+       (Formula.and_
+          (Formula.prev (Formula.not_ es_stopped))
+          (Formula.prev (Formula.not_ db)))
+       (dmc_is "CLOSE"))
+
+(** Fig. 4.13: Achieve[StopElevatorWhenDoorOpen] — the naive drive-only
+    subgoal. *)
+let stop_elevator_when_door_open =
+  Kaos.Goal.achieve "StopElevatorWhenDoorOpen"
+    ~informal:"If the door is open, then the drive shall be commanded to STOP."
+    (Formula.entails (Formula.prev (Formula.not_ dc)) (drc_is "STOP"))
+
+(** Table 4.4: the shared-responsibility subgoal for DoorController. *)
+let close_door_when_moving_or_moved =
+  Kaos.Goal.achieve "CloseDoorWhenElevatorMovingOrMoved"
+    ~informal:
+      "If the door is not blocked and the elevator a) is moving or b) has \
+       been commanded to move, then the door shall be commanded to CLOSE."
+    (Formula.entails
+       (Formula.and_
+          (Formula.prev (Formula.or_ (Formula.not_ es_stopped) (drc_is "GO")))
+          (Formula.prev (Formula.not_ db)))
+       (dmc_is "CLOSE"))
+
+(** Table 4.4: the shared-responsibility subgoal for DriveController. *)
+let stop_elevator_when_door_open_or_opened =
+  Kaos.Goal.achieve "StopElevatorWhenDoorOpenOrOpened"
+    ~informal:
+      "If the doors a) are not closed or b) have been commanded open, then \
+       the drive shall be commanded to STOP."
+    (Formula.entails
+       (Formula.prev (Formula.or_ (Formula.not_ dc) (dmc_is "OPEN")))
+       (drc_is "STOP"))
+
+(** The door-reversal safety goal given priority over the running example
+    (§4.4.2, Eq. 4.7): a blocked door shall be commanded OPEN. *)
+let door_reversal =
+  Kaos.Goal.achieve "DoorReversalWhenBlocked"
+    ~informal:"If the door is blocked, the door shall be commanded OPEN."
+    (Formula.entails (Formula.prev db) (dmc_is "OPEN"))

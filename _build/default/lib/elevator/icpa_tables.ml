@@ -1,0 +1,185 @@
+(** The completed ICPA for Maintain[DoorClosedOrElevatorStopped]
+    (Tables 4.1–4.4 assembled into the Fig. 4.7 layout), plus the hoistway
+    goal's redundant-responsibility ICPA (§4.5.1–4.5.2). *)
+
+open Tl
+
+let f = Fun.id
+
+(** The full ICPA table of the running example. *)
+let door_closed_or_stopped : Icpa.Table.t =
+  let open Icpa.Table in
+  let rows =
+    [
+      {
+        variable = "dc";
+        subsystems = [ "DoorController"; "DoorMotor" ];
+        subsystem_variables =
+          [
+            ("dmc", "DoorMotorCommand");
+            ("maxcd/mincd", "max/min close delay");
+            ("maxod/minod", "max/min open delay");
+            ("door_position", "DoorMotorSpeed integration");
+          ];
+        relationships = Relationships.door_branch;
+      };
+      {
+        variable = "dc";
+        subsystems = [ "Passenger" ];
+        subsystem_variables = [ ("db", "DoorBlocked") ];
+        relationships = Relationships.passenger_branch;
+      };
+      {
+        variable = "es_stopped";
+        subsystems = [ "DriveController"; "Drive" ];
+        subsystem_variables =
+          [
+            ("drc", "DriveCommand");
+            ("maxsd/minsd", "max/min stop delay");
+            ("maxgd/mingd", "max/min go delay");
+            ("drs_stopped", "DriveSpeed stopped");
+          ];
+        relationships = Relationships.drive_branch;
+      };
+    ]
+  in
+  let strategy =
+    Icpa.Coverage.make
+      ~assignment:
+        (Icpa.Coverage.Shared_responsibility [ "DoorController"; "DriveController" ])
+      ~scope:
+        (Icpa.Coverage.Restrictive
+           "Assumes worst-case actuator response times; real response may be slower.")
+  in
+  let elaboration =
+    [
+      {
+        derived =
+          f
+            (Formula.always
+               (Formula.or_ (Formula.bvar "dc") (Formula.bvar "es_stopped")));
+        uses = [ 1; 12 ];
+        tactic =
+          "Goal satisfied in initial state; split lack of \
+           monitorability/control by case";
+      };
+      {
+        derived = Goals.close_door_when_moving_or_moved.Kaos.Goal.formal;
+        uses = [ 7; 9; 10; 13; 2; 19; 21 ];
+        tactic = "introduce accuracy goal tactic (minimum delays to open door / move elevator)";
+      };
+      {
+        derived = Goals.stop_elevator_when_door_open_or_opened.Kaos.Goal.formal;
+        uses = [ 7; 9; 13; 14; 19; 21 ];
+        tactic = "introduce actuation goal tactic (remain stopped with STOP command)";
+      };
+    ]
+  in
+  let subgoals =
+    [
+      {
+        subsystem = "DoorController";
+        controls = [ "dmc" ];
+        observes = [ "es_stopped"; "drc"; "db" ];
+        goal = Goals.close_door_when_moving_or_moved;
+      };
+      {
+        subsystem = "DriveController";
+        controls = [ "drc" ];
+        observes = [ "dc"; "dmc" ];
+        goal = Goals.stop_elevator_when_door_open_or_opened;
+      };
+    ]
+  in
+  make ~goal:Goals.door_closed_or_stopped ~rows ~strategy ~elaboration ~subgoals
+
+(** Parameters of the hoistway example. *)
+let hoistway_upper_limit = 10.0
+
+let max_stopping_distance = 1.0
+let max_emergency_braking_distance = 0.5
+let safety_margin = 0.25
+
+(** The hoistway-limit ICPA: redundant responsibility (drive controller
+    primary, emergency brake secondary), restrictive scope via safety
+    margins (§4.5.1, §4.5.2). *)
+let below_hoistway_limit : Icpa.Table.t =
+  let open Icpa.Table in
+  let parent = Goals.below_hoistway_limit ~hoistway_upper_limit in
+  let primary =
+    Goals.stop_before_hoistway_limit ~hoistway_upper_limit
+      ~max_stopping_distance:(max_stopping_distance +. safety_margin)
+  in
+  let secondary =
+    Goals.emergency_stop_before_hoistway_limit ~hoistway_upper_limit
+      ~max_emergency_braking_distance
+  in
+  let rows =
+    [
+      {
+        variable = "etp";
+        subsystems = [ "Drive"; "DriveController"; "EmergencyBrake" ];
+        subsystem_variables =
+          [
+            ("drc", "DriveCommand");
+            ("eb_applied", "EmergencyBrake trigger");
+            ("msd", "MaxStoppingDistance");
+            ("mebd", "MaxEmergencyBrakingDistance");
+          ];
+        relationships =
+          [
+            relationship ~number:1
+              ~comment:
+                "A drive commanded STOP halts within MaxStoppingDistance of \
+                 the command position"
+              Formula.tt;
+            relationship ~number:2
+              ~comment:
+                "An applied emergency brake halts the cab within \
+                 MaxEmergencyBrakingDistance"
+              Formula.tt;
+          ];
+      };
+    ]
+  in
+  let strategy =
+    Icpa.Coverage.make
+      ~assignment:
+        (Icpa.Coverage.Redundant_responsibility
+           { primary = [ "DriveController" ]; secondary = [ "EmergencyBrake" ] })
+      ~scope:
+        (Icpa.Coverage.Restrictive
+           "Safety margins: the drive stops short of the limit so the \
+            emergency brake rarely engages; some hoistway travel is given up.")
+  in
+  let elaboration =
+    [
+      {
+        derived = primary.Kaos.Goal.formal;
+        uses = [ 1 ];
+        tactic = "safety margin (primary, most restrictive)";
+      };
+      {
+        derived = secondary.Kaos.Goal.formal;
+        uses = [ 2 ];
+        tactic = "redundant responsibility (secondary)";
+      };
+    ]
+  in
+  let subgoals =
+    [
+      {
+        subsystem = "DriveController";
+        controls = [ "drc" ];
+        observes = [ "etp" ];
+        goal = primary;
+      };
+      {
+        subsystem = "EmergencyBrake";
+        controls = [ "eb_applied" ];
+        observes = [ "etp" ];
+        goal = secondary;
+      };
+    ]
+  in
+  make ~goal:parent ~rows ~strategy ~elaboration ~subgoals

@@ -1,0 +1,166 @@
+(** The numbered indirect control relationships of Tables 4.1–4.2
+    (relationships 01–21), plus relationship 22, which makes explicit a
+    domain constraint already implicit in the set: a fully closed door
+    cannot be physically blocked. (For a blocked closed door, relationships
+    02/04 force the door to remain closed while relationship 11 forces it
+    open — jointly unsatisfiable; the mechanized check in [Verification]
+    confirms the composition claim holds with or without r22.) *)
+
+open Tl
+open Goals
+
+let rel = Icpa.Table.relationship
+
+(* --- DoorController / DoorMotor branch of variable dc (Table 4.1) --- *)
+
+let r01 =
+  rel ~number:1 ~comment:"In initial state, door is OPEN and commanded OPEN"
+    (Formula.always (Formula.initially (Formula.and_ (Formula.not_ dc) (dmc_is "OPEN"))))
+
+let r02 =
+  rel ~number:2 ~comment:"Closed door that is commanded CLOSE remains closed"
+    (Formula.entails
+       (Formula.and_ (Formula.prev dc) (Formula.prev (dmc_is "CLOSE")))
+       dc)
+
+let r03 =
+  rel ~number:3 ~comment:"Unclosed door commanded OPEN remains unclosed"
+    (Formula.entails
+       (Formula.and_ (Formula.prev (Formula.not_ dc)) (Formula.prev (dmc_is "OPEN")))
+       (Formula.not_ dc))
+
+let r04 =
+  rel ~number:4
+    ~comment:
+      "Closed door whose command switched to OPEN from CLOSE within duration \
+       minod will be closed"
+    (Formula.entails
+       (Formula.and_ (Formula.prev dc)
+          (Formula.once_within min_open_delay (Formula.rose (dmc_is "OPEN"))))
+       dc)
+
+let r05 =
+  rel ~number:5 ~comment:"Unblocked door commanded CLOSE for maxcd will be closed"
+    (Formula.entails
+       (Formula.prev_for max_close_delay
+          (Formula.and_ (Formula.not_ db) (dmc_is "CLOSE")))
+       dc)
+
+let r06 =
+  rel ~number:6 ~comment:"Door commanded OPEN for maxod will be unclosed"
+    (Formula.entails (Formula.prev_for max_open_delay (dmc_is "OPEN")) (Formula.not_ dc))
+
+let r07 =
+  rel ~number:7
+    ~comment:
+      "Unclosed door whose command switched to CLOSE from OPEN within mincd \
+       will not be closed"
+    (Formula.entails
+       (Formula.and_
+          (Formula.prev (Formula.not_ dc))
+          (Formula.once_within min_close_delay (Formula.rose (dmc_is "CLOSE"))))
+       (Formula.not_ dc))
+
+let r08 =
+  rel ~number:8 ~comment:"CLOSE delays are greater than a single state (maxcd > mincd >> ssd)"
+    Formula.tt
+
+let r09 =
+  rel ~number:9 ~comment:"OPEN delays are greater than a single state (maxod > minod >> ssd)"
+    Formula.tt
+
+(* --- Passenger branch of variable dc (Table 4.2, relationships 10–11) --- *)
+
+let r10 =
+  rel ~number:10 ~comment:"If the door is blocked, the door shall be commanded OPEN"
+    (Formula.entails (Formula.prev db) (dmc_is "OPEN"))
+
+let r11 =
+  rel ~number:11 ~comment:"If the door is blocked, the door shall not be closed"
+    (Formula.entails (Formula.prev db) (Formula.not_ dc))
+
+(* --- DriveController / Drive branch of variable es (Table 4.2) --- *)
+
+let r12 =
+  rel ~number:12 ~comment:"In initial state, elevator stopped and drive commanded STOP"
+    (Formula.always
+       (Formula.initially
+          (Formula.conj [ es_stopped; drs_stopped; drc_is "STOP" ])))
+
+let r13 =
+  rel ~number:13 ~comment:"If the drive is stopped, the elevator is stopped, and vice versa"
+    (Formula.always (Formula.iff drs_stopped es_stopped))
+
+let r14 =
+  rel ~number:14 ~comment:"Stopped drive commanded STOP remains stopped"
+    (Formula.entails
+       (Formula.and_ (Formula.prev drs_stopped) (Formula.prev (drc_is "STOP")))
+       drs_stopped)
+
+let r15 =
+  rel ~number:15 ~comment:"Unstopped drive commanded GO remains unstopped"
+    (Formula.entails
+       (Formula.and_ (Formula.prev (Formula.not_ drs_stopped))
+          (Formula.prev (drc_is "GO")))
+       (Formula.not_ drs_stopped))
+
+let r16 =
+  rel ~number:16
+    ~comment:
+      "Stopped drive whose command switched to GO from STOP within duration \
+       mingd remains stopped"
+    (Formula.entails
+       (Formula.and_ (Formula.prev drs_stopped)
+          (Formula.once_within min_go_delay (Formula.rose (drc_is "GO"))))
+       drs_stopped)
+
+let r17 =
+  rel ~number:17 ~comment:"Drive commanded GO for maxgd will be unstopped"
+    (Formula.entails
+       (Formula.prev_for max_go_delay (drc_is "GO"))
+       (Formula.not_ drs_stopped))
+
+let r18 =
+  rel ~number:18 ~comment:"Drive commanded STOP for maxsd will be stopped"
+    (Formula.entails (Formula.prev_for max_stop_delay (drc_is "STOP")) drs_stopped)
+
+let r19 =
+  rel ~number:19
+    ~comment:
+      "Unstopped drive whose command switched to STOP from GO within duration \
+       minsd remains unstopped"
+    (Formula.entails
+       (Formula.and_
+          (Formula.prev (Formula.not_ drs_stopped))
+          (Formula.once_within min_stop_delay (Formula.rose (drc_is "STOP"))))
+       (Formula.not_ drs_stopped))
+
+let r20 =
+  rel ~number:20 ~comment:"STOP delays are greater than a single state (maxsd > minsd >> ssd)"
+    Formula.tt
+
+let r21 =
+  rel ~number:21 ~comment:"GO delays are greater than a single state (maxgd > mingd >> ssd)"
+    Formula.tt
+
+(* --- Domain assumption uncovered by mechanized verification --- *)
+
+let r22 =
+  rel ~number:22
+    ~comment:
+      "A fully closed door cannot be physically blocked (obstructions occupy \
+       the doorway)"
+    (Formula.entails dc (Formula.not_ db))
+
+let door_branch = [ r01; r02; r03; r04; r05; r06; r07; r08; r09 ]
+let passenger_branch = [ r10; r11; r22 ]
+let drive_branch = [ r12; r13; r14; r15; r16; r17; r18; r19; r20; r21 ]
+let all = door_branch @ passenger_branch @ drive_branch
+
+(** The assumptions used for model checking: every relationship with a
+    non-trivial formula. *)
+let formulas =
+  List.filter_map
+    (fun (r : Icpa.Table.relationship) ->
+      if r.formal = Formula.tt then None else Some r.formal)
+    all

@@ -1,0 +1,116 @@
+(** The distributed elevator control system of Fig. 4.5: agents and the
+    control graph that drives the ICPA path search. *)
+
+open Icpa.Control_graph
+
+let agents =
+  [
+    Kaos.Agent.make "DoorController"
+      ~monitors:[ "es_stopped"; "drc"; "db"; "dc"; "dispatch_request" ]
+      ~controls:[ "dmc" ];
+    Kaos.Agent.make "DriveController"
+      ~monitors:[ "dc"; "dmc"; "es_stopped"; "etp"; "dispatch_request" ]
+      ~controls:[ "drc" ];
+    Kaos.Agent.make "DispatchController"
+      ~monitors:[ "hall_call"; "car_call"; "etp"; "dc" ]
+      ~controls:[ "dispatch_request" ];
+    Kaos.Agent.make "HallButtonController" ~monitors:[ "hall_button_press" ]
+      ~controls:[ "hall_call" ];
+    Kaos.Agent.make "CarButtonController" ~monitors:[ "car_button_press" ]
+      ~controls:[ "car_call" ];
+    Kaos.Agent.make ~kind:Kaos.Agent.Human "Passenger" ~monitors:[ "dc"; "etp" ]
+      ~controls:[ "hall_button_press"; "car_button_press"; "db"; "ew" ];
+    Kaos.Agent.make ~kind:Kaos.Agent.Actuator "DoorMotor" ~monitors:[ "dmc" ]
+      ~controls:[ "door_position" ];
+    Kaos.Agent.make ~kind:Kaos.Agent.Actuator "Drive" ~monitors:[ "drc" ]
+      ~controls:[ "drs_stopped" ];
+    Kaos.Agent.make ~kind:Kaos.Agent.Actuator "EmergencyBrake" ~monitors:[ "etp" ]
+      ~controls:[ "eb_applied" ];
+  ]
+
+let agent name = List.find (fun a -> a.Kaos.Agent.name = name) agents
+
+(** The control graph of Fig. 4.5 (door/drive slice plus buttons). *)
+let graph =
+  make
+    ~nodes:
+      [
+        node Software_agent "DoorController";
+        node Software_agent "DriveController";
+        node Software_agent "DispatchController";
+        node Software_agent "HallButtonController";
+        node Software_agent "CarButtonController";
+        node Environment_agent "Passenger";
+        node Actuator "DoorMotor";
+        node Actuator "Drive";
+        node Actuator "EmergencyBrake";
+        node Sensor "DoorClosedSensor";
+        node Sensor "DoorBlockedSensor";
+        node Sensor "SpeedSensor";
+        node Sensor "WeightSensor";
+        node Sensor "PositionSensor";
+        node Variable "dmc";
+        node Variable "drc";
+        node Variable "dispatch_request";
+        node Variable "hall_call";
+        node Variable "car_call";
+        node Variable "hall_button_press";
+        node Variable "car_button_press";
+        node Variable "dc";
+        node Variable "db";
+        node Variable "es_stopped";
+        node Variable "ew";
+        node Variable "etp";
+        node Variable "eb_applied";
+        node Physical "door_position";
+        node Physical "drive_speed";
+        node Physical "elevator_position";
+        node Physical "cab_load";
+      ]
+    ~edges:
+      [
+        (* Button chain *)
+        ("Passenger", "hall_button_press");
+        ("Passenger", "car_button_press");
+        ("hall_button_press", "HallButtonController");
+        ("car_button_press", "CarButtonController");
+        ("HallButtonController", "hall_call");
+        ("CarButtonController", "car_call");
+        ("hall_call", "DispatchController");
+        ("car_call", "DispatchController");
+        ("DispatchController", "dispatch_request");
+        ("dispatch_request", "DoorController");
+        ("dispatch_request", "DriveController");
+        (* Door chain *)
+        ("DoorController", "dmc");
+        ("dmc", "DoorMotor");
+        ("DoorMotor", "door_position");
+        ("Passenger", "door_position");
+        ("door_position", "DoorClosedSensor");
+        ("DoorClosedSensor", "dc");
+        ("Passenger", "DoorBlockedSensor");
+        ("DoorBlockedSensor", "db");
+        (* Drive chain *)
+        ("DriveController", "drc");
+        ("drc", "Drive");
+        ("Drive", "drive_speed");
+        ("drive_speed", "SpeedSensor");
+        ("SpeedSensor", "es_stopped");
+        ("drive_speed", "elevator_position");
+        ("elevator_position", "PositionSensor");
+        ("PositionSensor", "etp");
+        ("EmergencyBrake", "eb_applied");
+        ("eb_applied", "Drive");
+        ("etp", "EmergencyBrake");
+        (* Weight chain *)
+        ("Passenger", "cab_load");
+        ("cab_load", "WeightSensor");
+        ("WeightSensor", "ew");
+        (* Feedback into controllers *)
+        ("dc", "DriveController");
+        ("dmc", "DriveController");
+        ("db", "DoorController");
+        ("es_stopped", "DoorController");
+        ("drc", "DoorController");
+        ("etp", "DriveController");
+      ]

@@ -1,0 +1,1 @@
+lib/hazard/fmea.mli: Format

@@ -1,0 +1,1 @@
+lib/hazard/fta.ml: Float Fmt List Set String

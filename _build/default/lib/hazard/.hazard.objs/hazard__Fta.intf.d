@@ -1,0 +1,1 @@
+lib/hazard/fta.mli: Format

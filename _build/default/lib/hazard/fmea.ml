@@ -1,0 +1,76 @@
+(** Failure Modes and Effects Analysis (§2.2.1): the forward-search, tabular
+    hazard analysis whose recording format ICPA borrows. "FMEA is a forward
+    search technique that lists potential faults in components and
+    identifies their possible effects on the system." *)
+
+type failure_mode = {
+  mode : string;  (** e.g. "False positive" *)
+  causes : string list;
+  effects : string list;
+  probability : float option;  (** per hour, when known *)
+  criticality : int option;  (** FMECA extension: 1 (negligible) – 4 (catastrophic) *)
+}
+
+type row = { component : string; modes : failure_mode list }
+
+type t = { title : string; rows : row list }
+
+let mode ?probability ?criticality ~causes ~effects name =
+  { mode = name; causes; effects; probability; criticality }
+
+let make ~title rows = { title; rows }
+
+(** Components whose single failure mode can produce a named effect — the
+    forward-search counterpart of {!Fta.single_points}. *)
+let components_affecting t effect_substring =
+  let matches fm =
+    List.exists
+      (fun e ->
+        let el = String.lowercase_ascii e in
+        let needle = String.lowercase_ascii effect_substring in
+        let nl = String.length needle and hl = String.length el in
+        let rec go i = i + nl <= hl && (String.sub el i nl = needle || go (i + 1)) in
+        nl = 0 || go 0)
+      fm.effects
+  in
+  List.filter_map
+    (fun r -> if List.exists matches r.modes then Some r.component else None)
+    t.rows
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%s@,@," t.title;
+  Fmt.pf ppf "%-24s %-16s %-34s %-40s %s@," "Component" "Failure mode" "Causes" "Effects"
+    "Probability";
+  Fmt.pf ppf "%s@," (String.make 130 '-');
+  List.iter
+    (fun r ->
+      List.iter
+        (fun fm ->
+          Fmt.pf ppf "%-24s %-16s %-34s %-40s %s@," r.component fm.mode
+            (String.concat "; " fm.causes)
+            (String.concat "; " fm.effects)
+            (match fm.probability with
+            | Some p -> Fmt.str "%.0e/hr" p
+            | None -> "-"))
+        r.modes)
+    t.rows;
+  Fmt.pf ppf "@]"
+
+(** The partial FMEA of Fig. 2.3: the long-range radar sensor of a
+    semi-autonomous automotive system. *)
+let fig_2_3 =
+  make ~title:"Partial FMEA for a semi-autonomous automotive system (Fig. 2.3)"
+    [
+      {
+        component = "Long-range radar sensor";
+        modes =
+          [
+            mode "False positive" ~probability:3e-2
+              ~causes:[ "Signal noise" ]
+              ~effects:[ "Could cause Collision Avoidance to randomly stop vehicle" ];
+            mode "False negative" ~probability:1e-2
+              ~causes:[ "Signal noise" ]
+              ~effects:[ "Could cause Collision Avoidance to miss an object" ];
+          ];
+      };
+    ]

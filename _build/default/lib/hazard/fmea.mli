@@ -1,0 +1,35 @@
+(** Failure Modes and Effects Analysis (§2.2.1): the forward-search,
+    tabular hazard analysis whose recording format ICPA borrows. *)
+
+type failure_mode = {
+  mode : string;  (** e.g. "False positive" *)
+  causes : string list;
+  effects : string list;
+  probability : float option;  (** per hour, when known *)
+  criticality : int option;
+      (** FMECA extension: 1 (negligible) – 4 (catastrophic) *)
+}
+
+type row = { component : string; modes : failure_mode list }
+type t = { title : string; rows : row list }
+
+val mode :
+  ?probability:float ->
+  ?criticality:int ->
+  causes:string list ->
+  effects:string list ->
+  string ->
+  failure_mode
+
+val make : title:string -> row list -> t
+
+val components_affecting : t -> string -> string list
+(** Components with a failure mode whose effects mention the given
+    substring (case-insensitive) — the forward-search counterpart of
+    {!Fta.single_points}. *)
+
+val pp : Format.formatter -> t -> unit
+
+val fig_2_3 : t
+(** The partial FMEA of Fig. 2.3: the long-range radar sensor of a
+    semi-autonomous automotive system. *)

@@ -1,0 +1,108 @@
+(** Fault Tree Analysis (§2.2.1): the backward-search hazard analysis ICPA
+    is contrasted with. Fault trees connect component failure events with
+    AND/OR gates; "the goal of a traditional FTA is to identify and
+    eliminate single-point failure scenarios, indicated by paths up the
+    fault tree that traverse no AND gates", and "determination of hazard
+    probability from component failure rates (if known) could be
+    automated" — both implemented here. *)
+
+type basic = { event_name : string; rate : float option }
+(** A basic failure event with an optional failure rate (per hour). *)
+
+type t =
+  | Event of basic
+  | And of string * t list  (** the output event requires all input events *)
+  | Or of string * t list  (** the output event requires at least one input *)
+
+let event ?rate event_name = Event { event_name; rate }
+let and_ name children = And (name, children)
+let or_ name children = Or (name, children)
+
+let name = function Event { event_name; _ } -> event_name | And (n, _) | Or (n, _) -> n
+
+(** All basic events of the tree, in traversal order. *)
+let rec basic_events = function
+  | Event e -> [ e ]
+  | And (_, cs) | Or (_, cs) -> List.concat_map basic_events cs
+
+module SS = Set.Make (String)
+
+(** Minimal cut sets: the irredundant sets of basic events that jointly
+    cause the top event (AND/OR expansion with absorption). *)
+let cut_sets (tree : t) : string list list =
+  let rec go = function
+    | Event { event_name; _ } -> [ SS.singleton event_name ]
+    | Or (_, cs) -> List.concat_map go cs
+    | And (_, cs) ->
+        List.fold_left
+          (fun acc c ->
+            let sets = go c in
+            List.concat_map (fun a -> List.map (SS.union a) sets) acc)
+          [ SS.empty ] cs
+  in
+  let sets = go tree in
+  (* absorption: drop any cut set that strictly contains another *)
+  let minimal =
+    List.filter
+      (fun s ->
+        not (List.exists (fun s' -> (not (SS.equal s s')) && SS.subset s' s) sets))
+      sets
+  in
+  List.sort_uniq compare (List.map SS.elements minimal)
+
+(** Single-point failures: cut sets of size one — the scenarios traditional
+    FTA exists to eliminate. *)
+let single_points tree =
+  List.filter_map (function [ e ] -> Some e | _ -> None) (cut_sets tree)
+
+(** Top-event probability over a mission time [hours]: independent basic
+    events with constant failure rates, rare-event approximation over the
+    minimal cut sets. Events without a rate are treated as certain
+    (conditions rather than failures). *)
+let probability ~hours tree =
+  let rates =
+    List.map (fun { event_name; rate } -> (event_name, rate)) (basic_events tree)
+  in
+  let p_of n =
+    match List.assoc_opt n rates with
+    | Some (Some r) -> Float.min 1.0 (r *. hours)
+    | _ -> 1.0
+  in
+  let cut_p cut = List.fold_left (fun acc e -> acc *. p_of e) 1.0 cut in
+  Float.min 1.0 (List.fold_left (fun acc cut -> acc +. cut_p cut) 0.0 (cut_sets tree))
+
+let rec pp ?(indent = 0) ppf t =
+  let pad = String.make indent ' ' in
+  match t with
+  | Event { event_name; rate } ->
+      Fmt.pf ppf "%s%s%a@," pad event_name
+        (fun ppf -> function Some r -> Fmt.pf ppf "  (%.0e/hr)" r | None -> ())
+        rate
+  | And (n, cs) ->
+      Fmt.pf ppf "%s%s [AND]@," pad n;
+      List.iter (pp ~indent:(indent + 2) ppf) cs
+  | Or (n, cs) ->
+      Fmt.pf ppf "%s%s [OR]@," pad n;
+      List.iter (pp ~indent:(indent + 2) ppf) cs
+
+(** The partial fault tree of Fig. 2.2: unintended sudden acceleration in a
+    semi-autonomous automotive system. The AND over the two subsystem
+    events is the figure's example of a non-single-point scenario: "the
+    hazard could occur if a high-priority subsystem cancels an attempt to
+    decelerate the vehicle at the same time as a low-priority subsystem
+    requests a vehicle acceleration". *)
+let fig_2_2 =
+  or_ "Unintended sudden acceleration"
+    [
+      event ~rate:1e-4 "Driver presses throttle pedal instead of brake";
+      and_ "Autonomous control changes from decelerate to accelerate"
+        [
+          event ~rate:5e-5 "Higher priority subsystem aborts deceleration";
+          event ~rate:5e-5 "Lower priority subsystem requests acceleration";
+        ];
+      or_ "Object detection misses object that is there"
+        [
+          event ~rate:1e-2 "Object's features exceed detection algorithm's margin of error";
+          event ~rate:1e-3 "Sensor is blocked";
+        ];
+    ]

@@ -1,0 +1,41 @@
+(** Fault Tree Analysis (§2.2.1): the backward-search hazard analysis ICPA
+    is contrasted with. Fault trees connect component failure events with
+    AND/OR gates; minimal cut sets, single-point failures and top-event
+    probability are computed automatically. *)
+
+type basic = { event_name : string; rate : float option }
+(** A basic failure event with an optional failure rate (per hour). *)
+
+type t =
+  | Event of basic
+  | And of string * t list  (** the output event requires all input events *)
+  | Or of string * t list  (** the output event requires at least one input *)
+
+val event : ?rate:float -> string -> t
+val and_ : string -> t list -> t
+val or_ : string -> t list -> t
+val name : t -> string
+
+val basic_events : t -> basic list
+(** All basic events, in traversal order. *)
+
+val cut_sets : t -> string list list
+(** Minimal cut sets: the irredundant sets of basic events that jointly
+    cause the top event (AND/OR expansion with absorption). Each set is
+    sorted; the list is sorted and duplicate-free. *)
+
+val single_points : t -> string list
+(** Cut sets of size one — the scenarios traditional FTA exists to
+    eliminate. *)
+
+val probability : hours:float -> t -> float
+(** Top-event probability over a mission time: independent basic events
+    with constant failure rates, rare-event approximation over the minimal
+    cut sets, capped at 1. Events without a rate are treated as certain
+    (conditions rather than failures). *)
+
+val pp : ?indent:int -> Format.formatter -> t -> unit
+
+val fig_2_2 : t
+(** The partial fault tree of Fig. 2.2: unintended sudden acceleration in a
+    semi-autonomous automotive system. *)

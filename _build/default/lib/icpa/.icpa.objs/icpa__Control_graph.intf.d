@@ -1,0 +1,1 @@
+lib/icpa/control_graph.mli: Format

@@ -1,0 +1,1 @@
+lib/icpa/coordination.mli: Formula Tl

@@ -1,0 +1,1 @@
+lib/icpa/coverage.ml: Fmt String

@@ -1,0 +1,1 @@
+lib/icpa/procedure.ml: Control_graph Coverage Fmt Kaos List Table Tl

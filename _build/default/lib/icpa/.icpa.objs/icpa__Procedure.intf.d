@@ -1,0 +1,1 @@
+lib/icpa/procedure.mli: Control_graph Format Table

@@ -1,0 +1,1 @@
+lib/icpa/render.ml: Coverage Fmt Kaos List String Table Tl

@@ -1,0 +1,1 @@
+lib/icpa/render.mli: Format Table

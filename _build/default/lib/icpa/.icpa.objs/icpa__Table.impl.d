@@ -1,0 +1,1 @@
+lib/icpa/table.ml: Coverage Fmt Formula Int Kaos List Mc Tl

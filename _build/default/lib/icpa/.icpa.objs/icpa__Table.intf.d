@@ -1,0 +1,1 @@
+lib/icpa/table.mli: Coverage Formula Kaos Mc Tl

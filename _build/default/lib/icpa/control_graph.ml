@@ -1,0 +1,117 @@
+(** Control graphs: the architectural substrate of ICPA (§4.2, Fig. 4.4).
+
+    Nodes are agents (software agents, actuators, sensors, environmental
+    agents) and state variables (actuation signals, network messages, shared
+    variables, sensed and physical variables). A directed edge [src → dst]
+    means [src] *influences* [dst]: an agent produces a variable, a variable
+    feeds an agent, an actuator changes a physical quantity, a sensor
+    produces a sensed variable from a physical quantity.
+
+    The *indirect control path* of a goal variable is the backward-reachable
+    slice from that variable: exactly the agents ICPA must analyze. *)
+
+type node_kind =
+  | Software_agent
+  | Actuator
+  | Sensor
+  | Environment_agent
+  | Variable  (** actuation signal, network message, shared or sensed variable *)
+  | Physical  (** a physical quantity (vehicle speed, door position) *)
+
+let kind_to_string = function
+  | Software_agent -> "software agent"
+  | Actuator -> "actuator"
+  | Sensor -> "sensor"
+  | Environment_agent -> "environmental agent"
+  | Variable -> "variable"
+  | Physical -> "physical quantity"
+
+type node = { id : string; kind : node_kind }
+
+type t = { nodes : node list; edges : (string * string) list }
+
+let node kind id = { id; kind }
+
+let make ~nodes ~edges =
+  let ids = List.map (fun n -> n.id) nodes in
+  List.iter
+    (fun (a, b) ->
+      if not (List.mem a ids) then invalid_arg (Fmt.str "unknown edge source %s" a);
+      if not (List.mem b ids) then invalid_arg (Fmt.str "unknown edge target %s" b))
+    edges;
+  { nodes; edges }
+
+let find g id = List.find_opt (fun n -> n.id = id) g.nodes
+
+let kind_of g id =
+  match find g id with Some n -> Some n.kind | None -> None
+
+(** Immediate influencers of a node. *)
+let producers g id = List.filter_map (fun (a, b) -> if b = id then Some a else None) g.edges
+
+(** Immediate consumers of a node. *)
+let consumers g id = List.filter_map (fun (a, b) -> if a = id then Some b else None) g.edges
+
+type path_node = {
+  pnode : node;
+  via : string option;  (** the variable through which this agent influences its parent *)
+  children : path_node list;
+}
+
+(** [indirect_control_path g var] — the backward influence tree rooted at the
+    goal variable [var] (step 2 of Fig. 1.2). Variables are folded into the
+    [via] labels of the agent tree; cycles are cut. Agents closest to the
+    goal variable appear at the shallowest depth, matching the thesis's
+    "start from the indirect control level nearest the parent goal variable
+    and work outward" (§4.4.3). *)
+let indirect_control_path ?(max_depth = 10) g var =
+  let rec agents_behind seen id via =
+    (* Collect the agent-or-actuator nodes that influence [id]; pass through
+       intermediate variables (remembering the variable nearest the agent)
+       and through sensors: "if the state variable is a sensed value … the
+       nearest sources of indirect control are the actuators" (§4.4.1). *)
+    List.concat_map
+      (fun p ->
+        if List.mem p seen then []
+        else
+          match kind_of g p with
+          | Some (Variable | Physical) -> agents_behind (p :: seen) p (Some p)
+          | Some Sensor -> agents_behind (p :: seen) p via
+          | Some _ -> [ (p, via) ]
+          | None -> [])
+      (producers g id)
+  and expand depth seen (id, via) =
+    match find g id with
+    | None -> None
+    | Some n ->
+        let children =
+          if depth >= max_depth then []
+          else
+            List.filter_map
+              (expand (depth + 1) (id :: seen))
+              (List.filter
+                 (fun (p, _) -> not (List.mem p seen))
+                 (agents_behind seen id None))
+        in
+        Some { pnode = n; via; children }
+  in
+  List.filter_map (expand 1 [ var ]) (agents_behind [ var ] var (Some var))
+
+(** Flatten a path forest into (depth, agent, via-variable) rows — the
+    "Indirect Control Path / Subsystem" column of the ICPA table. *)
+let levels forest =
+  let rec go depth acc n =
+    let acc = (depth, n.pnode, n.via) :: acc in
+    List.fold_left (go (depth + 1)) acc n.children
+  in
+  List.rev (List.fold_left (go 1) [] forest)
+
+let rec pp_path_node ?(indent = 0) ppf n =
+  Fmt.pf ppf "%s%s (%s)%a@," (String.make indent ' ') n.pnode.id
+    (kind_to_string n.pnode.kind)
+    (fun ppf -> function Some v -> Fmt.pf ppf " via %s" v | None -> ())
+    n.via;
+  List.iter (pp_path_node ~indent:(indent + 2) ppf) n.children
+
+let pp_forest ppf forest =
+  Fmt.pf ppf "@[<v>%a@]" (fun ppf -> List.iter (pp_path_node ppf)) forest

@@ -1,0 +1,55 @@
+(** Control graphs: the architectural substrate of ICPA (§4.2, Fig. 4.4).
+
+    Nodes are agents (software agents, actuators, sensors, environmental
+    agents) and state variables (actuation signals, network messages,
+    shared variables, sensed and physical quantities). A directed edge
+    [src → dst] means [src] {e influences} [dst]. The {e indirect control
+    path} of a goal variable is the backward-reachable slice from that
+    variable: exactly the agents ICPA must analyze. *)
+
+type node_kind =
+  | Software_agent
+  | Actuator
+  | Sensor
+  | Environment_agent
+  | Variable  (** actuation signal, network message, shared or sensed variable *)
+  | Physical  (** a physical quantity (vehicle speed, door position) *)
+
+val kind_to_string : node_kind -> string
+
+type node = { id : string; kind : node_kind }
+type t = { nodes : node list; edges : (string * string) list }
+
+val node : node_kind -> string -> node
+
+val make : nodes:node list -> edges:(string * string) list -> t
+(** @raise Invalid_argument on an edge naming an unknown node. *)
+
+val find : t -> string -> node option
+val kind_of : t -> string -> node_kind option
+
+val producers : t -> string -> string list
+(** Immediate influencers of a node. *)
+
+val consumers : t -> string -> string list
+
+type path_node = {
+  pnode : node;
+  via : string option;
+      (** the variable through which this agent influences its parent *)
+  children : path_node list;
+}
+
+val indirect_control_path : ?max_depth:int -> t -> string -> path_node list
+(** The backward influence forest rooted at a goal variable (step 2 of
+    Fig. 1.2). Intermediate variables fold into the [via] labels; sensors
+    are transparent ("the nearest sources of indirect control are the
+    actuators", §4.4.1); cycles are cut. Agents closest to the goal
+    variable appear at the shallowest depth. *)
+
+val levels : path_node list -> (int * node * string option) list
+(** Flatten a forest into (depth, agent, via-variable) rows — the
+    "Indirect Control Path / Subsystem" column of the ICPA table. *)
+
+val pp_path_node : ?indent:int -> Format.formatter -> path_node -> unit
+val pp_forest : Format.formatter -> path_node list -> unit

@@ -1,0 +1,60 @@
+(** Coordination subgoal patterns for shared responsibility (§4.5.1):
+    interlocks and lockouts, with and without actuation/communication
+    delays (Eqs. 4.12–4.30). *)
+
+open Tl
+
+(** Basic shared-responsibility subgoals for a parent goal [□(A ∨ B)] where
+    agent agA indirectly controls [a] and agB controls [b] (Eqs. 4.12–4.13):
+    each agent maintains its disjunct unless it has observed the other's. *)
+let shared_disjunction ~a ~b =
+  let va = Formula.bvar a and vb = Formula.bvar b in
+  ( Formula.entails (Formula.prev (Formula.not_ vb)) va,
+    Formula.entails (Formula.prev (Formula.not_ va)) vb )
+
+(** Interlock subgoals (Eqs. 4.14–4.15): before negating its disjunct, an
+    agent sets its lock variable and checks the other agent's lock — the
+    mutex/semaphore analogy of the thesis. *)
+let interlock ~a ~b ~lock_a ~lock_b =
+  let va = Formula.bvar a and vb = Formula.bvar b in
+  let la = Formula.bvar lock_a and lb = Formula.bvar lock_b in
+  ( Formula.entails (Formula.prev (Formula.or_ (Formula.not_ la) lb)) va,
+    Formula.entails (Formula.prev (Formula.or_ (Formula.not_ lb) la)) vb )
+
+(** Actuation-delay model for a controlled condition [c] driven by trigger
+    [set] / [unset] (Eqs. 4.16–4.20): [c] is set after at most [max_delay]
+    of continuous [set]; within [min_delay] of a rising edge the previous
+    value persists; set and unset are mutually exclusive. *)
+let actuation_relationships ~condition ~set ~unset ~max_delay ~min_delay =
+  let c = Formula.bvar condition in
+  let s = Formula.bvar set and u = Formula.bvar unset in
+  [
+    Formula.entails (Formula.prev_for max_delay s) c;
+    Formula.entails
+      (Formula.and_ (Formula.prev (Formula.not_ c)) (Formula.once_within min_delay (Formula.rose s)))
+      (Formula.not_ c);
+    Formula.entails (Formula.prev_for max_delay u) (Formula.not_ c);
+    Formula.entails
+      (Formula.and_ (Formula.prev c) (Formula.once_within min_delay (Formula.rose u)))
+      c;
+    Formula.always (Formula.not_ (Formula.and_ s u));
+  ]
+
+(** Lockout subgoals (Eqs. 4.24–4.30): a lockout agent agB prevents agA from
+    violating [◆<T D ⇒ ¬C] by gating [C] on the conjunction of both agents'
+    enables [a] and [b]. Returns the shared indirect control relationships
+    and the per-agent subgoals. *)
+let lockout ~hazard:d ~condition:c ~enable_a:a ~enable_b:b ~window =
+  let vd = Formula.bvar d and vc = Formula.bvar c in
+  let va = Formula.bvar a and vb = Formula.bvar b in
+  let relationships =
+    [
+      Formula.entails (Formula.prev (Formula.and_ va vb)) vc;
+      Formula.entails
+        (Formula.prev (Formula.or_ (Formula.not_ va) (Formula.not_ vb)))
+        (Formula.not_ vc);
+    ]
+  in
+  let subgoal_a = Formula.entails (Formula.once_within window vd) (Formula.not_ va) in
+  let subgoal_b = Formula.entails (Formula.once_within window vd) (Formula.not_ vb) in
+  (relationships, subgoal_a, subgoal_b)

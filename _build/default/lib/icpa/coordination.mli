@@ -1,0 +1,39 @@
+(** Coordination subgoal patterns for shared responsibility (§4.5.1):
+    interlocks and lockouts, with and without actuation/communication
+    delays (Eqs. 4.12–4.30). All results are formulas over boolean state
+    variables, suitable for {!Mc.Checker.check_composition}. *)
+
+open Tl
+
+val shared_disjunction : a:string -> b:string -> Formula.t * Formula.t
+(** Basic shared-responsibility subgoals for a parent [□(A ∨ B)]
+    (Eqs. 4.12–4.13): each agent maintains its disjunct unless it observed
+    the other's. Insufficient alone — see the interlock. *)
+
+val interlock :
+  a:string -> b:string -> lock_a:string -> lock_b:string -> Formula.t * Formula.t
+(** Interlock subgoals (Eqs. 4.14–4.15): before negating its disjunct, an
+    agent sets its lock variable and checks the other agent's lock — the
+    thesis's mutex/semaphore analogy. *)
+
+val actuation_relationships :
+  condition:string ->
+  set:string ->
+  unset:string ->
+  max_delay:float ->
+  min_delay:float ->
+  Formula.t list
+(** The actuation-delay model of Eqs. 4.16–4.20 for a controlled condition
+    driven by set/unset triggers. *)
+
+val lockout :
+  hazard:string ->
+  condition:string ->
+  enable_a:string ->
+  enable_b:string ->
+  window:float ->
+  Formula.t list * Formula.t * Formula.t
+(** Lockout subgoals (Eqs. 4.24–4.30): a lockout agent prevents another
+    from violating [◆<T D ⇒ ¬C] by gating C on both agents' enables.
+    Returns (shared indirect control relationships, subgoal for agA,
+    subgoal for agB). *)

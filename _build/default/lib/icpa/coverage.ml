@@ -1,0 +1,47 @@
+(** Goal coverage strategies (§4.5): the plan for allocating subgoals so that
+    a high-level goal is met, defined by goal assignment and goal scope. *)
+
+(** Goal assignment (§4.5.1): which indirect control sources receive
+    subgoals, and how those subgoals relate. *)
+type assignment =
+  | Single_responsibility of string
+      (** one agent meets the goal (possibly a dedicated safety monitor) *)
+  | Redundant_responsibility of { primary : string list; secondary : string list }
+      (** if at least one group satisfies its subgoals, the parent holds *)
+  | Shared_responsibility of string list
+      (** coordination: all named agents' subgoals are needed jointly *)
+
+let assignment_to_string = function
+  | Single_responsibility a -> Fmt.str "Single Responsibility (%s)" a
+  | Redundant_responsibility { primary; secondary } ->
+      Fmt.str "Redundant Responsibility (primary: %s; secondary: %s)"
+        (String.concat ", " primary) (String.concat ", " secondary)
+  | Shared_responsibility agents ->
+      Fmt.str "Shared Responsibility (%s)" (String.concat " & " agents)
+
+(** Goal scope (§4.5.2): how closely the subgoals match the parent goal. *)
+type scope =
+  | Nonrestrictive
+  | Restrictive of string  (** why behaviour is restricted beyond the parent *)
+
+let scope_to_string = function
+  | Nonrestrictive -> "Nonrestrictive"
+  | Restrictive reason -> Fmt.str "Restrictive (%s)" reason
+
+type t = { assignment : assignment; scope : scope }
+
+let make ~assignment ~scope = { assignment; scope }
+
+(** Agents that carry subgoals under this strategy. *)
+let responsible t =
+  match t.assignment with
+  | Single_responsibility a -> [ a ]
+  | Redundant_responsibility { primary; secondary } -> primary @ secondary
+  | Shared_responsibility agents -> agents
+
+let is_restrictive t = match t.scope with Restrictive _ -> true | Nonrestrictive -> false
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>Goal Assignment: %s@,Goal Scope: %s@]"
+    (assignment_to_string t.assignment)
+    (scope_to_string t.scope)

@@ -1,0 +1,32 @@
+(** Goal coverage strategies (§4.5): the plan for allocating subgoals so
+    that a high-level goal is met, defined by goal assignment and goal
+    scope. *)
+
+(** Goal assignment (§4.5.1): which indirect control sources receive
+    subgoals, and how those subgoals relate. *)
+type assignment =
+  | Single_responsibility of string
+      (** one agent meets the goal (possibly a dedicated safety monitor) *)
+  | Redundant_responsibility of { primary : string list; secondary : string list }
+      (** if at least one group satisfies its subgoals, the parent holds *)
+  | Shared_responsibility of string list
+      (** coordination: all named agents' subgoals are needed jointly *)
+
+val assignment_to_string : assignment -> string
+
+(** Goal scope (§4.5.2): how closely the subgoals match the parent goal. *)
+type scope =
+  | Nonrestrictive
+  | Restrictive of string  (** why behaviour is restricted beyond the parent *)
+
+val scope_to_string : scope -> string
+
+type t = { assignment : assignment; scope : scope }
+
+val make : assignment:assignment -> scope:scope -> t
+
+val responsible : t -> string list
+(** Agents that carry subgoals under this strategy. *)
+
+val is_restrictive : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+(** The six-step ICPA procedure (Fig. 1.2), mechanized.
+
+    1. define the system safety goal in temporal logic ({!Kaos.Goal});
+    2. identify indirect control sources
+       ({!Control_graph.indirect_control_path});
+    3. define relationships between sources ({!Table.relationship});
+    4. choose a goal coverage strategy ({!Coverage});
+    5. apply tactics for goal elaboration ({!Kaos.Tactics});
+    6. record the resulting subgoals ({!Table}).
+
+    This module adds the cross-step validations: that every goal variable's
+    nearest indirect control level was analyzed (the minimum required by
+    §4.4.4), and that every responsible agent of the coverage strategy
+    received at least one subgoal. *)
+
+type issue =
+  | Unanalyzed_variable of string
+      (** a goal variable with no row in the ICPA table *)
+  | Unanalyzed_source of { variable : string; source : string }
+      (** a nearest-level indirect control source missing from the variable's
+          row *)
+  | Unassigned_agent of string
+      (** a responsible agent with no subgoal *)
+  | Future_reference of string
+      (** a subgoal that is not monitorable/realizable as stated *)
+
+let pp_issue ppf = function
+  | Unanalyzed_variable v -> Fmt.pf ppf "goal variable %s has no analysis row" v
+  | Unanalyzed_source { variable; source } ->
+      Fmt.pf ppf "nearest indirect control source %s of %s not analyzed" source
+        variable
+  | Unassigned_agent a -> Fmt.pf ppf "responsible agent %s has no subgoal" a
+  | Future_reference g -> Fmt.pf ppf "subgoal %s references the future" g
+
+(** [audit graph table] — check the completed ICPA table against the control
+    graph. Returns the (possibly empty) list of issues. *)
+let audit (graph : Control_graph.t) (table : Table.t) : issue list =
+  let goal_vars = Kaos.Goal.vars table.Table.goal in
+  let row_for v =
+    List.find_opt (fun r -> r.Table.variable = v) table.Table.rows
+  in
+  let all_row_subsystems =
+    List.concat_map (fun r -> r.Table.subsystems) table.Table.rows
+  in
+  let nearest_sources v =
+    List.map
+      (fun n -> n.Control_graph.pnode.Control_graph.id)
+      (Control_graph.indirect_control_path ~max_depth:1 graph v)
+  in
+  (* A goal variable counts as analyzed when it has its own row, or when a
+     combined row already lists every one of its nearest indirect control
+     sources (common when several goal variables share the same control
+     path, as the vehicle goals do). *)
+  let covered v =
+    row_for v <> None
+    || List.for_all (fun src -> List.mem src all_row_subsystems) (nearest_sources v)
+  in
+  let unanalyzed_vars =
+    List.filter_map
+      (fun v ->
+        (* Only variables that exist in the control graph need a row:
+           parameters and thresholds are not controlled by anything. *)
+        match Control_graph.find graph v with
+        | Some _ when Control_graph.producers graph v <> [] ->
+            if covered v then None else Some (Unanalyzed_variable v)
+        | _ -> None)
+      goal_vars
+  in
+  let unanalyzed_sources =
+    (* A variable may be analyzed across several rows (branched paths, like
+       dc's DoorController and Passenger branches in Table 4.1/4.2): union
+       the subsystems of every row for the variable. *)
+    List.concat_map
+      (fun v ->
+        let rows = List.filter (fun r -> r.Table.variable = v) table.Table.rows in
+        if rows = [] then []
+        else
+          let subsystems = List.concat_map (fun r -> r.Table.subsystems) rows in
+          List.filter_map
+            (fun src ->
+              if List.mem src subsystems then None
+              else Some (Unanalyzed_source { variable = v; source = src }))
+            (nearest_sources v))
+      goal_vars
+  in
+  let unassigned =
+    List.filter_map
+      (fun agent ->
+        if List.exists (fun s -> s.Table.subsystem = agent) table.Table.subgoals then
+          None
+        else Some (Unassigned_agent agent))
+      (Coverage.responsible table.Table.strategy)
+  in
+  let future =
+    List.filter_map
+      (fun (s : Table.subgoal) ->
+        let g = s.Table.goal in
+        match Tl.Formula.invariant_body g.Kaos.Goal.formal with
+        | Some _ -> None
+        | None -> Some (Future_reference g.Kaos.Goal.name))
+      table.Table.subgoals
+  in
+  unanalyzed_vars @ unanalyzed_sources @ unassigned @ future

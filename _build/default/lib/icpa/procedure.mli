@@ -1,0 +1,33 @@
+(** The six-step ICPA procedure (Fig. 1.2), mechanized.
+
+    1. define the system safety goal in temporal logic ({!Kaos.Goal});
+    2. identify indirect control sources
+       ({!Control_graph.indirect_control_path});
+    3. define relationships between sources ({!Table.relationship});
+    4. choose a goal coverage strategy ({!Coverage});
+    5. apply tactics for goal elaboration ({!Kaos.Tactics});
+    6. record the resulting subgoals ({!Table}).
+
+    This module adds the cross-step validations: every goal variable's
+    nearest indirect control level is analyzed (the minimum required by
+    §4.4.4), and every responsible agent of the coverage strategy received
+    at least one subgoal. *)
+
+type issue =
+  | Unanalyzed_variable of string
+      (** a goal variable with no coverage in the ICPA table *)
+  | Unanalyzed_source of { variable : string; source : string }
+      (** a nearest-level indirect control source missing from the
+          variable's rows *)
+  | Unassigned_agent of string  (** a responsible agent with no subgoal *)
+  | Future_reference of string
+      (** a subgoal that is not monitorable/realizable as stated *)
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val audit : Control_graph.t -> Table.t -> issue list
+(** Check a completed ICPA table against its control graph. A goal variable
+    counts as analyzed when it has its own row, or when a combined row
+    already lists every one of its nearest indirect control sources; a
+    variable analyzed across several rows (branched paths) unions their
+    subsystems. *)

@@ -1,0 +1,49 @@
+(** Text rendering of ICPA tables in the thesis's layout (Fig. 4.7,
+    Tables 4.1–4.3). *)
+
+let hr ppf () = Fmt.pf ppf "%s@," (String.make 78 '-')
+
+let pp_relationship ppf (r : Table.relationship) =
+  Fmt.pf ppf "@[<v2>%02d  %a@,%% %s@]" r.number Tl.Formula.pp r.formal r.comment
+
+let pp_row ppf (row : Table.row) =
+  Fmt.pf ppf "@[<v>Variable: %s@,Indirect control path: %s@," row.Table.variable
+    (String.concat ", " row.Table.subsystems);
+  if row.Table.subsystem_variables <> [] then
+    Fmt.pf ppf "Subsystem variables:@,  %a@,"
+      (Fmt.list ~sep:(Fmt.any "@,  ") (fun ppf (v, d) -> Fmt.pf ppf "%s: %s" v d))
+      row.Table.subsystem_variables;
+  Fmt.pf ppf "Indirect control relationships:@,  %a@]"
+    (Fmt.list ~sep:(Fmt.any "@,  ") pp_relationship)
+    row.Table.relationships
+
+let pp_elaboration ppf (e : Table.elaboration_entry) =
+  Fmt.pf ppf "%a%a%s" Tl.Formula.pp e.Table.derived
+    (fun ppf -> function
+      | [] -> ()
+      | uses ->
+          Fmt.pf ppf "   [uses %s]"
+            (String.concat ", " (List.map (Fmt.str "%02d") uses)))
+    e.Table.uses
+    (if e.Table.tactic = "" then "" else "  — " ^ e.Table.tactic)
+
+let pp_subgoal ppf (s : Table.subgoal) =
+  Fmt.pf ppf "@[<v>Subsystem: %s@,Controls: %s@,Observes: %s@,%a@]" s.Table.subsystem
+    (String.concat ", " s.Table.controls)
+    (String.concat ", " s.Table.observes)
+    Kaos.Goal.pp s.Table.goal
+
+let pp ppf (t : Table.t) =
+  Fmt.pf ppf "@[<v>%aSystem Safety Goal@,%a@,%a" hr () Kaos.Goal.pp t.Table.goal hr ();
+  Fmt.pf ppf "Indirect Control Path Analysis@,%a@,%a"
+    (Fmt.list ~sep:(Fmt.any "@,@,") pp_row)
+    t.Table.rows hr ();
+  Fmt.pf ppf "Goal Coverage Strategy@,%a@,%a" Coverage.pp t.Table.strategy hr ();
+  Fmt.pf ppf "Goal Elaboration@,%a@,%a"
+    (Fmt.list ~sep:Fmt.cut pp_elaboration)
+    t.Table.elaboration hr ();
+  Fmt.pf ppf "Subsystem Safety Goals@,%a@,%a@]"
+    (Fmt.list ~sep:(Fmt.any "@,@,") pp_subgoal)
+    t.Table.subgoals hr ()
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,13 @@
+(** Text rendering of ICPA tables in the thesis's layout (Fig. 4.7,
+    Tables 4.1–4.3). *)
+
+val pp_relationship : Format.formatter -> Table.relationship -> unit
+val pp_row : Format.formatter -> Table.row -> unit
+val pp_elaboration : Format.formatter -> Table.elaboration_entry -> unit
+val pp_subgoal : Format.formatter -> Table.subgoal -> unit
+
+val pp : Format.formatter -> Table.t -> unit
+(** The full table: system safety goal, indirect control path analysis,
+    goal coverage strategy, goal elaboration, subsystem safety goals. *)
+
+val to_string : Table.t -> string

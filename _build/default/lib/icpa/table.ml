@@ -1,0 +1,76 @@
+(** The ICPA table (Fig. 4.7): the documented product of an analysis — the
+    parent goal, the indirect control paths and numbered relationships, the
+    goal coverage strategy, the elaboration record (tactics + critical
+    assumptions), and the resulting subsystem subgoals. *)
+
+open Tl
+
+type relationship = {
+  number : int;
+  formal : Formula.t;
+  comment : string;  (** the thesis's "%"-prefixed explanation lines *)
+}
+
+type row = {
+  variable : string;  (** a state variable of the parent goal *)
+  subsystems : string list;  (** indirect control path entries for this level *)
+  subsystem_variables : (string * string) list;  (** (variable, description) *)
+  relationships : relationship list;
+}
+
+type elaboration_entry = {
+  derived : Formula.t;  (** intermediate or final formula derived *)
+  uses : int list;  (** the relationship numbers relied upon *)
+  tactic : string;  (** realizability tactic applied, or "" for a premise *)
+}
+
+type subgoal = {
+  subsystem : string;
+  controls : string list;
+  observes : string list;
+  goal : Kaos.Goal.t;
+}
+
+type t = {
+  goal : Kaos.Goal.t;
+  rows : row list;
+  strategy : Coverage.t;
+  elaboration : elaboration_entry list;
+  subgoals : subgoal list;
+}
+
+let relationship ~number ~comment formal = { number; formal; comment }
+
+let make ~goal ~rows ~strategy ~elaboration ~subgoals =
+  (* Every relationship number referenced by the elaboration must exist. *)
+  let defined =
+    List.concat_map (fun r -> List.map (fun rel -> rel.number) r.relationships) rows
+  in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun n ->
+          if not (List.mem n defined) then
+            invalid_arg (Fmt.str "elaboration references undefined relationship %d" n))
+        e.uses)
+    elaboration;
+  { goal; rows; strategy; elaboration; subgoals }
+
+(** All numbered relationships, in numeric order — these are the *critical
+    assumptions* of the decomposition (§4.3). *)
+let critical_assumptions t =
+  List.sort
+    (fun a b -> Int.compare a.number b.number)
+    (List.concat_map (fun r -> r.relationships) t.rows)
+
+let subgoal_formulas (t : t) =
+  List.map (fun (s : subgoal) -> s.goal.Kaos.Goal.formal) t.subgoals
+
+(** Verify the decomposition claim (§4.4.3) by model checking: under the
+    critical assumptions, the subgoals entail the parent goal on every
+    reachable trace of [kripke]. *)
+let verify ?max_states t (kripke : Mc.Kripke.t) =
+  Mc.Checker.check_composition ?max_states kripke
+    ~assumptions:(List.map (fun r -> r.formal) (critical_assumptions t))
+    ~subgoals:(subgoal_formulas t)
+    ~goal:t.goal.Kaos.Goal.formal

@@ -1,0 +1,63 @@
+(** The ICPA table (Fig. 4.7): the documented product of an analysis — the
+    parent goal, the indirect control paths and numbered relationships, the
+    goal coverage strategy, the elaboration record (tactics + critical
+    assumptions), and the resulting subsystem subgoals. *)
+
+open Tl
+
+type relationship = {
+  number : int;
+  formal : Formula.t;
+  comment : string;  (** the thesis's "%"-prefixed explanation lines *)
+}
+
+type row = {
+  variable : string;  (** a state variable of the parent goal *)
+  subsystems : string list;  (** indirect control path entries for this level *)
+  subsystem_variables : (string * string) list;  (** (variable, description) *)
+  relationships : relationship list;
+}
+
+type elaboration_entry = {
+  derived : Formula.t;  (** intermediate or final formula derived *)
+  uses : int list;  (** the relationship numbers relied upon *)
+  tactic : string;  (** realizability tactic applied, or "" for a premise *)
+}
+
+type subgoal = {
+  subsystem : string;
+  controls : string list;
+  observes : string list;
+  goal : Kaos.Goal.t;
+}
+
+type t = {
+  goal : Kaos.Goal.t;
+  rows : row list;
+  strategy : Coverage.t;
+  elaboration : elaboration_entry list;
+  subgoals : subgoal list;
+}
+
+val relationship : number:int -> comment:string -> Formula.t -> relationship
+
+val make :
+  goal:Kaos.Goal.t ->
+  rows:row list ->
+  strategy:Coverage.t ->
+  elaboration:elaboration_entry list ->
+  subgoals:subgoal list ->
+  t
+(** @raise Invalid_argument when the elaboration references an undefined
+    relationship number. *)
+
+val critical_assumptions : t -> relationship list
+(** All numbered relationships in numeric order — the {e critical
+    assumptions} of the decomposition (§4.3). *)
+
+val subgoal_formulas : t -> Formula.t list
+
+val verify : ?max_states:int -> t -> Mc.Kripke.t -> Mc.Checker.outcome
+(** Discharge the decomposition claim (§4.4.3) by model checking: under the
+    critical assumptions, the subgoals entail the parent goal on every
+    reachable trace. *)

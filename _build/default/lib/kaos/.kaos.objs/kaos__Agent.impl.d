@@ -1,0 +1,1 @@
+lib/kaos/agent.ml: Fmt List Set String

@@ -1,0 +1,1 @@
+lib/kaos/agent.mli: Format Set

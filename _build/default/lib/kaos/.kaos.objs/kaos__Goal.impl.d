@@ -1,0 +1,1 @@
+lib/kaos/goal.ml: Fmt Formula List Option Tl

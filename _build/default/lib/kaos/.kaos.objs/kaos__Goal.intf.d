@@ -1,0 +1,1 @@
+lib/kaos/goal.mli: Format Formula Tl

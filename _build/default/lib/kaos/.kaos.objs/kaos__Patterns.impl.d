@@ -1,0 +1,1 @@
+lib/kaos/patterns.ml: Eval Fmt Formula List Realizability State String Tl Trace Value

@@ -1,0 +1,1 @@
+lib/kaos/patterns.mli: Format Formula State Tl Trace

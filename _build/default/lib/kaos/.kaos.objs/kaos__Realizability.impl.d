@@ -1,0 +1,1 @@
+lib/kaos/realizability.ml: Agent Fmt Formula Goal List Tl

@@ -1,0 +1,1 @@
+lib/kaos/realizability.mli: Agent Format Formula Goal Tl

@@ -1,0 +1,1 @@
+lib/kaos/refinement.ml: Fmt Goal List String

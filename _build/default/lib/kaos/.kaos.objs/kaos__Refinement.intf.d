@@ -1,0 +1,1 @@
+lib/kaos/refinement.mli: Format Goal

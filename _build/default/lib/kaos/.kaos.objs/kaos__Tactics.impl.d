@@ -1,0 +1,1 @@
+lib/kaos/tactics.ml: Fmt Formula List Term Tl

@@ -1,0 +1,1 @@
+lib/kaos/tactics.mli: Format Formula Tl

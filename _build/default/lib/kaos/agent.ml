@@ -1,0 +1,48 @@
+(** Agents: the entities that perform actions to achieve goals — subsystems,
+    software components, actuators, environmental actors (§2.3.2, §4.2).
+
+    Each agent declares the state variables it can monitor (observe the value
+    of) and the variables it directly controls (is the producer of). Indirect
+    control — the ability to *influence* a variable through the control
+    path — is modelled separately by {!Icpa.Control_graph}. *)
+
+module SS = Set.Make (String)
+
+type kind = Software | Actuator | Sensor | Environment | Human
+
+let kind_to_string = function
+  | Software -> "software agent"
+  | Actuator -> "actuator"
+  | Sensor -> "sensor"
+  | Environment -> "environmental agent"
+  | Human -> "human agent"
+
+type t = { name : string; kind : kind; monitors : SS.t; controls : SS.t }
+
+let make ?(kind = Software) ~monitors ~controls name =
+  { name; kind; monitors = SS.of_list monitors; controls = SS.of_list controls }
+
+let monitors t v = SS.mem v t.monitors
+let controls t v = SS.mem v t.controls
+
+(** Can the agent at least observe [v] (monitoring or controlling grants
+    observation of one's own outputs)? *)
+let observes t v = monitors t v || controls t v
+
+(** [union agents] — the capability set of a coordinated group of agents,
+    used when a goal is assigned with shared responsibility (§4.5.1). *)
+let union name agents =
+  {
+    name;
+    kind = Software;
+    monitors = List.fold_left (fun acc a -> SS.union acc a.monitors) SS.empty agents;
+    controls = List.fold_left (fun acc a -> SS.union acc a.controls) SS.empty agents;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>Agent: %s (%s)@,Monitors: %a@,Controls: %a@]" t.name
+    (kind_to_string t.kind)
+    Fmt.(list ~sep:comma string)
+    (SS.elements t.monitors)
+    Fmt.(list ~sep:comma string)
+    (SS.elements t.controls)

@@ -1,0 +1,29 @@
+(** Agents: the entities that perform actions to achieve goals — subsystems,
+    software components, actuators, environmental actors (§2.3.2, §4.2).
+
+    Each agent declares the state variables it can monitor (observe the
+    value of) and the variables it directly controls (is the producer of).
+    Indirect control — the ability to {e influence} a variable through the
+    control path — is modelled separately by {!Icpa.Control_graph}. *)
+
+module SS : Set.S with type elt = string
+
+type kind = Software | Actuator | Sensor | Environment | Human
+
+val kind_to_string : kind -> string
+
+type t = { name : string; kind : kind; monitors : SS.t; controls : SS.t }
+
+val make : ?kind:kind -> monitors:string list -> controls:string list -> string -> t
+val monitors : t -> string -> bool
+val controls : t -> string -> bool
+
+val observes : t -> string -> bool
+(** Can the agent at least observe the variable? Monitoring or controlling
+    grants observation of one's own outputs. *)
+
+val union : string -> t list -> t
+(** The capability set of a coordinated group of agents, used when a goal
+    is assigned with shared responsibility (§4.5.1). *)
+
+val pp : Format.formatter -> t -> unit

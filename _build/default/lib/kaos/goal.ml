@@ -1,0 +1,88 @@
+(** KAOS goals (§2.3.2): named, informally described, formally defined
+    objectives, classified by the goal patterns of Table 2.2. *)
+
+open Tl
+
+(** Goal pattern classes from Darimont & van Lamsweerde (Table 2.2). *)
+type category =
+  | Achieve  (** P ⇒ ♦Q *)
+  | Cease  (** P ⇒ ♦¬Q *)
+  | Maintain  (** P ⇒ □Q *)
+  | Avoid  (** P ⇒ □¬Q *)
+  | Invariant  (** □P — the thesis's "static safety requirement" form *)
+
+let category_to_string = function
+  | Achieve -> "Achieve"
+  | Cease -> "Cease"
+  | Maintain -> "Maintain"
+  | Avoid -> "Avoid"
+  | Invariant -> "Invariant"
+
+type t = {
+  name : string;  (** e.g. ["Achieve[AutoAccelBelowThreshold]"] *)
+  category : category;
+  informal : string;  (** natural-language definition *)
+  formal : Formula.t;
+  monitored : string list;  (** M of the goal relation G(M, C) *)
+  controlled : string list;  (** C of the goal relation G(M, C) *)
+}
+
+(** Default split of a formula's variables into monitored and controlled
+    sets: variables that only occur under past operators are monitored;
+    variables with a present-state occurrence are controlled. This matches
+    the thesis's reading that "control actions can depend on present values
+    … if the agent realizing the goal is also the agent controlling those
+    state variables" (§4.1.3). *)
+let default_mon_ctrl formal =
+  (* Analyze the invariant body: the top-level □ of a Maintain/entailment
+     goal would otherwise put every occurrence in a Future context. *)
+  let body = match formal with Formula.Always g -> g | g -> g in
+  let refs = Formula.var_refs body in
+  let vars = Formula.vars body in
+  let controlled =
+    List.filter
+      (fun v ->
+        List.exists (fun (v', r) -> v = v' && (r = Formula.Present || r = Formula.Future)) refs)
+      vars
+  in
+  let monitored = List.filter (fun v -> not (List.mem v controlled)) vars in
+  (monitored, controlled)
+
+let make ?(category = Invariant) ?monitored ?controlled ~name ~informal formal =
+  let dm, dc = default_mon_ctrl formal in
+  {
+    name;
+    category;
+    informal;
+    formal;
+    monitored = Option.value monitored ~default:dm;
+    controlled = Option.value controlled ~default:dc;
+  }
+
+(** [achieve base ...] names the goal ["Achieve[base]"]; similarly for the
+    other categories. *)
+let achieve ?monitored ?controlled ~informal base formal =
+  make ~category:Achieve ?monitored ?controlled ~name:(Fmt.str "Achieve[%s]" base)
+    ~informal formal
+
+let cease ?monitored ?controlled ~informal base formal =
+  make ~category:Cease ?monitored ?controlled ~name:(Fmt.str "Cease[%s]" base) ~informal
+    formal
+
+let maintain ?monitored ?controlled ~informal base formal =
+  make ~category:Maintain ?monitored ?controlled ~name:(Fmt.str "Maintain[%s]" base)
+    ~informal formal
+
+let avoid ?monitored ?controlled ~informal base formal =
+  make ~category:Avoid ?monitored ?controlled ~name:(Fmt.str "Avoid[%s]" base) ~informal
+    formal
+
+let vars g = Formula.vars g.formal
+
+(** Render in the thesis's three-line Goal/InformalDef/FormalDef style
+    (e.g. Fig. 2.6). *)
+let pp ppf g =
+  Fmt.pf ppf "@[<v>Goal: %s@,InformalDef: %s@,FormalDef: %a@]" g.name g.informal
+    Formula.pp g.formal
+
+let to_string g = Fmt.str "%a" pp g

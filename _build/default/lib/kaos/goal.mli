@@ -1,0 +1,81 @@
+(** KAOS goals (§2.3.2): named, informally described, formally defined
+    objectives, classified by the goal patterns of Table 2.2. *)
+
+open Tl
+
+(** Goal pattern classes from Darimont & van Lamsweerde (Table 2.2). *)
+type category =
+  | Achieve  (** P ⇒ ♦Q *)
+  | Cease  (** P ⇒ ♦¬Q *)
+  | Maintain  (** P ⇒ □Q *)
+  | Avoid  (** P ⇒ □¬Q *)
+  | Invariant  (** □P — the thesis's "static safety requirement" form *)
+
+val category_to_string : category -> string
+
+type t = {
+  name : string;  (** e.g. ["Achieve[AutoAccelBelowThreshold]"] *)
+  category : category;
+  informal : string;  (** natural-language definition *)
+  formal : Formula.t;
+  monitored : string list;  (** M of the goal relation G(M, C) *)
+  controlled : string list;  (** C of the goal relation G(M, C) *)
+}
+
+val default_mon_ctrl : Formula.t -> string list * string list
+(** Default split of a formula's variables into (monitored, controlled):
+    variables that only occur under past operators are monitored; variables
+    with a present-state occurrence are controlled — matching the thesis's
+    reading that control actions can depend on present values only of
+    variables the realizing agent itself controls (§4.1.3). The top-level
+    □ of an entailment goal is stripped first. *)
+
+val make :
+  ?category:category ->
+  ?monitored:string list ->
+  ?controlled:string list ->
+  name:string ->
+  informal:string ->
+  Formula.t ->
+  t
+
+val achieve :
+  ?monitored:string list ->
+  ?controlled:string list ->
+  informal:string ->
+  string ->
+  Formula.t ->
+  t
+(** [achieve base …] names the goal ["Achieve[base]"]; likewise the other
+    category constructors below. *)
+
+val cease :
+  ?monitored:string list ->
+  ?controlled:string list ->
+  informal:string ->
+  string ->
+  Formula.t ->
+  t
+
+val maintain :
+  ?monitored:string list ->
+  ?controlled:string list ->
+  informal:string ->
+  string ->
+  Formula.t ->
+  t
+
+val avoid :
+  ?monitored:string list ->
+  ?controlled:string list ->
+  informal:string ->
+  string ->
+  Formula.t ->
+  t
+
+val vars : t -> string list
+
+val pp : Format.formatter -> t -> unit
+(** Render in the thesis's Goal/InformalDef/FormalDef style (Fig. 2.6). *)
+
+val to_string : t -> string

@@ -1,0 +1,266 @@
+(** Goal realizability patterns and alternative goals — a mechanized,
+    machine-checked reproduction of Table 4.5 and Appendix B (Tables
+    B.1–B.13).
+
+    For each goal form (a temporal template over metavariables A, B, C) and
+    each assignment of agent capabilities to the metavariables, {!analyze}
+    decides whether the goal is realizable as stated or through a logically
+    equivalent representation, and otherwise derives *restrictive alternative
+    goals*: strictly stronger goals that are realizable with the given
+    capabilities. Every alternative is verified to entail the parent goal by
+    exhaustive evaluation over all boolean traces up to a bounded length, so
+    the catalog is correct by construction rather than transcription. *)
+
+open Tl
+
+type capability = Controllable | Observable | Unavailable
+
+let capability_to_string = function
+  | Controllable -> "Ctrl"
+  | Observable -> "Obs"
+  | Unavailable -> "—"
+
+type form = { form_name : string; body : Formula.t; form_vars : string list }
+(** [body] is the un-quantified invariant body; the goal is [□ body]. *)
+
+let a = Formula.bvar "A"
+let b = Formula.bvar "B"
+let c = Formula.bvar "C"
+
+let mk name vars body = { form_name = name; body; form_vars = vars }
+
+(** The fifteen goal forms of Table 4.5 (first three) and Appendix B. *)
+let forms : form list =
+  let open Formula in
+  [
+    mk "A ⇒ B" [ "A"; "B" ] (implies a b);
+    mk "●A ⇒ B" [ "A"; "B" ] (implies (prev a) b);
+    mk "A ⇒ ●B" [ "A"; "B" ] (implies a (prev b));
+    mk "A ∨ B ⇒ C" [ "A"; "B"; "C" ] (implies (or_ a b) c);
+    mk "●A ∨ B ⇒ C" [ "A"; "B"; "C" ] (implies (or_ (prev a) b) c);
+    mk "A ∨ B ⇒ ●C" [ "A"; "B"; "C" ] (implies (or_ a b) (prev c));
+    mk "A ∧ B ⇒ C" [ "A"; "B"; "C" ] (implies (and_ a b) c);
+    mk "●A ∧ B ⇒ C" [ "A"; "B"; "C" ] (implies (and_ (prev a) b) c);
+    mk "A ∧ B ⇒ ●C" [ "A"; "B"; "C" ] (implies (and_ a b) (prev c));
+    mk "A ⇒ B ∧ C" [ "A"; "B"; "C" ] (implies a (and_ b c));
+    mk "●A ⇒ B ∧ C" [ "A"; "B"; "C" ] (implies (prev a) (and_ b c));
+    mk "A ⇒ ●B ∧ C" [ "A"; "B"; "C" ] (implies a (and_ (prev b) c));
+    mk "A ⇒ B ∨ C" [ "A"; "B"; "C" ] (implies a (or_ b c));
+    mk "●A ⇒ B ∨ C" [ "A"; "B"; "C" ] (implies (prev a) (or_ b c));
+    mk "A ⇒ ●B ∨ C" [ "A"; "B"; "C" ] (implies a (or_ (prev b) c));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive small-trace semantics over boolean metavariables.        *)
+
+let all_states vars =
+  let rec go = function
+    | [] -> [ State.empty ]
+    | v :: rest ->
+        let tails = go rest in
+        List.concat_map
+          (fun s ->
+            [ State.set v (Value.Bool false) s; State.set v (Value.Bool true) s ])
+          tails
+  in
+  go vars
+
+(** All traces over [vars] of length exactly [len]. *)
+let all_traces vars len =
+  let states = all_states vars in
+  let rec go n =
+    if n = 0 then [ [] ]
+    else
+      let shorter = go (n - 1) in
+      List.concat_map (fun tr -> List.map (fun s -> s :: tr) states) shorter
+  in
+  List.map (fun ss -> Trace.make ~dt:1.0 ss) (go len)
+
+(** [trace_sat tr body] — the invariant [□ body] holds on [tr]. *)
+let trace_sat tr body =
+  let n = Trace.length tr in
+  let rec go i = i >= n || (Eval.eval tr i body && go (i + 1)) in
+  go 0
+
+let check_len = 3
+(* One state of temporal depth (●) plus slack: for formulas whose past depth
+   is ≤ 1, entailment over all traces of length ≤ 3 coincides with entailment
+   over all finite traces. *)
+
+let entails_on_all_traces vars cand_body parent_body =
+  List.for_all
+    (fun len ->
+      List.for_all
+        (fun tr -> (not (trace_sat tr cand_body)) || trace_sat tr parent_body)
+        (all_traces vars len))
+    [ 1; 2; check_len ]
+
+let equivalent_on_all_traces vars f g =
+  entails_on_all_traces vars f g && entails_on_all_traces vars g f
+
+(* ------------------------------------------------------------------ *)
+(* Realizability of a representation under a capability assignment.    *)
+
+let realizable_body caps body =
+  let goal = Formula.Always body in
+  List.for_all
+    (fun (v, ob) ->
+      match (List.assoc_opt v caps, ob) with
+      | Some Controllable, _ -> ob <> Realizability.Needs_prescience
+      | Some Observable, Realizability.Needs_observation -> true
+      | _, _ -> false)
+    (Realizability.obligations goal)
+
+(** Candidate logically-equivalent representations of an implication body:
+    itself and its contrapositive (the thesis's example: [A ⇒ ●B] is
+    realizable via the equivalent [¬●B ⇒ ¬A], §4.5.3). *)
+let equivalent_reps body =
+  match body with
+  | Formula.Implies (p, q) -> [ body; Formula.implies (Formula.not_ q) (Formula.not_ p) ]
+  | _ -> [ body ]
+
+(* ------------------------------------------------------------------ *)
+(* Restrictive alternatives.                                           *)
+
+let rec conjuncts = function
+  | Formula.And (x, y) -> conjuncts x @ conjuncts y
+  | f -> [ f ]
+
+let rec disjuncts = function
+  | Formula.Or (x, y) -> disjuncts x @ disjuncts y
+  | f -> [ f ]
+
+let nonempty_subsets xs =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let tails = go rest in
+        tails @ List.map (fun t -> x :: t) tails
+  in
+  List.filter (fun s -> s <> []) (go xs)
+
+(** Literal-conjunction candidates [□(ℓ₁ ∧ … ∧ ℓₙ)] over controllable
+    variables — the OR-reduction family of §3.3.5. *)
+let literal_candidates caps =
+  let ctrl = List.filter_map (fun (v, c) -> if c = Controllable then Some v else None) caps in
+  List.concat_map
+    (fun vs ->
+      let rec polarities = function
+        | [] -> [ [] ]
+        | v :: rest ->
+            let tails = polarities rest in
+            List.concat_map
+              (fun t ->
+                [ Formula.bvar v :: t; Formula.not_ (Formula.bvar v) :: t ])
+              tails
+      in
+      List.map Formula.conj (polarities vs))
+    (nonempty_subsets ctrl)
+
+(** Implication candidates: strengthen the parent implication by dropping
+    antecedent conjuncts (weakening the premise) or consequent disjuncts. *)
+let implication_candidates body =
+  match body with
+  | Formula.Implies (p, q) ->
+      let ants = List.map Formula.conj (nonempty_subsets (conjuncts p)) in
+      let cons = List.map Formula.disj (nonempty_subsets (disjuncts q)) in
+      List.concat_map (fun p' -> List.map (fun q' -> Formula.implies p' q') cons) ants
+  | _ -> []
+
+type alternative = { alt_body : Formula.t; realizable_as : Formula.t }
+(** [realizable_as] is the representation (possibly the contrapositive) that
+    satisfies the capability check. *)
+
+type verdict =
+  | Realizable_as of Formula.t
+      (** realizable without restriction, via this representation *)
+  | Alternatives of alternative list
+      (** only restrictive alternatives are realizable; each is
+          machine-checked to entail the parent goal *)
+  | No_alternative  (** nothing realizable with these capabilities *)
+
+(** [analyze form caps] — the Appendix B row for [form] under [caps]. *)
+let analyze (form : form) (caps : (string * capability) list) : verdict =
+  let vars = form.form_vars in
+  let realizable_rep body =
+    List.find_opt (realizable_body caps) (equivalent_reps body)
+  in
+  match realizable_rep form.body with
+  | Some rep -> Realizable_as rep
+  | None ->
+      let candidates =
+        literal_candidates caps @ implication_candidates form.body
+      in
+      let sound =
+        List.filter_map
+          (fun cand ->
+            if
+              cand <> form.body
+              && entails_on_all_traces vars cand form.body
+              && not (equivalent_on_all_traces vars cand form.body)
+            then
+              match realizable_rep cand with
+              | Some rep -> Some { alt_body = cand; realizable_as = rep }
+              | None -> None
+            else None)
+          candidates
+      in
+      (* Keep only the maximally permissive alternatives: drop any candidate
+         strictly stronger than another surviving candidate. *)
+      let minimal =
+        List.filter
+          (fun x ->
+            not
+              (List.exists
+                 (fun y ->
+                   y.alt_body <> x.alt_body
+                   && entails_on_all_traces vars x.alt_body y.alt_body
+                   && not (entails_on_all_traces vars y.alt_body x.alt_body))
+                 sound))
+          sound
+      in
+      let dedup =
+        List.fold_left
+          (fun acc x ->
+            if
+              List.exists
+                (fun y -> equivalent_on_all_traces vars x.alt_body y.alt_body)
+                acc
+            then acc
+            else x :: acc)
+          [] minimal
+        |> List.rev
+      in
+      if dedup = [] then No_alternative else Alternatives dedup
+
+(** All capability combinations for a form's variables (3ⁿ rows). *)
+let all_caps vars =
+  let rec go = function
+    | [] -> [ [] ]
+    | v :: rest ->
+        let tails = go rest in
+        List.concat_map
+          (fun t ->
+            [ (v, Controllable) :: t; (v, Observable) :: t; (v, Unavailable) :: t ])
+          tails
+  in
+  go vars
+
+type row = { caps : (string * capability) list; verdict : verdict }
+
+(** [table form] — the full Appendix-B-style table for one goal form. *)
+let table form = List.map (fun caps -> { caps; verdict = analyze form caps }) (all_caps form.form_vars)
+
+let pp_verdict ppf = function
+  | Realizable_as rep -> Fmt.pf ppf "realizable as %a" Formula.pp rep
+  | Alternatives alts ->
+      Fmt.pf ppf "restrictive alternatives: %a"
+        Fmt.(list ~sep:(any " | ") (fun ppf alt -> Formula.pp ppf alt.alt_body))
+        alts
+  | No_alternative -> Fmt.string ppf "unrealizable (no alternative)"
+
+let pp_row ppf r =
+  Fmt.pf ppf "%-24s %a"
+    (String.concat " "
+       (List.map (fun (v, c) -> Fmt.str "%s:%s" v (capability_to_string c)) r.caps))
+    pp_verdict r.verdict

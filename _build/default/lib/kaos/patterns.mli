@@ -1,0 +1,77 @@
+(** Goal realizability patterns and alternative goals — a mechanized,
+    machine-checked reproduction of Table 4.5 and Appendix B (Tables
+    B.1–B.13).
+
+    For each goal form (a temporal template over metavariables A, B, C) and
+    each assignment of agent capabilities to the metavariables, {!analyze}
+    decides whether the goal is realizable as stated or through a logically
+    equivalent representation, and otherwise derives {e restrictive
+    alternative goals}: strictly stronger goals that are realizable with
+    the given capabilities. Every alternative is verified to entail the
+    parent goal by exhaustive evaluation over all boolean traces up to a
+    bounded length, so the catalog is correct by construction rather than
+    transcription. *)
+
+open Tl
+
+type capability = Controllable | Observable | Unavailable
+
+val capability_to_string : capability -> string
+
+type form = { form_name : string; body : Formula.t; form_vars : string list }
+(** [body] is the un-quantified invariant body; the goal is [□ body]. *)
+
+val forms : form list
+(** The fifteen goal forms of Table 4.5 (first three) and Appendix B. *)
+
+(** {1 Bounded-trace semantics (shared with {!Compose})} *)
+
+val all_states : string list -> State.t list
+(** All boolean assignments of the given variables. *)
+
+val all_traces : string list -> int -> Trace.t list
+(** All boolean traces of exactly the given length. *)
+
+val trace_sat : Trace.t -> Formula.t -> bool
+(** The invariant [□ body] holds on the trace. *)
+
+val check_len : int
+(** Bounded-trace length (3): for formulas of past depth ≤ 1, entailment
+    over all traces of length ≤ 3 coincides with entailment over all
+    finite traces. *)
+
+val entails_on_all_traces : string list -> Formula.t -> Formula.t -> bool
+val equivalent_on_all_traces : string list -> Formula.t -> Formula.t -> bool
+
+val equivalent_reps : Formula.t -> Formula.t list
+(** Candidate logically-equivalent representations of an implication body:
+    itself and its contrapositive (§4.5.3's [¬●B ⇒ ¬A]). *)
+
+(** {1 Analysis} *)
+
+type alternative = { alt_body : Formula.t; realizable_as : Formula.t }
+(** [realizable_as] is the representation (possibly the contrapositive)
+    that satisfies the capability check. *)
+
+type verdict =
+  | Realizable_as of Formula.t
+      (** realizable without restriction, via this representation *)
+  | Alternatives of alternative list
+      (** only restrictive alternatives are realizable; each is
+          machine-checked to entail the parent goal and to be maximally
+          permissive among the candidates *)
+  | No_alternative  (** nothing realizable with these capabilities *)
+
+val analyze : form -> (string * capability) list -> verdict
+(** The Appendix B row for a form under a capability assignment. *)
+
+val all_caps : string list -> (string * capability) list list
+(** All capability combinations for a form's variables (3ⁿ rows). *)
+
+type row = { caps : (string * capability) list; verdict : verdict }
+
+val table : form -> row list
+(** The full Appendix-B-style table for one goal form. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_row : Format.formatter -> row -> unit

@@ -1,0 +1,90 @@
+(** Goal realizability analysis after Letier & van Lamsweerde (§2.3.2,
+    §4.1.2, §4.5.3).
+
+    A goal [G(M, C)] is strictly realizable by agent [ag] iff
+    [M ⊆ Mon(ag) ∪ Ctrl(ag)], [C ⊆ Ctrl(ag)], and the formula contains no
+    reference to the future. A variable occurrence in the *present* state
+    counts as a reference to the future unless the evaluating agent itself
+    controls that variable — monitored values are only available one state
+    later (§4.1.3). *)
+
+open Tl
+
+type defect =
+  | Lack_of_monitorability of string list
+      (** variables the agent can neither monitor nor control *)
+  | Lack_of_control of string list
+      (** present/future-constrained variables the agent does not control *)
+  | Reference_to_future of string list
+      (** variables constrained strictly in the future (♦, □, ○) *)
+  | Unsatisfiable  (** the goal formula is unsatisfiable *)
+
+let pp_defect ppf = function
+  | Lack_of_monitorability vs ->
+      Fmt.pf ppf "lack of monitorability: %a" Fmt.(list ~sep:comma string) vs
+  | Lack_of_control vs ->
+      Fmt.pf ppf "lack of control: %a" Fmt.(list ~sep:comma string) vs
+  | Reference_to_future vs ->
+      Fmt.pf ppf "reference to future: %a" Fmt.(list ~sep:comma string) vs
+  | Unsatisfiable -> Fmt.string ppf "unsatisfiable"
+
+type verdict = Realizable | Unrealizable of defect list
+
+let is_realizable = function Realizable -> true | Unrealizable _ -> false
+
+(** Temporal obligations a formula places on each of its variables. *)
+type obligation = Needs_observation | Needs_control | Needs_prescience
+
+(** [obligations f] — for each variable of [f] (with the top-level □
+    stripped), the strongest obligation implied by its occurrences: a past
+    occurrence needs observation; a present occurrence needs control (by the
+    realizing agent, in the same state); a future occurrence needs
+    prescience and makes the goal unrealizable outright. *)
+let obligations (f : Formula.t) : (string * obligation) list =
+  let body = match f with Formula.Always g -> g | g -> g in
+  let refs = Formula.var_refs body in
+  let vars = Formula.vars body in
+  List.map
+    (fun v ->
+      let here r = List.exists (fun (v', r') -> v = v' && r = r') refs in
+      let ob =
+        if here Formula.Future then Needs_prescience
+        else if here Formula.Present then Needs_control
+        else Needs_observation
+      in
+      (v, ob))
+    vars
+
+(** [check goal agent] — Letier & van Lamsweerde's realizability check of
+    [goal] by [agent] (or by a coordinated group via {!Agent.union}). *)
+let check (goal : Goal.t) (agent : Agent.t) : verdict =
+  let obs = obligations goal.formal in
+  let future = List.filter_map (fun (v, o) -> if o = Needs_prescience then Some v else None) obs in
+  let unctrl =
+    List.filter_map
+      (fun (v, o) ->
+        if o = Needs_control && not (Agent.controls agent v) then Some v else None)
+      obs
+  in
+  let unmon =
+    List.filter_map
+      (fun (v, o) ->
+        if o = Needs_observation && not (Agent.observes agent v) then Some v else None)
+      obs
+  in
+  let defects =
+    (if future <> [] then [ Reference_to_future future ] else [])
+    @ (if unmon <> [] then [ Lack_of_monitorability unmon ] else [])
+    @
+    if unctrl <> [] then
+      (* present-state variables the agent cannot set: if it can observe them
+         the defect is the thesis's "reference to the future" (it would have
+         to react in the same state); otherwise it is lack of control. *)
+      let refs, ctrl =
+        List.partition (fun v -> Agent.monitors agent v) unctrl
+      in
+      (if refs <> [] then [ Reference_to_future refs ] else [])
+      @ if ctrl <> [] then [ Lack_of_control ctrl ] else []
+    else []
+  in
+  if defects = [] then Realizable else Unrealizable defects

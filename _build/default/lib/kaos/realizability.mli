@@ -1,0 +1,41 @@
+(** Goal realizability analysis after Letier & van Lamsweerde (§2.3.2,
+    §4.1.2, §4.5.3).
+
+    A goal [G(M, C)] is strictly realizable by agent [ag] iff
+    [M ⊆ Mon(ag) ∪ Ctrl(ag)], [C ⊆ Ctrl(ag)], and the formula contains no
+    reference to the future. A variable occurrence in the {e present} state
+    counts as a reference to the future unless the evaluating agent itself
+    controls that variable — monitored values are only available one state
+    later (§4.1.3). *)
+
+open Tl
+
+type defect =
+  | Lack_of_monitorability of string list
+      (** variables the agent can neither monitor nor control *)
+  | Lack_of_control of string list
+      (** present/future-constrained variables the agent does not control *)
+  | Reference_to_future of string list
+      (** variables constrained strictly in the future (♦, □, ○), or
+          present-state variables the agent can only monitor *)
+  | Unsatisfiable
+
+val pp_defect : Format.formatter -> defect -> unit
+
+type verdict = Realizable | Unrealizable of defect list
+
+val is_realizable : verdict -> bool
+
+(** Temporal obligations a formula places on each of its variables. *)
+type obligation = Needs_observation | Needs_control | Needs_prescience
+
+val obligations : Formula.t -> (string * obligation) list
+(** For each variable (with the top-level □ stripped), the strongest
+    obligation implied by its occurrences: a past occurrence needs
+    observation; a present occurrence needs control (by the realizing
+    agent, in the same state); a future occurrence needs prescience and
+    makes the goal unrealizable outright. *)
+
+val check : Goal.t -> Agent.t -> verdict
+(** Letier & van Lamsweerde's realizability check of a goal by an agent (or
+    by a coordinated group via {!Agent.union}). *)

@@ -1,0 +1,42 @@
+(** AND/OR goal refinement graphs (§2.3.2).
+
+    A goal node carries zero or more *and-reductions* (alternative complete
+    decompositions, each a list of subgoals that jointly satisfy the parent)
+    — OR-choice between reductions, AND within one. Assignments record which
+    agent is responsible for a leaf goal. *)
+
+type node = {
+  goal : Goal.t;
+  reductions : node list list;  (** alternative and-reductions *)
+  assigned_to : string option;  (** responsible agent for a leaf goal *)
+}
+
+let leaf ?agent goal = { goal; reductions = []; assigned_to = agent }
+let refine goal reductions = { goal; reductions; assigned_to = None }
+
+let rec leaves node =
+  match node.reductions with
+  | [] -> [ node ]
+  | rs -> List.concat_map (fun r -> List.concat_map leaves r) rs
+
+(** All goals in the graph, parents before children. *)
+let rec all_goals node =
+  node.goal :: List.concat_map (fun r -> List.concat_map all_goals r) node.reductions
+
+(** Check every leaf has a responsible agent (completeness of assignment). *)
+let fully_assigned node =
+  List.for_all (fun l -> l.assigned_to <> None) (leaves node)
+
+let rec pp ?(indent = 0) ppf node =
+  let pad = String.make indent ' ' in
+  Fmt.pf ppf "%s%s%a@." pad node.goal.Goal.name
+    (fun ppf -> function
+      | Some ag -> Fmt.pf ppf "  [agent: %s]" ag
+      | None -> ())
+    node.assigned_to;
+  List.iteri
+    (fun i red ->
+      if List.length node.reductions > 1 then
+        Fmt.pf ppf "%s alternative %d:@." pad (i + 1);
+      List.iter (fun child -> pp ~indent:(indent + 2) ppf child) red)
+    node.reductions

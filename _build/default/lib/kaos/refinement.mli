@@ -1,0 +1,24 @@
+(** AND/OR goal refinement graphs (§2.3.2).
+
+    A goal node carries zero or more {e and-reductions} (alternative
+    complete decompositions, each a list of subgoals that jointly satisfy
+    the parent) — OR-choice between reductions, AND within one. Assignments
+    record which agent is responsible for a leaf goal. *)
+
+type node = {
+  goal : Goal.t;
+  reductions : node list list;  (** alternative and-reductions *)
+  assigned_to : string option;  (** responsible agent for a leaf goal *)
+}
+
+val leaf : ?agent:string -> Goal.t -> node
+val refine : Goal.t -> node list list -> node
+val leaves : node -> node list
+
+val all_goals : node -> Goal.t list
+(** All goals in the graph, parents before children. *)
+
+val fully_assigned : node -> bool
+(** Every leaf has a responsible agent. *)
+
+val pp : ?indent:int -> Format.formatter -> node -> unit

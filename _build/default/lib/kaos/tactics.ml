@@ -1,0 +1,162 @@
+(** Goal elaboration tactics (§2.3.2, §4.1.2, §3.3.4–3.3.5).
+
+    Each tactic records its name, the produced subgoals, the proof
+    obligations (critical assumptions) the decomposition relies on, and
+    whether the result is restrictive — exactly the information the ICPA
+    elaboration field documents (Table 4.3). *)
+
+open Tl
+
+type result = {
+  tactic : string;
+  subgoals : Formula.t list;
+  obligations : Formula.t list;  (** domain properties that must hold *)
+  restrictive : bool;
+}
+
+let body = function Formula.Always g -> g | g -> g
+
+let as_implication f =
+  match body f with
+  | Formula.Implies (p, q) -> (p, q)
+  | _ -> invalid_arg "tactic requires a goal of the form P ⇒ Q"
+
+(** Introduce accuracy/actuation goal (Fig. 4.1): replace variable [on] by an
+    equivalent variable [replacement] (a sensor reading or actuator set
+    point); the equivalence [□(on ⇔ replacement)] becomes an accuracy goal.
+    Works on boolean state variables. *)
+let introduce_accuracy_actuation ~on ~replacement goal =
+  let ren v = if v = on then replacement else v in
+  {
+    tactic = "introduce accuracy/actuation goal";
+    subgoals = [ Formula.rename ren goal ];
+    obligations = [ Formula.always (Formula.iff (Formula.bvar on) (Formula.bvar replacement)) ];
+    restrictive = false;
+  }
+
+(** Split lack of monitorability/controllability by chaining (Fig. 4.2):
+    [P ⇒ Q] becomes [P ⇒ M] and [M ⇒ Q] through milestone [M]. *)
+let split_by_chaining ~milestone goal =
+  let p, q = as_implication goal in
+  {
+    tactic = "split lack of monitorability/controllability by chaining";
+    subgoals = [ Formula.entails p milestone; Formula.entails milestone q ];
+    obligations = [];
+    restrictive = false;
+  }
+
+(** Split lack of monitorability/controllability by case (Fig. 4.3):
+    [P ⇒ Q] becomes [P ∧ fᵢ ⇒ Qᵢ] for each case [(fᵢ, Qᵢ)], under the
+    completeness obligation [□(f₁ ∨ … ∨ fₙ)]. *)
+let split_by_case ~cases goal =
+  let p, _q = as_implication goal in
+  {
+    tactic = "split lack of monitorability/controllability by case";
+    subgoals =
+      List.map (fun (cond, qi) -> Formula.entails (Formula.and_ p cond) qi) cases;
+    obligations = [ Formula.always (Formula.disj (List.map fst cases)) ];
+    restrictive = false;
+  }
+
+(** OR-reduction on an invariant disjunction (§3.3.5): [□(A ∨ X)] is
+    satisfied by the more restrictive [□A]. *)
+let or_reduce ~keep goal =
+  ignore (body goal);
+  {
+    tactic = "OR reduction";
+    subgoals = [ Formula.always keep ];
+    obligations = [];
+    restrictive = true;
+  }
+
+(** Antecedent strengthening (§3.3.5): [A ∧ X ⇒ B] is satisfied by the more
+    restrictive [A ⇒ B], dropping the unknown/unrealizable conjunct [X]. *)
+let drop_antecedent_conjunct ~keep goal =
+  let _p, q = as_implication goal in
+  {
+    tactic = "antecedent OR reduction (drop unrealizable conjunct)";
+    subgoals = [ Formula.entails keep q ];
+    obligations = [];
+    restrictive = true;
+  }
+
+(** Conjunctive split (§3.3.4): [□(A ∧ X)] divides into [□A] and [□X];
+    [A ∨ X ⇒ B] divides into [A ⇒ B] and [X ⇒ B]. The division is exact —
+    useful because the realizable part can be ensured even when [X] cannot. *)
+let conjunctive_split goal =
+  match body goal with
+  | Formula.And (x, y) ->
+      {
+        tactic = "conjunctive split";
+        subgoals = [ Formula.always x; Formula.always y ];
+        obligations = [];
+        restrictive = false;
+      }
+  | Formula.Implies (p, q) ->
+      let cases = (match p with Formula.Or (x, y) -> [ x; y ] | _ -> [ p ]) in
+      {
+        tactic = "conjunctive split";
+        subgoals = List.map (fun x -> Formula.entails x q) cases;
+        obligations = [];
+        restrictive = false;
+      }
+  | _ -> invalid_arg "conjunctive_split: expected □(A ∧ X) or (A ∨ X) ⇒ B"
+
+(** Safety margin (§4.5.2): strengthen every upper-bound comparison
+    [t ≤ u] to [t ≤ u − margin] (and [t ≥ u] to [t ≥ u + margin]),
+    shrinking the allowed envelope as in Eq. 3.48 / Eq. 4.31. *)
+let safety_margin ~margin goal =
+  let m = Term.float margin in
+  let rec go (f : Formula.t) : Formula.t =
+    match f with
+    | Atom (Le (x, y)) -> Formula.le x (Term.Sub (y, m))
+    | Atom (Lt (x, y)) -> Formula.lt x (Term.Sub (y, m))
+    | Atom (Ge (x, y)) -> Formula.ge x (Term.Add (y, m))
+    | Atom (Gt (x, y)) -> Formula.gt x (Term.Add (y, m))
+    | True | False | Atom _ -> f
+    | Not g -> Formula.Not (go g)
+    | And (x, y) -> Formula.And (go x, go y)
+    | Or (x, y) -> Formula.Or (go x, go y)
+    | Implies (x, y) -> Formula.Implies (x, go y)
+    | Iff (x, y) -> Formula.Iff (x, y)
+    | Prev g -> Formula.Prev (go g)
+    | Once g -> Formula.Once (go g)
+    | Hist g -> Formula.Hist (go g)
+    | PrevFor (t, g) -> Formula.PrevFor (t, go g)
+    | OnceWithin (t, g) -> Formula.OnceWithin (t, go g)
+    | Rose g -> Formula.Rose (go g)
+    | Next g -> Formula.Next (go g)
+    | Eventually g -> Formula.Eventually (go g)
+    | Always g -> Formula.Always (go g)
+  in
+  {
+    tactic = Fmt.str "safety margin (%g)" margin;
+    subgoals = [ go goal ];
+    obligations = [];
+    restrictive = margin > 0.;
+  }
+
+(** The alarm/response refinement for safety goals (§2.3.2): introduce a
+    monitor subgoal raising [alarm] when [hazard_precursor] holds, and a
+    response subgoal restoring [safe] within the response window. *)
+let introduce_alarm_response ~hazard_precursor ~alarm ~safe ~response_time =
+  {
+    tactic = "introduce alarm/response";
+    subgoals =
+      [
+        Formula.entails hazard_precursor alarm;
+        Formula.entails (Formula.prev_for response_time alarm) safe;
+      ];
+    obligations = [];
+    restrictive = false;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>Tactic: %s%s@,Subgoals:@,  %a%a@]" r.tactic
+    (if r.restrictive then " (restrictive)" else "")
+    Fmt.(list ~sep:(any "@,  ") Formula.pp)
+    r.subgoals
+    (fun ppf obs ->
+      if obs <> [] then
+        Fmt.pf ppf "@,Obligations:@,  %a" Fmt.(list ~sep:(any "@,  ") Formula.pp) obs)
+    r.obligations

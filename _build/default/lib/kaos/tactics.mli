@@ -1,0 +1,54 @@
+(** Goal elaboration tactics (§2.3.2, §4.1.2, §3.3.4–3.3.5).
+
+    Each tactic records its name, the produced subgoals, the proof
+    obligations (critical assumptions) the decomposition relies on, and
+    whether the result is restrictive — exactly the information the ICPA
+    elaboration field documents (Table 4.3). *)
+
+open Tl
+
+type result = {
+  tactic : string;
+  subgoals : Formula.t list;
+  obligations : Formula.t list;  (** domain properties that must hold *)
+  restrictive : bool;
+}
+
+val introduce_accuracy_actuation : on:string -> replacement:string -> Formula.t -> result
+(** Fig. 4.1: replace variable [on] by an equivalent variable (a sensor
+    reading or actuator set point); the equivalence [□(on ⇔ replacement)]
+    becomes an accuracy goal. Works on boolean state variables. *)
+
+val split_by_chaining : milestone:Formula.t -> Formula.t -> result
+(** Fig. 4.2: [P ⇒ Q] becomes [P ⇒ M] and [M ⇒ Q].
+    @raise Invalid_argument unless the goal is an entailment. *)
+
+val split_by_case : cases:(Formula.t * Formula.t) list -> Formula.t -> result
+(** Fig. 4.3: [P ⇒ Q] becomes [P ∧ fᵢ ⇒ Qᵢ] per case, under the
+    completeness obligation [□(f₁ ∨ … ∨ fₙ)]. *)
+
+val or_reduce : keep:Formula.t -> Formula.t -> result
+(** §3.3.5: [□(A ∨ X)] is satisfied by the more restrictive [□A]. *)
+
+val drop_antecedent_conjunct : keep:Formula.t -> Formula.t -> result
+(** §3.3.5: [A ∧ X ⇒ B] is satisfied by the more restrictive [A ⇒ B]. *)
+
+val conjunctive_split : Formula.t -> result
+(** §3.3.4: [□(A ∧ X)] divides into [□A] and [□X]; [(A ∨ X) ⇒ B] into
+    [A ⇒ B] and [X ⇒ B]. Exact — the realizable part can be ensured even
+    when X cannot. *)
+
+val safety_margin : margin:float -> Formula.t -> result
+(** §4.5.2: strengthen every upper-bound comparison [t ≤ u] to
+    [t ≤ u − margin] (and [t ≥ u] to [t ≥ u + margin]) in controlled
+    (consequent) position, shrinking the envelope as in Eq. 3.48. *)
+
+val introduce_alarm_response :
+  hazard_precursor:Formula.t ->
+  alarm:Formula.t ->
+  safe:Formula.t ->
+  response_time:float ->
+  result
+(** The alarm/response refinement for safety goals (§2.3.2). *)
+
+val pp : Format.formatter -> result -> unit

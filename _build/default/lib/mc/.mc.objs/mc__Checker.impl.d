@@ -1,0 +1,1 @@
+lib/mc/checker.ml: Array Fmt Formula Fun Hashtbl Kripke List Marshal Queue Rtmon State Tl

@@ -1,0 +1,1 @@
+lib/mc/checker.mli: Format Formula Kripke State Tl

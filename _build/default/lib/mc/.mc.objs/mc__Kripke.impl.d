@@ -1,0 +1,1 @@
+lib/mc/kripke.ml: List State Tl Value

@@ -1,0 +1,1 @@
+lib/mc/kripke.mli: State Tl Value

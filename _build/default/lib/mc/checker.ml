@@ -1,0 +1,137 @@
+(** Explicit-state checking of past-time invariants and of ICPA goal
+    compositions.
+
+    Monitors compiled by {!Rtmon.Incremental} have a bounded integer memory
+    vector, so the product of a finite Kripke structure with any number of
+    monitors is finite; a breadth-first search decides the properties and
+    produces shortest counterexample traces. *)
+
+open Tl
+
+type outcome =
+  | Valid of { states_explored : int }
+  | Counterexample of { path : State.t list }
+      (** a shortest trace ending in the violating state *)
+  | Bound_exceeded of { states_explored : int }
+
+let pp_outcome ppf = function
+  | Valid { states_explored } -> Fmt.pf ppf "valid (%d product states)" states_explored
+  | Counterexample { path } ->
+      Fmt.pf ppf "counterexample of length %d:@,%a" (List.length path)
+        (Fmt.list ~sep:Fmt.cut State.pp) path
+  | Bound_exceeded { states_explored } ->
+      Fmt.pf ppf "bound exceeded after %d states" states_explored
+
+(* A product node: the system state plus each monitor's memory vector. The
+   key marshals the canonical representation for hashing. *)
+let key state mems flags =
+  Marshal.to_string (State.to_list state, List.map Array.to_list mems, flags) []
+
+let search ?(max_states = 500_000) ?(prune = fun _flags -> false) (k : Kripke.t)
+    ~monitors ~transition_flags ~violated =
+  (* [monitors]: initial monitor list; [transition_flags flags outputs]
+     updates auxiliary boolean flags from monitor outputs (e.g. "premise has
+     held historically"); [violated flags outputs] detects a violation in the
+     current product state; [prune flags] cuts branches that can no longer
+     produce a violation. Returns the outcome. *)
+  let table = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let explored = ref 0 in
+  let rec path_of kk acc =
+    match Hashtbl.find_opt table kk with
+    | None -> acc
+    | Some (state, pred) -> (
+        match pred with
+        | None -> state :: acc
+        | Some pk -> path_of pk (state :: acc))
+  in
+  (* The violation check must run on every generated transition: the
+     product key uses *post*-step monitor memories, and two transitions can
+     share a post-memory while producing different monitor outputs. Only
+     exploration is deduplicated. *)
+  let transition state mons flags pred =
+    let pairs = List.map (fun m -> Rtmon.Incremental.step m state) mons in
+    let outs = List.map fst pairs and mons' = List.map snd pairs in
+    let flags' = transition_flags flags outs in
+    if violated flags' outs then
+      let prefix = match pred with None -> [] | Some pk -> path_of pk [] in
+      Error (prefix @ [ state ])
+    else begin
+      let kk = key state (List.map Rtmon.Incremental.mem mons') flags' in
+      if not (Hashtbl.mem table kk) then begin
+        Hashtbl.add table kk (state, pred);
+        if not (prune flags') then Queue.add (kk, state, mons', flags') queue
+      end;
+      Ok ()
+    end
+  in
+  let rec init_loop = function
+    | [] -> None
+    | s :: rest -> (
+        (* Flags start as [] and are produced by transition_flags on the
+           first step, which handles their initialization. *)
+        match transition s monitors ([] : bool list) None with
+        | Error path -> Some path
+        | Ok () -> init_loop rest)
+  in
+  match init_loop k.init with
+  | Some path -> Counterexample { path }
+  | None ->
+      let result = ref None in
+      (try
+         while not (Queue.is_empty queue) do
+           let kk, state, mons, flags = Queue.take queue in
+           incr explored;
+           if !explored > max_states then begin
+             result := Some (Bound_exceeded { states_explored = !explored });
+             raise Exit
+           end;
+           List.iter
+             (fun s' ->
+               match transition s' mons flags (Some kk) with
+               | Error path ->
+                   result := Some (Counterexample { path });
+                   raise Exit
+               | Ok () -> ())
+             (k.next state)
+         done
+       with Exit -> ());
+      (match !result with
+      | Some r -> r
+      | None -> Valid { states_explored = !explored })
+
+(** [check_invariant k f] — does the past-time invariant [f] hold in every
+    reachable state of [k]? *)
+let check_invariant ?max_states (k : Kripke.t) (f : Formula.t) : outcome =
+  let dt = 1.0 in
+  let m = Rtmon.Incremental.create ~dt f in
+  search ?max_states k ~monitors:[ m ]
+    ~transition_flags:(fun _ _ -> [])
+    ~violated:(fun _ outs -> match outs with [ ok ] -> not ok | _ -> assert false)
+
+(** [check_composition k ~assumptions ~subgoals ~goal] — the ICPA
+    composition obligation (§4.4.3): in every reachable state where the
+    critical assumptions (indirect control relationships) and the derived
+    subgoals have held *historically* (in every state so far, including the
+    current one), the parent goal holds.
+
+    A counterexample is a trace along which every assumption and subgoal is
+    satisfied throughout, yet the parent goal is violated in the final
+    state — i.e. a witness that the subgoals do not even partially compose
+    the parent under the stated assumptions. *)
+let check_composition ?max_states (k : Kripke.t) ~(assumptions : Formula.t list)
+    ~(subgoals : Formula.t list) ~(goal : Formula.t) : outcome =
+  let dt = 1.0 in
+  let premise = assumptions @ subgoals in
+  let monitors = List.map (Rtmon.Incremental.create ~dt) (premise @ [ goal ]) in
+  let n_premise = List.length premise in
+  let premise_outs outs = List.filteri (fun i _ -> i < n_premise) outs in
+  let goal_out outs = List.nth outs n_premise in
+  search ?max_states k ~monitors
+    ~prune:(fun flags -> flags = [ false ])
+    ~transition_flags:(fun flags outs ->
+      let held_before = match flags with [] -> true | [ h ] -> h | _ -> assert false in
+      [ held_before && List.for_all Fun.id (premise_outs outs) ])
+    ~violated:(fun flags outs ->
+      let held = match flags with [ h ] -> h | _ -> true in
+      held && not (goal_out outs))

@@ -1,0 +1,38 @@
+(** Explicit-state checking of past-time invariants and of ICPA goal
+    compositions.
+
+    Monitors compiled by {!Rtmon.Incremental} have a bounded integer memory
+    vector, so the product of a finite Kripke structure with any number of
+    monitors is finite; a breadth-first search decides the properties and
+    produces shortest counterexample traces. *)
+
+open Tl
+
+type outcome =
+  | Valid of { states_explored : int }
+  | Counterexample of { path : State.t list }
+      (** a shortest trace ending in the violating state *)
+  | Bound_exceeded of { states_explored : int }
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val check_invariant : ?max_states:int -> Kripke.t -> Formula.t -> outcome
+(** Does the past-time invariant hold in every reachable state? *)
+
+val check_composition :
+  ?max_states:int ->
+  Kripke.t ->
+  assumptions:Formula.t list ->
+  subgoals:Formula.t list ->
+  goal:Formula.t ->
+  outcome
+(** The ICPA composition obligation (§4.4.3): in every reachable state where
+    the critical assumptions (indirect control relationships) and the
+    derived subgoals have held {e historically} (in every state so far,
+    including the current one), the parent goal holds.
+
+    A counterexample is a trace along which every assumption and subgoal is
+    satisfied throughout, yet the parent goal is violated in the final
+    state — a witness that the subgoals do not even partially compose the
+    parent under the stated assumptions. Branches whose premise has already
+    failed are pruned, so unconstrained Kripke structures stay tractable. *)

@@ -1,0 +1,27 @@
+(** Finite Kripke structures: the abstract transition systems over which
+    ICPA decompositions are verified (§4.4.3: "the parent goals could be
+    verified against the subgoals and indirect control relationships with
+    model-checking"). *)
+
+open Tl
+
+type t = {
+  name : string;
+  init : State.t list;  (** initial states *)
+  next : State.t -> State.t list;  (** successor relation *)
+}
+
+let make ~name ~init ~next = { name; init; next }
+
+(** [product vars domains] — helper to enumerate all assignments of the
+    given variable domains, for building [init] sets or constraining
+    successor generation. *)
+let assignments (domains : (string * Value.t list) list) : State.t list =
+  List.fold_left
+    (fun states (v, dom) ->
+      List.concat_map (fun s -> List.map (fun x -> State.set v x s) dom) states)
+    [ State.empty ]
+    domains
+
+let bools = [ Value.Bool false; Value.Bool true ]
+let syms xs = List.map (fun x -> Value.Sym x) xs

@@ -1,0 +1,21 @@
+(** Finite Kripke structures: the abstract transition systems over which
+    ICPA decompositions are verified (§4.4.3). *)
+
+open Tl
+
+type t = {
+  name : string;
+  init : State.t list;  (** initial states *)
+  next : State.t -> State.t list;  (** successor relation *)
+}
+
+val make : name:string -> init:State.t list -> next:(State.t -> State.t list) -> t
+
+val assignments : (string * Value.t list) list -> State.t list
+(** Enumerate all assignments of the given variable domains, for building
+    [init] sets or fully nondeterministic successor relations. *)
+
+val bools : Value.t list
+(** [[Bool false; Bool true]] *)
+
+val syms : string list -> Value.t list

@@ -1,0 +1,1 @@
+lib/rtmon/incremental.ml: Array Eval Fmt Formula List State Tl Trace

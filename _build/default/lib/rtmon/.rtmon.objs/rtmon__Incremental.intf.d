@@ -1,0 +1,1 @@
+lib/rtmon/incremental.mli: Formula State Tl Trace

@@ -1,0 +1,1 @@
+lib/rtmon/report.ml: Fmt List Violation

@@ -1,0 +1,1 @@
+lib/rtmon/report.mli: Format Violation

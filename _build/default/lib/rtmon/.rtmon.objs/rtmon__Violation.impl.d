@@ -1,0 +1,1 @@
+lib/rtmon/violation.ml: Array Fmt List

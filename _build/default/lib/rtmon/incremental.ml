@@ -1,0 +1,179 @@
+(** Pure incremental monitors for the past-time fragment.
+
+    A formula is compiled once into a flat instruction array; the monitor's
+    dynamic state is a plain [int array] of memory slots (booleans as 0/1,
+    counters for the bounded-duration operators). Because the dynamic state is
+    a small comparable vector, the same monitor drives both online monitoring
+    during simulation ({!Rtmon.Online}) and the finite product construction of
+    the model checker ({!Mc.Checker}).
+
+    Equivalence with the reference semantics {!Tl.Eval.eval} is established by
+    the property tests in [test/test_rtmon.ml]. *)
+
+open Tl
+
+type op =
+  | OTrue
+  | OFalse
+  | OAtom of Formula.atom
+  | ONot of int
+  | OAnd of int * int
+  | OOr of int * int
+  | OImplies of int * int
+  | OIff of int * int
+  | OPrev of int * int  (** child, memory slot holding child's previous value *)
+  | OOnce of int * int
+  | OHist of int * int
+  | OPrevFor of int * int * int  (** child, k states, slot: run length capped at k *)
+  | OOnceWithin of int * int * int  (** child, k states, slot: age capped at k *)
+  | ORose of int * int  (** child, slot: 2 = no previous state, else prev value *)
+
+type compiled = { ops : op array; init_mem : int array; root : int; dt : float }
+
+exception Not_monitorable of string
+
+(** [compile ~dt f] compiles the past-time formula [f]. A top-level [Always]
+    is stripped (invariant monitoring evaluates the body at every state).
+    @raise Not_monitorable if a future operator remains. *)
+let compile ~dt (f : Formula.t) : compiled =
+  let body =
+    match Formula.invariant_body f with
+    | Some b -> b
+    | None ->
+        raise
+          (Not_monitorable
+             (Fmt.str "formula contains future operators: %a" Formula.pp f))
+  in
+  let ops = ref [] and nops = ref 0 and mem = ref [] and nmem = ref 0 in
+  let emit op =
+    ops := op :: !ops;
+    incr nops;
+    !nops - 1
+  in
+  let alloc init =
+    mem := init :: !mem;
+    incr nmem;
+    !nmem - 1
+  in
+  let rec go (f : Formula.t) =
+    match f with
+    | True -> emit OTrue
+    | False -> emit OFalse
+    | Atom a -> emit (OAtom a)
+    | Not g ->
+        let c = go g in
+        emit (ONot c)
+    | And (a, b) ->
+        let ca = go a in
+        let cb = go b in
+        emit (OAnd (ca, cb))
+    | Or (a, b) ->
+        let ca = go a in
+        let cb = go b in
+        emit (OOr (ca, cb))
+    | Implies (a, b) ->
+        let ca = go a in
+        let cb = go b in
+        emit (OImplies (ca, cb))
+    | Iff (a, b) ->
+        let ca = go a in
+        let cb = go b in
+        emit (OIff (ca, cb))
+    | Prev g ->
+        let c = go g in
+        emit (OPrev (c, alloc 0))
+    | Once g ->
+        let c = go g in
+        emit (OOnce (c, alloc 0))
+    | Hist g ->
+        let c = go g in
+        emit (OHist (c, alloc 1))
+    | PrevFor (d, g) ->
+        let k = Trace.duration_to_states ~dt d in
+        let c = go g in
+        emit (OPrevFor (c, k, alloc 0))
+    | OnceWithin (d, g) ->
+        let k = Trace.duration_to_states ~dt d in
+        let c = go g in
+        emit (OOnceWithin (c, k, alloc k))
+    | Rose g ->
+        let c = go g in
+        emit (ORose (c, alloc 2))
+    | Next _ | Eventually _ | Always _ ->
+        raise (Not_monitorable "nested future operator")
+  in
+  let root = go body in
+  {
+    ops = Array.of_list (List.rev !ops);
+    init_mem = Array.of_list (List.rev !mem);
+    root;
+    dt;
+  }
+
+type t = { c : compiled; mem : int array }
+
+let create ~dt f =
+  let c = compile ~dt f in
+  { c; mem = Array.copy c.init_mem }
+
+(** Dynamic state alone, for use as a model-checking product component. *)
+let mem t = t.mem
+
+let with_mem t mem = { t with mem }
+
+(** [step t state] evaluates one state transition, returning the formula's
+    truth value in [state] and the successor monitor. The input monitor is not
+    mutated. *)
+let step (t : t) (state : State.t) : bool * t =
+  let { ops; root; _ } = t.c in
+  let n = Array.length ops in
+  let v = Array.make n false in
+  let mem' = Array.copy t.mem in
+  for i = 0 to n - 1 do
+    (match ops.(i) with
+    | OTrue -> v.(i) <- true
+    | OFalse -> v.(i) <- false
+    | OAtom a -> v.(i) <- Eval.eval_atom state a
+    | ONot c -> v.(i) <- not v.(c)
+    | OAnd (a, b) -> v.(i) <- v.(a) && v.(b)
+    | OOr (a, b) -> v.(i) <- v.(a) || v.(b)
+    | OImplies (a, b) -> v.(i) <- (not v.(a)) || v.(b)
+    | OIff (a, b) -> v.(i) <- v.(a) = v.(b)
+    | OPrev (c, s) ->
+        v.(i) <- t.mem.(s) = 1;
+        mem'.(s) <- (if v.(c) then 1 else 0)
+    | OOnce (c, s) ->
+        v.(i) <- t.mem.(s) = 1;
+        mem'.(s) <- (if t.mem.(s) = 1 || v.(c) then 1 else 0)
+    | OHist (c, s) ->
+        v.(i) <- t.mem.(s) = 1;
+        mem'.(s) <- (if t.mem.(s) = 1 && v.(c) then 1 else 0)
+    | OPrevFor (c, k, s) ->
+        v.(i) <- t.mem.(s) >= k;
+        mem'.(s) <- (if v.(c) then min k (t.mem.(s) + 1) else 0)
+    | OOnceWithin (c, k, s) ->
+        v.(i) <- t.mem.(s) <= k - 1;
+        mem'.(s) <- (if v.(c) then 0 else min k (t.mem.(s) + 1))
+    | ORose (c, s) ->
+        v.(i) <- v.(c) && t.mem.(s) = 0;
+        mem'.(s) <- (if v.(c) then 1 else 0));
+    ()
+  done;
+  (v.(root), { t with mem = mem' })
+
+(** [run_trace ~dt f trace] — truth value of [f]'s invariant body at every
+    state, computed incrementally. Agrees with
+    [Tl.Eval.series trace (invariant_body f)]. *)
+let run_trace f (trace : Trace.t) : bool array =
+  let t0 = create ~dt:(Trace.dt trace) f in
+  let n = Trace.length trace in
+  let out = Array.make n true in
+  let rec go i t =
+    if i < n then begin
+      let ok, t' = step t (Trace.get trace i) in
+      out.(i) <- ok;
+      go (i + 1) t'
+    end
+  in
+  go 0 t0;
+  out

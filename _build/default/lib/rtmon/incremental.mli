@@ -1,0 +1,41 @@
+(** Pure incremental monitors for the past-time fragment.
+
+    A formula is compiled once into a flat instruction array; the monitor's
+    dynamic state is a plain [int array] of memory slots (booleans as 0/1,
+    counters for the bounded-duration operators). Because the dynamic state
+    is a small comparable vector, the same monitor drives both online
+    monitoring during simulation and the finite product construction of the
+    model checker ({!Mc.Checker}).
+
+    Equivalence with the reference semantics {!Tl.Eval.eval} is established
+    by the property tests in [test/test_rtmon.ml]. *)
+
+open Tl
+
+exception Not_monitorable of string
+(** Raised when the formula contains future operators beneath the top-level
+    □ — goals with ♦ are not realizable nor monitorable (§4.5.3). *)
+
+type t
+(** A monitor: compiled formula plus current memory. Immutable — {!step}
+    returns the successor. *)
+
+val create : dt:float -> Formula.t -> t
+(** Compile a past-time formula. A top-level [Always] is stripped:
+    invariant monitoring checks the body at every state.
+    @raise Not_monitorable if a future operator remains. *)
+
+val mem : t -> int array
+(** The dynamic state alone, for use as a model-checking product component.
+    Treat as opaque and do not mutate. *)
+
+val with_mem : t -> int array -> t
+
+val step : t -> State.t -> bool * t
+(** [step t state] evaluates one state transition, returning the formula's
+    truth value in [state] and the successor monitor. The input monitor is
+    not mutated. *)
+
+val run_trace : Formula.t -> Trace.t -> bool array
+(** Truth value of the formula's invariant body at every state, computed
+    incrementally; agrees with [Tl.Eval.series] on the body. *)

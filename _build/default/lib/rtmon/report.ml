@@ -1,0 +1,88 @@
+(** Hierarchical monitoring reports (§3.4, §5.1.2).
+
+    For each system goal monitored alongside its ICPA-derived subgoals:
+    - a *hit* is a goal violation with at least one corresponding subgoal
+      violation (the subgoals predicted the hazard);
+    - a *false negative* is a goal violation with no corresponding subgoal
+      violation — evidence of residual emergence (the demon [X] of Eq. 3.14);
+    - a *false positive* is a subgoal violation with no corresponding goal
+      violation — restrictive or redundant goal coverage (the angel [Y] of
+      Eq. 3.23), or a masked subsystem defect. *)
+
+type outcome = Hit | False_negative | False_positive
+
+let outcome_to_string = function
+  | Hit -> "hit"
+  | False_negative -> "false negative"
+  | False_positive -> "false positive"
+
+type entry = {
+  goal_name : string;  (** the goal or subgoal violated *)
+  location : string;  (** monitoring location, e.g. "Vehicle", "Arbiter", "CA" *)
+  interval : Violation.interval;
+  outcome : outcome;
+}
+
+type t = {
+  window : float;
+  entries : entry list;
+  hits : int;
+  false_negatives : int;
+  false_positives : int;
+}
+
+(** [classify ~window ~goal ~subgoals] classifies every violation.
+    [goal = (name, location, intervals)]; each subgoal likewise. *)
+let classify ~window ~goal:(gname, gloc, givs)
+    ~(subgoals : (string * string * Violation.interval list) list) : t =
+  let sub_ivs = List.concat_map (fun (_, _, ivs) -> ivs) subgoals in
+  let goal_entries =
+    List.map
+      (fun iv ->
+        let matched =
+          List.exists (fun siv -> Violation.overlap_within ~window iv siv) sub_ivs
+        in
+        {
+          goal_name = gname;
+          location = gloc;
+          interval = iv;
+          outcome = (if matched then Hit else False_negative);
+        })
+      givs
+  in
+  let sub_entries =
+    List.concat_map
+      (fun (sname, sloc, sivs) ->
+        List.map
+          (fun siv ->
+            let matched =
+              List.exists (fun giv -> Violation.overlap_within ~window giv siv) givs
+            in
+            {
+              goal_name = sname;
+              location = sloc;
+              interval = siv;
+              outcome = (if matched then Hit else False_positive);
+            })
+          sivs)
+      subgoals
+  in
+  let entries = goal_entries @ sub_entries in
+  let count o = List.length (List.filter (fun e -> e.outcome = o) entries) in
+  {
+    window;
+    entries;
+    hits = List.length (List.filter (fun e -> e.outcome = Hit) goal_entries);
+    false_negatives = count False_negative;
+    false_positives = count False_positive;
+  }
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%-12s %-48s %a %s" e.location e.goal_name Violation.pp_interval
+    e.interval
+    (outcome_to_string e.outcome)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@,hits=%d false_negatives=%d false_positives=%d@]"
+    (Fmt.list ~sep:Fmt.cut pp_entry)
+    t.entries t.hits t.false_negatives t.false_positives

@@ -1,0 +1,1 @@
+lib/scenarios/defs.ml: List Sim Tl Value Vehicle

@@ -1,0 +1,1 @@
+lib/scenarios/export.ml: Buffer Defs Figures Fmt Fun Kaos List Results Rtmon Runner State String Tl Trace Value Vehicle

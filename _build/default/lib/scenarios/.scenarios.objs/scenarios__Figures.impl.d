@@ -1,0 +1,1 @@
+lib/scenarios/figures.ml: Float Fmt List Runner State String Tl Trace Value Vehicle

@@ -1,0 +1,1 @@
+lib/scenarios/results.ml: Defs Fmt Kaos List Rtmon Runner String Vehicle

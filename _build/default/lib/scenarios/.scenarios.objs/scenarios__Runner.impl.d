@@ -1,0 +1,1 @@
+lib/scenarios/runner.ml: Compose Defs List Rtmon State Tl Trace Vehicle

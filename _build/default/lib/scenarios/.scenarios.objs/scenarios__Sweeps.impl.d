@@ -1,0 +1,1 @@
+lib/scenarios/sweeps.ml: Defs Fmt List Rtmon Runner String Vehicle

@@ -1,0 +1,192 @@
+(** The ten evaluation scenarios of §5.4: "representative of real driver
+    behaviors, both those that the driver is expected to do regularly … and
+    those that the driver might do in error". Each was scheduled for a
+    simulation time of 20 s; runs end early on collision. *)
+
+open Tl
+open Vehicle.Signals
+
+type t = {
+  number : int;
+  title : string;
+  description : string;
+  objects : Vehicle.Plant.objects;
+  events : Sim.Stimulus.event list;
+  duration : float;
+}
+
+let press_pulse t v = [ Sim.Stimulus.press t v; Sim.Stimulus.release (t +. 0.2) v ]
+let enable t f = Sim.Stimulus.press t (enabled f)
+let engage t f = press_pulse t (engage_request f)
+let throttle t x = Sim.Stimulus.set t throttle_pedal (Value.Float x)
+let brake t x = Sim.Stimulus.set t brake_pedal (Value.Float x)
+let reverse t = Sim.Stimulus.set t gear (Value.Sym "R")
+
+let stopped_ahead gap = Vehicle.Plant.stationary_ahead gap
+
+let slow_ahead gap speed =
+  { Vehicle.Plant.lead_start = gap; lead_profile = (fun _ -> speed); rear_start = -1000. }
+
+let stopped_behind gap =
+  { Vehicle.Plant.lead_start = 1000.; lead_profile = (fun _ -> 0.); rear_start = -.gap }
+
+let scenario_1 =
+  {
+    number = 1;
+    title = "CA enabled, ACC enabled, stopped vehicle in path";
+    description =
+      "The host vehicle travels forward from a stop, 20 m behind a stopped \
+       vehicle. ACC is enabled but not engaged; CA is enabled and expected \
+       to perform a hard braking action before a collision occurs.";
+    objects = stopped_ahead 20.;
+    events =
+      [ enable 0. "CA"; enable 0. "ACC"; throttle 0.5 0.3; throttle 4.0 0.0 ];
+    duration = 20.;
+  }
+
+let scenario_2 =
+  {
+    number = 2;
+    title = "CA engaged, ACC enabled, PA enabled, stopped vehicle in path";
+    description =
+      "As scenario 1, but the driver engages PA just after CA begins its \
+       hard braking action. CA is expected to remain in control of vehicle \
+       acceleration and stop the host vehicle; instead the reversed steering \
+       arbitration routes PA's request into the acceleration command.";
+    objects = stopped_ahead 20.;
+    events =
+      [ enable 0. "CA"; enable 0. "ACC"; enable 0. "PA"; throttle 0.5 0.3; throttle 4.0 0.0 ]
+      (* The PA engage instant is calibrated to land just after CA's first
+         hard-brake engagement, while the hard brake is in force. *)
+      @ engage 7.78 "PA";
+    duration = 20.;
+  }
+
+let scenario_3 =
+  {
+    number = 3;
+    title = "CA engaged, ACC enabled, throttle pedal applied, stopped vehicle in path";
+    description =
+      "The driver holds the throttle against CA's braking. CA engages but \
+       its braking is intermittent and the host vehicle hits the parked \
+       vehicle in its path. ACC, merely enabled, sends acceleration requests \
+       controlling toward an uninitialized set speed of 0 m/s.";
+    objects = stopped_ahead 20.;
+    events = [ enable 0. "CA"; enable 0. "ACC"; throttle 0.5 0.3 ];
+    duration = 20.;
+  }
+
+let scenario_4 =
+  {
+    number = 4;
+    title = "Throttle pedal applied, ACC engaged, CA enabled, slow vehicle in path";
+    description =
+      "ACC is engaged while the driver applies the throttle. ACC briefly \
+       takes control of vehicle acceleration, loses it until the driver \
+       releases the pedal, then decelerates and accelerates the vehicle in \
+       a hunting cycle (integrator windup).";
+    objects = slow_ahead 40. 2.0;
+    events =
+      [ enable 0. "CA"; enable 0. "ACC"; throttle 0.5 0.3 ]
+      @ engage 3.0 "ACC"
+      @ [ throttle 12.0 0.0 ];
+    duration = 20.;
+  }
+
+let scenario_5 =
+  {
+    number = 5;
+    title =
+      "Throttle pedal applied, ACC engaged, CA enabled, brake pedal applied, \
+       slow vehicle in path";
+    description =
+      "As scenario 4; after the driver releases the throttle, ACC gains \
+       control 0.101 s later. A later brake application overrides ACC again.";
+    objects = slow_ahead 40. 2.0;
+    events =
+      [ enable 0. "CA"; enable 0. "ACC"; throttle 0.5 0.3 ]
+      @ engage 3.0 "ACC"
+      @ [ throttle 8.0 0.0; brake 10.0 0.3; brake 11.0 0.0 ];
+    duration = 20.;
+  }
+
+let scenario_6 =
+  {
+    number = 6;
+    title =
+      "Throttle pedal applied, ACC engaged, CA enabled, LCA engaged, slow \
+       vehicle in path";
+    description =
+      "LCA is engaged and gains control of acceleration and steering one \
+       state later; its steering request leaves the steering command \
+       unchanged. Gap control behind the slow vehicle drives host speed \
+       negative while LCA and ACC are still active and selected.";
+    objects = slow_ahead 25. 0.4;
+    events =
+      [ enable 0. "CA"; enable 0. "ACC"; enable 0. "LCA"; throttle 0.5 0.3 ]
+      @ engage 3.0 "ACC"
+      @ [ throttle 4.0 0.0 ]
+      @ engage 5.0 "LCA";
+    duration = 20.;
+  }
+
+let scenario_7 =
+  {
+    number = 7;
+    title = "In reverse, RCA enabled, stopped vehicle in path";
+    description =
+      "The host vehicle reverses toward a stopped vehicle behind it. RCA is \
+       enabled but never engages to stop the host vehicle.";
+    objects = stopped_behind 15.;
+    events = [ reverse 0.; enable 0. "RCA"; throttle 1.0 0.3; throttle 6.0 0.0 ];
+    duration = 20.;
+  }
+
+let scenario_8 =
+  {
+    number = 8;
+    title = "In reverse, ACC engaged, stopped vehicle in path";
+    description =
+      "The driver reverses, releases the pedals, and engages ACC at 2.0 s. \
+       ACC activates despite the reverse gear and is selected as the source \
+       of the acceleration command at 2.05 s.";
+    objects = stopped_behind 25.;
+    events =
+      [ reverse 0.; enable 0. "ACC"; throttle 0.5 0.3; throttle 1.5 0.0 ]
+      @ engage 2.0 "ACC";
+    duration = 20.;
+  }
+
+let scenario_9 =
+  {
+    number = 9;
+    title = "Stopped, PA engaged, stopped vehicle in path";
+    description =
+      "From a standstill the driver engages PA. PA is selected as the source \
+       of the acceleration command, but the command does not equal PA's \
+       acceleration request.";
+    objects = stopped_ahead 10.;
+    events = [ enable 0. "PA" ] @ engage 2.0 "PA";
+    duration = 20.;
+  }
+
+let scenario_10 =
+  {
+    number = 10;
+    title = "Stopped, ACC engaged, stopped vehicle in path";
+    description =
+      "The driver attempts to engage ACC from a standstill at 4.0 s. ACC does not \
+       become active, nor is it selected to control steering. The vehicle, \
+       however, does begin to accelerate.";
+    objects = stopped_ahead 15.;
+    events = [ enable 0. "ACC" ] @ engage 4.0 "ACC";
+    duration = 20.;
+  }
+
+let all =
+  [
+    scenario_1; scenario_2; scenario_3; scenario_4; scenario_5; scenario_6;
+    scenario_7; scenario_8; scenario_9; scenario_10;
+  ]
+
+let get n = List.find (fun s -> s.number = n) all

@@ -1,0 +1,80 @@
+(** Rendering of the Appendix D violation tables (Tables D.1–D.11): for each
+    scenario, every goal and subgoal violation with its monitoring location,
+    start time, duration and hit / false-positive / false-negative
+    classification. *)
+
+
+let classification_of (o : Runner.outcome) (r : Vehicle.Monitors.result) iv =
+  let report = List.assoc r.Vehicle.Monitors.entry.Vehicle.Monitors.parent o.Runner.reports in
+  let matches (e : Rtmon.Report.entry) =
+    e.Rtmon.Report.goal_name = r.Vehicle.Monitors.entry.Vehicle.Monitors.goal.Kaos.Goal.name
+    && e.Rtmon.Report.interval.Rtmon.Violation.start_index = iv.Rtmon.Violation.start_index
+  in
+  match List.find_opt matches report.Rtmon.Report.entries with
+  | Some e -> Rtmon.Report.outcome_to_string e.Rtmon.Report.outcome
+  | None -> "?"
+
+let pp_table ppf (o : Runner.outcome) =
+  let s = o.Runner.scenario in
+  Fmt.pf ppf "@[<v>Table D.%d — Goal and subgoal violations for Scenario %d@,"
+    s.Defs.number s.Defs.number;
+  Fmt.pf ppf "%s@," s.Defs.title;
+  Fmt.pf ppf "(simulation ended at %.3f s%s)@,@," o.Runner.end_time
+    (if o.Runner.collided then ", early termination: collision" else "");
+  Fmt.pf ppf "%-10s %-52s %-10s %-10s %-9s %s@," "Location" "Goal/Subgoal" "Id" "Start (s)"
+    "Dur (ms)" "Class";
+  Fmt.pf ppf "%s@," (String.make 110 '-');
+  let rows = Runner.violations o in
+  if rows = [] then Fmt.pf ppf "(no violations detected)@,"
+  else
+    List.iter
+      (fun (r : Vehicle.Monitors.result) ->
+        List.iter
+          (fun iv ->
+            Fmt.pf ppf "%-10s %-52s %-10s %-10.3f %-9.0f %s@,"
+              (Vehicle.Monitors.location_to_string
+                 r.Vehicle.Monitors.entry.Vehicle.Monitors.location)
+              r.Vehicle.Monitors.entry.Vehicle.Monitors.goal.Kaos.Goal.name
+              r.Vehicle.Monitors.entry.Vehicle.Monitors.id iv.Rtmon.Violation.start_time
+              (iv.Rtmon.Violation.duration *. 1000.)
+              (classification_of o r iv))
+          r.Vehicle.Monitors.violations)
+      rows;
+  let hits = List.fold_left (fun acc (_, (r : Rtmon.Report.t)) -> acc + r.Rtmon.Report.hits) 0 o.Runner.reports in
+  let fns =
+    List.fold_left
+      (fun acc (_, (r : Rtmon.Report.t)) -> acc + r.Rtmon.Report.false_negatives)
+      0 o.Runner.reports
+  in
+  let fps =
+    List.fold_left
+      (fun acc (_, (r : Rtmon.Report.t)) -> acc + r.Rtmon.Report.false_positives)
+      0 o.Runner.reports
+  in
+  Fmt.pf ppf "@,hits=%d  false negatives=%d  false positives=%d@]@." hits fns fps
+
+(** Summary across all scenarios: the evidence table for §5.5/§6.2. *)
+let pp_summary ppf (outcomes : Runner.outcome list) =
+  Fmt.pf ppf "@[<v>%-4s %-10s %-8s %-6s %-6s %-6s %s@," "Sc." "End (s)" "Collide" "Hits"
+    "FN" "FP" "Goal violations";
+  Fmt.pf ppf "%s@," (String.make 80 '-');
+  List.iter
+    (fun (o : Runner.outcome) ->
+      let sum f = List.fold_left (fun acc (_, r) -> acc + f r) 0 o.Runner.reports in
+      let goal_violations =
+        List.filter
+          (fun (r : Vehicle.Monitors.result) ->
+            r.Vehicle.Monitors.entry.Vehicle.Monitors.location = Vehicle.Monitors.Vehicle
+            && r.Vehicle.Monitors.violations <> [])
+          o.Runner.results
+        |> List.map (fun (r : Vehicle.Monitors.result) ->
+               r.Vehicle.Monitors.entry.Vehicle.Monitors.id)
+      in
+      Fmt.pf ppf "%-4d %-10.3f %-8b %-6d %-6d %-6d %s@," o.Runner.scenario.Defs.number
+        o.Runner.end_time o.Runner.collided
+        (sum (fun r -> r.Rtmon.Report.hits))
+        (sum (fun r -> r.Rtmon.Report.false_negatives))
+        (sum (fun r -> r.Rtmon.Report.false_positives))
+        (String.concat "," goal_violations))
+    outcomes;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,46 @@
+(** Scenario execution: simulate, monitor all goals and subgoals
+    (Table 5.3), and classify the violations (§5.1.2). *)
+
+open Tl
+
+type outcome = {
+  scenario : Defs.t;
+  trace : Trace.t;
+  results : Vehicle.Monitors.result list;
+  reports : (int * Rtmon.Report.t) list;  (** per parent goal 1–9 *)
+  collided : bool;
+  end_time : float;
+}
+
+let run ?(defects = Vehicle.Defects.as_evaluated) ?timing ?dynamics ?window (s : Defs.t)
+    : outcome =
+  let trace =
+    Vehicle.System.run ~defects ?timing ?dynamics ~duration:s.Defs.duration
+      ~objects:s.Defs.objects ~events:s.Defs.events ()
+  in
+  let results = Vehicle.Monitors.run trace in
+  let reports =
+    List.map
+      (fun n -> (n, Vehicle.Monitors.classify ?window results n))
+      (List.init 9 (fun i -> i + 1))
+  in
+  let last = Trace.get trace (Trace.length trace - 1) in
+  {
+    scenario = s;
+    trace;
+    results;
+    reports;
+    collided = State.bool last Vehicle.Signals.collision;
+    end_time = Trace.time trace (Trace.length trace - 1);
+  }
+
+let run_all ?defects () = List.map (run ?defects) Defs.all
+
+(** Violating monitor entries only, for the Appendix D tables. *)
+let violations (o : outcome) =
+  List.filter (fun r -> r.Vehicle.Monitors.violations <> []) o.results
+
+(** Aggregate composability estimate over a set of outcomes (§3.4). *)
+let estimate (outcomes : outcome list) =
+  Compose.Runtime.of_reports
+    (List.concat_map (fun o -> List.map snd o.reports) outcomes)

@@ -1,0 +1,1 @@
+lib/sim/stimulus.ml: Component Float List Tl Value

@@ -1,0 +1,1 @@
+lib/sim/world.ml: Component Float Fmt Hashtbl List State Tl Trace

@@ -1,0 +1,31 @@
+(** Scripted stimuli: driver and environment inputs for evaluation
+    scenarios, expressed as timed set-events on input variables. *)
+
+open Tl
+
+type event = { at : float; var : string; value : Value.t }
+
+let set at var value = { at; var; value }
+let press at var = { at; var; value = Value.Bool true }
+let release at var = { at; var; value = Value.Bool false }
+
+(** [component ~name ~init events] — a component that owns the scripted
+    variables: each variable takes its initial value until an event fires,
+    then holds the event value (later events override earlier ones). Events
+    need not be sorted. *)
+let component ~name ~init events : Component.t =
+  let events = List.stable_sort (fun a b -> Float.compare a.at b.at) events in
+  let pending = ref events in
+  Component.make ~name ~outputs:init (fun ctx ->
+      let fired, rest =
+        List.partition (fun e -> e.at <= ctx.Component.now +. 1e-12) !pending
+      in
+      pending := rest;
+      List.map (fun e -> (e.var, e.value)) fired)
+
+(** A float signal driven by a function of time (e.g. a lead vehicle's
+    scripted speed profile). *)
+let signal ~name ~var f : Component.t =
+  Component.make ~name
+    ~outputs:[ (var, Value.Float (f 0.)) ]
+    (fun ctx -> [ (var, Value.Float (f ctx.Component.now)) ])

@@ -1,0 +1,67 @@
+(** The simulation kernel: synchronous, discrete-time, double-buffered.
+
+    At each tick every component reads the snapshot of tick [i−1] and writes
+    its outputs into the snapshot of tick [i]; variables not written keep
+    their previous values. The recorded trace therefore has exactly the
+    one-state observation delay assumed by the thesis's goal semantics. *)
+
+open Tl
+
+exception Conflict of string
+(** Two components declare direct control of the same variable. The thesis
+    relaxes KAOS's strict single-controller rule (§4.2), so conflicts are
+    only rejected when [check_conflicts] is requested. *)
+
+type t = { dt : float; components : Component.t list; initial : State.t }
+
+let make ?(check_conflicts = true) ?(extra_init = []) ~dt components =
+  if check_conflicts then begin
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun c ->
+        List.iter
+          (fun v ->
+            match Hashtbl.find_opt seen v with
+            | Some other ->
+                raise
+                  (Conflict
+                     (Fmt.str "variable %s controlled by both %s and %s" v other
+                        c.Component.name))
+            | None -> Hashtbl.add seen v c.Component.name)
+          (Component.controlled c))
+      components
+  end;
+  let initial =
+    State.of_list
+      (extra_init @ List.concat_map (fun c -> c.Component.outputs) components)
+  in
+  { dt; components; initial }
+
+(** [step world now prev] — compute the snapshot at time [now] from the
+    previous snapshot. *)
+let step world now prev =
+  let ctx = { Component.now; dt = world.dt; state = prev } in
+  List.fold_left
+    (fun next c -> State.update (c.Component.step ctx) next)
+    prev world.components
+
+(** [run world ~until ?stop ()] — simulate from time 0 to [until] seconds,
+    recording every snapshot (the initial state is state 0 at time 0).
+    [stop] terminates the run early when it returns true on a freshly
+    computed snapshot (the thesis's runs end early on collision); the
+    terminating snapshot is included. *)
+let run ?stop ~until world : Trace.t =
+  let n_max = int_of_float (Float.ceil (until /. world.dt)) in
+  let buf = ref [ world.initial ] in
+  let rec go i prev =
+    if i > n_max then ()
+    else
+      let now = float_of_int i *. world.dt in
+      let next = step world now prev in
+      buf := next :: !buf;
+      match stop with
+      | Some f when f next -> ()
+      | _ -> go (i + 1) next
+  in
+  go 1 world.initial;
+  Trace.make ~dt:world.dt (List.rev !buf)

@@ -1,0 +1,34 @@
+(** The simulation kernel: synchronous, discrete-time, double-buffered.
+
+    At each tick every component reads the snapshot of tick [i−1] and
+    writes its outputs into the snapshot of tick [i]; variables not written
+    keep their previous values. The recorded trace therefore has exactly
+    the one-state observation delay assumed by the thesis's goal
+    semantics. *)
+
+open Tl
+
+exception Conflict of string
+(** Two components declare direct control of the same variable. The thesis
+    relaxes KAOS's strict single-controller rule (§4.2), so conflicts are
+    only rejected when [check_conflicts] is true (the default). *)
+
+type t
+
+val make :
+  ?check_conflicts:bool ->
+  ?extra_init:(string * Value.t) list ->
+  dt:float ->
+  Component.t list ->
+  t
+(** @raise Conflict per [check_conflicts]. *)
+
+val step : t -> float -> State.t -> State.t
+(** [step world now prev] — the snapshot at time [now] from the previous
+    snapshot. *)
+
+val run : ?stop:(State.t -> bool) -> until:float -> t -> Trace.t
+(** Simulate from time 0 to [until] seconds, recording every snapshot (the
+    initial state is state 0 at time 0). [stop] terminates the run early
+    when it returns true on a freshly computed snapshot (the thesis's runs
+    end early on collision); the terminating snapshot is included. *)

@@ -1,0 +1,1 @@
+lib/tl/eval.ml: Array Formula State Term Trace Value

@@ -1,0 +1,1 @@
+lib/tl/eval.mli: Formula State Trace

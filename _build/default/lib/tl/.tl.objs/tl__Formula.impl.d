@@ -1,0 +1,1 @@
+lib/tl/formula.ml: Fmt Hashtbl List Term

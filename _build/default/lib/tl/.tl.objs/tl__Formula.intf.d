@@ -1,0 +1,1 @@
+lib/tl/formula.mli: Format Term

@@ -1,0 +1,1 @@
+lib/tl/parser.ml: Fmt Formula List String Term

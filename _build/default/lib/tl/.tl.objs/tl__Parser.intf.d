@@ -1,0 +1,1 @@
+lib/tl/parser.mli: Formula

@@ -1,0 +1,1 @@
+lib/tl/state.ml: Bool Float Fmt Int List Map String Value

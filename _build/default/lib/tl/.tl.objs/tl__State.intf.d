@@ -1,0 +1,1 @@
+lib/tl/state.mli: Format Value

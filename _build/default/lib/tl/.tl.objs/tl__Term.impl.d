@@ -1,0 +1,1 @@
+lib/tl/term.ml: Float Fmt State Value

@@ -1,0 +1,1 @@
+lib/tl/term.mli: Format State Value

@@ -1,0 +1,1 @@
+lib/tl/trace.ml: Array Float State Value

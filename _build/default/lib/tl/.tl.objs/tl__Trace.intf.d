@@ -1,0 +1,1 @@
+lib/tl/trace.mli: State

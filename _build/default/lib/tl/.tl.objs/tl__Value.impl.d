@@ -1,0 +1,1 @@
+lib/tl/value.ml: Float Fmt String

@@ -1,0 +1,1 @@
+lib/tl/value.mli: Format

@@ -1,0 +1,69 @@
+(** Reference (non-incremental) semantics of formulas over finite traces.
+
+    This is the specification against which {!Rtmon.Incremental} is
+    property-tested. Future operators use finite-trace semantics: [Always]
+    quantifies over the remaining suffix, [Eventually] requires a witness
+    within the trace, [Next] is false in the last state. *)
+
+let eval_atom (s : State.t) = function
+  | Formula.Bvar v -> State.bool s v
+  | Formula.Eq (a, b) -> Value.equal (Term.eval s a) (Term.eval s b)
+  | Formula.Ne (a, b) -> not (Value.equal (Term.eval s a) (Term.eval s b))
+  | Formula.Lt (a, b) -> Value.compare_num (Term.eval s a) (Term.eval s b) < 0
+  | Formula.Le (a, b) -> Value.compare_num (Term.eval s a) (Term.eval s b) <= 0
+  | Formula.Gt (a, b) -> Value.compare_num (Term.eval s a) (Term.eval s b) > 0
+  | Formula.Ge (a, b) -> Value.compare_num (Term.eval s a) (Term.eval s b) >= 0
+
+(** [eval trace i f] — truth of [f] at state index [i] of [trace]. *)
+let rec eval (tr : Trace.t) i (f : Formula.t) =
+  let n = Trace.length tr in
+  if i < 0 || i >= n then invalid_arg "Eval.eval: index out of range";
+  match f with
+  | True -> true
+  | False -> false
+  | Atom a -> eval_atom (Trace.get tr i) a
+  | Not g -> not (eval tr i g)
+  | And (a, b) -> eval tr i a && eval tr i b
+  | Or (a, b) -> eval tr i a || eval tr i b
+  | Implies (a, b) -> (not (eval tr i a)) || eval tr i b
+  | Iff (a, b) -> eval tr i a = eval tr i b
+  | Prev g -> i > 0 && eval tr (i - 1) g
+  | Once g ->
+      let rec go j = j >= 0 && (eval tr j g || go (j - 1)) in
+      go (i - 1)
+  | Hist g ->
+      let rec go j = j < 0 || (eval tr j g && go (j - 1)) in
+      go (i - 1)
+  | PrevFor (d, g) ->
+      (* g held in every one of the k states preceding i; false when fewer
+         than k states of history exist. *)
+      let k = Trace.duration_to_states ~dt:(Trace.dt tr) d in
+      i >= k
+      &&
+      let rec go j = j >= i || (eval tr j g && go (j + 1)) in
+      go (i - k)
+  | OnceWithin (d, g) ->
+      let k = Trace.duration_to_states ~dt:(Trace.dt tr) d in
+      let lo = max 0 (i - k) in
+      let rec go j = j < i && (eval tr j g || go (j + 1)) in
+      i > 0 && go lo
+  | Rose g ->
+      (* @g = ●¬g ∧ g: false in the initial state, where ●¬g has no witness. *)
+      eval tr i g && i > 0 && not (eval tr (i - 1) g)
+  | Next g -> i + 1 < n && eval tr (i + 1) g
+  | Eventually g ->
+      let rec go j = j < n && (eval tr j g || go (j + 1)) in
+      go i
+  | Always g ->
+      let rec go j = j >= n || (eval tr j g && go (j + 1)) in
+      go i
+
+(** [holds trace f] — [f] holds in the initial state (the standard notion of
+    a trace satisfying a goal whose outermost operator is □). *)
+let holds tr f = Trace.length tr > 0 && eval tr 0 f
+
+(** [series trace f] — truth value of [f] at every state. For a goal
+    [P ⇒ Q] (i.e. □(P → Q)), use [series trace body] with the
+    {!Formula.invariant_body} to obtain the per-state satisfaction used for
+    violation reporting. *)
+let series tr f = Array.init (Trace.length tr) (fun i -> eval tr i f)

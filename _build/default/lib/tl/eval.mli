@@ -1,0 +1,21 @@
+(** Reference (non-incremental) semantics of formulas over finite traces.
+
+    This is the specification against which {!Rtmon.Incremental} is
+    property-tested. Future operators use finite-trace semantics: [Always]
+    quantifies over the remaining suffix, [Eventually] requires a witness
+    within the trace, [Next] is false in the last state. *)
+
+val eval_atom : State.t -> Formula.atom -> bool
+
+val eval : Trace.t -> int -> Formula.t -> bool
+(** [eval trace i f] — truth of [f] at state index [i].
+    @raise Invalid_argument when [i] is out of range. *)
+
+val holds : Trace.t -> Formula.t -> bool
+(** [holds trace f] — [f] holds in the initial state (the standard notion
+    of a trace satisfying a goal whose outermost operator is □). *)
+
+val series : Trace.t -> Formula.t -> bool array
+(** Truth value of [f] at every state. For a goal [P ⇒ Q], use the
+    {!Formula.invariant_body} to obtain the per-state satisfaction used for
+    violation reporting. *)

@@ -1,0 +1,270 @@
+(** Temporal-logic formulas over system state (Fig. 2.5 of the thesis).
+
+    The operator set follows the thesis's KAOS-derived logic:
+
+    - past: [Prev] (●P, true in previous state), [Once] (true in some previous
+      state), [Hist] (true in all previous states), [PrevFor (T, p)]
+      (●ⁿ<T — P held for duration T up to and including the previous state),
+      [OnceWithin (T, p)] (◆<T — P true at least once in duration T before the
+      current state), and the edge operator [Rose p] (@P ≜ ●¬P ∧ P);
+    - future: [Next] (○), [Eventually] (♦), [Always] (□);
+    - connectives: [Not], [And], [Or], [Implies] (current-state →), [Iff];
+      the thesis's entailment P ⇒ Q ≜ □(P → Q) is the derived
+      {!val:entails}.
+
+    Durations are in seconds; the trace's [dt] determines how many discrete
+    states a duration spans. *)
+
+type atom =
+  | Bvar of string  (** boolean state variable used as a proposition *)
+  | Eq of Term.t * Term.t
+  | Ne of Term.t * Term.t
+  | Lt of Term.t * Term.t
+  | Le of Term.t * Term.t
+  | Gt of Term.t * Term.t
+  | Ge of Term.t * Term.t
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Prev of t
+  | Once of t
+  | Hist of t
+  | PrevFor of float * t
+  | OnceWithin of float * t
+  | Rose of t
+  | Next of t
+  | Eventually of t
+  | Always of t
+
+(* Smart constructors — the DSL used throughout goal definitions. *)
+
+let tt = True
+let ff = False
+let bvar v = Atom (Bvar v)
+let eq a b = Atom (Eq (a, b))
+let ne a b = Atom (Ne (a, b))
+let lt a b = Atom (Lt (a, b))
+let le a b = Atom (Le (a, b))
+let gt a b = Atom (Gt (a, b))
+let ge a b = Atom (Ge (a, b))
+
+(** [var_is v s] — symbolic variable [v] currently equals symbol [s]. *)
+let var_is v s = eq (Term.var v) (Term.sym s)
+
+let not_ = function Not f -> f | True -> False | False -> True | f -> Not f
+
+let and_ a b =
+  match (a, b) with
+  | True, f | f, True -> f
+  | False, _ | _, False -> False
+  | _ -> And (a, b)
+
+let or_ a b =
+  match (a, b) with
+  | False, f | f, False -> f
+  | True, _ | _, True -> True
+  | _ -> Or (a, b)
+
+let implies a b = Implies (a, b)
+let iff a b = Iff (a, b)
+let conj = function [] -> True | f :: fs -> List.fold_left and_ f fs
+let disj = function [] -> False | f :: fs -> List.fold_left or_ f fs
+let prev f = Prev f
+let once f = Once f
+let hist f = Hist f
+let prev_for t f = PrevFor (t, f)
+let once_within t f = OnceWithin (t, f)
+let rose f = Rose f
+let next f = Next f
+let eventually f = Eventually f
+let always f = Always f
+
+(** The thesis's entailment P ⇒ Q, i.e. □(P → Q). *)
+let entails p q = Always (Implies (p, q))
+
+(** [initially f] — [f] constrained to the initial state only (the thesis's
+    [S₀ ⊨ f]). Encoded as [¬●true → f]: only the initial state lacks a
+    predecessor. Use under a top-level □. *)
+let initially f = Implies (Not (Prev True), f)
+
+let atom_vars = function
+  | Bvar v -> [ v ]
+  | Eq (a, b) | Ne (a, b) | Lt (a, b) | Le (a, b) | Gt (a, b) | Ge (a, b) ->
+      Term.vars a @ Term.vars b
+
+let dedup xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else (
+        Hashtbl.add seen x ();
+        true))
+    xs
+
+(** All state variables mentioned by a formula (no duplicates). *)
+let rec vars_list = function
+  | True | False -> []
+  | Atom a -> atom_vars a
+  | Not f | Prev f | Once f | Hist f | Rose f | Next f | Eventually f | Always f ->
+      vars_list f
+  | PrevFor (_, f) | OnceWithin (_, f) -> vars_list f
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) -> vars_list a @ vars_list b
+
+let vars f = dedup (vars_list f)
+
+(** Temporal reference of a variable occurrence, used by the realizability
+    analysis: does the formula constrain the variable's present, past or
+    future value? *)
+type time_ref = Past | Present | Future
+
+let shift_ref outer inner =
+  (* Composition of temporal contexts: a Past context containing a Present
+     occurrence yields Past; Future wins over Past conservatively (a future
+     operator inside a past one still references states after the anchor of
+     the past operator, so we keep Future). *)
+  match (outer, inner) with
+  | Present, r -> r
+  | _, Future | Future, _ -> Future
+  | Past, (Past | Present) -> Past
+
+(** [var_refs f] lists each variable together with every temporal context in
+    which it occurs. *)
+let var_refs f =
+  let rec go ctx acc = function
+    | True | False -> acc
+    | Atom a -> List.fold_left (fun acc v -> (v, ctx) :: acc) acc (atom_vars a)
+    | Not g -> go ctx acc g
+    | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) -> go ctx (go ctx acc a) b
+    | Prev g | Once g | Hist g | PrevFor (_, g) | OnceWithin (_, g) ->
+        go (shift_ref ctx Past) acc g
+    | Rose g ->
+        (* @g = ●¬g ∧ g references both previous and current state. *)
+        go (shift_ref ctx Past) (go ctx acc g) g
+    | Next g | Eventually g | Always g -> go (shift_ref ctx Future) acc g
+  in
+  go Present [] f
+
+(** A formula is monitorable online iff it contains no future operator.
+    A top-level [Always] wrapper is allowed: invariant monitoring checks the
+    body at every state. *)
+let rec has_future = function
+  | True | False | Atom _ -> false
+  | Not f | Prev f | Once f | Hist f | Rose f | PrevFor (_, f) | OnceWithin (_, f) ->
+      has_future f
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) -> has_future a || has_future b
+  | Next _ | Eventually _ | Always _ -> true
+
+(** [invariant_body f] strips a top-level □ (possibly introduced by
+    {!entails}); returns [None] when the remaining body still contains future
+    operators and thus cannot be monitored online. *)
+let invariant_body f =
+  let body = match f with Always g -> g | g -> g in
+  if has_future body then None else Some body
+
+(** [rename ren f] renames every state variable through [ren]. *)
+let rec rename ren =
+  let ratom = function
+    | Bvar v -> Bvar (ren v)
+    | Eq (a, b) -> Eq (Term.rename ren a, Term.rename ren b)
+    | Ne (a, b) -> Ne (Term.rename ren a, Term.rename ren b)
+    | Lt (a, b) -> Lt (Term.rename ren a, Term.rename ren b)
+    | Le (a, b) -> Le (Term.rename ren a, Term.rename ren b)
+    | Gt (a, b) -> Gt (Term.rename ren a, Term.rename ren b)
+    | Ge (a, b) -> Ge (Term.rename ren a, Term.rename ren b)
+  in
+  function
+  | True -> True
+  | False -> False
+  | Atom a -> Atom (ratom a)
+  | Not f -> Not (rename ren f)
+  | And (a, b) -> And (rename ren a, rename ren b)
+  | Or (a, b) -> Or (rename ren a, rename ren b)
+  | Implies (a, b) -> Implies (rename ren a, rename ren b)
+  | Iff (a, b) -> Iff (rename ren a, rename ren b)
+  | Prev f -> Prev (rename ren f)
+  | Once f -> Once (rename ren f)
+  | Hist f -> Hist (rename ren f)
+  | PrevFor (t, f) -> PrevFor (t, rename ren f)
+  | OnceWithin (t, f) -> OnceWithin (t, rename ren f)
+  | Rose f -> Rose (rename ren f)
+  | Next f -> Next (rename ren f)
+  | Eventually f -> Eventually (rename ren f)
+  | Always f -> Always (rename ren f)
+
+(** [subst old_ replacement f] replaces each occurrence of subformula [old_]
+    by [replacement] (used by elaboration tactics such as introduce
+    accuracy/actuation, which substitute an equivalent variable). *)
+let rec subst old_ replacement f =
+  if f = old_ then replacement
+  else
+    let s = subst old_ replacement in
+    match f with
+    | True | False | Atom _ -> f
+    | Not g -> Not (s g)
+    | And (a, b) -> And (s a, s b)
+    | Or (a, b) -> Or (s a, s b)
+    | Implies (a, b) -> Implies (s a, s b)
+    | Iff (a, b) -> Iff (s a, s b)
+    | Prev g -> Prev (s g)
+    | Once g -> Once (s g)
+    | Hist g -> Hist (s g)
+    | PrevFor (t, g) -> PrevFor (t, s g)
+    | OnceWithin (t, g) -> OnceWithin (t, s g)
+    | Rose g -> Rose (s g)
+    | Next g -> Next (s g)
+    | Eventually g -> Eventually (s g)
+    | Always g -> Always (s g)
+
+(** Structural size, used as a complexity measure in benches and tests. *)
+let rec size = function
+  | True | False | Atom _ -> 1
+  | Not f | Prev f | Once f | Hist f | Rose f | Next f | Eventually f | Always f ->
+      1 + size f
+  | PrevFor (_, f) | OnceWithin (_, f) -> 1 + size f
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) -> 1 + size a + size b
+
+let pp_atom ppf = function
+  | Bvar v -> Fmt.string ppf v
+  | Eq (a, b) -> Fmt.pf ppf "%a = %a" Term.pp a Term.pp b
+  | Ne (a, b) -> Fmt.pf ppf "%a ≠ %a" Term.pp a Term.pp b
+  | Lt (a, b) -> Fmt.pf ppf "%a < %a" Term.pp a Term.pp b
+  | Le (a, b) -> Fmt.pf ppf "%a ≤ %a" Term.pp a Term.pp b
+  | Gt (a, b) -> Fmt.pf ppf "%a > %a" Term.pp a Term.pp b
+  | Ge (a, b) -> Fmt.pf ppf "%a ≥ %a" Term.pp a Term.pp b
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Atom a -> pp_atom ppf a
+  | Not f -> Fmt.pf ppf "¬%a" pp_paren f
+  | And (a, b) -> Fmt.pf ppf "%a ∧ %a" pp_paren a pp_paren b
+  | Or (a, b) -> Fmt.pf ppf "%a ∨ %a" pp_paren a pp_paren b
+  | Implies (a, b) -> Fmt.pf ppf "%a → %a" pp_paren a pp_paren b
+  | Iff (a, b) -> Fmt.pf ppf "%a ⇔ %a" pp_paren a pp_paren b
+  | Prev f -> Fmt.pf ppf "●%a" pp_paren f
+  | Once f -> Fmt.pf ppf "◆%a" pp_paren f
+  | Hist f -> Fmt.pf ppf "■%a" pp_paren f
+  | PrevFor (t, f) -> Fmt.pf ppf "●[<%gs]%a" t pp_paren f
+  | OnceWithin (t, f) -> Fmt.pf ppf "◆[<%gs]%a" t pp_paren f
+  | Rose f -> Fmt.pf ppf "@%a" pp_paren f
+  | Next f -> Fmt.pf ppf "○%a" pp_paren f
+  | Eventually f -> Fmt.pf ppf "♦%a" pp_paren f
+  | Always (Implies (a, b)) -> Fmt.pf ppf "%a ⇒ %a" pp_paren a pp_paren b
+  | Always f -> Fmt.pf ppf "□%a" pp_paren f
+
+and pp_paren ppf f =
+  match f with
+  | True | False | Atom _ | Not _ | Prev _ | Once _ | Hist _ | Rose _ | Next _
+  | Eventually _ | PrevFor _ | OnceWithin _ ->
+      pp ppf f
+  | _ -> Fmt.pf ppf "(%a)" pp f
+
+let to_string f = Fmt.str "%a" pp f

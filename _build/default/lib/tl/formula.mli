@@ -1,0 +1,138 @@
+(** Temporal-logic formulas over system state (Fig. 2.5 of the thesis).
+
+    The operator set follows the thesis's KAOS-derived logic:
+
+    - past: [Prev] (●P, true in previous state), [Once] (◆P, true in some
+      previous state), [Hist] (■P, true in all previous states),
+      [PrevFor (T, p)] (●ⁿ<T — P held for duration T up to and including
+      the previous state), [OnceWithin (T, p)] (◆<T — P true at least once
+      within duration T before the current state), and the edge operator
+      [Rose p] (@P ≜ ●¬P ∧ P);
+    - future: [Next] (○), [Eventually] (♦), [Always] (□);
+    - connectives: [Not], [And], [Or], [Implies] (current-state →), [Iff];
+      the thesis's entailment P ⇒ Q ≜ □(P → Q) is the derived
+      {!val:entails}.
+
+    Durations are in seconds; a trace's [dt] determines how many discrete
+    states a duration spans. *)
+
+type atom =
+  | Bvar of string  (** boolean state variable used as a proposition *)
+  | Eq of Term.t * Term.t
+  | Ne of Term.t * Term.t
+  | Lt of Term.t * Term.t
+  | Le of Term.t * Term.t
+  | Gt of Term.t * Term.t
+  | Ge of Term.t * Term.t
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Prev of t
+  | Once of t
+  | Hist of t
+  | PrevFor of float * t
+  | OnceWithin of float * t
+  | Rose of t
+  | Next of t
+  | Eventually of t
+  | Always of t
+
+(** {1 Smart constructors — the DSL used throughout goal definitions} *)
+
+val tt : t
+val ff : t
+val bvar : string -> t
+val eq : Term.t -> Term.t -> t
+val ne : Term.t -> Term.t -> t
+val lt : Term.t -> Term.t -> t
+val le : Term.t -> Term.t -> t
+val gt : Term.t -> Term.t -> t
+val ge : Term.t -> Term.t -> t
+
+val var_is : string -> string -> t
+(** [var_is v s] — symbolic variable [v] currently equals symbol [s]. *)
+
+val not_ : t -> t
+(** Negation, simplifying double negation and constants. *)
+
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val implies : t -> t -> t
+val iff : t -> t -> t
+val conj : t list -> t
+val disj : t list -> t
+val prev : t -> t
+val once : t -> t
+val hist : t -> t
+val prev_for : float -> t -> t
+val once_within : float -> t -> t
+val rose : t -> t
+val next : t -> t
+val eventually : t -> t
+val always : t -> t
+
+val entails : t -> t -> t
+(** The thesis's entailment P ⇒ Q, i.e. □(P → Q). *)
+
+val initially : t -> t
+(** [initially f] — [f] constrained to the initial state only (the thesis's
+    [S₀ ⊨ f]). Encoded as [¬●true → f]: only the initial state lacks a
+    predecessor. Use under a top-level □. *)
+
+(** {1 Analysis} *)
+
+val atom_vars : atom -> string list
+
+val dedup : string list -> string list
+(** Order-preserving deduplication (first occurrence wins). *)
+
+val vars_list : t -> string list
+(** All state variables, in occurrence order, with duplicates. *)
+
+val vars : t -> string list
+(** All state variables, deduplicated. *)
+
+(** Temporal reference of a variable occurrence, used by the realizability
+    analysis: does the formula constrain the variable's present, past or
+    future value? *)
+type time_ref = Past | Present | Future
+
+val var_refs : t -> (string * time_ref) list
+(** Each variable paired with every temporal context in which it occurs. *)
+
+val has_future : t -> bool
+(** True iff the formula contains a future operator (○, ♦, □). *)
+
+val invariant_body : t -> t option
+(** Strip a top-level □ (possibly introduced by {!entails}); [None] when the
+    remaining body still contains future operators and thus cannot be
+    monitored online. *)
+
+(** {1 Transformation} *)
+
+val rename : (string -> string) -> t -> t
+(** Rename every state variable. *)
+
+val subst : t -> t -> t -> t
+(** [subst old_ replacement f] replaces each occurrence of subformula
+    [old_] by [replacement] (used by elaboration tactics that substitute an
+    equivalent variable). *)
+
+val size : t -> int
+(** Structural size, used as a complexity measure in benches and tests. *)
+
+(** {1 Printing}
+
+    The printed form round-trips through {!Parser.parse} (modulo float
+    precision; see the parser's documentation). *)
+
+val pp_atom : Format.formatter -> atom -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

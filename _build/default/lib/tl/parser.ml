@@ -1,0 +1,439 @@
+(** A parser for the thesis's textual goal syntax, so formal definitions can
+    be written (and round-tripped) the way the thesis prints them:
+
+    {v
+    ObjectInPath => StopVehicle
+    prev(dc) & prev(dmc = 'CLOSE') -> dc
+    holds[<0.3](dmc = 'CLOSE' & !db) => dc
+    always(va.value <= 2 | !IsSubsystem)
+    v}
+
+    Grammar (precedence low → high):
+    {v
+    formula  ::= iff
+    iff      ::= entail ( '<=>' entail )*
+    entail   ::= imply ( '=>' imply )*            (* P => Q  ≡  always(P -> Q) *)
+    imply    ::= or ( '->' or )*                  (* right associative *)
+    or       ::= and ( '|' and )*
+    and      ::= unary ( '&' unary )*
+    unary    ::= '!' unary | temporal | atom
+    temporal ::= ('prev'|'once'|'hist'|'next'|'eventually'|'always'|'rose')
+                   '(' formula ')'
+               | ('holds'|'within') '[' '<' NUMBER ']' '(' formula ')'
+    atom     ::= 'true' | 'false' | '(' formula ')'
+               | term (('='|'!='|'<'|'<='|'>'|'>=') term)?
+    term     ::= sum
+    sum      ::= prod (('+'|'-') prod)*
+    prod     ::= prim (('*'|'/') prim)*
+    prim     ::= NUMBER | IDENT | '\'' SYM '\'' | '-' prim | '(' term ')'
+    v}
+
+    Identifiers may contain dots (the thesis's [va.value]). A bare
+    identifier in formula position is a boolean state variable. Unicode
+    operator aliases are accepted: ⇒ (entails), → (implies), ∧, ∨, ¬, ⇔,
+    ●/● (prev), ◆ (once), ■ (hist), □ (always), ♦ (eventually), ○ (next),
+    ≤, ≥, ≠. *)
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                                *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | SYM of string  (** 'QUOTED' enumeration constant *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | BANG
+  | AMP
+  | PIPE
+  | ARROW  (** -> *)
+  | ENTAILS  (** => *)
+  | IFF  (** <=> *)
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %s" s
+  | NUMBER f -> Fmt.pf ppf "number %g" f
+  | SYM s -> Fmt.pf ppf "'%s'" s
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | LBRACKET -> Fmt.string ppf "["
+  | RBRACKET -> Fmt.string ppf "]"
+  | BANG -> Fmt.string ppf "!"
+  | AMP -> Fmt.string ppf "&"
+  | PIPE -> Fmt.string ppf "|"
+  | ARROW -> Fmt.string ppf "->"
+  | ENTAILS -> Fmt.string ppf "=>"
+  | IFF -> Fmt.string ppf "<=>"
+  | EQ -> Fmt.string ppf "="
+  | NE -> Fmt.string ppf "!="
+  | LT -> Fmt.string ppf "<"
+  | LE -> Fmt.string ppf "<="
+  | GT -> Fmt.string ppf ">"
+  | GE -> Fmt.string ppf ">="
+  | PLUS -> Fmt.string ppf "+"
+  | MINUS -> Fmt.string ppf "-"
+  | STAR -> Fmt.string ppf "*"
+  | SLASH -> Fmt.string ppf "/"
+  | EOF -> Fmt.string ppf "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Unicode aliases, matched as UTF-8 byte sequences. *)
+let unicode_aliases =
+  [
+    ("\xe2\x87\x92", ENTAILS) (* ⇒ *);
+    ("\xe2\x86\x92", ARROW) (* → *);
+    ("\xe2\x87\x94", IFF) (* ⇔ *);
+    ("\xe2\x88\xa7", AMP) (* ∧ *);
+    ("\xe2\x88\xa8", PIPE) (* ∨ *);
+    ("\xc2\xac", BANG) (* ¬ *);
+    ("\xe2\x89\xa4", LE) (* ≤ *);
+    ("\xe2\x89\xa5", GE) (* ≥ *);
+    ("\xe2\x89\xa0", NE) (* ≠ *);
+  ]
+
+let unicode_idents =
+  [
+    ("\xe2\x97\x8f", "prev") (* ● *);
+    ("\xe2\x97\x86", "once") (* ◆ *);
+    ("\xe2\x96\xa0", "hist") (* ■ *);
+    ("\xe2\x96\xa1", "always") (* □ *);
+    ("\xe2\x99\xa6", "eventually") (* ♦ *);
+    ("\xe2\x97\x8b", "next") (* ○ *);
+    ("@", "rose");
+  ]
+
+let tokenize (input : string) : token list =
+  let n = String.length input in
+  let out = ref [] in
+  let emit t = out := t :: !out in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else
+        (* multi-byte aliases first *)
+        match
+          List.find_opt
+            (fun (u, _) -> i + String.length u <= n && String.sub input i (String.length u) = u)
+            unicode_aliases
+        with
+        | Some (u, t) ->
+            emit t;
+            go (i + String.length u)
+        | None -> (
+            match
+              List.find_opt
+                (fun (u, _) ->
+                  i + String.length u <= n && String.sub input i (String.length u) = u)
+                unicode_idents
+            with
+            | Some (u, name) ->
+                emit (IDENT name);
+                go (i + String.length u)
+            | None ->
+                if c = '(' then (emit LPAREN; go (i + 1))
+                else if c = ')' then (emit RPAREN; go (i + 1))
+                else if c = '[' then (emit LBRACKET; go (i + 1))
+                else if c = ']' then (emit RBRACKET; go (i + 1))
+                else if c = '&' then (emit AMP; go (i + 1))
+                else if c = '|' then (emit PIPE; go (i + 1))
+                else if c = '+' then (emit PLUS; go (i + 1))
+                else if c = '*' then (emit STAR; go (i + 1))
+                else if c = '/' then (emit SLASH; go (i + 1))
+                else if c = '!' then
+                  if i + 1 < n && input.[i + 1] = '=' then (emit NE; go (i + 2))
+                  else (emit BANG; go (i + 1))
+                else if c = '-' then
+                  if i + 1 < n && input.[i + 1] = '>' then (emit ARROW; go (i + 2))
+                  else (emit MINUS; go (i + 1))
+                else if c = '=' then
+                  if i + 1 < n && input.[i + 1] = '>' then (emit ENTAILS; go (i + 2))
+                  else (emit EQ; go (i + 1))
+                else if c = '<' then
+                  if i + 2 < n && input.[i + 1] = '=' && input.[i + 2] = '>' then
+                    (emit IFF; go (i + 3))
+                  else if i + 1 < n && input.[i + 1] = '=' then (emit LE; go (i + 2))
+                  else (emit LT; go (i + 1))
+                else if c = '>' then
+                  if i + 1 < n && input.[i + 1] = '=' then (emit GE; go (i + 2))
+                  else (emit GT; go (i + 1))
+                else if c = '\'' then begin
+                  let j = ref (i + 1) in
+                  while !j < n && input.[!j] <> '\'' do incr j done;
+                  if !j >= n then fail "unterminated symbol literal";
+                  emit (SYM (String.sub input (i + 1) (!j - i - 1)));
+                  go (!j + 1)
+                end
+                else if is_digit c then begin
+                  let j = ref i in
+                  while
+                    !j < n
+                    && (is_digit input.[!j] || input.[!j] = '.'
+                       || input.[!j] = 'e' || input.[!j] = 'E'
+                       || (input.[!j] = '-' && !j > i
+                          && (input.[!j - 1] = 'e' || input.[!j - 1] = 'E')))
+                  do
+                    incr j
+                  done;
+                  (* a trailing '.' belongs to the number only if followed by
+                     a digit; dotted identifiers never start with a digit *)
+                  let text = String.sub input i (!j - i) in
+                  (match float_of_string_opt text with
+                  | Some f -> emit (NUMBER f)
+                  | None -> fail "bad number %s" text);
+                  go !j
+                end
+                else if is_ident_char c then begin
+                  let j = ref i in
+                  while !j < n && is_ident_char input.[!j] do incr j done;
+                  emit (IDENT (String.sub input i (!j - i)));
+                  go !j
+                end
+                else fail "unexpected character %c" c)
+  in
+  go 0;
+  List.rev (EOF :: !out)
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parser over a mutable token cursor                  *)
+
+type cursor = { mutable toks : token list }
+
+let peek c = match c.toks with [] -> EOF | t :: _ -> t
+let advance c = match c.toks with [] -> () | _ :: rest -> c.toks <- rest
+
+let expect c t =
+  if peek c = t then advance c
+  else fail "expected %a, found %a" pp_token t pp_token (peek c)
+
+let temporal_keywords =
+  [ "prev"; "once"; "hist"; "next"; "eventually"; "always"; "rose"; "holds"; "within" ]
+
+let rec parse_formula c = parse_iff c
+
+and parse_iff c =
+  let lhs = parse_entail c in
+  if peek c = IFF then begin
+    advance c;
+    Formula.Iff (lhs, parse_iff c)
+  end
+  else lhs
+
+and parse_entail c =
+  let lhs = parse_imply c in
+  if peek c = ENTAILS then begin
+    advance c;
+    Formula.entails lhs (parse_imply c)
+  end
+  else lhs
+
+and parse_imply c =
+  let lhs = parse_or c in
+  if peek c = ARROW then begin
+    advance c;
+    Formula.Implies (lhs, parse_imply c)
+  end
+  else lhs
+
+and parse_or c =
+  let lhs = parse_and c in
+  if peek c = PIPE then begin
+    advance c;
+    Formula.Or (lhs, parse_or c)
+  end
+  else lhs
+
+and parse_and c =
+  let lhs = parse_unary c in
+  if peek c = AMP then begin
+    advance c;
+    Formula.And (lhs, parse_and c)
+  end
+  else lhs
+
+and parse_unary c =
+  match peek c with
+  | BANG ->
+      advance c;
+      Formula.not_ (parse_unary c)
+  | IDENT kw when List.mem kw temporal_keywords -> (
+      advance c;
+      (* optional bounded-duration modifier: [<0.3] or the printer's [<0.3s] *)
+      let duration =
+        if peek c = LBRACKET then begin
+          advance c;
+          expect c LT;
+          let d =
+            match peek c with
+            | NUMBER f -> (advance c; f)
+            | t -> fail "expected duration, found %a" pp_token t
+          in
+          (match peek c with IDENT "s" -> advance c | _ -> ());
+          expect c RBRACKET;
+          Some d
+        end
+        else None
+      in
+      (* the operand binds tightly: prev p, or parenthesized prev(p & q) *)
+      let body = parse_unary c in
+      match (kw, duration) with
+      | ("holds" | "prev"), Some d -> Formula.PrevFor (d, body)
+      | ("within" | "once"), Some d -> Formula.OnceWithin (d, body)
+      | _, Some _ -> fail "%s does not take a duration" kw
+      | "holds", None -> fail "holds requires a duration [<T]"
+      | "within", None -> fail "within requires a duration [<T]"
+      | "prev", None -> Formula.Prev body
+      | "once", None -> Formula.Once body
+      | "hist", None -> Formula.Hist body
+      | "next", None -> Formula.Next body
+      | "eventually", None -> Formula.Eventually body
+      | "always", None -> Formula.Always body
+      | "rose", None -> Formula.Rose body
+      | _ -> assert false)
+  | _ -> parse_atom c
+
+and parse_atom c =
+  match peek c with
+  | IDENT "true" ->
+      advance c;
+      Formula.True
+  | IDENT "false" ->
+      advance c;
+      Formula.False
+  | LPAREN -> (
+      (* ambiguity: '(' may open a parenthesized formula or a parenthesized
+         term followed by a comparison, as in [(x + 1) > 2]. Try the
+         term-comparison reading first and backtrack on failure. *)
+      let saved = c.toks in
+      match
+        (try
+           let lhs = parse_term c in
+           match peek c with
+           | EQ | NE | LT | LE | GT | GE -> Some lhs
+           | _ -> None
+         with Parse_error _ -> None)
+      with
+      | Some lhs -> (
+          match peek c with
+          | EQ -> (advance c; Formula.eq lhs (parse_term c))
+          | NE -> (advance c; Formula.ne lhs (parse_term c))
+          | LT -> (advance c; Formula.lt lhs (parse_term c))
+          | LE -> (advance c; Formula.le lhs (parse_term c))
+          | GT -> (advance c; Formula.gt lhs (parse_term c))
+          | GE -> (advance c; Formula.ge lhs (parse_term c))
+          | _ -> assert false)
+      | None ->
+          c.toks <- saved;
+          advance c;
+          let f = parse_formula c in
+          expect c RPAREN;
+          f)
+  | _ -> (
+      let lhs = parse_term c in
+      match peek c with
+      | EQ -> (advance c; Formula.eq lhs (parse_term c))
+      | NE -> (advance c; Formula.ne lhs (parse_term c))
+      | LT -> (advance c; Formula.lt lhs (parse_term c))
+      | LE -> (advance c; Formula.le lhs (parse_term c))
+      | GT -> (advance c; Formula.gt lhs (parse_term c))
+      | GE -> (advance c; Formula.ge lhs (parse_term c))
+      | _ -> (
+          (* a bare identifier in formula position is a boolean variable *)
+          match lhs with
+          | Term.Var v -> Formula.bvar v
+          | _ -> fail "expected comparison after term"))
+
+and parse_term c = parse_sum c
+
+and parse_sum c =
+  let rec loop lhs =
+    match peek c with
+    | PLUS ->
+        advance c;
+        loop (Term.Add (lhs, parse_prod c))
+    | MINUS ->
+        advance c;
+        loop (Term.Sub (lhs, parse_prod c))
+    | _ -> lhs
+  in
+  loop (parse_prod c)
+
+and parse_prod c =
+  let rec loop lhs =
+    match peek c with
+    | STAR ->
+        advance c;
+        loop (Term.Mul (lhs, parse_prim c))
+    | SLASH ->
+        advance c;
+        loop (Term.Div (lhs, parse_prim c))
+    | _ -> lhs
+  in
+  loop (parse_prim c)
+
+and parse_prim c =
+  match peek c with
+  | NUMBER f ->
+      advance c;
+      Term.float f
+  | SYM s ->
+      advance c;
+      Term.sym s
+  | IDENT "abs" when (match c.toks with _ :: LPAREN :: _ -> true | _ -> false) ->
+      advance c;
+      expect c LPAREN;
+      let t = parse_term c in
+      expect c RPAREN;
+      Term.Abs t
+  | IDENT v ->
+      advance c;
+      Term.var v
+  | MINUS -> (
+      advance c;
+      (* a leading minus on a literal is a negative constant, matching the
+         printer's output for e.g. [Term.float (-2.)] *)
+      match peek c with
+      | NUMBER f ->
+          advance c;
+          Term.float (-.f)
+      | _ -> Term.Neg (parse_prim c))
+  | LPAREN ->
+      advance c;
+      let t = parse_term c in
+      expect c RPAREN;
+      t
+  | t -> fail "expected a term, found %a" pp_token t
+
+(** [parse input] — parse a formula. @raise Parse_error on malformed input. *)
+let parse (input : string) : Formula.t =
+  let c = { toks = tokenize input } in
+  let f = parse_formula c in
+  expect c EOF;
+  f
+
+let parse_opt input = try Some (parse input) with Parse_error _ -> None

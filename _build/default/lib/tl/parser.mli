@@ -1,0 +1,22 @@
+(** A parser for the thesis's textual goal syntax, so formal definitions can
+    be written (and round-tripped) the way the thesis prints them:
+
+    {v
+    ObjectInPath => StopVehicle
+    prev(dc) & prev(dmc = 'CLOSE') -> dc
+    holds[<0.3](dmc = 'CLOSE' & !db) => dc
+    always(va.value <= 2 | !IsSubsystem)
+    v}
+
+    Identifiers may contain dots (the thesis's [va.value]); a bare
+    identifier in formula position is a boolean state variable. Unicode
+    operator aliases are accepted (⇒ → ⇔ ∧ ∨ ¬ ≤ ≥ ≠ ● ◆ ■ □ ♦ ○ @), so
+    {!Formula.pp}'s output parses back. The round trip is exact except for
+    float constants beyond 6 significant digits (the [%g] printer). *)
+
+exception Parse_error of string
+
+val parse : string -> Formula.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_opt : string -> Formula.t option

@@ -1,0 +1,49 @@
+(** A system state: a finite assignment of state variables to values.
+
+    States are immutable maps so that traces can share structure and so the
+    model checker can use them as hashtable keys. *)
+
+module M = Map.Make (String)
+
+type t = Value.t M.t
+
+let empty : t = M.empty
+let of_list bindings : t = List.fold_left (fun m (k, v) -> M.add k v m) M.empty bindings
+let to_list (s : t) = M.bindings s
+let set name v (s : t) : t = M.add name v s
+let update bindings (s : t) : t = List.fold_left (fun m (k, v) -> M.add k v m) s bindings
+
+exception Unbound of string
+
+(** [get s name] looks a variable up. @raise Unbound when absent. *)
+let get (s : t) name =
+  match M.find_opt name s with Some v -> v | None -> raise (Unbound name)
+
+let find_opt name (s : t) = M.find_opt name s
+let mem name (s : t) = M.mem name s
+let vars (s : t) = List.map fst (M.bindings s)
+
+(* Convenience typed accessors used pervasively by components and monitors. *)
+let bool s name = Value.to_bool (get s name)
+let float s name = Value.to_float (get s name)
+let sym s name =
+  match get s name with
+  | Value.Sym x -> x
+  | v -> Value.type_error "variable %s: expected a symbol, got %a" name Value.pp v
+
+let equal (a : t) (b : t) = M.equal Value.equal a b
+
+let compare (a : t) (b : t) =
+  M.compare
+    (fun x y ->
+      match (x, y) with
+      | Value.Bool p, Value.Bool q -> Bool.compare p q
+      | Value.Sym p, Value.Sym q -> String.compare p q
+      | Value.Int p, Value.Int q -> Int.compare p q
+      | _ -> Float.compare (Value.to_float x) (Value.to_float y))
+    a b
+
+let pp ppf (s : t) =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:(Fmt.any ";@ ") (fun ppf (k, v) -> Fmt.pf ppf "%s=%a" k Value.pp v))
+    (M.bindings s)

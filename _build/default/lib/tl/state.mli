@@ -1,0 +1,35 @@
+(** A system state: a finite assignment of state variables to values.
+
+    States are immutable maps so that traces can share structure and so the
+    model checker can use them as keys. *)
+
+type t
+
+val empty : t
+val of_list : (string * Value.t) list -> t
+val to_list : t -> (string * Value.t) list
+
+val set : string -> Value.t -> t -> t
+(** [set name v s] — [s] with [name] (re)bound to [v]. *)
+
+val update : (string * Value.t) list -> t -> t
+(** [update bindings s] — apply every binding, later entries winning. *)
+
+exception Unbound of string
+
+val get : t -> string -> Value.t
+(** @raise Unbound when the variable is absent. *)
+
+val find_opt : string -> t -> Value.t option
+val mem : string -> t -> bool
+val vars : t -> string list
+
+val bool : t -> string -> bool
+(** Typed accessor. @raise Value.Type_error / @raise Unbound as applicable. *)
+
+val float : t -> string -> float
+val sym : t -> string -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+(** Terms: state-variable references, constants and arithmetic over them.
+
+    Terms appear inside atomic comparisons of goal formulas, e.g.
+    [va.value <= 2 m/s^2] is [Le (Var "va.value", Const (Float 2.))]. *)
+
+type t =
+  | Var of string
+  | Const of Value.t
+  | Neg of t
+  | Abs of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Min of t * t
+  | Max of t * t
+
+let var v = Var v
+let bool b = Const (Value.Bool b)
+let int i = Const (Value.Int i)
+let float f = Const (Value.Float f)
+let sym s = Const (Value.Sym s)
+
+let rec eval (state : State.t) = function
+  | Var v -> State.get state v
+  | Const c -> c
+  | Neg t -> Value.Float (-.Value.to_float (eval state t))
+  | Abs t -> Value.Float (Float.abs (Value.to_float (eval state t)))
+  | Add (a, b) -> arith state ( +. ) a b
+  | Sub (a, b) -> arith state ( -. ) a b
+  | Mul (a, b) -> arith state ( *. ) a b
+  | Div (a, b) -> arith state ( /. ) a b
+  | Min (a, b) -> arith state Float.min a b
+  | Max (a, b) -> arith state Float.max a b
+
+and arith state op a b =
+  Value.Float (op (Value.to_float (eval state a)) (Value.to_float (eval state b)))
+
+(** Free state variables of a term, in occurrence order without duplicates. *)
+let rec vars = function
+  | Var v -> [ v ]
+  | Const _ -> []
+  | Neg t | Abs t -> vars t
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Min (a, b) | Max (a, b) ->
+      vars a @ vars b
+
+(** [rename f t] renames every variable of [t] through [f]. *)
+let rec rename f = function
+  | Var v -> Var (f v)
+  | Const c -> Const c
+  | Neg t -> Neg (rename f t)
+  | Abs t -> Abs (rename f t)
+  | Add (a, b) -> Add (rename f a, rename f b)
+  | Sub (a, b) -> Sub (rename f a, rename f b)
+  | Mul (a, b) -> Mul (rename f a, rename f b)
+  | Div (a, b) -> Div (rename f a, rename f b)
+  | Min (a, b) -> Min (rename f a, rename f b)
+  | Max (a, b) -> Max (rename f a, rename f b)
+
+let rec pp ppf = function
+  | Var v -> Fmt.string ppf v
+  | Const c -> Value.pp ppf c
+  | Neg t -> Fmt.pf ppf "-(%a)" pp t
+  | Abs t -> Fmt.pf ppf "abs(%a)" pp t
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Fmt.pf ppf "(%a / %a)" pp a pp b
+  | Min (a, b) -> Fmt.pf ppf "min(%a, %a)" pp a pp b
+  | Max (a, b) -> Fmt.pf ppf "max(%a, %a)" pp a pp b
+
+let to_string t = Fmt.str "%a" pp t

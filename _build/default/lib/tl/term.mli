@@ -1,0 +1,37 @@
+(** Terms: state-variable references, constants and arithmetic over them.
+
+    Terms appear inside atomic comparisons of goal formulas, e.g.
+    [va.value ≤ 2 m/s²] is [le (var "va.value") (float 2.)]. *)
+
+type t =
+  | Var of string
+  | Const of Value.t
+  | Neg of t
+  | Abs of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Min of t * t
+  | Max of t * t
+
+val var : string -> t
+val bool : bool -> t
+val int : int -> t
+val float : float -> t
+val sym : string -> t
+
+val eval : State.t -> t -> Value.t
+(** Evaluate a term in a state.
+    @raise Value.Type_error on non-numeric operands of arithmetic
+    @raise State.Unbound on missing variables. *)
+
+val vars : t -> string list
+(** Free state variables, in occurrence order (may contain duplicates for
+    terms; {!Formula.vars} deduplicates). *)
+
+val rename : (string -> string) -> t -> t
+(** [rename f t] renames every variable of [t] through [f]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

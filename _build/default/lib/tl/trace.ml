@@ -1,0 +1,45 @@
+(** Finite execution traces: a sequence of states sampled at a fixed period.
+
+    The thesis's simulation states are 1 ms apart ("the time interval of one
+    state"); [dt] carries that period so bounded-duration operators can
+    convert seconds into numbers of states. *)
+
+type t = { dt : float; states : State.t array }
+
+let make ~dt states =
+  if dt <= 0. then invalid_arg "Trace.make: dt must be positive";
+  { dt; states = Array.of_list states }
+
+let of_array ~dt states =
+  if dt <= 0. then invalid_arg "Trace.of_array: dt must be positive";
+  { dt; states }
+
+(** [init ~dt n f] builds a trace of [n] states where state [i] is [f i]. *)
+let init ~dt n f =
+  if dt <= 0. then invalid_arg "Trace.init: dt must be positive";
+  { dt; states = Array.init n f }
+
+let length tr = Array.length tr.states
+let dt tr = tr.dt
+let get tr i = tr.states.(i)
+
+(** Wall-clock time of state [i] (state 0 is at time 0). *)
+let time tr i = float_of_int i *. tr.dt
+
+(** [duration_to_states ~dt d] — how many consecutive states span duration
+    [d]: the smallest [k >= 1] with [k * dt >= d]. *)
+let duration_to_states ~dt d =
+  if d <= 0. then 1 else max 1 (int_of_float (Float.ceil ((d /. dt) -. 1e-9)))
+
+(** Extract a signal as a float series, [(time, value)] pairs. *)
+let signal tr name =
+  Array.to_list
+    (Array.mapi (fun i s -> (time tr i, Value.to_float (State.get s name))) tr.states)
+
+(** Extract a boolean signal as a [(time, bool)] series. *)
+let bool_signal tr name =
+  Array.to_list
+    (Array.mapi (fun i s -> (time tr i, Value.to_bool (State.get s name))) tr.states)
+
+let fold f acc tr = Array.fold_left f acc tr.states
+let iteri f tr = Array.iteri f tr.states

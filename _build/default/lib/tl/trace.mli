@@ -1,0 +1,34 @@
+(** Finite execution traces: a sequence of states sampled at a fixed period.
+
+    The thesis's simulation states are 1 ms apart ("the time interval of
+    one state"); [dt] carries that period so bounded-duration operators can
+    convert seconds into numbers of states. *)
+
+type t = { dt : float; states : State.t array }
+
+val make : dt:float -> State.t list -> t
+(** @raise Invalid_argument when [dt <= 0]. *)
+
+val of_array : dt:float -> State.t array -> t
+
+val init : dt:float -> int -> (int -> State.t) -> t
+(** [init ~dt n f] builds a trace of [n] states where state [i] is [f i]. *)
+
+val length : t -> int
+val dt : t -> float
+val get : t -> int -> State.t
+
+val time : t -> int -> float
+(** Wall-clock time of state [i] (state 0 is at time 0). *)
+
+val duration_to_states : dt:float -> float -> int
+(** [duration_to_states ~dt d] — how many consecutive states span duration
+    [d]: the smallest [k >= 1] with [k * dt >= d]. *)
+
+val signal : t -> string -> (float * float) list
+(** A float signal as [(time, value)] pairs. *)
+
+val bool_signal : t -> string -> (float * bool) list
+
+val fold : ('a -> State.t -> 'a) -> 'a -> t -> 'a
+val iteri : (int -> State.t -> unit) -> t -> unit

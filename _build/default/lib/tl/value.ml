@@ -1,0 +1,50 @@
+(** Runtime values of state variables.
+
+    The thesis's goals range over booleans (flags such as [DoorClosed]),
+    numeric quantities (speeds, accelerations) and symbolic enumerations
+    (actuator commands such as ['STOP'], subsystem names such as ['CA']).
+    Integers and floats compare interchangeably so that goal formulas may mix
+    integer thresholds with float-valued signals. *)
+
+type t =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Sym of string  (** symbolic enumeration constant, e.g. ["STOP"] *)
+
+exception Type_error of string
+
+let type_error fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+let pp ppf = function
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | Sym s -> Fmt.pf ppf "'%s'" s
+
+let to_string v = Fmt.str "%a" pp v
+
+(** [to_float v] coerces a numeric value to float. @raise Type_error on
+    non-numeric values. *)
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | v -> type_error "expected a number, got %a" pp v
+
+(** [to_bool v] projects a boolean value. @raise Type_error otherwise. *)
+let to_bool = function
+  | Bool b -> b
+  | v -> type_error "expected a boolean, got %a" pp v
+
+(** Structural equality with numeric coercion: [Int 1] equals [Float 1.]. *)
+let equal a b =
+  match (a, b) with
+  | Bool x, Bool y -> x = y
+  | Sym x, Sym y -> String.equal x y
+  | (Int _ | Float _), (Int _ | Float _) -> Float.equal (to_float a) (to_float b)
+  | _ -> false
+
+(** Numeric comparison. @raise Type_error unless both values are numbers. *)
+let compare_num a b = Float.compare (to_float a) (to_float b)
+
+let is_numeric = function Int _ | Float _ -> true | Bool _ | Sym _ -> false

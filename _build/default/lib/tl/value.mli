@@ -1,0 +1,37 @@
+(** Runtime values of state variables.
+
+    The thesis's goals range over booleans (flags such as [DoorClosed]),
+    numeric quantities (speeds, accelerations) and symbolic enumerations
+    (actuator commands such as ['STOP'], subsystem names such as ['CA']).
+    Integers and floats compare interchangeably so that goal formulas may
+    mix integer thresholds with float-valued signals. *)
+
+type t =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Sym of string  (** symbolic enumeration constant, e.g. ["STOP"] *)
+
+exception Type_error of string
+(** Raised by the typed projections on a value of the wrong kind. *)
+
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [type_error fmt …] raises {!Type_error} with a formatted message. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_float : t -> float
+(** Coerce a numeric value ([Int] or [Float]) to float.
+    @raise Type_error on non-numeric values. *)
+
+val to_bool : t -> bool
+(** Project a boolean value. @raise Type_error otherwise. *)
+
+val equal : t -> t -> bool
+(** Structural equality with numeric coercion: [Int 1] equals [Float 1.]. *)
+
+val compare_num : t -> t -> int
+(** Numeric comparison. @raise Type_error unless both values are numbers. *)
+
+val is_numeric : t -> bool

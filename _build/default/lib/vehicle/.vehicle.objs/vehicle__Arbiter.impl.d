@@ -1,0 +1,1 @@
+lib/vehicle/arbiter.ml: Defects Hashtbl List Signals Sim Tl Value

@@ -1,0 +1,1 @@
+lib/vehicle/feature_acc.ml: Defects Float Signals Sim Tl Value

@@ -1,0 +1,1 @@
+lib/vehicle/feature_pa.ml: Defects Float Signals Sim Tl Value

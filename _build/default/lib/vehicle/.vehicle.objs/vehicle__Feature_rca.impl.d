@@ -1,0 +1,1 @@
+lib/vehicle/feature_rca.ml: Defects Float Signals Sim Tl Value

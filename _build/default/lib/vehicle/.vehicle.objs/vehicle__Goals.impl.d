@@ -1,0 +1,1 @@
+lib/vehicle/goals.ml: Formula Kaos List Signals Term Tl

@@ -1,0 +1,1 @@
+lib/vehicle/icpa_vehicle.ml: Formula Goals Icpa Kaos List Monitors Signals Subgoals Tl

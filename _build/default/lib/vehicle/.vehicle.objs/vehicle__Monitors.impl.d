@@ -1,0 +1,1 @@
+lib/vehicle/monitors.ml: Compose Fmt Goals Kaos List Rtmon Subgoals Tl Trace

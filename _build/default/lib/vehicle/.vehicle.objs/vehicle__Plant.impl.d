@@ -1,0 +1,1 @@
+lib/vehicle/plant.ml: Defects Float Hashtbl List Option Signals Sim Tl Value

@@ -1,0 +1,1 @@
+lib/vehicle/relationships.ml: Formula List Rtmon Signals Term Tl Trace

@@ -1,0 +1,1 @@
+lib/vehicle/signals.ml: Formula List String Term Tl

@@ -1,0 +1,1 @@
+lib/vehicle/subgoals.ml: Fmt Formula Goals Kaos Signals Term Tl

@@ -1,0 +1,1 @@
+lib/vehicle/system.ml: Arbiter Defects Feature_acc Feature_ca Feature_lca Feature_pa Feature_rca Icpa Kaos List Plant Signals Sim State Tl Value

@@ -1,0 +1,263 @@
+(** The Arbiter: selects which subsystem (or the driver) controls vehicle
+    acceleration and steering (§5.2.1). In the research vehicle this logic
+    was distributed across processors with *separate* arbitration of
+    acceleration and steering — the root of several defects the thesis
+    uncovered (§5.3.2, §6.1.2):
+
+    - steering arbitration priority is the *reverse* of acceleration
+      priority, and the steering stage determines which request value is
+      actually passed along as the acceleration command (Fig. 5.4);
+    - 'selected' flags are latched past the actual source change, so
+      transients are attributed to subsystems (§5.4.1);
+    - when PA is the acceleration source the wrong slot is routed and the
+      command differs from PA's request (Fig. 5.14);
+    - LCA bypasses the selection debounce and gains control one state after
+      activation (Fig. 5.10);
+    - LCA and ACC can be flagged 'selected' simultaneously (Fig. 5.11).
+
+    Selection timing (matching §5.4): a candidate feature is selected after
+    a 50 ms debounce; pedal override deselects it after 50 ms and blocks
+    re-selection while the pedals are applied; a previously overridden
+    feature needs a 100 ms debounce to regain control after pedal release —
+    the 0.101 s handoff of Fig. 5.9. *)
+
+open Tl
+open Signals
+
+let accel_priority = [ "CA"; "RCA"; "PA"; "LCA"; "ACC" ]
+
+type timing = {
+  select_debounce : float;  (** candidate persistence before selection *)
+  reselect_debounce : float;  (** re-selection after a pedal override (Fig. 5.9) *)
+  override_debounce : float;  (** pedal persistence before override *)
+  latch_time : float;  (** 'selected'-flag hold past the source change *)
+}
+
+(** The timing the thesis's system exhibited (§5.4). *)
+let default_timing =
+  {
+    select_debounce = 0.05;
+    reselect_debounce = 0.1;
+    override_debounce = 0.05;
+    latch_time = 0.15;
+  }
+
+type state = {
+  mutable cur : string;  (** current acceleration source: feature or "Driver" *)
+  mutable pend : string option;
+  mutable pend_t : float;
+  mutable override_t : float;
+  mutable blocked : (string, unit) Hashtbl.t;  (** overridden while pedals applied *)
+  mutable was_overridden : (string, unit) Hashtbl.t;
+  mutable latch : (string * float) list;  (** (feature, time left) selected latches *)
+  mutable last_cmd : float;
+  mutable last_steer : float;
+}
+
+let fresh () =
+  {
+    cur = "Driver";
+    pend = None;
+    pend_t = 0.;
+    override_t = 0.;
+    blocked = Hashtbl.create 4;
+    was_overridden = Hashtbl.create 4;
+    latch = [];
+    last_cmd = 0.;
+    last_steer = 0.;
+  }
+
+let hard_stop_request ~v request =
+  (* an emergency stop the driver may not override (§5.2.3) *)
+  if v >= 0. then request < hard_brake else request > -.hard_brake
+
+let component ?(timing = default_timing) (defects : Defects.t) =
+  let { select_debounce; reselect_debounce; override_debounce; latch_time } = timing in
+  let st = fresh () in
+  Sim.Component.make ~name:"Arbiter"
+    ~outputs:
+      ([
+         (accel_cmd, Value.Float 0.);
+         (accel_source, Value.Sym "Driver");
+         (va_source, Value.Sym "Driver");
+         (steer_cmd, Value.Float 0.);
+         (steer_source, Value.Sym "Driver");
+         (vst_source, Value.Sym "Driver");
+         (driver_selected, Value.Bool true);
+       ]
+      @ List.map (fun f -> (selected f, Value.Bool false)) features)
+    (fun ctx ->
+      let open Sim.Component in
+      let dt = ctx.dt in
+      let v = read_float ctx host_speed in
+      let throttle = read_float ctx throttle_pedal in
+      let brake = read_float ctx brake_pedal in
+      let pedals = throttle > 0.05 || brake > 0.05 in
+      let req_of f = read_float ctx (accel_req f) in
+      let requesting f = read_bool ctx (active f) && read_bool ctx (req_accel f) in
+      if not pedals then Hashtbl.reset st.blocked;
+      (* --- acceleration arbitration --- *)
+      let candidates = List.filter requesting accel_priority in
+      let top = match candidates with [] -> None | f :: _ -> Some f in
+      (* override evaluation of the currently selected feature *)
+      (match st.cur with
+      | "Driver" -> st.override_t <- 0.
+      | f ->
+          if requesting f then begin
+            if pedals && not (hard_stop_request ~v (req_of f)) then begin
+              st.override_t <- st.override_t +. dt;
+              if st.override_t >= override_debounce then begin
+                st.cur <- "Driver";
+                Hashtbl.replace st.blocked f ();
+                Hashtbl.replace st.was_overridden f ();
+                st.override_t <- 0.
+              end
+            end
+            else st.override_t <- 0.
+          end
+          else begin
+            (* the feature withdrew: fall back immediately *)
+            st.cur <- "Driver";
+            st.override_t <- 0.
+          end);
+      (* selection of a new source. The repaired arbiter refuses to select
+         a feature while the pedals are applied unless it is demanding an
+         emergency stop; the evaluated arbiter checks the pedals only after
+         selection, via the override logic. *)
+      let pedal_gate f =
+        defects.Defects.arbiter_selects_under_pedals
+        || (not pedals)
+        || hard_stop_request ~v (req_of f)
+      in
+      let blocked_now f =
+        (* an overridden feature stays blocked while the pedals are applied —
+           but an emergency stop request is never blocked (§5.2.3) *)
+        Hashtbl.mem st.blocked f && pedals && not (hard_stop_request ~v (req_of f))
+      in
+      (match top with
+      | Some f when st.cur = "Driver" && (not (blocked_now f)) && pedal_gate f ->
+          if f = "LCA" then st.cur <- f (* defect-adjacent: LCA bypasses the debounce *)
+          else begin
+            let threshold =
+              if Hashtbl.mem st.was_overridden f then reselect_debounce
+              else select_debounce
+            in
+            (match st.pend with
+            | Some p when p = f -> st.pend_t <- st.pend_t +. dt
+            | _ ->
+                st.pend <- Some f;
+                st.pend_t <- dt);
+            if st.pend_t >= threshold then begin
+              st.cur <- f;
+              st.pend <- None;
+              st.pend_t <- 0.
+            end
+          end
+      | Some f when st.cur <> "Driver" && f <> st.cur ->
+          (* a higher-priority feature preempts after the debounce *)
+          (match st.pend with
+          | Some p when p = f -> st.pend_t <- st.pend_t +. dt
+          | _ ->
+              st.pend <- Some f;
+              st.pend_t <- dt);
+          if st.pend_t >= select_debounce then begin
+            st.cur <- f;
+            st.pend <- None;
+            st.pend_t <- 0.
+          end
+      | _ ->
+          st.pend <- None;
+          st.pend_t <- 0.);
+      (* driver demand *)
+      let driver_demand =
+        if brake > 0.05 then
+          if v > 0.01 then -7. *. brake else if v < -0.01 then 7. *. brake else 0.
+        else
+          let dir = if read_sym ctx gear = "R" then -1. else 1. in
+          dir *. 2.5 *. throttle
+      in
+      let cmd = match st.cur with "Driver" -> driver_demand | f -> req_of f in
+      (* --- steering arbitration --- *)
+      let steer_candidates =
+        List.filter
+          (fun f -> read_bool ctx (active f) && read_bool ctx (req_steer f))
+          (if defects.Defects.arbiter_steering_priority_reversed then
+             List.rev accel_priority
+           else accel_priority)
+      in
+      let wheel = read_bool ctx steering_wheel_active in
+      let steer_winner =
+        if wheel then None else (match steer_candidates with [] -> None | f :: _ -> Some f)
+      in
+      let s_cmd, s_src =
+        match steer_winner with
+        | None -> ((if wheel then st.last_steer else st.last_steer), "Driver")
+        | Some f ->
+            let value =
+              if f = "LCA" && defects.Defects.lca_steering_ignored then st.last_steer
+              else read_float ctx (steer_req f)
+            in
+            (value, f)
+      in
+      st.last_steer <- s_cmd;
+      (* Defect: the steering stage determines which acceleration request
+         value is passed along (§5.4.2). *)
+      let cmd =
+        match steer_winner with
+        | Some f
+          when defects.Defects.arbiter_steering_priority_reversed && st.cur <> "Driver"
+          -> req_of f
+        | _ -> cmd
+      in
+      (* Defect: wrong slot routed when PA is the acceleration source. *)
+      let cmd =
+        if st.cur = "PA" && defects.Defects.pa_command_mismatch then
+          read_float ctx (steer_req "PA")
+        else cmd
+      in
+      st.last_cmd <- cmd;
+      (* --- selected flags, with the latch defect --- *)
+      let selected_now f = st.cur = f || s_src = f in
+      let selected_now f =
+        selected_now f
+        || (defects.Defects.arbiter_dual_selected && f = "ACC" && st.cur = "LCA")
+        (* Defect: the HMI engage request drives the 'selected' indicator
+           directly, even when the activation failed — the Fig. 5.15
+           phantom attribution. *)
+        || defects.Defects.arbiter_dual_selected
+           && f = "ACC"
+           && read_bool ctx (engage_request "ACC")
+           && read_bool ctx (enabled "ACC")
+           && not (read_bool ctx (active "ACC"))
+      in
+      st.latch <-
+        List.filter_map
+          (fun f ->
+            if selected_now f then Some (f, latch_time)
+            else
+              match List.assoc_opt f st.latch with
+              | Some left when left -. dt > 0. && defects.Defects.arbiter_selected_latch ->
+                  Some (f, left -. dt)
+              | _ -> None)
+          features;
+      let flag f = List.mem_assoc f st.latch in
+      (* The flag-derived attribution (the only attribution visible outside
+         the arbiter) follows the latched 'selected' flags: during the latch
+         window a transient is still attributed to the subsystem (§5.4.1). *)
+      let flag_attribution =
+        if st.cur <> "Driver" then st.cur
+        else
+          match List.find_opt (fun f -> flag f) accel_priority with
+          | Some f when defects.Defects.arbiter_selected_latch -> f
+          | _ -> "Driver"
+      in
+      [
+        (accel_cmd, Value.Float cmd);
+        (accel_source, Value.Sym st.cur);
+        (va_source, Value.Sym flag_attribution);
+        (steer_cmd, Value.Float s_cmd);
+        (steer_source, Value.Sym s_src);
+        (vst_source, Value.Sym s_src);
+        (driver_selected, Value.Bool (st.cur = "Driver"));
+      ]
+      @ List.map (fun f -> (selected f, Value.Bool (flag f))) features)

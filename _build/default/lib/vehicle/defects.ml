@@ -1,0 +1,104 @@
+(** The design and implementation defects of the research vehicle.
+
+    The thesis evaluated ICPA monitoring on a *partially complete* system and
+    its findings are the defects themselves (§5.4, §6.1.2). We reproduce the
+    evaluation by seeding exactly those defects; each is represented by a
+    toggle so tests can run the system both ways (defect present → thesis
+    behaviour; defect absent → goals hold). *)
+
+type t = {
+  pa_ghost_requests : bool;
+      (** PA emits acceleration requests while not enabled (Fig. 5.3);
+          masked by Arbiter redundancy but violates subgoals 2B/4B. *)
+  ca_no_hysteresis : bool;
+      (** CA's engage condition has no hysteresis: braking raises the
+          time-to-collision above the threshold, so CA cancels and re-engages
+          repeatedly (Fig. 5.2, "begins a braking action, but cancels it
+          briefly before beginning it again"). *)
+  radar_min_range_dropout : bool;
+      (** The forward radar loses objects closer than its minimum range, so
+          CA releases its final hard brake just before impact (the Fig. 2.2
+          fault-tree branch "object detection misses object that is there"). *)
+  arbiter_steering_priority_reversed : bool;
+      (** Steering arbitration priority is the reverse of acceleration
+          arbitration, and the steering stage determines which request value
+          is passed along — CA stays 'selected' while PA's request becomes
+          the acceleration command (Fig. 5.4, §5.4.2). *)
+  arbiter_selected_latch : bool;
+      (** 'Selected' flags are latched ~50 ms after the source actually
+          changes, so control actions are attributed to a subsystem during
+          rebound transients (§5.3.2: "control actions attributed to
+          multiple sources"). *)
+  acc_controls_when_disengaged : bool;
+      (** ACC computes requests toward an uninitialized set speed of 0 m/s
+          whenever merely enabled (Fig. 5.6, §5.4.3). *)
+  acc_no_gear_check : bool;
+      (** ACC engages in reverse and is selected to control acceleration
+          (Fig. 5.13, §5.4.8). *)
+  acc_integrator_windup : bool;
+      (** ACC keeps integrating while the driver overrides, so on regaining
+          control it decelerates/accelerates in a hunting cycle (Fig. 5.8). *)
+  acc_no_standstill_clamp : bool;
+      (** Gap control can command negative speed through zero — vehicle
+          speed becomes negative with ACC/LCA active (Fig. 5.11, §5.4.6). *)
+  lca_steering_ignored : bool;
+      (** When LCA wins steering arbitration, the steering command keeps its
+          stale value instead of LCA's request (Fig. 5.10). *)
+  rca_never_engages : bool;
+      (** RCA's engage condition tests the wrong gear, so it never brakes in
+          reverse (Fig. 5.12, §5.4.7). *)
+  pa_command_mismatch : bool;
+      (** When PA is the acceleration source the Arbiter routes the wrong
+          slot, so the command differs from PA's request (Fig. 5.14). *)
+  powertrain_creep_on_engage : bool;
+      (** A failed ACC engage attempt at standstill leaks a creep torque to
+          the powertrain: the vehicle accelerates although ACC never becomes
+          active nor selected (Fig. 5.15, §5.4.10). *)
+  arbiter_dual_selected : bool;
+      (** Separate 'selected' flags per subsystem allow two subsystems (e.g.
+          LCA and ACC) to be flagged simultaneously (§5.3.2). *)
+  arbiter_selects_under_pedals : bool;
+      (** Selection ignores the pedals: a newly engaged feature briefly
+          takes control while the driver is applying the throttle, until the
+          override logic re-evaluates (Fig. 5.8, §5.4.4). *)
+}
+
+(** The system exactly as the thesis found it. *)
+let as_evaluated =
+  {
+    pa_ghost_requests = true;
+    ca_no_hysteresis = true;
+    radar_min_range_dropout = true;
+    arbiter_steering_priority_reversed = true;
+    arbiter_selected_latch = true;
+    acc_controls_when_disengaged = true;
+    acc_no_gear_check = true;
+    acc_integrator_windup = true;
+    acc_no_standstill_clamp = true;
+    lca_steering_ignored = true;
+    rca_never_engages = true;
+    pa_command_mismatch = true;
+    powertrain_creep_on_engage = true;
+    arbiter_dual_selected = true;
+    arbiter_selects_under_pedals = true;
+  }
+
+(** Every defect repaired — the system as it should have been built. *)
+let repaired =
+  {
+    pa_ghost_requests = false;
+    ca_no_hysteresis = false;
+    radar_min_range_dropout = false;
+    arbiter_steering_priority_reversed = false;
+    arbiter_selected_latch = false;
+    acc_controls_when_disengaged = false;
+    acc_no_gear_check = false;
+    acc_integrator_windup = false;
+    acc_no_standstill_clamp = false;
+    lca_steering_ignored = false;
+    rca_never_engages = false;
+    pa_command_mismatch = false;
+    powertrain_creep_on_engage = false;
+    arbiter_dual_selected = false;
+    arbiter_selects_under_pedals = false;
+  }

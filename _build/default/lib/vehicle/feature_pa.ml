@@ -1,0 +1,80 @@
+(** Park Assist (PA): finds a parking space and parks the vehicle on driver
+    request (§5.2.1).
+
+    Seeded defect (Fig. 5.3): while *not even enabled*, PA emits the ghost
+    acceleration-request profile the thesis observed — +2 m/s² from the
+    start of simulation until 2.186 s, 0 until 9.33 s, −2 m/s² until
+    9.624 s, then 0. PA never signals active, so the Arbiter's redundancy
+    masks the requests; the subgoal monitors (2B, 4B) still flag them —
+    false positives that reveal a real subsystem defect (§5.4.1).
+
+    When genuinely engaged, PA aligns (steering + zero acceleration) while
+    the vehicle moves and creeps (+0.3 m/s²) from standstill. *)
+
+open Tl
+open Signals
+
+let ghost_profile now =
+  if now < 2.186 then 2.0 else if now >= 9.33 && now < 9.624 then -2.0 else 0.0
+
+let request_jerk_limit = 2.0 (* m/s^3: engaged-mode requests are ramped *)
+
+let component (defects : Defects.t) =
+  let active_state = ref false in
+  let prev_engage = ref false in
+  let prev_req = ref 0. in
+  Sim.Component.make ~name:"PA"
+    ~outputs:
+      [
+        (active "PA", Value.Bool false);
+        (accel_req "PA", Value.Float 0.);
+        (req_accel "PA", Value.Bool false);
+        (steer_req "PA", Value.Float 0.);
+        (req_steer "PA", Value.Bool false);
+      ]
+    (fun ctx ->
+      let open Sim.Component in
+      let enabled = read_bool ctx (enabled "PA") in
+      let engage = read_bool ctx (engage_request "PA") in
+      if engage && not !prev_engage && enabled then active_state := true;
+      prev_engage := engage;
+      if not enabled then active_state := false;
+      let v = read_float ctx host_speed in
+      let ramp target =
+        let step = request_jerk_limit *. ctx.Sim.Component.dt in
+        let r = !prev_req +. Float.max (-.step) (Float.min step (target -. !prev_req)) in
+        prev_req := r;
+        r
+      in
+      if !active_state then
+        if Float.abs v > 0.3 then
+          (* align phase: searching for a space — steering authority is
+             claimed but the request is still neutral, and speed is held *)
+          [
+            (active "PA", Value.Bool true);
+            (accel_req "PA", Value.Float (ramp 0.));
+            (req_accel "PA", Value.Bool true);
+            (steer_req "PA", Value.Float 0.);
+            (req_steer "PA", Value.Bool true);
+          ]
+        else
+          (* creep phase from standstill *)
+          [
+            (active "PA", Value.Bool true);
+            (accel_req "PA", Value.Float (ramp 0.3));
+            (req_accel "PA", Value.Bool true);
+            (steer_req "PA", Value.Float 0.);
+            (req_steer "PA", Value.Bool false);
+          ]
+      else
+        [
+          (active "PA", Value.Bool false);
+          ( accel_req "PA",
+            Value.Float
+              (let g = if defects.Defects.pa_ghost_requests then ghost_profile ctx.now else 0. in
+               prev_req := g;
+               g) );
+          (req_accel "PA", Value.Bool false);
+          (steer_req "PA", Value.Float 0.);
+          (req_steer "PA", Value.Bool false);
+        ])

@@ -1,0 +1,158 @@
+(** The nine system safety goals of the semi-autonomous vehicle
+    (Tables 5.1–5.2). Goal numbers follow Table 5.3.
+
+    Each source-attribution goal is built by a parameterized constructor so
+    the vehicle level can monitor the externally observable flag-derived
+    attribution ([va_source]/[vst_source]) while the Arbiter level monitors
+    its own immediate command source (see {!Signals}). *)
+
+open Tl
+open Signals
+
+(* ------------------------------------------------------------------ *)
+(* Parameterized bodies shared with the Arbiter subgoals               *)
+
+let g3_body ~asrc ~ssrc =
+  let per_feature f =
+    Formula.implies
+      (Formula.conj
+         [
+           Formula.bvar (req_accel f);
+           Formula.bvar (req_steer f);
+           Formula.or_ (source_is asrc f) (source_is ssrc f);
+         ])
+      (Formula.and_ (source_is asrc f) (source_is ssrc f))
+  in
+  Formula.always (Formula.conj (List.map per_feature features))
+
+let g4_premise ~asrc =
+  Formula.conj
+    [
+      Formula.prev_for stopped_time stopped;
+      Formula.not_ (Formula.once_within go_time (Formula.rose throttle_applied));
+      is_subsystem asrc;
+      Formula.not_ (Formula.once_within go_time (Formula.bvar hmi_go));
+    ]
+
+let override_premise ~forward f =
+  Formula.conj
+    [
+      (if forward then in_forward_motion else in_backward_motion);
+      Formula.or_ brake_applied throttle_applied;
+      Formula.bvar (req_accel f);
+      (if forward then Formula.ge (fvar (accel_req f)) (Term.float hard_brake)
+       else Formula.le (fvar (accel_req f)) (Term.float (-.hard_brake)));
+    ]
+
+let override_body ~forward ~asrc =
+  Formula.always
+    (Formula.conj
+       (List.map
+          (fun f ->
+            Formula.implies (override_premise ~forward f)
+              (Formula.not_ (source_is asrc f)))
+          features))
+
+let steering_override_body ~ssrc =
+  Formula.entails (Formula.bvar steering_wheel_active) (Formula.not_ (is_subsystem ssrc))
+
+let forward_block_body ~asrc ~ssrc =
+  Formula.entails in_forward_motion
+    (Formula.not_ (Formula.or_ (source_is asrc "RCA") (source_is ssrc "RCA")))
+
+let backward_block_body ~asrc ~ssrc =
+  Formula.entails in_backward_motion
+    (Formula.not_
+       (Formula.disj
+          (List.concat_map
+             (fun f -> [ source_is asrc f; source_is ssrc f ])
+             [ "CA"; "ACC"; "LCA" ])))
+
+(* ------------------------------------------------------------------ *)
+(* The nine vehicle-level goals                                        *)
+
+(** Goal 1 — Achieve[AutoAccelBelowThreshold]: vehicle acceleration caused
+    by autonomous control shall not exceed 2 m/s². (One-sided: hard
+    *decelerations* remain allowed for emergency stops, §5.2.3.) *)
+let g1 =
+  Kaos.Goal.achieve "AutoAccelBelowThreshold"
+    ~informal:
+      "Vehicle acceleration caused by autonomous vehicle control shall not \
+       exceed 2 m/s2."
+    (Formula.entails (is_subsystem va_source)
+       (Formula.le (fvar host_accel) (Term.float accel_limit)))
+
+(** Goal 2 — Achieve[AutoJerkBelowThreshold]. *)
+let g2 =
+  Kaos.Goal.achieve "AutoJerkBelowThreshold"
+    ~informal:
+      "Vehicle jerk caused by autonomous vehicle control shall not exceed \
+       2.5 m/s3."
+    (Formula.entails (is_subsystem va_source)
+       (Formula.le (fvar host_jerk) (Term.float jerk_limit)))
+
+(** Goal 3 — Achieve[SubsystemAccelSteeringAgreement]. *)
+let g3 =
+  Kaos.Goal.achieve "SubsystemAccelSteeringAgreement"
+    ~informal:
+      "If a subsystem a) requests control of acceleration and steering and \
+       b) is granted control of either, then the subsystem shall control \
+       both acceleration and steering."
+    (g3_body ~asrc:va_source ~ssrc:vst_source)
+
+(** Goal 4 — Achieve[NoAutoAccelFromStop]. *)
+let g4 =
+  Kaos.Goal.achieve "NoAutoAccelFromStop"
+    ~informal:
+      "If the vehicle is stopped for StoppedTime, the throttle pedal has not \
+       been applied within GoTime, a subsystem is controlling acceleration, \
+       and the HMI has not sent a go signal within GoTime, then there shall \
+       be no vehicle acceleration."
+    (Formula.entails (g4_premise ~asrc:va_source) (Formula.not_ is_accelerating))
+
+(** Goal 5 — Achieve[DriverForwardAccelOverride]. *)
+let g5 =
+  Kaos.Goal.achieve "DriverForwardAccelOverride"
+    ~informal:
+      "If the vehicle is moving forward, the driver is applying the brake or \
+       throttle pedal, and a subsystem is requesting an acceleration >= -2 \
+       m/s2 (not a hard stop), then the subsystem shall not control vehicle \
+       acceleration."
+    (override_body ~forward:true ~asrc:va_source)
+
+(** Goal 6 — Achieve[DriverBackwardAccelOverride]. *)
+let g6 =
+  Kaos.Goal.achieve "DriverBackwardAccelOverride"
+    ~informal:
+      "If the vehicle is moving backward, the driver is applying the brake \
+       or throttle pedal, and a subsystem is requesting an acceleration <= 2 \
+       m/s2 (not a hard stop), then the subsystem shall not control vehicle \
+       acceleration."
+    (override_body ~forward:false ~asrc:va_source)
+
+(** Goal 7 — Achieve[DriverSteeringOverride]. *)
+let g7 =
+  Kaos.Goal.achieve "DriverSteeringOverride"
+    ~informal:
+      "If the driver is turning the steering wheel, then no subsystem shall \
+       control vehicle steering."
+    (steering_override_body ~ssrc:vst_source)
+
+(** Goal 8 — Achieve[ForwardBlockAccelSteering]. *)
+let g8 =
+  Kaos.Goal.achieve "ForwardBlockAccelSteering"
+    ~informal:
+      "If the vehicle is moving forward, then the subsystem RCA shall not \
+       control vehicle acceleration or steering."
+    (forward_block_body ~asrc:va_source ~ssrc:vst_source)
+
+(** Goal 9 — Achieve[BackwardBlockAccelSteering]. *)
+let g9 =
+  Kaos.Goal.achieve "BackwardBlockAccelSteering"
+    ~informal:
+      "If the vehicle is moving backward, then the subsystems CA, ACC, and \
+       LCA shall not control vehicle acceleration or steering."
+    (backward_block_body ~asrc:va_source ~ssrc:vst_source)
+
+(** All nine goals in Table 5.3 order. *)
+let all = [ (1, g1); (2, g2); (3, g3); (4, g4); (5, g5); (6, g6); (7, g7); (8, g8); (9, g9) ]

@@ -1,0 +1,225 @@
+(** The ICPA of the nine vehicle safety goals (Appendix C, Figs. C.1–C.38),
+    assembled into {!Icpa.Table} values.
+
+    Goal coverage (§5.3): goals 1–2 and 4–9 use a *redundant responsibility*
+    assignment — the Arbiter, as the final source of acceleration and
+    steering commands, is primary; the feature subsystems are secondary,
+    protecting against single-point Arbiter selection failures. Goal 3 uses
+    *single responsibility* (Arbiter only): maintaining the arbitration
+    priority logic in every feature subsystem is impractical in a
+    distributed development environment. Every goal's scope is restrictive:
+    worst-case actuation delays throughout, and OR-reduction on the feature
+    subgoals (always limit requests, not only when they are selected). *)
+
+open Tl
+open Signals
+
+let relationships_accel =
+  [
+    Icpa.Table.relationship ~number:1
+      ~comment:
+        "The vehicle acceleration follows the arbiter's acceleration command \
+         through the powertrain/brake actuation response (worst-case delay \
+         ~0.2 s, with rebound overshoot)"
+      Formula.tt;
+    Icpa.Table.relationship ~number:2
+      ~comment:
+        "The arbiter's acceleration command equals the selected source's \
+         acceleration request (feature subsystems or driver pedals)"
+      Formula.tt;
+    Icpa.Table.relationship ~number:3
+      ~comment:
+        "A feature subsystem influences the acceleration command only when \
+         active and requesting; the arbiter selects the highest-priority \
+         requesting feature (CA > RCA > PA > LCA > ACC)"
+      Formula.tt;
+    Icpa.Table.relationship ~number:4
+      ~comment:"LCA's longitudinal control is performed by ACC (shared requests)"
+      Formula.tt;
+  ]
+
+let relationships_steer =
+  [
+    Icpa.Table.relationship ~number:5
+      ~comment:
+        "Vehicle steering follows the arbiter's steering command through the \
+         steering actuator"
+      Formula.tt;
+    Icpa.Table.relationship ~number:6
+      ~comment:
+        "The arbiter's steering command is arbitrated separately from \
+         acceleration, over the features requesting steering (LCA, PA)"
+      Formula.tt;
+  ]
+
+let accel_row variable =
+  {
+    Icpa.Table.variable;
+    subsystems = [ "Arbiter"; "CA"; "RCA"; "ACC"; "LCA"; "PA"; "Driver"; "Powertrain" ];
+    subsystem_variables =
+      [
+        (accel_cmd, "arbiter acceleration command");
+        (accel_req "CA", "CA acceleration request (likewise per feature)");
+        (req_accel "CA", "CA requesting-acceleration flag (likewise per feature)");
+        (throttle_pedal, "driver throttle pedal");
+        (brake_pedal, "driver brake pedal");
+      ];
+    relationships = relationships_accel;
+  }
+
+let steer_row variable =
+  {
+    Icpa.Table.variable;
+    subsystems = [ "Arbiter"; "LCA"; "PA"; "Driver"; "SteeringActuator" ];
+    subsystem_variables =
+      [
+        (steer_cmd, "arbiter steering command");
+        (steer_req "LCA", "LCA steering request (likewise for PA)");
+        (steering_wheel_active, "driver steering-wheel activity");
+      ];
+    relationships = relationships_steer;
+  }
+
+(* LCA shares acceleration requests with ACC, so it carries no secondary
+   subgoal of its own for the acceleration goals (§5.3.2). *)
+let redundant_with secondary =
+  Icpa.Coverage.make
+    ~assignment:
+      (Icpa.Coverage.Redundant_responsibility { primary = [ "Arbiter" ]; secondary })
+    ~scope:
+      (Icpa.Coverage.Restrictive
+         "Worst-case actuation delays; feature subgoals use OR-reduction \
+          (requests are always limited, not only when selected).")
+
+let redundant = redundant_with Monitors.accel_features
+
+let single =
+  Icpa.Coverage.make
+    ~assignment:(Icpa.Coverage.Single_responsibility "Arbiter")
+    ~scope:
+      (Icpa.Coverage.Restrictive
+         "Maintaining arbitration logic in every feature subsystem is \
+          impractical in distributed development; worst-case actuation \
+          delays.")
+
+let elab ?(uses = [ 1; 2; 3 ]) tactic (g : Kaos.Goal.t) =
+  { Icpa.Table.derived = g.Kaos.Goal.formal; uses; tactic }
+
+let sub ~subsystem ~controls ~observes goal =
+  { Icpa.Table.subsystem; controls; observes; goal }
+
+let arbiter_sub goal =
+  sub ~subsystem:"Arbiter" ~controls:[ accel_cmd; accel_source; steer_cmd; steer_source ]
+    ~observes:
+      (List.concat_map (fun f -> [ accel_req f; req_accel f; active f ]) features
+      @ [ throttle_pedal; brake_pedal; host_speed ])
+    goal
+
+let feature_sub f goal =
+  sub ~subsystem:f
+    ~controls:[ accel_req f; req_accel f; steer_req f; req_steer f ]
+    ~observes:[ host_speed; object_detected; hmi_go; throttle_pedal ]
+    goal
+
+let accel_feature_subs mk = List.map (fun f -> feature_sub f (mk f)) Monitors.accel_features
+
+(** One table per system goal, in Table 5.3 / Appendix C order. *)
+let tables : (int * Icpa.Table.t) list =
+  [
+    ( 1,
+      Icpa.Table.make ~goal:Goals.g1
+        ~rows:[ accel_row host_accel ]
+        ~strategy:redundant
+        ~elaboration:
+          [
+            elab "introduce actuation goal (acceleration follows command)" Subgoals.a1;
+            elab "OR-reduction: always limit feature requests" (Subgoals.b1 "CA");
+          ]
+        ~subgoals:(arbiter_sub Subgoals.a1 :: accel_feature_subs Subgoals.b1) );
+    ( 2,
+      Icpa.Table.make ~goal:Goals.g2
+        ~rows:[ accel_row host_jerk ]
+        ~strategy:redundant
+        ~elaboration:
+          [
+            elab "introduce actuation goal (jerk follows command jerk)" Subgoals.a2;
+            elab "OR-reduction: always limit feature request jerk" (Subgoals.b2 "CA");
+          ]
+        ~subgoals:(arbiter_sub Subgoals.a2 :: accel_feature_subs Subgoals.b2) );
+    ( 3,
+      Icpa.Table.make ~goal:Goals.g3
+        ~rows:[ accel_row va_source; steer_row vst_source ]
+        ~strategy:single
+        ~elaboration:
+          [ elab ~uses:[ 2; 3; 6 ] "single responsibility at the arbiter" Subgoals.a3 ]
+        ~subgoals:[ arbiter_sub Subgoals.a3 ] );
+    ( 4,
+      Icpa.Table.make ~goal:Goals.g4
+        ~rows:[ accel_row host_accel ]
+        ~strategy:redundant
+        ~elaboration:
+          [
+            elab "split by case (command non-positive from stop)" Subgoals.a4;
+            elab "OR-reduction on feature requests from stop" (Subgoals.b4 "CA");
+          ]
+        ~subgoals:(arbiter_sub Subgoals.a4 :: accel_feature_subs Subgoals.b4) );
+    ( 5,
+      Icpa.Table.make ~goal:Goals.g5
+        ~rows:[ accel_row va_source ]
+        ~strategy:redundant
+        ~elaboration:
+          [
+            elab "introduce accuracy goal (selection reflects override)" Subgoals.a5;
+            elab "restrictive: features withdraw requests entirely" (Subgoals.b5 "ACC");
+          ]
+        ~subgoals:(arbiter_sub Subgoals.a5 :: accel_feature_subs Subgoals.b5) );
+    ( 6,
+      Icpa.Table.make ~goal:Goals.g6
+        ~rows:[ accel_row va_source ]
+        ~strategy:redundant
+        ~elaboration:
+          [
+            elab "introduce accuracy goal (selection reflects override)" Subgoals.a6;
+            elab "restrictive: features withdraw requests entirely" (Subgoals.b6 "RCA");
+          ]
+        ~subgoals:(arbiter_sub Subgoals.a6 :: accel_feature_subs Subgoals.b6) );
+    ( 7,
+      Icpa.Table.make ~goal:Goals.g7
+        ~rows:[ steer_row vst_source ]
+        ~strategy:(redundant_with Monitors.steer_features)
+        ~elaboration:
+          [
+            elab ~uses:[ 5; 6 ] "introduce accuracy goal (steering selection)" Subgoals.a7;
+            elab ~uses:[ 5; 6 ] "restrictive: features withdraw steering requests"
+              (Subgoals.b7 "LCA");
+          ]
+        ~subgoals:
+          (arbiter_sub Subgoals.a7
+          :: List.map (fun f -> feature_sub f (Subgoals.b7 f)) Monitors.steer_features) );
+    ( 8,
+      Icpa.Table.make ~goal:Goals.g8
+        ~rows:[ accel_row va_source; steer_row vst_source ]
+        ~strategy:(redundant_with [ "RCA" ])
+        ~elaboration:
+          [
+            elab ~uses:[ 2; 3; 6 ] "split by case on motion direction" Subgoals.a8;
+            elab ~uses:[ 3 ] "restrictive: RCA never requests in forward motion" Subgoals.b8;
+          ]
+        ~subgoals:[ arbiter_sub Subgoals.a8; feature_sub "RCA" Subgoals.b8 ] );
+    ( 9,
+      Icpa.Table.make ~goal:Goals.g9
+        ~rows:[ accel_row va_source; steer_row vst_source ]
+        ~strategy:(redundant_with [ "CA"; "ACC"; "LCA" ])
+        ~elaboration:
+          [
+            elab ~uses:[ 2; 3; 6 ] "split by case on motion direction" Subgoals.a9;
+            elab ~uses:[ 3 ]
+              "restrictive: CA/ACC/LCA never request in backward motion"
+              (Subgoals.b9 "CA");
+          ]
+        ~subgoals:
+          (arbiter_sub Subgoals.a9
+          :: List.map (fun f -> feature_sub f (Subgoals.b9 f)) [ "CA"; "ACC"; "LCA" ]) );
+  ]
+
+let table n = List.assoc n tables

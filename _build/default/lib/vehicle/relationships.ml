@@ -1,0 +1,267 @@
+(** The formal indirect control relationships of the vehicle ICPA
+    (Appendix C): the critical assumptions each goal decomposition relies
+    on, written as monitorable temporal-logic formulas.
+
+    Unlike the elevator's relationships (which feed the model checker), the
+    vehicle's are validated *empirically*: they are monitored over every
+    evaluation scenario, and the seeded defects show up as violations of
+    exactly the assumptions they break — the thesis's "as the development
+    cycle progresses, changes to the design can be checked against the
+    critical assumptions to determine if those changes impact the safety
+    subgoals" (§4.3), mechanized. *)
+
+open Tl
+open Signals
+
+type t = {
+  number : int;
+  name : string;
+  formal : Formula.t;
+  comment : string;
+  broken_by : string list;
+      (** names of the {!Defects} fields expected to violate this
+          assumption at run time *)
+}
+
+let actuation_settle = 0.5 (* s: worst-case powertrain/brake settling time *)
+let arbitration_settle = 0.35 (* s: selection debounce + override + latch *)
+
+(** R1 — the physical plant tracks the arbiter's command: whenever the
+    command has been (approximately) constant for the settling time, the
+    measured acceleration is within a tolerance band of it. *)
+let r1_accel_follows_command =
+  let err = Term.Abs (Term.Sub (fvar host_accel, fvar accel_cmd)) in
+  let cmd_steady =
+    (* |cmd jerk| small for the settling window *)
+    Formula.prev_for actuation_settle
+      (Formula.le (Term.Abs (fvar accel_cmd_jerk)) (Term.float 1.0))
+  in
+  (* The derived jerk signal is one state delayed, so a command step is not
+     yet visible in the premise at the step state itself: tolerate a single
+     state of tracking error. *)
+  let tracks = Formula.le err (Term.float 0.5) in
+  {
+    number = 1;
+    name = "AccelerationFollowsCommand";
+    formal =
+      Formula.entails cmd_steady
+        (Formula.disj
+           [ tracks; Formula.prev tracks; Formula.prev (Formula.prev tracks) ]);
+    comment =
+      "Vehicle acceleration follows the arbiter's command through the \
+       powertrain/brake response: a command steady for the settling time is \
+       tracked within 0.5 m/s2.";
+    broken_by = [ "powertrain_creep_on_engage" ];
+  }
+
+(** R2 — the command equals the selected source's request: whenever a
+    feature has been the acceleration source continuously, the command
+    equals that feature's (previous-state) request. *)
+let r2_command_equals_request =
+  let per_feature f =
+    let tracks =
+      Formula.le
+        (Term.Abs (Term.Sub (fvar accel_cmd, fvar (accel_req f))))
+        (Term.float 0.05)
+    in
+    Formula.implies
+      (Formula.and_ (source_is accel_source f)
+         (Formula.prev (source_is accel_source f)))
+      (* the command lags the request by one state; tolerate request steps *)
+      (Formula.or_ tracks (Formula.prev tracks))
+  in
+  {
+    number = 2;
+    name = "CommandEqualsSelectedRequest";
+    formal = Formula.always (Formula.conj (List.map per_feature features));
+    comment =
+      "The arbiter's acceleration command equals the selected feature's \
+       acceleration request.";
+    broken_by = [ "arbiter_steering_priority_reversed"; "pa_command_mismatch" ];
+  }
+
+(** R3 — only active, requesting features are selected. *)
+let r3_selection_requires_requesting =
+  let per_feature f =
+    Formula.implies
+      (source_is accel_source f)
+      (Formula.prev (Formula.and_ (Formula.bvar (active f)) (Formula.bvar (req_accel f))))
+  in
+  {
+    number = 3;
+    name = "SelectionRequiresRequesting";
+    formal = Formula.always (Formula.conj (List.map per_feature features));
+    comment =
+      "A feature is the acceleration source only while active and \
+       requesting acceleration (one state earlier).";
+    broken_by = [];
+  }
+
+(** R4 — the flag-derived attribution agrees with the command source once
+    arbitration has settled. *)
+let r4_attribution_agrees =
+  let agree = Formula.eq (fvar va_source) (fvar accel_source) in
+  {
+    number = 4;
+    name = "AttributionAgreesWithSource";
+    formal = Formula.entails (Formula.prev_for arbitration_settle agree) agree;
+    comment =
+      "The externally visible 'selected'-flag attribution agrees with the \
+       arbiter's command source (modulo the settling window).";
+    broken_by = [ "arbiter_selected_latch"; "arbiter_dual_selected" ];
+  }
+
+(** R5 — priority: CA preempts every other requesting feature once the
+    selection debounce has passed. *)
+let r5_ca_priority =
+  {
+    number = 5;
+    name = "CaHasPriority";
+    formal =
+      Formula.entails
+        (Formula.prev_for 0.1
+           (Formula.and_ (Formula.bvar (active "CA")) (Formula.bvar (req_accel "CA"))))
+        (Formula.disj
+           [ source_is accel_source "CA"; Formula.var_is accel_source "Driver" ]);
+    comment =
+      "A CA request outstanding past the selection debounce is either \
+       selected or overridden by the driver — no lower-priority feature \
+       holds the source.";
+    broken_by = [];
+  }
+
+(** R6 — the steering command follows the steering winner's request. *)
+let r6_steer_follows_winner =
+  let per_feature f =
+    Formula.implies
+      (Formula.and_ (source_is steer_source f) (Formula.prev (source_is steer_source f)))
+      (Formula.le
+         (Term.Abs (Term.Sub (fvar steer_cmd, fvar (steer_req f))))
+         (Term.float 0.05))
+  in
+  {
+    number = 6;
+    name = "SteeringFollowsWinner";
+    formal =
+      Formula.always (Formula.conj (List.map per_feature [ "LCA"; "PA" ]));
+    comment = "The steering command equals the steering winner's request.";
+    broken_by = [ "lca_steering_ignored" ];
+  }
+
+(** R7 — standstill hold: a stopped vehicle with a non-positive command does
+    not move. *)
+let r7_standstill_hold =
+  {
+    number = 7;
+    name = "StandstillHold";
+    formal =
+      Formula.entails
+        (Formula.conj
+           [
+             Formula.once_within 0.5 stopped;
+             Formula.prev_for 0.5 (Formula.le (fvar accel_cmd) (Term.float 0.05));
+             Formula.le (fvar accel_cmd) (Term.float 0.05);
+             Formula.var_is gear "D";
+           ])
+        (Formula.not_ in_backward_motion);
+    comment =
+      "In drive, a vehicle at standstill under a non-positive command is \
+       held by the brakes and cannot move backward.";
+    broken_by = [ "acc_no_standstill_clamp" ];
+  }
+
+(** R8 — features request only in their operating direction: CA/ACC/LCA
+    forward, RCA backward (§5.2.3). *)
+let r8_direction_discipline =
+  {
+    number = 8;
+    name = "DirectionDiscipline";
+    formal =
+      (* sustained motion (100 ms), so a centimetre-scale brake-release
+         rollback does not count as driving backward *)
+      Formula.always
+        (Formula.conj
+           [
+             Formula.implies
+               (Formula.prev_for 0.1 in_backward_motion)
+               (Formula.conj
+                  (List.map
+                     (fun f -> Formula.not_ (Formula.bvar (req_accel f)))
+                     [ "CA"; "ACC"; "LCA" ]));
+             Formula.implies
+               (Formula.prev_for 0.1 in_forward_motion)
+               (Formula.not_ (Formula.bvar (req_accel "RCA")));
+           ]);
+    comment = "Features only request control in their designed direction of motion.";
+    broken_by = [ "acc_no_gear_check" ];
+  }
+
+(** R9 — inactive features do not emit acceleration requests. *)
+let r9_inactive_features_quiet =
+  let per_feature f =
+    Formula.implies
+      (Formula.not_ (Formula.bvar (active f)))
+      (Formula.le (Term.Abs (fvar (accel_req f))) (Term.float 0.01))
+  in
+  {
+    number = 9;
+    name = "InactiveFeaturesQuiet";
+    formal =
+      (* LCA mirrors ACC's request by design (§5.3.2), so it is exempt. *)
+      Formula.always
+        (Formula.conj
+           (List.map per_feature [ "CA"; "RCA"; "ACC"; "PA" ]));
+    comment = "A feature that is not active emits no acceleration request.";
+    broken_by = [ "pa_ghost_requests"; "acc_controls_when_disengaged" ];
+  }
+
+(** R10 — engaged braking is not abandoned: once CA requests a hard brake
+    toward a detected object, it keeps requesting until the vehicle stops
+    or the object clears. *)
+let r10_braking_continuity =
+  {
+    number = 10;
+    name = "BrakingContinuity";
+    formal =
+      Formula.entails
+        (Formula.conj
+           [
+             Formula.prev (Formula.bvar (active "CA"));
+             Formula.prev (Formula.not_ stopped);
+             Formula.prev (Formula.bvar object_detected);
+             Formula.prev (Formula.gt (fvar object_closing_speed) (Term.float 0.1));
+             (* …and the collision is imminent: a correct CA may stand down
+                once the time-to-collision is ample again *)
+             Formula.prev
+               (Formula.lt (fvar object_range)
+                  (Term.Mul (Term.float 3.0, fvar object_closing_speed)));
+           ])
+        (Formula.bvar (active "CA"));
+    comment =
+      "CA stays engaged while the vehicle still closes on a detected \
+       object — a hard brake is not cancelled mid-approach.";
+    broken_by = [ "ca_no_hysteresis"; "radar_min_range_dropout" ];
+  }
+
+let all =
+  [
+    r1_accel_follows_command;
+    r2_command_equals_request;
+    r3_selection_requires_requesting;
+    r4_attribution_agrees;
+    r5_ca_priority;
+    r6_steer_follows_winner;
+    r7_standstill_hold;
+    r8_direction_discipline;
+    r9_inactive_features_quiet;
+    r10_braking_continuity;
+  ]
+
+(** [check trace] — monitor every critical assumption over a scenario
+    trace; returns (relationship, violation intervals). *)
+let check (trace : Trace.t) =
+  List.map
+    (fun r ->
+      let ok = Rtmon.Incremental.run_trace r.formal trace in
+      (r, Rtmon.Violation.of_series ~dt:(Trace.dt trace) ok))
+    all

@@ -1,0 +1,93 @@
+(** Signal naming conventions and shared formula fragments for the
+    semi-autonomous automotive system (Fig. 5.1).
+
+    Feature subsystems are identified by the symbols ["CA"], ["RCA"],
+    ["ACC"], ["LCA"], ["PA"]; the arbiter's source tags additionally use
+    ["Driver"] and ["None"]. *)
+
+open Tl
+
+let features = [ "CA"; "RCA"; "ACC"; "LCA"; "PA" ]
+
+let lc = String.lowercase_ascii
+
+(* Per-feature outputs *)
+let active f = lc f ^ "_active"
+let accel_req f = lc f ^ "_accel_req"
+let accel_req_jerk f = lc f ^ "_accel_req_jerk"
+let req_accel f = lc f ^ "_req_accel"  (* requesting-acceleration flag *)
+let steer_req f = lc f ^ "_steer_req"
+let req_steer f = lc f ^ "_req_steer"
+let enabled f = lc f ^ "_enabled"
+let selected f = lc f ^ "_selected"
+
+(* Arbiter outputs. The arbiter exposes *two* attribution signals per axis:
+   the immediate command source ([accel_source]/[steer_source]) and the
+   flag-derived attribution ([va_source]/[vst_source]) built from the
+   'selected' flags, which the latch defect can hold past the actual source
+   change (§5.3.2). Vehicle-level goals see the flag-derived attribution —
+   the only one observable outside the arbiter — while arbiter subgoals see
+   the immediate source. *)
+let accel_cmd = "accel_cmd"
+let accel_cmd_jerk = "accel_cmd_jerk"
+let accel_source = "accel_source"
+let steer_cmd = "steer_cmd"
+let steer_source = "steer_source"
+let va_source = "va_source"
+let vst_source = "vst_source"
+let driver_selected = "driver_selected"
+
+(* Driver / HMI inputs *)
+let throttle_pedal = "throttle_pedal"
+let brake_pedal = "brake_pedal"
+let steering_wheel_active = "steering_wheel_active"
+let hmi_go = "hmi_go"
+let gear = "gear"  (* "D" | "R" *)
+let acc_set_speed = "acc_set_speed"
+let engage_request f = "hmi_" ^ lc f ^ "_engage"
+
+(* Plant / sensors *)
+let host_pos = "host_pos"
+let host_speed = "host_speed"
+let host_accel = "host_accel"
+let host_jerk = "host_jerk"
+let lead_pos = "lead_pos"
+let lead_speed = "lead_speed"
+let rear_pos = "rear_pos"
+let object_detected = "object_detected"
+let object_range = "object_range"
+let object_closing_speed = "object_closing_speed"
+let rear_object_detected = "rear_object_detected"
+let rear_range = "rear_range"
+let collision = "collision"
+
+(* ------------------------------------------------------------------ *)
+(* Formula fragments shared by the goals of Tables 5.1–5.2.            *)
+
+let fvar = Term.var
+
+(** IsSubsystem(source): the source tag names a feature subsystem. *)
+let is_subsystem source_var =
+  Formula.disj (List.map (fun f -> Formula.var_is source_var f) features)
+
+let source_is source_var f = Formula.var_is source_var f
+
+(** Pedal application uses a 5% dead band. *)
+let throttle_applied = Formula.gt (fvar throttle_pedal) (Term.float 0.05)
+let brake_applied = Formula.gt (fvar brake_pedal) (Term.float 0.05)
+
+let stopped = Formula.lt (Term.Abs (fvar host_speed)) (Term.float 0.01)
+
+(* Directed motion uses a wider dead band than [stopped]: centimetre-scale
+   rollback during a brake release is not "backward motion" in the sense of
+   goals 6, 8 and 9. *)
+let in_forward_motion = Formula.gt (fvar host_speed) (Term.float 0.05)
+let in_backward_motion = Formula.lt (fvar host_speed) (Term.float (-0.05))
+let is_accelerating = Formula.gt (fvar host_accel) (Term.float 0.1)
+
+(* Thresholds of Tables 5.1–5.2 *)
+let accel_limit = 2.0  (* m/s^2 *)
+let jerk_limit = 2.5  (* m/s^3 *)
+let hard_brake = -2.0  (* m/s^2: requests at or below this are emergency stops *)
+let stopped_time = 0.3  (* s: StoppedTime *)
+let go_time = 0.5  (* s: GoTime *)

@@ -1,0 +1,150 @@
+(** ICPA-derived subsystem subgoals for the nine vehicle safety goals
+    (Table 5.3, Appendix C).
+
+    Arbiter subgoals ([nA]) mirror the system goal on the *command* the
+    Arbiter directly controls. Feature subgoals ([nB]) are restrictive
+    OR-reductions on the feature's *requests*: "it is simpler to always
+    prohibit the subsystems from requesting excessive vehicle acceleration
+    or jerk, rather than prohibiting it only when those requests are used to
+    control vehicle acceleration" (§5.3).
+
+    LCA shares acceleration requests with ACC, so LCA carries no
+    acceleration-request subgoals of its own (§5.3.2). *)
+
+open Tl
+open Signals
+
+(* --------------------------- Arbiter (nA) --------------------------- *)
+
+let a1 =
+  Kaos.Goal.achieve "AutoAccelCommandBelowThreshold"
+    ~informal:"The acceleration command from a subsystem shall not exceed 2 m/s2."
+    (Formula.entails (is_subsystem accel_source)
+       (Formula.le (fvar accel_cmd) (Term.float accel_limit)))
+
+let a2 =
+  Kaos.Goal.achieve "AutoJerkCommandBelowThreshold"
+    ~informal:"The jerk of a subsystem acceleration command shall not exceed 2.5 m/s3."
+    (Formula.entails (is_subsystem accel_source)
+       (Formula.le (fvar accel_cmd_jerk) (Term.float jerk_limit)))
+
+let a3 =
+  Kaos.Goal.achieve "SubsystemAccelSteeringCommandAgreement"
+    ~informal:"The arbiter shall not mix acceleration and steering control sources."
+    (Goals.g3_body ~asrc:accel_source ~ssrc:steer_source)
+
+let a4 =
+  Kaos.Goal.achieve "NoAutoAccelCommandFromStop"
+    ~informal:
+      "From a stop, without throttle or go signal, a subsystem acceleration \
+       command shall not be positive."
+    (Formula.entails
+       (Goals.g4_premise ~asrc:accel_source)
+       (Formula.le (fvar accel_cmd) (Term.float 0.)))
+
+let a5 =
+  Kaos.Goal.achieve "DriverForwardAccelOverrideAccelCommand"
+    ~informal:"Pedal application shall deselect subsystem acceleration commands."
+    (Goals.override_body ~forward:true ~asrc:accel_source)
+
+let a6 =
+  Kaos.Goal.achieve "DriverBackwardAccelOverrideAccelCommand"
+    ~informal:"Pedal application shall deselect subsystem acceleration commands."
+    (Goals.override_body ~forward:false ~asrc:accel_source)
+
+let a7 =
+  Kaos.Goal.achieve "DriverSteeringOverrideSteeringCommand"
+    ~informal:"Steering wheel activity shall deselect subsystem steering commands."
+    (Goals.steering_override_body ~ssrc:steer_source)
+
+let a8 =
+  Kaos.Goal.achieve "ForwardBlockAccelSteeringCommand"
+    ~informal:"In forward motion the arbiter shall not select RCA."
+    (Goals.forward_block_body ~asrc:accel_source ~ssrc:steer_source)
+
+let a9 =
+  Kaos.Goal.achieve "BackwardBlockAccelSteeringCommand"
+    ~informal:"In backward motion the arbiter shall not select CA, ACC or LCA."
+    (Goals.backward_block_body ~asrc:accel_source ~ssrc:steer_source)
+
+(* --------------------------- Features (nB) --------------------------- *)
+
+(** 1B: Maintain[AutoAccelRequestBelowThreshold] — restrictive
+    OR-reduction: requests are always bounded. *)
+let b1 f =
+  Kaos.Goal.maintain
+    (Fmt.str "AutoAccelRequestBelowThreshold.%s" f)
+    ~informal:(Fmt.str "%s shall never request acceleration above 2 m/s2." f)
+    (Formula.always (Formula.le (fvar (accel_req f)) (Term.float accel_limit)))
+
+(** 2B: Maintain[AutoJerkRequestBelowThreshold]. *)
+let b2 f =
+  Kaos.Goal.maintain
+    (Fmt.str "AutoJerkRequestBelowThreshold.%s" f)
+    ~informal:(Fmt.str "%s request jerk shall never exceed 2.5 m/s3." f)
+    (Formula.always (Formula.le (fvar (accel_req_jerk f)) (Term.float jerk_limit)))
+
+(** 4B: Achieve[NoAutoAccelRequestFromStop]. *)
+let b4 f =
+  Kaos.Goal.achieve
+    (Fmt.str "NoAutoAccelRequestFromStop.%s" f)
+    ~informal:
+      (Fmt.str
+         "%s shall not request positive acceleration from a stop without a \
+          go signal or throttle."
+         f)
+    (Formula.entails
+       (Formula.conj
+          [
+            Formula.prev_for stopped_time stopped;
+            Formula.not_ (Formula.once_within go_time (Formula.rose throttle_applied));
+            Formula.not_ (Formula.once_within go_time (Formula.bvar hmi_go));
+          ])
+       (Formula.le (fvar (accel_req f)) (Term.float 0.)))
+
+(** 5B/6B: Achieve[Driver{Forward,Backward}AccelOverrideAccelRequest] —
+    restrictive: the feature must withdraw its request entirely. *)
+let b5 f =
+  Kaos.Goal.achieve
+    (Fmt.str "DriverForwardAccelOverrideAccelRequest.%s" f)
+    ~informal:(Fmt.str "%s shall withdraw non-emergency requests under pedal override." f)
+    (Formula.entails
+       (Goals.override_premise ~forward:true f)
+       (Formula.not_ (Formula.bvar (req_accel f))))
+
+let b6 f =
+  Kaos.Goal.achieve
+    (Fmt.str "DriverBackwardAccelOverrideAccelRequest.%s" f)
+    ~informal:(Fmt.str "%s shall withdraw non-emergency requests under pedal override." f)
+    (Formula.entails
+       (Goals.override_premise ~forward:false f)
+       (Formula.not_ (Formula.bvar (req_accel f))))
+
+(** 7B: Achieve[DriverSteeringOverrideSteeringRequest]. *)
+let b7 f =
+  Kaos.Goal.achieve
+    (Fmt.str "DriverSteeringOverrideSteeringRequest.%s" f)
+    ~informal:(Fmt.str "%s shall withdraw steering requests when the driver steers." f)
+    (Formula.entails
+       (Formula.and_ (Formula.prev (Formula.bvar steering_wheel_active))
+          (Formula.bvar (active f)))
+       (Formula.not_ (Formula.bvar (req_steer f))))
+
+(** 8B: RCA shall not request control in forward motion. *)
+let b8 =
+  Kaos.Goal.achieve "ForwardBlockAccelSteeringRequest.RCA"
+    ~informal:"RCA shall not request acceleration or steering in forward motion."
+    (Formula.entails
+       (Formula.prev in_forward_motion)
+       (Formula.not_
+          (Formula.or_ (Formula.bvar (req_accel "RCA")) (Formula.bvar (req_steer "RCA")))))
+
+(** 9B: CA/ACC/LCA shall not request control in backward motion. *)
+let b9 f =
+  Kaos.Goal.achieve
+    (Fmt.str "BackwardBlockAccelSteeringRequest.%s" f)
+    ~informal:(Fmt.str "%s shall not request control in backward motion." f)
+    (Formula.entails
+       (Formula.prev in_backward_motion)
+       (Formula.not_
+          (Formula.or_ (Formula.bvar (req_accel f)) (Formula.bvar (req_steer f)))))

@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Compose Fmt Formula Kaos List QCheck QCheck_alcotest Rtmon Tl

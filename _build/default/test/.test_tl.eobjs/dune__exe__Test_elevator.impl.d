@@ -1,0 +1,1 @@
+test/test_elevator.ml: Alcotest Array Elevator Float Fun Icpa List Mc Rtmon Sim State Tl Trace Value

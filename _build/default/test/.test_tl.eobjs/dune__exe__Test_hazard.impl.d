@@ -1,0 +1,1 @@
+test/test_hazard.ml: Alcotest Fmt Hazard List Scenarios String Tl

@@ -1,0 +1,1 @@
+test/test_icpa.ml: Alcotest Compose Elevator Fmt Formula Icpa Kaos List Mc Option String Tl Vehicle

@@ -1,0 +1,1 @@
+test/test_kaos.ml: Alcotest Compose Elevator Eval Fmt Formula Kaos List State Term Tl Trace Value

@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Formula List Mc State Term Tl Value

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Elevator Float Formula Kaos List Parser QCheck QCheck_alcotest Term Tl Vehicle

@@ -1,0 +1,1 @@
+test/test_rtmon.ml: Alcotest Array Eval Fmt Formula List QCheck QCheck_alcotest Rtmon State Tl Trace Value

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Compose Float Fmt Hashtbl List Option Rtmon Scenarios String Tl Vehicle

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Elevator List Sim State Tl Trace Value

@@ -1,0 +1,1 @@
+test/test_tl.ml: Alcotest Array Eval Fmt Formula Fun List Option QCheck QCheck_alcotest State String Term Tl Trace Value

@@ -1,0 +1,1 @@
+test/test_vehicle.ml: Alcotest Eval Float Formula Kaos List QCheck QCheck_alcotest Sim State Tl Trace Value Vehicle

@@ -1,0 +1,211 @@
+(** Tests for the Ch. 3 framework: and-reductions, composability verdicts
+    and witnesses, and run-time composability estimation. *)
+
+open Tl
+
+let v = Formula.bvar
+
+(* ------------------------------------------------------------------ *)
+(* Darimont's and-reduction conditions                                  *)
+
+let test_table_3_1_reductions () =
+  let open Compose.Examples.Table_3_1 in
+  Alcotest.(check bool) "reduction 1 complete" true
+    (Compose.Andred.complete (Compose.Andred.check ~parent:goal reduction_1));
+  Alcotest.(check bool) "reduction 2 complete" true
+    (Compose.Andred.complete (Compose.Andred.check ~parent:goal reduction_2))
+
+let test_minimality_violation () =
+  let open Compose.Examples.Table_3_1 in
+  (* Adding a superfluous subgoal breaks minimality. *)
+  let c = Compose.Andred.check ~parent:goal (reduction_2 @ [ g11 ]) in
+  Alcotest.(check bool) "infers" true c.Compose.Andred.infers_parent;
+  Alcotest.(check bool) "not minimal" false c.Compose.Andred.minimal
+
+let test_consistency_violation () =
+  let parent = Formula.always (v "A") in
+  let c =
+    Compose.Andred.check ~parent
+      [ Formula.always (v "A"); Formula.always (Formula.not_ (v "A")) ]
+  in
+  Alcotest.(check bool) "inconsistent" false c.Compose.Andred.is_consistent
+
+let test_triviality () =
+  let parent = Formula.entails (v "A") (v "B") in
+  let c = Compose.Andred.check ~parent [ parent ] in
+  Alcotest.(check bool) "restatement is trivial" false c.Compose.Andred.nontrivial
+
+let test_partial_completion () =
+  let open Compose.Examples.Table_3_1 in
+  Alcotest.(check bool) "partial completes" true
+    (Compose.Andred.completes_with ~parent:goal ~subgoals:[ g21 ] g22);
+  Alcotest.(check bool) "wrong completion" false
+    (Compose.Andred.completes_with ~parent:goal ~subgoals:[ g21 ] g11)
+
+(* ------------------------------------------------------------------ *)
+(* Composability verdicts (§3.2–3.3)                                    *)
+
+let verdict = Alcotest.of_pp (fun ppf x ->
+    Fmt.string ppf (Compose.Composability.verdict_to_string x))
+
+let test_fully_composable () =
+  let open Compose.Examples.Stop_vehicle in
+  Alcotest.check verdict "Eqs. 3.5-3.6" Compose.Composability.Fully_composable
+    (Compose.Composability.analyze ~parent:goal fully_composable_subgoals)
+      .Compose.Composability.verdict
+
+let test_fully_composable_with_redundancy () =
+  let open Compose.Examples.Stop_vehicle in
+  Alcotest.(check bool) "Eqs. 3.12-3.13" true
+    (Compose.Composability.fully_composable_with_redundancy ~parent:goal
+       [ redundant_subgoals ])
+
+let test_demon_emergence () =
+  let open Compose.Examples.Stop_vehicle in
+  let a =
+    Compose.Composability.analyze ~parent:goal
+      (detection_assumption :: realizable_subgoals)
+  in
+  Alcotest.check verdict "partially composable"
+    Compose.Composability.Partially_composable a.Compose.Composability.verdict;
+  Alcotest.(check bool) "demon witnesses exist" true
+    (a.Compose.Composability.demon_witnesses <> []);
+  (* Every demon witness satisfies the subgoals but violates the parent. *)
+  List.iter
+    (fun tr ->
+      Alcotest.(check bool) "subgoals hold" true
+        (List.for_all
+           (fun g -> Kaos.Patterns.trace_sat tr (Compose.Andred.body g))
+           (detection_assumption :: realizable_subgoals));
+      Alcotest.(check bool) "parent fails" false
+        (Kaos.Patterns.trace_sat tr (Compose.Andred.body goal)))
+    a.Compose.Composability.demon_witnesses
+
+let test_completed_decomposition () =
+  let open Compose.Examples.Stop_vehicle in
+  let a =
+    Compose.Composability.analyze ~parent:goal
+      ((detection_assumption :: realizable_subgoals) @ [ unrealizable_subgoal ])
+  in
+  Alcotest.check verdict "with X resolved" Compose.Composability.Fully_composable
+    a.Compose.Composability.verdict
+
+let test_restrictive_decomposition () =
+  (* □¬ObjectInPath trivially satisfies the parent but forbids acceptable
+     behaviour — restrictive. *)
+  let open Compose.Examples.Stop_vehicle in
+  let a =
+    Compose.Composability.analyze ~parent:goal
+      [ Formula.always (Formula.not_ object_in_path) ]
+  in
+  Alcotest.check verdict "restrictive" Compose.Composability.Restrictive
+    a.Compose.Composability.verdict;
+  Alcotest.(check bool) "restriction witnesses" true
+    (a.Compose.Composability.restriction_witnesses <> [])
+
+let test_composability_measure () =
+  let open Compose.Examples.Stop_vehicle in
+  let full = Compose.Composability.composability ~parent:goal [ fully_composable_subgoals ] in
+  Alcotest.(check (float 1e-9)) "fully composable => 1.0" 1.0 full;
+  let partial =
+    Compose.Composability.composability ~parent:goal
+      [ detection_assumption :: realizable_subgoals ]
+  in
+  Alcotest.(check bool) "partial < 1.0" true (partial < 1.0)
+
+let test_table_3_2_emergence () =
+  let open Compose.Examples.Table_3_2 in
+  (* The achievable weakening of G1_1 under the hidden dependency leaves a
+     demon (A ∧ F states); adding the missing subgoal □¬F removes it. *)
+  let broken = Compose.Composability.analyze ~parent:goal achievable_reduction in
+  Alcotest.(check bool) "X1 unresolved: demon witnesses" true
+    (broken.Compose.Composability.demon_witnesses <> []);
+  let repaired =
+    Compose.Composability.analyze ~parent:goal (achievable_reduction @ [ missing_subgoal ])
+  in
+  Alcotest.(check bool) "X1 resolved: no demon" true
+    (repaired.Compose.Composability.demon_witnesses = [])
+
+(* ------------------------------------------------------------------ *)
+(* Run-time estimation (§3.4)                                           *)
+
+let iv t =
+  { Rtmon.Violation.start_index = 0; length = 1; start_time = t; duration = 0.01 }
+
+let test_runtime_estimate () =
+  let r1 =
+    Rtmon.Report.classify ~window:0.1 ~goal:("G", "V", [ iv 1.0 ])
+      ~subgoals:[ ("S", "A", [ iv 1.02 ]) ]
+  in
+  let r2 =
+    Rtmon.Report.classify ~window:0.1 ~goal:("G", "V", [ iv 3.0 ]) ~subgoals:[]
+  in
+  let est = Compose.Runtime.of_reports [ r1; r2 ] in
+  Alcotest.(check int) "scenarios" 2 est.Compose.Runtime.scenarios;
+  Alcotest.(check int) "hits" 1 est.Compose.Runtime.hits;
+  Alcotest.(check int) "false negatives" 1 est.Compose.Runtime.false_negatives;
+  Alcotest.(check bool) "demon evidence" true (Compose.Runtime.demon_evidence est);
+  Alcotest.(check (float 1e-9)) "coverage" 0.5 (Compose.Runtime.coverage est)
+
+let test_runtime_no_evidence () =
+  let est = Compose.Runtime.of_reports [] in
+  Alcotest.(check bool) "no demon evidence" false (Compose.Runtime.demon_evidence est);
+  Alcotest.(check (float 1e-9)) "vacuous coverage" 1.0 (Compose.Runtime.coverage est)
+
+(* ------------------------------------------------------------------ *)
+(* Property: fully composable verdicts have no witnesses; analyze is
+   consistent with the measure. *)
+
+let gen_prop_formula vars =
+  let open QCheck.Gen in
+  let base = map (fun v -> Formula.bvar v) (oneofl vars) in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then base
+         else
+           frequency
+             [
+               (3, base);
+               (1, map Formula.not_ (self (n - 1)));
+               (1, map2 Formula.and_ (self (n / 2)) (self (n / 2)));
+               (1, map2 Formula.or_ (self (n / 2)) (self (n / 2)));
+             ])
+
+let prop_self_decomposition_not_emergent =
+  (* Any goal decomposed as { itself } has no demon witnesses. *)
+  QCheck.Test.make ~name:"G decomposed by {G} has no demon" ~count:100
+    (QCheck.make (gen_prop_formula [ "A"; "B" ]))
+    (fun body ->
+      let g = Formula.always body in
+      let a = Compose.Composability.analyze ~parent:g [ g ] in
+      a.Compose.Composability.demon_witnesses = []
+      && a.Compose.Composability.restriction_witnesses = [])
+
+let () =
+  Alcotest.run "compose"
+    [
+      ( "andred",
+        [
+          Alcotest.test_case "Table 3.1 reductions" `Quick test_table_3_1_reductions;
+          Alcotest.test_case "minimality" `Quick test_minimality_violation;
+          Alcotest.test_case "consistency" `Quick test_consistency_violation;
+          Alcotest.test_case "triviality" `Quick test_triviality;
+          Alcotest.test_case "partial completion" `Quick test_partial_completion;
+        ] );
+      ( "composability",
+        [
+          Alcotest.test_case "fully composable" `Quick test_fully_composable;
+          Alcotest.test_case "with redundancy" `Quick test_fully_composable_with_redundancy;
+          Alcotest.test_case "demon emergence" `Quick test_demon_emergence;
+          Alcotest.test_case "completed decomposition" `Quick test_completed_decomposition;
+          Alcotest.test_case "restrictive" `Quick test_restrictive_decomposition;
+          Alcotest.test_case "composability measure" `Quick test_composability_measure;
+          Alcotest.test_case "Table 3.2 emergence" `Quick test_table_3_2_emergence;
+          QCheck_alcotest.to_alcotest prop_self_decomposition_not_emergent;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "estimate" `Quick test_runtime_estimate;
+          Alcotest.test_case "no evidence" `Quick test_runtime_no_evidence;
+        ] );
+    ]

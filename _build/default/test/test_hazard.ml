@@ -1,0 +1,109 @@
+(** Tests for the hazard-analysis substrate (FTA/FMEA, §2.2.1). *)
+
+let test_fig_2_2_structure () =
+  let t = Hazard.Fta.fig_2_2 in
+  Alcotest.(check string) "top event" "Unintended sudden acceleration" (Hazard.Fta.name t);
+  Alcotest.(check int) "five basic events" 5 (List.length (Hazard.Fta.basic_events t))
+
+let test_cut_sets () =
+  let cuts = Hazard.Fta.cut_sets Hazard.Fta.fig_2_2 in
+  (* three single-point paths + one AND pair *)
+  Alcotest.(check int) "four minimal cut sets" 4 (List.length cuts);
+  Alcotest.(check bool) "the AND pair is a cut set" true
+    (List.mem
+       [
+         "Higher priority subsystem aborts deceleration";
+         "Lower priority subsystem requests acceleration";
+       ]
+       (List.map (List.sort compare) cuts))
+
+let test_single_points () =
+  let sp = Hazard.Fta.single_points Hazard.Fta.fig_2_2 in
+  Alcotest.(check int) "three single points" 3 (List.length sp);
+  Alcotest.(check bool) "sensor blockage is a single point" true
+    (List.mem "Sensor is blocked" sp);
+  Alcotest.(check bool) "the coordinated pair is not" false
+    (List.mem "Higher priority subsystem aborts deceleration" sp)
+
+let test_absorption () =
+  (* or(e, and(e, f)) has the single minimal cut set {e}. *)
+  let open Hazard.Fta in
+  let t = or_ "top" [ event "e"; and_ "pair" [ event "e"; event "f" ] ] in
+  Alcotest.(check (list (list string))) "absorbed" [ [ "e" ] ] (cut_sets t)
+
+let test_probability () =
+  let open Hazard.Fta in
+  (* single event: p = rate * hours *)
+  let t = event ~rate:1e-3 "e" in
+  Alcotest.(check (float 1e-9)) "linear" 1e-2 (probability ~hours:10. t);
+  (* AND multiplies, OR adds (rare-event) *)
+  let t2 = and_ "both" [ event ~rate:1e-3 "a"; event ~rate:1e-3 "b" ] in
+  Alcotest.(check (float 1e-12)) "and multiplies" 1e-4 (probability ~hours:10. t2);
+  let t3 = or_ "either" [ event ~rate:1e-3 "a"; event ~rate:1e-3 "b" ] in
+  Alcotest.(check (float 1e-9)) "or adds" 2e-2 (probability ~hours:10. t3);
+  (* capped at 1 *)
+  Alcotest.(check (float 0.)) "capped" 1.0
+    (probability ~hours:1e9 (event ~rate:1e-3 "e"))
+
+let test_fmea_query () =
+  let affecting = Hazard.Fmea.components_affecting Hazard.Fmea.fig_2_3 "miss an object" in
+  Alcotest.(check (list string)) "radar found" [ "Long-range radar sensor" ] affecting;
+  Alcotest.(check (list string)) "no match" []
+    (Hazard.Fmea.components_affecting Hazard.Fmea.fig_2_3 "steering runaway")
+
+let test_fmea_render () =
+  let s = Fmt.str "%a" Hazard.Fmea.pp Hazard.Fmea.fig_2_3 in
+  Alcotest.(check bool) "mentions failure modes" true
+    (String.length s > 100
+    &&
+    let contains needle hay =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    contains "False positive" s && contains "False negative" s)
+
+(* The fault-tree AND of Fig. 2.2 is exactly the §5.4 feature-interaction
+   mechanism: the arbiter aborting a deceleration while a lower-priority
+   subsystem requests acceleration. Tie the two reproductions together: in
+   scenario 2 the seeded routing defect realizes that cut set. *)
+let test_fig_2_2_realized_by_scenario_2 () =
+  let o = Scenarios.Runner.run (Scenarios.Defs.get 2) in
+  let tr = o.Scenarios.Runner.trace in
+  (* find a state where CA was braking hard and the command jumped to PA's
+     (non-braking) request: the "aborts deceleration + requests
+     acceleration" conjunction *)
+  let found = ref false in
+  Tl.Trace.iteri
+    (fun i s ->
+      if (not !found) && i > 0 then
+        let prev = Tl.Trace.get tr (i - 1) in
+        let was_braking = Tl.State.float prev "accel_cmd" < -5. in
+        let now_not = Tl.State.float s "accel_cmd" > -0.5 in
+        let pa_active = Tl.State.bool s "pa_active" in
+        if was_braking && now_not && pa_active then found := true)
+    tr;
+  Alcotest.(check bool) "cut set realized" true !found
+
+let () =
+  Alcotest.run "hazard"
+    [
+      ( "fta",
+        [
+          Alcotest.test_case "Fig. 2.2 structure" `Quick test_fig_2_2_structure;
+          Alcotest.test_case "minimal cut sets" `Quick test_cut_sets;
+          Alcotest.test_case "single points" `Quick test_single_points;
+          Alcotest.test_case "absorption" `Quick test_absorption;
+          Alcotest.test_case "probability" `Quick test_probability;
+        ] );
+      ( "fmea",
+        [
+          Alcotest.test_case "Fig. 2.3 query" `Quick test_fmea_query;
+          Alcotest.test_case "render" `Quick test_fmea_render;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "Fig. 2.2 cut set realized in scenario 2" `Slow
+            test_fig_2_2_realized_by_scenario_2;
+        ] );
+    ]

@@ -1,0 +1,298 @@
+(** Tests for the KAOS/GORE layer: goals, agents, realizability, the
+    machine-checked realizability-pattern catalog, and elaboration tactics. *)
+
+open Tl
+
+let a = Formula.bvar "A"
+let b = Formula.bvar "B"
+
+(* ------------------------------------------------------------------ *)
+(* Goals                                                                *)
+
+let test_goal_naming () =
+  let g = Kaos.Goal.achieve "TrainProgress" ~informal:"..." (Formula.entails a b) in
+  Alcotest.(check string) "name" "Achieve[TrainProgress]" g.Kaos.Goal.name;
+  Alcotest.(check string) "category" "Achieve"
+    (Kaos.Goal.category_to_string g.Kaos.Goal.category)
+
+let test_goal_mon_ctrl_defaults () =
+  let g =
+    Kaos.Goal.maintain "X" ~informal:"..."
+      (Formula.entails (Formula.prev a) (Formula.and_ b (Formula.bvar "C")))
+  in
+  Alcotest.(check (list string)) "monitored = past-only vars" [ "A" ] g.Kaos.Goal.monitored;
+  Alcotest.(check (list string)) "controlled = present vars" [ "B"; "C" ]
+    g.Kaos.Goal.controlled
+
+(* ------------------------------------------------------------------ *)
+(* Agents and realizability                                             *)
+
+let ag_mon_a_ctrl_b = Kaos.Agent.make "ag" ~monitors:[ "A" ] ~controls:[ "B" ]
+
+let test_agent_union () =
+  let ag1 = Kaos.Agent.make "x" ~monitors:[ "A" ] ~controls:[ "B" ] in
+  let ag2 = Kaos.Agent.make "y" ~monitors:[ "C" ] ~controls:[ "D" ] in
+  let u = Kaos.Agent.union "xy" [ ag1; ag2 ] in
+  Alcotest.(check bool) "monitors union" true (Kaos.Agent.monitors u "C");
+  Alcotest.(check bool) "controls union" true (Kaos.Agent.controls u "B");
+  Alcotest.(check bool) "observes own output" true (Kaos.Agent.observes u "D")
+
+let realizable = Alcotest.testable (Fmt.any "verdict") (fun x y ->
+    Kaos.Realizability.is_realizable x = Kaos.Realizability.is_realizable y)
+
+let test_realizability_prev_form () =
+  (* ●A ⇒ B with Mon(A), Ctrl(B): realizable (§2.3.2). *)
+  let g =
+    Kaos.Goal.achieve "g" ~informal:"" (Formula.entails (Formula.prev a) b)
+  in
+  Alcotest.check realizable "realizable" Kaos.Realizability.Realizable
+    (Kaos.Realizability.check g ag_mon_a_ctrl_b)
+
+let test_realizability_reference_to_future () =
+  (* A ⇒ B with Mon(A), Ctrl(B): reference to the future (§2.3.2). *)
+  let g = Kaos.Goal.achieve "g" ~informal:"" (Formula.entails a b) in
+  match Kaos.Realizability.check g ag_mon_a_ctrl_b with
+  | Kaos.Realizability.Unrealizable ds ->
+      Alcotest.(check bool) "reference to future" true
+        (List.exists
+           (function Kaos.Realizability.Reference_to_future _ -> true | _ -> false)
+           ds)
+  | Kaos.Realizability.Realizable -> Alcotest.fail "should not be realizable"
+
+let test_realizability_lack_of_monitorability () =
+  let g =
+    Kaos.Goal.achieve "g" ~informal:""
+      (Formula.entails (Formula.prev (Formula.bvar "Z")) b)
+  in
+  match Kaos.Realizability.check g ag_mon_a_ctrl_b with
+  | Kaos.Realizability.Unrealizable ds ->
+      Alcotest.(check bool) "lack of monitorability of Z" true
+        (List.exists
+           (function
+             | Kaos.Realizability.Lack_of_monitorability [ "Z" ] -> true
+             | _ -> false)
+           ds)
+  | Kaos.Realizability.Realizable -> Alcotest.fail "should not be realizable"
+
+let test_realizability_future_operator () =
+  (* Goals containing ♦ are not realizable (§4.5.3). *)
+  let g =
+    Kaos.Goal.achieve "g" ~informal:""
+      (Formula.always (Formula.implies a (Formula.eventually b)))
+  in
+  match Kaos.Realizability.check g (Kaos.Agent.make "god" ~monitors:[ "A"; "B" ] ~controls:[ "A"; "B" ]) with
+  | Kaos.Realizability.Unrealizable ds ->
+      Alcotest.(check bool) "prescience" true
+        (List.exists
+           (function Kaos.Realizability.Reference_to_future _ -> true | _ -> false)
+           ds)
+  | Kaos.Realizability.Realizable -> Alcotest.fail "eventually should be unrealizable"
+
+let test_shared_responsibility_union () =
+  (* Table 4.4's DoorController subgoal needs both observation of drc and
+     control of dmc — realizable by the door controller alone. *)
+  let g = Elevator.Goals.close_door_when_moving_or_moved in
+  let door = Elevator.System.agent "DoorController" in
+  Alcotest.check realizable "door subgoal realizable" Kaos.Realizability.Realizable
+    (Kaos.Realizability.check g door)
+
+(* ------------------------------------------------------------------ *)
+(* Realizability-pattern catalog (Table 4.5 / Appendix B)               *)
+
+let caps l = l
+
+let analyze_ab form_idx ca cb =
+  Kaos.Patterns.analyze (List.nth Kaos.Patterns.forms form_idx) (caps [ ("A", ca); ("B", cb) ])
+
+let test_table_4_5_rows () =
+  let open Kaos.Patterns in
+  (* A ⇒ B: Ctrl/Ctrl realizable; Obs/Ctrl only restrictive □B;
+     Ctrl/Obs only restrictive □¬A. *)
+  (match analyze_ab 0 Controllable Controllable with
+  | Realizable_as _ -> ()
+  | _ -> Alcotest.fail "A=>B Ctrl/Ctrl should be realizable");
+  (match analyze_ab 0 Observable Controllable with
+  | Alternatives [ alt ] ->
+      Alcotest.(check string) "□B alternative" "B" (Formula.to_string alt.alt_body)
+  | _ -> Alcotest.fail "A=>B Obs/Ctrl should have the □B alternative");
+  (match analyze_ab 0 Controllable Observable with
+  | Alternatives [ alt ] ->
+      Alcotest.(check string) "□¬A alternative" "¬A" (Formula.to_string alt.alt_body)
+  | _ -> Alcotest.fail "A=>B Ctrl/Obs should have the □¬A alternative");
+  match analyze_ab 0 Observable Observable with
+  | No_alternative -> ()
+  | _ -> Alcotest.fail "A=>B Obs/Obs should be unrealizable"
+
+let test_prev_antecedent_realizable () =
+  let open Kaos.Patterns in
+  match analyze_ab 1 Observable Controllable with
+  | Realizable_as rep ->
+      Alcotest.(check string) "as stated" "●A → B" (Formula.to_string rep)
+  | _ -> Alcotest.fail "●A=>B Obs/Ctrl should be realizable"
+
+let test_prev_consequent_contrapositive () =
+  (* A ⇒ ●B with Ctrl(A), Obs(B): realizable — operationally the agent
+     observes ●B and sets A accordingly, i.e. the equivalent ¬●B ⇒ ¬A of
+     §4.5.3 ("not restrictive; an equivalent representation"). *)
+  let open Kaos.Patterns in
+  (match analyze_ab 2 Controllable Observable with
+  | Realizable_as _ -> ()
+  | _ -> Alcotest.fail "A=>●B Ctrl/Obs should be realizable");
+  (* the contrapositive is among the equivalent representations offered *)
+  let body = (List.nth forms 2).body in
+  let reps = List.map Formula.to_string (equivalent_reps body) in
+  Alcotest.(check bool) "contrapositive offered" true (List.mem "¬●B → ¬A" reps)
+
+(** The catalog is machine-checked by construction; spot-verify the
+    invariant externally: every alternative entails the parent and is
+    strictly stronger. *)
+let test_catalog_soundness () =
+  List.iter
+    (fun form ->
+      List.iter
+        (fun (row : Kaos.Patterns.row) ->
+          match row.Kaos.Patterns.verdict with
+          | Kaos.Patterns.Alternatives alts ->
+              List.iter
+                (fun (alt : Kaos.Patterns.alternative) ->
+                  Alcotest.(check bool)
+                    (Fmt.str "%s: %a entails parent" form.Kaos.Patterns.form_name
+                       Formula.pp alt.Kaos.Patterns.alt_body)
+                    true
+                    (Kaos.Patterns.entails_on_all_traces form.Kaos.Patterns.form_vars
+                       alt.Kaos.Patterns.alt_body form.Kaos.Patterns.body);
+                  Alcotest.(check bool) "strictly stronger" false
+                    (Kaos.Patterns.entails_on_all_traces form.Kaos.Patterns.form_vars
+                       form.Kaos.Patterns.body alt.Kaos.Patterns.alt_body))
+                alts
+          | _ -> ())
+        (Kaos.Patterns.table form))
+    (List.filteri (fun i _ -> i < 5) Kaos.Patterns.forms)
+
+let test_all_forms_have_tables () =
+  Alcotest.(check int) "fifteen forms" 15 (List.length Kaos.Patterns.forms);
+  List.iter
+    (fun form ->
+      let rows = Kaos.Patterns.table form in
+      let expected =
+        int_of_float (3. ** float_of_int (List.length form.Kaos.Patterns.form_vars))
+      in
+      Alcotest.(check int)
+        (Fmt.str "%s row count" form.Kaos.Patterns.form_name)
+        expected (List.length rows))
+    (List.filteri (fun i _ -> i < 4) Kaos.Patterns.forms)
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration tactics                                                  *)
+
+let entails_traces = Kaos.Patterns.entails_on_all_traces
+
+let test_chaining () =
+  let goal = Formula.entails a b in
+  let r = Kaos.Tactics.split_by_chaining ~milestone:(Formula.bvar "M") goal in
+  Alcotest.(check int) "two subgoals" 2 (List.length r.Kaos.Tactics.subgoals);
+  Alcotest.(check bool) "not restrictive" false r.Kaos.Tactics.restrictive;
+  (* soundness: conjunction of subgoals entails parent *)
+  let conj =
+    Formula.conj (List.map Compose.Andred.body r.Kaos.Tactics.subgoals)
+  in
+  Alcotest.(check bool) "sound" true
+    (entails_traces [ "A"; "B"; "M" ] conj (Compose.Andred.body goal))
+
+let test_case_split () =
+  let goal = Formula.entails a b in
+  let f1 = Formula.bvar "F1" and f2 = Formula.bvar "F2" in
+  let r = Kaos.Tactics.split_by_case ~cases:[ (f1, b); (f2, b) ] goal in
+  Alcotest.(check int) "two subgoals" 2 (List.length r.Kaos.Tactics.subgoals);
+  Alcotest.(check int) "completeness obligation" 1 (List.length r.Kaos.Tactics.obligations);
+  let conj =
+    Formula.conj
+      (List.map Compose.Andred.body (r.Kaos.Tactics.subgoals @ r.Kaos.Tactics.obligations))
+  in
+  Alcotest.(check bool) "sound under obligation" true
+    (entails_traces [ "A"; "B"; "F1"; "F2" ] conj (Compose.Andred.body goal))
+
+let test_accuracy_actuation () =
+  let goal = Formula.entails a b in
+  let r = Kaos.Tactics.introduce_accuracy_actuation ~on:"B" ~replacement:"Bact" goal in
+  let conj =
+    Formula.conj
+      (List.map Compose.Andred.body (r.Kaos.Tactics.subgoals @ r.Kaos.Tactics.obligations))
+  in
+  Alcotest.(check bool) "sound under equivalence" true
+    (entails_traces [ "A"; "B"; "Bact" ] conj (Compose.Andred.body goal))
+
+let test_or_reduce () =
+  let goal = Formula.always (Formula.or_ a (Formula.bvar "X")) in
+  let r = Kaos.Tactics.or_reduce ~keep:a goal in
+  Alcotest.(check bool) "restrictive" true r.Kaos.Tactics.restrictive;
+  Alcotest.(check bool) "sound" true
+    (entails_traces [ "A"; "X" ]
+       (Compose.Andred.body (List.hd r.Kaos.Tactics.subgoals))
+       (Compose.Andred.body goal))
+
+let test_safety_margin () =
+  let goal = Formula.always (Formula.le (Term.var "x") (Term.float 2.0)) in
+  let r = Kaos.Tactics.safety_margin ~margin:0.5 goal in
+  let strengthened = List.hd r.Kaos.Tactics.subgoals in
+  let tr v = Trace.make ~dt:1.0 [ State.of_list [ ("x", Value.Float v) ] ] in
+  Alcotest.(check bool) "1.6 violates margin" false (Eval.holds (tr 1.6) strengthened);
+  Alcotest.(check bool) "1.6 meets parent" true (Eval.holds (tr 1.6) goal);
+  Alcotest.(check bool) "1.4 meets margin" true (Eval.holds (tr 1.4) strengthened)
+
+let test_alarm_response () =
+  let r =
+    Kaos.Tactics.introduce_alarm_response ~hazard_precursor:(Formula.bvar "Hot")
+      ~alarm:(Formula.bvar "Alarm") ~safe:(Formula.bvar "CoolingOn")
+      ~response_time:2.0
+  in
+  Alcotest.(check int) "two subgoals" 2 (List.length r.Kaos.Tactics.subgoals)
+
+(* ------------------------------------------------------------------ *)
+(* Refinement graphs                                                    *)
+
+let test_refinement_graph () =
+  let mk name = Kaos.Goal.maintain name ~informal:"" a in
+  let leaf1 = Kaos.Refinement.leaf ~agent:"CA" (mk "L1") in
+  let leaf2 = Kaos.Refinement.leaf (mk "L2") in
+  let root = Kaos.Refinement.refine (mk "Root") [ [ leaf1; leaf2 ] ] in
+  Alcotest.(check int) "two leaves" 2 (List.length (Kaos.Refinement.leaves root));
+  Alcotest.(check bool) "not fully assigned" false (Kaos.Refinement.fully_assigned root);
+  Alcotest.(check int) "all goals" 3 (List.length (Kaos.Refinement.all_goals root))
+
+let () =
+  Alcotest.run "kaos"
+    [
+      ( "goal",
+        [
+          Alcotest.test_case "naming" `Quick test_goal_naming;
+          Alcotest.test_case "mon/ctrl defaults" `Quick test_goal_mon_ctrl_defaults;
+        ] );
+      ( "realizability",
+        [
+          Alcotest.test_case "agent union" `Quick test_agent_union;
+          Alcotest.test_case "prev form realizable" `Quick test_realizability_prev_form;
+          Alcotest.test_case "reference to future" `Quick test_realizability_reference_to_future;
+          Alcotest.test_case "lack of monitorability" `Quick test_realizability_lack_of_monitorability;
+          Alcotest.test_case "eventually unrealizable" `Quick test_realizability_future_operator;
+          Alcotest.test_case "elevator shared subgoal" `Quick test_shared_responsibility_union;
+        ] );
+      ( "patterns",
+        [
+          Alcotest.test_case "Table 4.5 rows" `Quick test_table_4_5_rows;
+          Alcotest.test_case "prev antecedent" `Quick test_prev_antecedent_realizable;
+          Alcotest.test_case "contrapositive equivalence" `Quick test_prev_consequent_contrapositive;
+          Alcotest.test_case "catalog soundness" `Slow test_catalog_soundness;
+          Alcotest.test_case "form tables complete" `Quick test_all_forms_have_tables;
+        ] );
+      ( "tactics",
+        [
+          Alcotest.test_case "split by chaining" `Quick test_chaining;
+          Alcotest.test_case "split by case" `Quick test_case_split;
+          Alcotest.test_case "introduce accuracy/actuation" `Quick test_accuracy_actuation;
+          Alcotest.test_case "OR reduction" `Quick test_or_reduce;
+          Alcotest.test_case "safety margin" `Quick test_safety_margin;
+          Alcotest.test_case "alarm/response" `Quick test_alarm_response;
+        ] );
+      ("refinement", [ Alcotest.test_case "graph" `Quick test_refinement_graph ]);
+    ]

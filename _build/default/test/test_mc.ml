@@ -1,0 +1,118 @@
+(** Tests for the explicit-state model checker. *)
+
+open Tl
+
+let b x = Value.Bool x
+let state bindings = State.of_list bindings
+
+(* A two-bit counter: p flips every step, q flips when p wraps. *)
+let counter : Mc.Kripke.t =
+  Mc.Kripke.make ~name:"counter"
+    ~init:[ state [ ("p", b false); ("q", b false) ] ]
+    ~next:(fun s ->
+      let p = State.bool s "p" and q = State.bool s "q" in
+      [ state [ ("p", b (not p)); ("q", b (if p then not q else q)) ] ])
+
+let test_invariant_valid () =
+  (* @q only after ●¬q — trivially true; more interesting: q changes only
+     when ●p. *)
+  let phi =
+    Formula.entails
+      (Formula.rose (Formula.bvar "q"))
+      (Formula.prev (Formula.bvar "p"))
+  in
+  match Mc.Checker.check_invariant counter phi with
+  | Mc.Checker.Valid _ -> ()
+  | o -> Alcotest.failf "expected valid, got %a" Mc.Checker.pp_outcome o
+
+let test_invariant_counterexample () =
+  let phi = Formula.always (Formula.not_ (Formula.bvar "q")) in
+  match Mc.Checker.check_invariant counter phi with
+  | Mc.Checker.Counterexample { path } ->
+      (* shortest path: q first true at step 2 (states 0,1,2) *)
+      Alcotest.(check int) "shortest counterexample" 3 (List.length path);
+      let last = List.nth path (List.length path - 1) in
+      Alcotest.(check bool) "ends violating" true (State.bool last "q")
+  | o -> Alcotest.failf "expected counterexample, got %a" Mc.Checker.pp_outcome o
+
+let test_bound_exceeded () =
+  (* An infinite-state system (integer counter) exceeds any bound. *)
+  let k =
+    Mc.Kripke.make ~name:"unbounded"
+      ~init:[ state [ ("n", Value.Int 0) ] ]
+      ~next:(fun s ->
+        match State.get s "n" with
+        | Value.Int n -> [ state [ ("n", Value.Int (n + 1)) ] ]
+        | _ -> [])
+  in
+  match
+    Mc.Checker.check_invariant ~max_states:50 k
+      (Formula.always (Formula.ge (Term.var "n") (Term.int 0)))
+  with
+  | Mc.Checker.Bound_exceeded _ -> ()
+  | o -> Alcotest.failf "expected bound exceeded, got %a" Mc.Checker.pp_outcome o
+
+let test_assignments_enumeration () =
+  let states =
+    Mc.Kripke.assignments
+      [ ("p", Mc.Kripke.bools); ("m", Mc.Kripke.syms [ "A"; "B"; "C" ]) ]
+  in
+  Alcotest.(check int) "2 * 3 assignments" 6 (List.length states)
+
+(* Composition checking: a tiny two-agent system where one subgoal set
+   composes an invariant and a weaker one does not. *)
+let free2 : Mc.Kripke.t =
+  let all = Mc.Kripke.assignments [ ("x", Mc.Kripke.bools); ("y", Mc.Kripke.bools) ] in
+  Mc.Kripke.make ~name:"free2" ~init:all ~next:(fun _ -> all)
+
+let test_composition_valid () =
+  (* assumptions: y follows x one state later; subgoal: x always true;
+     goal: y true except possibly initially. *)
+  let assumptions = [ Formula.entails (Formula.prev (Formula.bvar "x")) (Formula.bvar "y") ] in
+  let subgoals = [ Formula.always (Formula.bvar "x") ] in
+  let goal =
+    Formula.always
+      (Formula.or_ (Formula.not_ (Formula.prev Formula.tt)) (Formula.bvar "y"))
+  in
+  match Mc.Checker.check_composition free2 ~assumptions ~subgoals ~goal with
+  | Mc.Checker.Valid _ -> ()
+  | o -> Alcotest.failf "expected valid, got %a" Mc.Checker.pp_outcome o
+
+let test_composition_counterexample () =
+  (* Without the assumption, x alone says nothing about y. *)
+  let subgoals = [ Formula.always (Formula.bvar "x") ] in
+  let goal =
+    Formula.always
+      (Formula.or_ (Formula.not_ (Formula.prev Formula.tt)) (Formula.bvar "y"))
+  in
+  match Mc.Checker.check_composition free2 ~assumptions:[] ~subgoals ~goal with
+  | Mc.Checker.Counterexample { path } ->
+      Alcotest.(check bool) "nonempty path" true (path <> [])
+  | o -> Alcotest.failf "expected counterexample, got %a" Mc.Checker.pp_outcome o
+
+let test_composition_vacuous_on_broken_premise () =
+  (* If the subgoals are unsatisfiable the claim is vacuously valid: the
+     premise prunes every trace. *)
+  let subgoals = [ Formula.always (Formula.and_ (Formula.bvar "x") (Formula.not_ (Formula.bvar "x"))) ] in
+  let goal = Formula.always Formula.ff in
+  match Mc.Checker.check_composition free2 ~assumptions:[] ~subgoals ~goal with
+  | Mc.Checker.Valid _ -> ()
+  | o -> Alcotest.failf "expected vacuous validity, got %a" Mc.Checker.pp_outcome o
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "invariant",
+        [
+          Alcotest.test_case "valid invariant" `Quick test_invariant_valid;
+          Alcotest.test_case "shortest counterexample" `Quick test_invariant_counterexample;
+          Alcotest.test_case "bound exceeded" `Quick test_bound_exceeded;
+          Alcotest.test_case "assignments" `Quick test_assignments_enumeration;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "valid composition" `Quick test_composition_valid;
+          Alcotest.test_case "counterexample" `Quick test_composition_counterexample;
+          Alcotest.test_case "vacuous on broken premise" `Quick test_composition_vacuous_on_broken_premise;
+        ] );
+    ]

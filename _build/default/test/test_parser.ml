@@ -1,0 +1,141 @@
+(** Tests for the goal-syntax parser: worked examples from the thesis, error
+    handling, and the print/parse round-trip property. *)
+
+open Tl
+
+let parses_to input expected =
+  Alcotest.(check string) input expected (Formula.to_string (Parser.parse input))
+
+let test_examples () =
+  parses_to "ObjectInPath => StopVehicle" "ObjectInPath ⇒ StopVehicle";
+  parses_to "prev(db) => dmc = 'OPEN'" "●db ⇒ dmc = 'OPEN'";
+  parses_to "holds[<0.3](dmc = 'CLOSE' & !db) => dc" "●[<0.3s](dmc = 'CLOSE' ∧ ¬db) ⇒ dc";
+  parses_to "within[<0.5](rose(tp > 0.05))" "◆[<0.5s]@tp > 0.05";
+  parses_to "always(va.value <= 2)" "□va.value ≤ 2";
+  parses_to "a & b | c" "(a ∧ b) ∨ c";
+  parses_to "!a -> b -> c" "¬a → (b → c)";
+  parses_to "x + 2 * y >= z / 4" "(x + (2 * y)) ≥ (z / 4)";
+  parses_to "abs(v) < 0.01" "abs(v) < 0.01";
+  parses_to "hist(once(p))" "■◆p"
+
+let test_precedence () =
+  (* & binds tighter than |, | tighter than ->, -> tighter than =>. *)
+  let f = Parser.parse "a & b | c -> d => e" in
+  Alcotest.(check string) "precedence" "(((a ∧ b) ∨ c) → d) ⇒ e" (Formula.to_string f);
+  (* the top-level connective is the entailment *)
+  match f with
+  | Formula.Always (Formula.Implies (_, _)) -> ()
+  | _ -> Alcotest.fail "expected an entailment at top level"
+
+let test_unicode_aliases () =
+  Alcotest.(check bool) "⇒ equals =>" true
+    (Parser.parse "A \xe2\x87\x92 B" = Parser.parse "A => B");
+  Alcotest.(check bool) "∧/¬ equal &/!" true
+    (Parser.parse "\xc2\xacA \xe2\x88\xa7 B" = Parser.parse "!A & B")
+
+let test_errors () =
+  let fails input =
+    Alcotest.(check bool) (input ^ " rejected") true (Parser.parse_opt input = None)
+  in
+  fails "a &";
+  fails "(a";
+  fails "holds(a)" (* missing duration *);
+  (* prev accepts a duration as a holds-alias *)
+  Alcotest.(check bool) "prev[<2] is holds" true
+    (Parser.parse "prev[<2](a)" = Formula.prev_for 2.0 (Formula.bvar "a"));
+  fails "'unterminated";
+  fails "1 +";
+  fails "a = "
+
+(* Round-trip: print ∘ parse = identity on a generated fragment. The
+   generator avoids [Term.int] (prints indistinguishably from floats) and
+   [Iff] chains (associativity differs) — everything else must round-trip
+   exactly. *)
+let gen_formula =
+  let open QCheck.Gen in
+  let var = oneofl [ "p"; "q"; "va.value"; "dmc" ] in
+  let term =
+    oneof
+      [
+        map Term.var var;
+        (* limited precision: the %g printer keeps 6 significant digits *)
+        map (fun f -> Term.float (Float.round (f *. 100.) /. 100.)) (float_bound_inclusive 10.);
+        map (fun v -> Term.Abs (Term.var v)) var;
+        map2
+          (fun v f -> Term.Add (Term.var v, Term.float (Float.round (f *. 100.) /. 100.)))
+          var (float_bound_inclusive 5.);
+      ]
+  in
+  let atom =
+    oneof
+      [
+        map Formula.bvar var;
+        map2 Formula.le term term;
+        map2 Formula.gt term term;
+        map (fun v -> Formula.var_is v "CLOSE") var;
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then atom
+         else
+           frequency
+             [
+               (3, atom);
+               (1, map Formula.not_ (self (n - 1)));
+               (1, map2 (fun a b -> Formula.And (a, b)) (self (n / 2)) (self (n / 2)));
+               (1, map2 (fun a b -> Formula.Or (a, b)) (self (n / 2)) (self (n / 2)));
+               (1, map2 (fun a b -> Formula.Implies (a, b)) (self (n / 2)) (self (n / 2)));
+               (1, map Formula.prev (self (n - 1)));
+               (1, map Formula.once (self (n - 1)));
+               (1, map Formula.hist (self (n - 1)));
+               (1, map Formula.rose (self (n - 1)));
+               (1, map (Formula.prev_for 0.5) (self (n - 1)));
+               (1, map (Formula.once_within 0.25) (self (n - 1)));
+               (1, map Formula.always (self (n - 1)));
+               (1, map Formula.eventually (self (n - 1)));
+             ])
+
+let prop_round_trip =
+  QCheck.Test.make ~name:"parse (print f) = f" ~count:500
+    (QCheck.make ~print:Formula.to_string gen_formula)
+    (fun f ->
+      match Parser.parse_opt (Formula.to_string f) with
+      | Some f' -> f' = f
+      | None -> false)
+
+let test_goal_definitions_round_trip () =
+  (* every goal of the evaluation systems round-trips through its printed
+     formal definition *)
+  List.iter
+    (fun (g : Kaos.Goal.t) ->
+      let printed = Formula.to_string g.Kaos.Goal.formal in
+      match Parser.parse_opt printed with
+      | Some f ->
+          Alcotest.(check bool) (g.Kaos.Goal.name ^ " round-trips") true
+            (f = g.Kaos.Goal.formal)
+      | None -> Alcotest.failf "%s fails to parse: %s" g.Kaos.Goal.name printed)
+    (List.map snd Vehicle.Goals.all
+    @ [
+        Elevator.Goals.door_closed_or_stopped;
+        Elevator.Goals.close_door_when_moving_or_moved;
+        Elevator.Goals.stop_elevator_when_door_open_or_opened;
+        Elevator.Goals.door_reversal;
+      ])
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "thesis examples" `Quick test_examples;
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "unicode aliases" `Quick test_unicode_aliases;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ( "round-trip",
+        [
+          QCheck_alcotest.to_alcotest prop_round_trip;
+          Alcotest.test_case "goal definitions" `Quick test_goal_definitions_round_trip;
+        ] );
+    ]

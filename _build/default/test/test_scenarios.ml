@@ -1,0 +1,415 @@
+(** Integration tests: the ten evaluation scenarios reproduce the thesis's
+    qualitative violation shapes (§5.4, Appendix D), and the repaired
+    counterfactual eliminates the collisions. *)
+
+let outcome_cache : (int, Scenarios.Runner.outcome) Hashtbl.t = Hashtbl.create 10
+
+let outcome n =
+  match Hashtbl.find_opt outcome_cache n with
+  | Some o -> o
+  | None ->
+      let o = Scenarios.Runner.run (Scenarios.Defs.get n) in
+      Hashtbl.add outcome_cache n o;
+      o
+
+let violated_ids o =
+  List.filter_map
+    (fun (r : Vehicle.Monitors.result) ->
+      if r.Vehicle.Monitors.violations <> [] then
+        Some r.Vehicle.Monitors.entry.Vehicle.Monitors.id
+      else None)
+    o.Scenarios.Runner.results
+
+let check_violated o id = Alcotest.(check bool) (id ^ " violated") true (List.mem id (violated_ids o))
+let check_clean o id = Alcotest.(check bool) (id ^ " clean") false (List.mem id (violated_ids o))
+
+let report o n = List.assoc n o.Scenarios.Runner.reports
+
+(* ------------------------------------------------------------------ *)
+
+let test_scenario_1 () =
+  let o = outcome 1 in
+  (* Early termination: CA fails to stop the vehicle (§5.4.1). *)
+  Alcotest.(check bool) "collision" true o.Scenarios.Runner.collided;
+  Alcotest.(check bool) "terminated early" true (o.Scenarios.Runner.end_time < 19.9);
+  (* Goals 1 and 2 violated at the vehicle level. *)
+  check_violated o "1";
+  check_violated o "2";
+  (* Goal 1: no corresponding subgoal violations — pure false negatives. *)
+  Alcotest.(check bool) "goal 1 only false negatives" true
+    ((report o 1).Rtmon.Report.false_negatives > 0
+    && (report o 1).Rtmon.Report.hits = 0);
+  check_clean o "1A";
+  (* The CA request-jerk subgoal fires (once per brake cancel). *)
+  check_violated o "2B.CA";
+  (* 2A stays clean: the command jump is attributed to the driver (§5.4.1). *)
+  check_clean o "2A";
+  (* PA's ghost requests violate its subgoals while masked by redundancy. *)
+  check_violated o "2B.PA";
+  check_violated o "4B.PA";
+  check_clean o "4";
+  Alcotest.(check bool) "false positives exist" true
+    ((report o 2).Rtmon.Report.false_positives > 0
+    || (report o 4).Rtmon.Report.false_positives > 0)
+
+let test_scenario_2 () =
+  let o = outcome 2 in
+  Alcotest.(check bool) "collision" true o.Scenarios.Runner.collided;
+  Alcotest.(check bool) "earlier than scenario 1" true
+    (o.Scenarios.Runner.end_time < (outcome 1).Scenarios.Runner.end_time);
+  (* Goals 1–3 violated (§5.4.2). *)
+  check_violated o "1";
+  check_violated o "2";
+  check_violated o "3";
+  check_violated o "3A";
+  (* 2A violated exactly once for one state (the thesis: "violated only
+     once for 1 ms"). *)
+  let a2 =
+    List.find
+      (fun (r : Vehicle.Monitors.result) -> r.Vehicle.Monitors.entry.Vehicle.Monitors.id = "2A")
+      o.Scenarios.Runner.results
+  in
+  Alcotest.(check int) "2A once" 1 (List.length a2.Vehicle.Monitors.violations);
+  Alcotest.(check int) "2A for one state" 1
+    (List.hd a2.Vehicle.Monitors.violations).Rtmon.Violation.length;
+  (* 1A clean: the rerouted command is 0, under the threshold. *)
+  check_clean o "1A"
+
+let test_scenario_3 () =
+  let o = outcome 3 in
+  (* CA's intermittent braking fails against the held throttle (§5.4.3). *)
+  Alcotest.(check bool) "collision" true o.Scenarios.Runner.collided;
+  check_violated o "1";
+  check_violated o "2";
+  check_violated o "2B.CA";
+  (* More chatter cycles than scenario 1 (the throttle keeps re-arming CA). *)
+  let count id o =
+    List.length
+      (List.find
+         (fun (r : Vehicle.Monitors.result) ->
+           r.Vehicle.Monitors.entry.Vehicle.Monitors.id = id)
+         o.Scenarios.Runner.results)
+        .Vehicle.Monitors.violations
+  in
+  Alcotest.(check bool) "throttle fight chatters more" true
+    (count "2" o >= count "2" (outcome 1));
+  (* The ACC disengaged-control defect (Fig. 5.6) stays invisible to the
+     monitors: requests are within bounds and the requesting flag is down. *)
+  check_clean o "5B.ACC"
+
+let test_scenario_4 () =
+  let o = outcome 4 in
+  Alcotest.(check bool) "no collision" false o.Scenarios.Runner.collided;
+  (* ACC briefly takes control under throttle (Fig. 5.8): goal 5 hit at
+     vehicle, arbiter and feature levels. *)
+  check_violated o "5";
+  check_violated o "5A";
+  check_violated o "5B.ACC";
+  Alcotest.(check bool) "goal 5 hit" true ((report o 5).Rtmon.Report.hits > 0);
+  (* The post-handback hunting violates the jerk goal with no subgoal
+     correspondence. *)
+  check_violated o "2";
+  Alcotest.(check bool) "goal 2 has false negatives" true
+    ((report o 2).Rtmon.Report.false_negatives > 0)
+
+let test_scenario_5 () =
+  let o = outcome 5 in
+  check_violated o "5";
+  check_violated o "5A";
+  check_violated o "5B.ACC";
+  (* The 0.101 s handoff (Fig. 5.9): ACC regains control 101 ms after the
+     throttle release at 8.0 s. *)
+  let tr = o.Scenarios.Runner.trace in
+  let src_at t =
+    Tl.State.sym (Tl.Trace.get tr (int_of_float (t /. Vehicle.System.dt)))
+      Vehicle.Signals.accel_source
+  in
+  Alcotest.(check string) "driver before release" "Driver" (src_at 7.9);
+  Alcotest.(check string) "driver at +0.09" "Driver" (src_at 8.09);
+  Alcotest.(check string) "ACC at +0.11" "ACC" (src_at 8.11)
+
+let test_scenario_6 () =
+  let o = outcome 6 in
+  (* LCA engaged: immediate selection (Fig. 5.10) and negative speed with
+     ACC/LCA active (Fig. 5.11) violating goal 9. *)
+  check_violated o "9";
+  check_violated o "9A";
+  check_violated o "9B.ACC";
+  check_violated o "9B.LCA";
+  check_violated o "3";
+  Alcotest.(check bool) "goal 9 hit by subgoals" true ((report o 9).Rtmon.Report.hits > 0);
+  (* speed actually went negative *)
+  let minv =
+    Tl.Trace.fold
+      (fun acc s -> Float.min acc (Tl.State.float s Vehicle.Signals.host_speed))
+      infinity o.Scenarios.Runner.trace
+  in
+  Alcotest.(check bool) "negative speed" true (minv < -0.01);
+  (* the steering command never follows LCA's request (Fig. 5.10) *)
+  let steer_moved =
+    Tl.Trace.fold
+      (fun acc s -> acc || Float.abs (Tl.State.float s Vehicle.Signals.steer_cmd) > 0.01)
+      false o.Scenarios.Runner.trace
+  in
+  Alcotest.(check bool) "steering command unchanged" false steer_moved
+
+let test_scenario_7 () =
+  let o = outcome 7 in
+  (* RCA never engages: collision with NO goal violation — the hazard is a
+     missing goal, invisible to monitoring (§5.4.7, §6.2). *)
+  Alcotest.(check bool) "collision behind" true o.Scenarios.Runner.collided;
+  List.iter (fun n -> check_clean o (string_of_int n)) [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
+  (* RCA stayed inert *)
+  Alcotest.(check bool) "RCA never active" true
+    (Tl.Trace.fold
+       (fun acc s -> acc && not (Tl.State.bool s (Vehicle.Signals.active "RCA")))
+       true o.Scenarios.Runner.trace)
+
+let test_scenario_8 () =
+  let o = outcome 8 in
+  (* ACC engages in reverse and is selected ~50 ms later (Fig. 5.13). *)
+  check_violated o "9";
+  check_violated o "9A";
+  check_violated o "9B.ACC";
+  Alcotest.(check bool) "goal 9 hit" true ((report o 9).Rtmon.Report.hits > 0);
+  let tr = o.Scenarios.Runner.trace in
+  let src_at t =
+    Tl.State.sym (Tl.Trace.get tr (int_of_float (t /. Vehicle.System.dt)))
+      Vehicle.Signals.accel_source
+  in
+  Alcotest.(check string) "not selected at 2.03" "Driver" (src_at 2.03);
+  Alcotest.(check string) "selected at 2.06" "ACC" (src_at 2.06)
+
+let test_scenario_9 () =
+  let o = outcome 9 in
+  Alcotest.(check bool) "no collision" false o.Scenarios.Runner.collided;
+  (* PA selected but command ≠ request (Fig. 5.14). *)
+  let tr = o.Scenarios.Runner.trace in
+  let at t v = Tl.State.get (Tl.Trace.get tr (int_of_float (t /. Vehicle.System.dt))) v in
+  Alcotest.(check string) "PA selected" "PA"
+    (match at 3.0 Vehicle.Signals.accel_source with Tl.Value.Sym s -> s | _ -> "?");
+  let req = Tl.Value.to_float (at 3.0 (Vehicle.Signals.accel_req "PA")) in
+  let cmd = Tl.Value.to_float (at 3.0 Vehicle.Signals.accel_cmd) in
+  Alcotest.(check bool) "command differs from request" true (Float.abs (req -. cmd) > 0.2);
+  (* the masked request still violates the PA subgoals — false positives *)
+  check_violated o "4B.PA";
+  Alcotest.(check bool) "only false positives" true
+    ((report o 4).Rtmon.Report.false_positives > 0 && (report o 4).Rtmon.Report.hits = 0)
+
+let test_scenario_10 () =
+  let o = outcome 10 in
+  (* The flagship pure-emergence case (Fig. 5.15): the vehicle accelerates
+     from a stop, goal 4 violated with no subgoal correspondence. *)
+  Alcotest.(check bool) "collision" true o.Scenarios.Runner.collided;
+  check_violated o "4";
+  check_clean o "4A";
+  check_clean o "4B.ACC";
+  Alcotest.(check bool) "goal 4 pure false negative" true
+    ((report o 4).Rtmon.Report.false_negatives > 0 && (report o 4).Rtmon.Report.hits = 0);
+  (* ACC indeed never became active *)
+  Alcotest.(check bool) "ACC never active" true
+    (Tl.Trace.fold
+       (fun acc s -> acc && not (Tl.State.bool s (Vehicle.Signals.active "ACC")))
+       true o.Scenarios.Runner.trace)
+
+(* ------------------------------------------------------------------ *)
+
+let test_cross_scenario_estimate () =
+  let outcomes = List.map outcome (List.init 10 (fun i -> i + 1)) in
+  let est = Scenarios.Runner.estimate outcomes in
+  (* The thesis's conclusion: the subgoals only partially compose the
+     system goals — both demons and restriction are witnessed at run time. *)
+  Alcotest.(check bool) "false negatives across scenarios" true
+    (Compose.Runtime.demon_evidence est);
+  Alcotest.(check bool) "false positives across scenarios" true
+    (Compose.Runtime.restriction_evidence est);
+  Alcotest.(check bool) "partial but useful coverage" true
+    (Compose.Runtime.coverage est > 0.2 && Compose.Runtime.coverage est < 1.0)
+
+let test_repaired_no_collisions () =
+  let outcomes =
+    List.map
+      (fun s -> Scenarios.Runner.run ~defects:Vehicle.Defects.repaired s)
+      Scenarios.Defs.all
+  in
+  List.iter
+    (fun (o : Scenarios.Runner.outcome) ->
+      Alcotest.(check bool)
+        (Fmt.str "scenario %d repaired: no collision" o.Scenarios.Runner.scenario.Scenarios.Defs.number)
+        false o.Scenarios.Runner.collided)
+    outcomes;
+  (* scenarios 8 and 10 become completely violation-free *)
+  List.iter
+    (fun n ->
+      let o = List.nth outcomes (n - 1) in
+      Alcotest.(check (list string)) (Fmt.str "scenario %d clean" n) []
+        (violated_ids o))
+    [ 8; 10 ]
+
+let test_figures_extract () =
+  List.iter
+    (fun (fig : Scenarios.Figures.t) ->
+      let o = outcome fig.Scenarios.Figures.scenario in
+      let rendered = Fmt.str "%a" (fun ppf () -> Scenarios.Figures.render ppf fig o) () in
+      Alcotest.(check bool) (fig.Scenarios.Figures.id ^ " renders") true
+        (String.length rendered > 100))
+    Scenarios.Figures.all
+
+let test_figure_5_13_events () =
+  let fig = Scenarios.Figures.get "fig_5_13" in
+  let o = outcome 8 in
+  let events = fig.Scenarios.Figures.events o in
+  (* ACC becomes active just after 2.0 s and selected just after 2.05 s. *)
+  let time_of needle =
+    List.find_map (fun (t, e) -> if e = needle then Some t else None) events
+  in
+  (match time_of "acc_active -> true" with
+  | Some t -> Alcotest.(check bool) "active ~2.001" true (t > 1.999 && t < 2.01)
+  | None -> Alcotest.fail "no activation event");
+  (* the 'selected' indicator may flicker during the engage pulse (the
+     dual-selected defect); some selected-edge must land in [2.0, 2.1] *)
+  let selected_edges =
+    List.filter_map
+      (fun (t, e) -> if e = "acc_selected -> true" then Some t else None)
+      events
+  in
+  Alcotest.(check bool) "a selection edge in [2.0, 2.1]" true
+    (List.exists (fun t -> t >= 2.0 && t <= 2.1) selected_edges)
+
+(* ------------------------------------------------------------------ *)
+(* Critical-assumption monitoring (Appendix C relationships, §4.3)      *)
+
+let assumption_counts defects =
+  let per_scenario =
+    List.map
+      (fun (s : Scenarios.Defs.t) ->
+        let o = Scenarios.Runner.run ~defects s in
+        Vehicle.Relationships.check o.Scenarios.Runner.trace)
+      Scenarios.Defs.all
+  in
+  List.map
+    (fun (r : Vehicle.Relationships.t) ->
+      let total =
+        List.fold_left
+          (fun acc checks ->
+            let _, ivs =
+              List.find
+                (fun ((r' : Vehicle.Relationships.t), _) ->
+                  r'.Vehicle.Relationships.number = r.Vehicle.Relationships.number)
+                checks
+            in
+            acc + List.length ivs)
+          0 per_scenario
+      in
+      (r, total))
+    Vehicle.Relationships.all
+
+let test_assumptions_localize_defects () =
+  let defect_counts = assumption_counts Vehicle.Defects.as_evaluated in
+  (* every assumption with documented breakers is violated somewhere *)
+  List.iter
+    (fun ((r : Vehicle.Relationships.t), total) ->
+      if r.Vehicle.Relationships.broken_by <> [] then
+        Alcotest.(check bool)
+          (Fmt.str "R%d (%s) violated by its breakers" r.Vehicle.Relationships.number
+             r.Vehicle.Relationships.name)
+          true (total > 0)
+      else
+        Alcotest.(check int)
+          (Fmt.str "R%d (%s) holds (no breakers seeded)" r.Vehicle.Relationships.number
+             r.Vehicle.Relationships.name)
+          0 total)
+    defect_counts
+
+let test_assumptions_hold_repaired () =
+  let repaired_counts = assumption_counts Vehicle.Defects.repaired in
+  List.iter
+    (fun ((r : Vehicle.Relationships.t), total) ->
+      Alcotest.(check bool)
+        (Fmt.str "R%d near-clean when repaired" r.Vehicle.Relationships.number)
+        true (total <= 1))
+    repaired_counts
+
+
+(* ------------------------------------------------------------------ *)
+(* Ablation sweeps (design-choice attribution)                          *)
+
+let goal_count (p : Scenarios.Sweeps.point) id =
+  Option.value (List.assoc_opt id p.Scenarios.Sweeps.goal_violations) ~default:0
+
+let test_latch_ablation () =
+  let s = Scenarios.Sweeps.latch_sweep () in
+  let at param =
+    List.find (fun (p : Scenarios.Sweeps.point) -> p.Scenarios.Sweeps.parameter = param)
+      s.Scenarios.Sweeps.points
+  in
+  (* no latch: transients attributed to the driver, no vehicle goal fires *)
+  Alcotest.(check int) "latch 0: no goal-1 violations" 0 (goal_count (at 0.0) "1");
+  Alcotest.(check int) "latch 0: no false negatives" 0
+    (at 0.0).Scenarios.Sweeps.false_negatives;
+  (* the evaluated latch produces the thesis's goal-1 false negatives *)
+  Alcotest.(check bool) "latch 0.15: goal 1 fires" true (goal_count (at 0.15) "1" > 0);
+  Alcotest.(check bool) "latch 0.15: false negatives" true
+    ((at 0.15).Scenarios.Sweeps.false_negatives > 0)
+
+let test_damping_ablation () =
+  let s = Scenarios.Sweeps.damping_sweep () in
+  let at param =
+    List.find (fun (p : Scenarios.Sweeps.point) -> p.Scenarios.Sweeps.parameter = param)
+      s.Scenarios.Sweeps.points
+  in
+  Alcotest.(check bool) "underdamped: goal 1 fires" true (goal_count (at 0.3) "1" > 0);
+  Alcotest.(check int) "well damped: goal 1 silent" 0 (goal_count (at 0.8) "1");
+  Alcotest.(check bool) "jerk violations persist when damped" true
+    (goal_count (at 0.8) "2" > 0)
+
+let test_window_ablation () =
+  let s = Scenarios.Sweeps.window_sweep () in
+  let fns =
+    List.map (fun (p : Scenarios.Sweeps.point) -> p.Scenarios.Sweeps.false_negatives)
+      s.Scenarios.Sweeps.points
+  in
+  (* widening the window can only convert false negatives into hits *)
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "FN non-increasing in window" true (non_increasing fns)
+
+let () =
+  Alcotest.run "scenarios"
+    [
+      ( "per-scenario",
+        [
+          Alcotest.test_case "scenario 1 (D.1)" `Slow test_scenario_1;
+          Alcotest.test_case "scenario 2 (D.2)" `Slow test_scenario_2;
+          Alcotest.test_case "scenario 3 (D.3)" `Slow test_scenario_3;
+          Alcotest.test_case "scenario 4 (D.4)" `Slow test_scenario_4;
+          Alcotest.test_case "scenario 5 (D.5)" `Slow test_scenario_5;
+          Alcotest.test_case "scenario 6 (D.6/D.7)" `Slow test_scenario_6;
+          Alcotest.test_case "scenario 7 (D.8)" `Slow test_scenario_7;
+          Alcotest.test_case "scenario 8 (D.9)" `Slow test_scenario_8;
+          Alcotest.test_case "scenario 9 (D.10)" `Slow test_scenario_9;
+          Alcotest.test_case "scenario 10 (D.11)" `Slow test_scenario_10;
+        ] );
+      ( "aggregate",
+        [
+          Alcotest.test_case "composability estimate" `Slow test_cross_scenario_estimate;
+          Alcotest.test_case "repaired: no collisions" `Slow test_repaired_no_collisions;
+          Alcotest.test_case "figures extract" `Slow test_figures_extract;
+          Alcotest.test_case "figure 5.13 events" `Slow test_figure_5_13_events;
+        ] );
+      ( "assumptions",
+        [
+          Alcotest.test_case "defects localize to their assumptions" `Slow
+            test_assumptions_localize_defects;
+          Alcotest.test_case "assumptions hold when repaired" `Slow
+            test_assumptions_hold_repaired;
+        ] );
+      ( "ablation",
+        [
+          Alcotest.test_case "attribution latch" `Slow test_latch_ablation;
+          Alcotest.test_case "plant damping" `Slow test_damping_ablation;
+          Alcotest.test_case "classification window" `Slow test_window_ablation;
+        ] );
+    ]
