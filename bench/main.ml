@@ -91,8 +91,10 @@ let bench_sim_elevator =
          ignore (Elevator.Simulation.run ~config ())))
 
 let bench_vehicle_scenario =
+  (* cache bypassed: this one measures the simulation itself *)
   Test.make ~name:"micro_vehicle_scenario_1"
-    (Staged.stage (fun () -> ignore (Scenarios.Runner.run (Scenarios.Defs.get 1))))
+    (Staged.stage (fun () ->
+         ignore (Scenarios.Runner.run ~use_cache:false (Scenarios.Defs.get 1))))
 
 let micro_tests =
   [
@@ -132,16 +134,65 @@ let pp_result name result =
       | _ -> Fmt.pr "%-34s (no estimate)@." name)
     result
 
-let () =
-  (* Pre-warm the scenario outcomes so table benches measure regeneration. *)
-  Fmt.pr "pre-warming scenario simulations…@.";
-  List.iter
-    (fun n -> ignore (Core.Experiments.outcome n))
-    (List.init 10 (fun i -> i + 1));
+(* ------------------------------------------------------------------ *)
+(* Full-fleet regeneration: the hot path the exec engine parallelizes.  *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let fleet_comparison () =
+  let n = max 1 (Domain.recommended_domain_count ()) in
+  Fmt.pr "@.full-fleet regeneration (10 scenarios, cache bypassed)@.";
+  Fmt.pr "%s@." (String.make 50 '-');
+  let _, t_seq =
+    wall (fun () -> Scenarios.Runner.run_all ~use_cache:false ~domains:1 ())
+  in
+  Fmt.pr "%-34s %10.2f s@." "sequential (1 domain)" t_seq;
+  let _, t_par =
+    wall (fun () -> Scenarios.Runner.run_all ~use_cache:false ~domains:n ())
+  in
+  Fmt.pr "%-34s %10.2f s  (%.2fx)@."
+    (Fmt.str "parallel (%d domains)" n)
+    t_par (t_seq /. t_par);
+  let _, t_warm = wall (fun () -> Scenarios.Runner.run_all ()) in
+  Fmt.pr "%-34s %10.4f s@." "warm cache" t_warm
+
+let run_bench tests =
   Fmt.pr "@.%-34s %14s@." "benchmark" "time";
   Fmt.pr "%s@." (String.make 50 '-');
   List.iter
     (fun test ->
       let name = Test.Elt.name (List.hd (Test.elements test)) in
       pp_result name (run_test test))
-    (micro_tests @ experiment_tests)
+    tests
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  if smoke then begin
+    (* CI smoke: one experiment over one pre-warmed scenario, minimal
+       samples — proves the perf harness still compiles and runs. *)
+    Fmt.pr "bench smoke: pre-warming scenario 1…@.";
+    let _, t = wall (fun () -> ignore (Core.Experiments.outcome 1)) in
+    Fmt.pr "scenario 1 simulated in %.2f s@." t;
+    let smoke_test =
+      match List.filter (fun (e : Core.Experiments.t) -> e.Core.Experiments.id = "table_d_1") Core.Experiments.all with
+      | e :: _ ->
+          Test.make ~name:e.Core.Experiments.id
+            (Staged.stage (fun () -> null_formatter e.Core.Experiments.run))
+      | [] -> assert false
+    in
+    run_bench [ smoke_test ]
+  end
+  else begin
+    (* Pre-warm the scenario outcomes — in parallel, through the exec
+       engine — so table benches measure regeneration over the shared
+       cache, not repeated 20-second simulations. *)
+    Fmt.pr "pre-warming scenario simulations (%d domains)…@."
+      (max 1 (Domain.recommended_domain_count ()));
+    let _, t = wall (fun () -> Core.Experiments.prewarm ()) in
+    Fmt.pr "fleet warmed in %.2f s@." t;
+    fleet_comparison ();
+    run_bench (micro_tests @ experiment_tests)
+  end

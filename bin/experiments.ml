@@ -26,15 +26,31 @@ let list_cmd =
              Core.Experiments.all)
        $ const ()))
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains"; "j" ] ~docv:"N"
+        ~doc:
+          "Pre-warm the scenario outcome cache on $(docv) domains before \
+           rendering (default: the recommended domain count; 1 forces the \
+           sequential path).")
+
 let all_cmd =
   let doc = "Run every experiment (regenerates every table and figure)." in
-  Cmd.v (Cmd.info "all" ~doc)
-    (Term.(const (fun () -> List.iter run_one Core.Experiments.all) $ const ()))
+  let run domains =
+    Core.Experiments.prewarm ?domains ();
+    List.iter run_one Core.Experiments.all
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ domains_arg)
 
 let run_cmd =
   let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
   let doc = "Run the named experiments." in
-  let run ids =
+  let run domains ids =
+    (match domains with
+    | Some d -> Core.Experiments.prewarm ~domains:d ()
+    | None -> ());
     List.iter
       (fun id ->
         match Core.Experiments.get id with
@@ -44,7 +60,7 @@ let run_cmd =
             exit 1)
       ids
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ domains_arg $ ids)
 
 let () =
   let doc = "Regenerate the tables and figures of the thesis evaluation." in

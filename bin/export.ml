@@ -15,27 +15,28 @@ let figures_cmd =
   let out_dir =
     Arg.(value & opt string "." & info [ "out-dir"; "o" ] ~doc:"Output directory.")
   in
-  let run out_dir =
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains"; "j" ] ~docv:"N"
+          ~doc:"Simulate the fleet on $(docv) domains (1 = sequential).")
+  in
+  let run out_dir domains =
     ensure_dir out_dir;
-    let cache = Hashtbl.create 10 in
+    (* Warm the shared outcome cache for the whole fleet in parallel; each
+       figure below then reads its scenario's outcome from the cache. *)
+    ignore (Scenarios.Runner.run_all ?domains ());
     List.iter
       (fun (fig : Scenarios.Figures.t) ->
-        let n = fig.Scenarios.Figures.scenario in
-        let o =
-          match Hashtbl.find_opt cache n with
-          | Some o -> o
-          | None ->
-              let o = Scenarios.Runner.run (Scenarios.Defs.get n) in
-              Hashtbl.add cache n o;
-              o
-        in
+        let o = Scenarios.Runner.run (Scenarios.Defs.get fig.Scenarios.Figures.scenario) in
         let path = Filename.concat out_dir (fig.Scenarios.Figures.id ^ ".csv") in
         Scenarios.Export.write_file path (Scenarios.Export.figure_csv fig o);
         Fmt.pr "wrote %s@." path)
       Scenarios.Figures.all
   in
   Cmd.v (Cmd.info "figures" ~doc:"Export every regenerated figure as CSV.")
-    Term.(const run $ out_dir)
+    Term.(const run $ out_dir $ domains)
 
 let scenario_cmd =
   let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"SCENARIO") in

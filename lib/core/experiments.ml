@@ -9,18 +9,17 @@ open Tl
 type t = { id : string; title : string; run : Format.formatter -> unit }
 
 (* Scenario outcomes are shared by the D tables, the figures and the
-   summary; memoize per scenario number. *)
-let outcome_cache : (int, Scenarios.Runner.outcome) Hashtbl.t = Hashtbl.create 10
+   summary through the process-wide cache inside [Scenarios.Runner]; the
+   same outcomes back [bin/export], [bin/simulate], the tests and the
+   bench harness. *)
+let outcome n = Scenarios.Runner.run (Scenarios.Defs.get n)
+let clear_cache () = Scenarios.Runner.clear_cache ()
 
-let outcome n =
-  match Hashtbl.find_opt outcome_cache n with
-  | Some o -> o
-  | None ->
-      let o = Scenarios.Runner.run (Scenarios.Defs.get n) in
-      Hashtbl.add outcome_cache n o;
-      o
-
-let clear_cache () = Hashtbl.reset outcome_cache
+let prewarm ?domains () =
+  (* Fill the outcome cache for the whole fleet in parallel; every
+     experiment below then reads simulated outcomes instead of paying for
+     its own 20-second simulations. *)
+  ignore (Scenarios.Runner.run_all ?domains ())
 
 (* ------------------------------------------------------------------ *)
 
@@ -277,11 +276,7 @@ let sweep mk ppf = Scenarios.Sweeps.pp ppf (mk ())
 let repaired ppf =
   (* The counterfactual the thesis could not run: the same scenarios with
      every defect repaired. The nine goals then hold everywhere. *)
-  let outcomes =
-    List.map
-      (fun s -> Scenarios.Runner.run ~defects:Vehicle.Defects.repaired s)
-      Scenarios.Defs.all
-  in
+  let outcomes = Scenarios.Runner.run_all ~defects:Vehicle.Defects.repaired () in
   Fmt.pf ppf "@[<v>Ablation — all defects repaired@,@,%a@]"
     Scenarios.Results.pp_summary outcomes
 

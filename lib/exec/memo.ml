@@ -1,0 +1,55 @@
+type ('k, 'v) t = {
+  table : ('k, 'v) Hashtbl.t;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { hits : int; misses : int }
+
+let create ?(size = 64) () =
+  { table = Hashtbl.create size; lock = Mutex.create (); hits = 0; misses = 0 }
+
+let find_or_add t key supply =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.table key with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.lock;
+      v
+  | None ->
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.lock;
+      (* compute outside the lock so distinct cold keys fill in parallel *)
+      let v = supply () in
+      Mutex.lock t.lock;
+      let v =
+        match Hashtbl.find_opt t.table key with
+        | Some winner -> winner (* a racing domain filled it first; share *)
+        | None ->
+            Hashtbl.add t.table key v;
+            v
+      in
+      Mutex.unlock t.lock;
+      v
+
+let clear t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.lock
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.lock;
+  n
+
+let stats t =
+  Mutex.lock t.lock;
+  let s = { hits = t.hits; misses = t.misses } in
+  Mutex.unlock t.lock;
+  s
+
+let digest v = Digest.to_hex (Digest.string (Marshal.to_string v [ Marshal.Closures ]))

@@ -1,0 +1,29 @@
+(** A process-wide, domain-safe memo table with cold/warm counters.
+
+    Lookups and insertions are serialized by a mutex, but the supplier
+    runs {e outside} the lock so concurrent misses on distinct keys
+    compute in parallel. If two domains race to fill the same key the
+    first insertion wins and both callers receive the same (physically
+    equal) value; the loser's computation is discarded. *)
+
+type ('k, 'v) t
+
+type stats = {
+  hits : int;  (** warm lookups: value served from the table *)
+  misses : int;  (** cold lookups: the supplier was invoked *)
+}
+
+val create : ?size:int -> unit -> ('k, 'v) t
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+val clear : ('k, 'v) t -> unit
+(** Drop every entry and reset the counters. *)
+
+val length : ('k, 'v) t -> int
+val stats : ('k, 'v) t -> stats
+
+val digest : 'a -> string
+(** Structural digest of an arbitrary value, usable as a memo key.
+    Implemented with [Marshal] in [Closures] mode, so keys may contain
+    functions (e.g. scripted speed profiles); closure digests are only
+    stable within one process, which is exactly the lifetime of the
+    table. *)

@@ -1,0 +1,140 @@
+type error = {
+  index : int;
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+type t = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  pending : Condition.t;  (** work enqueued, or shutdown requested *)
+  batch_done : Condition.t;  (** a batch counter reached zero *)
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker pool =
+  let rec loop () =
+    Mutex.lock pool.lock;
+    let rec next () =
+      if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+      else if pool.closed then None
+      else (
+        Condition.wait pool.pending pool.lock;
+        next ())
+    in
+    match next () with
+    | None -> Mutex.unlock pool.lock
+    | Some job ->
+        Mutex.unlock pool.lock;
+        job ();
+        loop ()
+  in
+  loop ()
+
+let create ?domains () =
+  let size =
+    match domains with
+    | Some n -> max 1 n
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let pool =
+    {
+      size;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      pending = Condition.create ();
+      batch_done = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  if size > 1 then
+    pool.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.closed <- true;
+  Condition.broadcast pool.pending;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let guarded f x ~index =
+  match f x with
+  | v -> Ok v
+  | exception exn -> Error { index; exn; backtrace = Printexc.get_raw_backtrace () }
+
+let try_map_pool pool f xs =
+  let n = List.length xs in
+  let results = Array.make n None in
+  (if pool.workers = [] then
+     (* size-1 pool: sequential fallback on the calling domain *)
+     List.iteri (fun i x -> results.(i) <- Some (guarded f x ~index:i)) xs
+   else begin
+     let remaining = ref n in
+     List.iteri
+       (fun i x ->
+         let job () =
+           let r = guarded f x ~index:i in
+           Mutex.lock pool.lock;
+           results.(i) <- Some r;
+           decr remaining;
+           if !remaining = 0 then Condition.broadcast pool.batch_done;
+           Mutex.unlock pool.lock
+         in
+         Mutex.lock pool.lock;
+         Queue.push job pool.queue;
+         Condition.signal pool.pending;
+         Mutex.unlock pool.lock)
+       xs;
+     Mutex.lock pool.lock;
+     while !remaining > 0 do
+       Condition.wait pool.batch_done pool.lock
+     done;
+     Mutex.unlock pool.lock
+   end);
+  Array.to_list (Array.map Option.get results)
+
+let reraise_first results =
+  List.map
+    (function
+      | Ok v -> v
+      | Error e -> Printexc.raise_with_backtrace e.exn e.backtrace)
+    results
+
+let map_pool pool f xs = reraise_first (try_map_pool pool f xs)
+
+(* ------------------------------------------------------------------ *)
+
+let default_lock = Mutex.create ()
+let default_pool = ref None
+
+let default () =
+  Mutex.lock default_lock;
+  let pool =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create () in
+        default_pool := Some p;
+        p
+  in
+  Mutex.unlock default_lock;
+  pool
+
+let with_transient ~domains f =
+  let pool = create ~domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let try_map ?domains f xs =
+  match domains with
+  | None -> try_map_pool (default ()) f xs
+  | Some n when n <= 1 -> List.mapi (fun i x -> guarded f x ~index:i) xs
+  | Some n -> with_transient ~domains:n (fun pool -> try_map_pool pool f xs)
+
+let map ?domains f xs = reraise_first (try_map ?domains f xs)

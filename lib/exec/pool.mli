@@ -1,0 +1,51 @@
+(** A fixed-size pool of OCaml 5 domains with a shared work queue.
+
+    Tasks are submitted in batches ([map] / [try_map]); results are always
+    returned in submission order, regardless of the order in which the
+    domains complete them, so parallel execution is observationally
+    deterministic for pure tasks. An exception raised by one task is
+    captured per task and cannot take down the pool or the other tasks.
+
+    A pool of size 1 spawns no domains at all and executes every task
+    inline on the caller — the sequential fallback for reproducibility
+    debugging ([~domains:1]). *)
+
+type t
+
+type error = {
+  index : int;  (** position of the failing task in the submitted batch *)
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+val create : ?domains:int -> unit -> t
+(** [create ?domains ()] spawns a pool of [domains] workers (default
+    {!Domain.recommended_domain_count}, clamped to at least 1). *)
+
+val size : t -> int
+
+val shutdown : t -> unit
+(** Drain the queue, stop the workers and join their domains. The pool
+    must not be used afterwards. *)
+
+val try_map_pool : t -> ('a -> 'b) -> 'a list -> ('b, error) result list
+(** Run [f] over every element on the pool; blocks until all tasks are
+    done. Result [i] corresponds to input [i] (submission order). Tasks
+    must not themselves submit work to the same pool. *)
+
+val map_pool : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!try_map_pool} but re-raises the first (lowest-index) task
+    failure, after every task has finished. *)
+
+val default : unit -> t
+(** The process-wide shared pool, created on first use with the default
+    size. *)
+
+val try_map : ?domains:int -> ('a -> 'b) -> 'a list -> ('b, error) result list
+(** Convenience front-end: [~domains:1] runs inline sequentially;
+    [~domains:n] runs on a transient pool of [n] workers that is shut
+    down before returning; omitting [domains] uses the shared
+    {!default} pool. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Same dispatch as {!try_map}, re-raising the first task failure. *)

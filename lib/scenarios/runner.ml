@@ -1,5 +1,10 @@
 (** Scenario execution: simulate, monitor all goals and subgoals
-    (Table 5.3), and classify the violations (§5.1.2). *)
+    (Table 5.3), and classify the violations (§5.1.2).
+
+    Execution goes through [lib/exec]: outcomes are memoized in a
+    process-wide cache keyed by a structural digest of the full scenario
+    configuration, and fleet runs fan out over a fixed-size domain pool
+    with deterministic (submission-order) results. *)
 
 open Tl
 
@@ -12,16 +17,13 @@ type outcome = {
   end_time : float;
 }
 
-let run ?(defects = Vehicle.Defects.as_evaluated) ?timing ?dynamics ?window (s : Defs.t)
-    : outcome =
-  let trace =
-    Vehicle.System.run ~defects ?timing ?dynamics ~duration:s.Defs.duration
-      ~objects:s.Defs.objects ~events:s.Defs.events ()
-  in
-  let results = Vehicle.Monitors.run trace in
+(** The default classification window of §5.1.2 (±50 ms). *)
+let default_window = 0.05
+
+let classify ~window (s : Defs.t) trace results : outcome =
   let reports =
     List.map
-      (fun n -> (n, Vehicle.Monitors.classify ?window results n))
+      (fun n -> (n, Vehicle.Monitors.classify ~window results n))
       (List.init 9 (fun i -> i + 1))
   in
   let last = Trace.get trace (Trace.length trace - 1) in
@@ -34,7 +36,59 @@ let run ?(defects = Vehicle.Defects.as_evaluated) ?timing ?dynamics ?window (s :
     end_time = Trace.time trace (Trace.length trace - 1);
   }
 
-let run_all ?defects () = List.map (run ?defects) Defs.all
+let monitored ~defects ~timing ~dynamics (s : Defs.t) =
+  let trace =
+    Vehicle.System.run ~defects ~timing ~dynamics ~duration:s.Defs.duration
+      ~objects:s.Defs.objects ~events:s.Defs.events ()
+  in
+  (trace, Vehicle.Monitors.run trace)
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide outcome cache: every consumer (experiments, export,
+   simulate, tests, bench) shares simulated outcomes instead of
+   re-running 20-second simulations from scratch.
+
+   Two levels, because the classification window affects neither the
+   simulation nor the goal monitors: the expensive simulate-and-monitor
+   step is keyed by (scenario, defects, timing, dynamics) alone, and the
+   classified outcome by the same key plus the window — so a window sweep
+   re-simulates nothing. *)
+
+let sim_cache : (string, Trace.t * Vehicle.Monitors.result list) Exec.Memo.t =
+  Exec.Memo.create ~size:64 ()
+
+let outcome_cache : (string, outcome) Exec.Memo.t = Exec.Memo.create ~size:64 ()
+
+let cache_stats () = Exec.Memo.stats outcome_cache
+
+let clear_cache () =
+  Exec.Memo.clear sim_cache;
+  Exec.Memo.clear outcome_cache
+
+let run ?(use_cache = true) ?(defects = Vehicle.Defects.as_evaluated)
+    ?(timing = Vehicle.Arbiter.default_timing)
+    ?(dynamics = Vehicle.Plant.default_dynamics) ?(window = default_window)
+    (s : Defs.t) : outcome =
+  if not use_cache then
+    let trace, results = monitored ~defects ~timing ~dynamics s in
+    classify ~window s trace results
+  else
+    (* [Defs.t] contains the scripted lead-speed closure; [Exec.Memo.digest]
+       handles closures, and the cache never outlives the process. *)
+    let sim_key = Exec.Memo.digest (s, defects, timing, dynamics) in
+    Exec.Memo.find_or_add outcome_cache
+      (Exec.Memo.digest (sim_key, window))
+      (fun () ->
+        let trace, results =
+          Exec.Memo.find_or_add sim_cache sim_key (fun () ->
+              monitored ~defects ~timing ~dynamics s)
+        in
+        classify ~window s trace results)
+
+let run_all ?domains ?use_cache ?defects ?timing ?dynamics ?window () =
+  Exec.Pool.map ?domains
+    (run ?use_cache ?defects ?timing ?dynamics ?window)
+    Defs.all
 
 (** Violating monitor entries only, for the Appendix D tables. *)
 let violations (o : outcome) =

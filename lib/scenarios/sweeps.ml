@@ -44,10 +44,16 @@ let point_of parameter (o : Runner.outcome) =
     goal_violations = vehicle_counts o;
   }
 
+(* Sweep points are independent simulations: fan them out over the domain
+   pool. Each point lands in the shared outcome cache (the parameter is
+   part of the cache key), so re-rendering a sweep is free. *)
+let points_of ?domains params run_point =
+  Exec.Pool.map ?domains (fun p -> point_of p (run_point p)) params
+
 (** Attribution latch (the `arbiter_selected_latch` mechanism): with no
     latch the rebound transients are attributed to the driver and the
     vehicle-level goal-1/goal-2 false negatives of scenario 1 disappear. *)
-let latch_sweep () =
+let latch_sweep ?domains () =
   let scenario = Defs.get 1 in
   {
     sweep_name = "ablation_latch";
@@ -58,16 +64,16 @@ let latch_sweep () =
        how many physical transients are attributed to a subsystem — the \
        mechanism behind the thesis's vehicle-level false negatives (§5.4.1).";
     points =
-      List.map
+      points_of ?domains
+        [ 0.0; 0.05; 0.15; 0.3 ]
         (fun latch ->
           let timing = { Vehicle.Arbiter.default_timing with latch_time = latch } in
-          point_of latch (Runner.run ~timing scenario))
-        [ 0.0; 0.05; 0.15; 0.3 ];
+          Runner.run ~timing scenario);
   }
 
 (** Selection debounce: how long ACC controls the vehicle under the driver's
     throttle in scenario 4 before the override catches it. *)
-let debounce_sweep () =
+let debounce_sweep ?domains () =
   let scenario = Defs.get 4 in
   {
     sweep_name = "ablation_debounce";
@@ -78,17 +84,17 @@ let debounce_sweep () =
        controls the vehicle against the driver's pedals (Fig. 5.8's \
        \"briefly takes control\").";
     points =
-      List.map
+      points_of ?domains
+        [ 0.02; 0.05; 0.1; 0.2 ]
         (fun d ->
           let timing = { Vehicle.Arbiter.default_timing with select_debounce = d } in
-          point_of d (Runner.run ~timing scenario))
-        [ 0.02; 0.05; 0.1; 0.2 ];
+          Runner.run ~timing scenario);
   }
 
 (** Plant damping: the rebound overshoot that violates goal 1 needs an
     underdamped actuation response; at ζ ≳ 0.5 the +2 m/s² excursions
     disappear while the jerk violations largely remain. *)
-let damping_sweep () =
+let damping_sweep ?domains () =
   let scenario = Defs.get 1 in
   {
     sweep_name = "ablation_damping";
@@ -99,16 +105,16 @@ let damping_sweep () =
        rebound after a cancelled hard brake; damping the plant removes them \
        without fixing the defect that causes the cancellations.";
     points =
-      List.map
+      points_of ?domains
+        [ 0.2; 0.3; 0.5; 0.8 ]
         (fun zeta ->
           let dynamics = { Vehicle.Plant.default_dynamics with zeta } in
-          point_of zeta (Runner.run ~dynamics scenario))
-        [ 0.2; 0.3; 0.5; 0.8 ];
+          Runner.run ~dynamics scenario);
   }
 
 (** Classification window: how hit/FP/FN counts move with the temporal
     correspondence window of §5.1.2 (EXPERIMENTS.md divergence 4). *)
-let window_sweep () =
+let window_sweep ?domains () =
   let scenario = Defs.get 1 in
   {
     sweep_name = "ablation_window";
@@ -119,12 +125,16 @@ let window_sweep () =
        correspondence window: too narrow misses genuine precursors, too \
        wide turns coincidences into hits.";
     points =
-      List.map
-        (fun w -> point_of w (Runner.run ~window:w scenario))
-        [ 0.01; 0.02; 0.05; 0.1; 0.3 ];
+      points_of ?domains
+        [ 0.01; 0.02; 0.05; 0.1; 0.3 ]
+        (fun w -> Runner.run ~window:w scenario);
   }
 
-let all () = [ latch_sweep (); debounce_sweep (); damping_sweep (); window_sweep () ]
+let all ?domains () =
+  [
+    latch_sweep ?domains (); debounce_sweep ?domains (); damping_sweep ?domains ();
+    window_sweep ?domains ();
+  ]
 
 let pp ppf (s : t) =
   Fmt.pf ppf "@[<v>%s — scenario %d@,%s@,@," s.sweep_name s.scenario s.what;

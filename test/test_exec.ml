@@ -1,0 +1,180 @@
+(** The parallel execution engine: submission-order determinism, per-task
+    exception isolation, parallel/sequential equivalence of the scenario
+    fleet, and the shared outcome cache. *)
+
+(* ------------------------------------------------------------------ *)
+(* Pool semantics                                                       *)
+
+let test_map_matches_sequential () =
+  let xs = List.init 50 Fun.id in
+  Alcotest.(check (list int))
+    "map ~domains:4 = List.map" (List.map succ xs)
+    (Exec.Pool.map ~domains:4 succ xs);
+  Alcotest.(check (list int))
+    "map ~domains:1 = List.map" (List.map succ xs)
+    (Exec.Pool.map ~domains:1 succ xs)
+
+let test_submission_order () =
+  (* Later-submitted tasks finish first: task i sleeps (n - i) * 20 ms, so
+     with 4 workers the completion order is roughly the reverse of the
+     submission order. Results must come back in submission order. *)
+  let n = 8 in
+  let xs = List.init n Fun.id in
+  let results =
+    Exec.Pool.try_map ~domains:4
+      (fun i ->
+        Unix.sleepf (float_of_int (n - i) *. 0.02);
+        i)
+      xs
+  in
+  let values = List.map (function Ok v -> v | Error _ -> -1) results in
+  Alcotest.(check (list int)) "submission order preserved" xs values
+
+exception Boom of int
+
+let test_exception_isolated () =
+  let results =
+    Exec.Pool.try_map ~domains:4
+      (fun i -> if i = 3 then raise (Boom i) else i * 2)
+      (List.init 8 Fun.id)
+  in
+  List.iteri
+    (fun i r ->
+      match (i, r) with
+      | 3, Error e ->
+          Alcotest.(check int) "error carries its index" 3 e.Exec.Pool.index;
+          Alcotest.(check bool) "error carries the exception" true (e.Exec.Pool.exn = Boom 3)
+      | 3, Ok _ -> Alcotest.fail "task 3 should have failed"
+      | i, Ok v -> Alcotest.(check int) (Fmt.str "task %d ok" i) (i * 2) v
+      | i, Error _ -> Alcotest.fail (Fmt.str "task %d poisoned" i))
+    results
+
+let test_pool_survives_failure () =
+  (* A failing batch must not take down the workers: the same pool runs a
+     clean batch afterwards. *)
+  let pool = Exec.Pool.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown pool)
+    (fun () ->
+      let first =
+        Exec.Pool.try_map_pool pool
+          (fun i -> if i mod 2 = 0 then failwith "even" else i)
+          (List.init 6 Fun.id)
+      in
+      Alcotest.(check int) "3 failures reported" 3
+        (List.length (List.filter Result.is_error first));
+      Alcotest.(check (list int))
+        "pool usable after failures"
+        [ 0; 10; 20 ]
+        (Exec.Pool.map_pool pool (fun i -> i * 10) [ 0; 1; 2 ]))
+
+let test_map_reraises () =
+  match Exec.Pool.map ~domains:2 (fun i -> if i = 1 then raise (Boom 1) else i) [ 0; 1 ] with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 1 -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fleet equivalence: parallel run_all is bit-for-bit the sequential run *)
+
+(* [Defs.t] holds the scripted lead-speed closure, which polymorphic
+   equality cannot traverse; compare everything else. *)
+let strip (o : Scenarios.Runner.outcome) =
+  ( o.Scenarios.Runner.scenario.Scenarios.Defs.number,
+    o.Scenarios.Runner.trace,
+    o.Scenarios.Runner.results,
+    o.Scenarios.Runner.reports,
+    o.Scenarios.Runner.collided,
+    o.Scenarios.Runner.end_time )
+
+let test_parallel_equals_sequential () =
+  let seq = Scenarios.Runner.run_all ~use_cache:false ~domains:1 () in
+  let par = Scenarios.Runner.run_all ~use_cache:false ~domains:4 () in
+  Alcotest.(check int) "fleet size" (List.length seq) (List.length par);
+  List.iter2
+    (fun s p ->
+      Alcotest.(check bool)
+        (Fmt.str "scenario %d identical under 4 domains"
+           s.Scenarios.Runner.scenario.Scenarios.Defs.number)
+        true
+        (strip s = strip p))
+    seq par
+
+let test_run_all_threads_options () =
+  (* The full option set reaches every scenario of the fleet: a latch-free
+     timing removes scenario 1's vehicle-level goal-1 violations (the
+     latch ablation result), which the old run_all could not express. *)
+  let timing = { Vehicle.Arbiter.default_timing with latch_time = 0.0 } in
+  let fleet = Scenarios.Runner.run_all ~domains:2 ~timing () in
+  let o1 = List.hd fleet in
+  Alcotest.(check int) "scenario 1 first" 1
+    o1.Scenarios.Runner.scenario.Scenarios.Defs.number;
+  let goal1_violated =
+    List.exists
+      (fun (r : Vehicle.Monitors.result) ->
+        r.Vehicle.Monitors.entry.Vehicle.Monitors.id = "1"
+        && r.Vehicle.Monitors.violations <> [])
+      o1.Scenarios.Runner.results
+  in
+  Alcotest.(check bool) "latch-free fleet: goal 1 silent" false goal1_violated;
+  (* window threading: a generous window converts scenario 1's goal-2
+     false negatives into hits, without re-simulating anything. *)
+  let narrow = Scenarios.Runner.run_all ~domains:2 ~window:0.001 () in
+  let wide = Scenarios.Runner.run_all ~domains:2 ~window:0.3 () in
+  let fn_sum fleet =
+    List.fold_left
+      (fun acc (o : Scenarios.Runner.outcome) ->
+        List.fold_left
+          (fun acc (_, (r : Rtmon.Report.t)) -> acc + r.Rtmon.Report.false_negatives)
+          acc o.Scenarios.Runner.reports)
+      0 fleet
+  in
+  Alcotest.(check bool) "wider window, fewer false negatives" true
+    (fn_sum wide <= fn_sum narrow)
+
+(* ------------------------------------------------------------------ *)
+(* Outcome cache                                                        *)
+
+let test_cache_hit_and_counters () =
+  Scenarios.Runner.clear_cache ();
+  let s0 = Scenarios.Runner.cache_stats () in
+  Alcotest.(check int) "cleared: no hits" 0 s0.Exec.Memo.hits;
+  Alcotest.(check int) "cleared: no misses" 0 s0.Exec.Memo.misses;
+  let cold = Scenarios.Runner.run (Scenarios.Defs.get 1) in
+  let s1 = Scenarios.Runner.cache_stats () in
+  Alcotest.(check int) "cold run is a miss" 1 s1.Exec.Memo.misses;
+  Alcotest.(check int) "cold run is not a hit" 0 s1.Exec.Memo.hits;
+  let warm = Scenarios.Runner.run (Scenarios.Defs.get 1) in
+  let s2 = Scenarios.Runner.cache_stats () in
+  Alcotest.(check int) "warm run is a hit" 1 s2.Exec.Memo.hits;
+  Alcotest.(check int) "warm run adds no miss" 1 s2.Exec.Memo.misses;
+  Alcotest.(check bool) "warm outcome physically equal" true (cold == warm);
+  (* different configuration, different cache line *)
+  let repaired = Scenarios.Runner.run ~defects:Vehicle.Defects.repaired (Scenarios.Defs.get 1) in
+  Alcotest.(check bool) "repaired outcome is distinct" true (not (repaired == cold));
+  let s3 = Scenarios.Runner.cache_stats () in
+  Alcotest.(check int) "distinct key is a miss" 2 s3.Exec.Memo.misses
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map = sequential map" `Quick test_map_matches_sequential;
+          Alcotest.test_case "submission-order determinism" `Quick test_submission_order;
+          Alcotest.test_case "per-task exception capture" `Quick test_exception_isolated;
+          Alcotest.test_case "pool survives task failure" `Quick test_pool_survives_failure;
+          Alcotest.test_case "map re-raises" `Quick test_map_reraises;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "parallel = sequential (bit-for-bit)" `Slow
+            test_parallel_equals_sequential;
+          Alcotest.test_case "run_all threads timing/window" `Slow
+            test_run_all_threads_options;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit is physically equal; counters move" `Slow
+            test_cache_hit_and_counters;
+        ] );
+    ]
