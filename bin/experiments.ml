@@ -4,6 +4,8 @@
     experiments list            # list experiment ids
     experiments all             # run every experiment
     experiments run table_d_1 fig_5_2 ...
+    experiments campaign --seed 42 --domains 4
+    experiments campaign --inject nan:object_range@2..8 --scenarios 1,3
     v} *)
 
 open Cmdliner
@@ -62,8 +64,58 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ domains_arg $ ids)
 
+let campaign_cmd =
+  let doc =
+    "Run a fault-injection campaign: a fault × scenario grid against the \
+     repaired baseline, reporting the detection-coverage matrix."
+  in
+  let spec_conv =
+    Arg.conv
+      ( (fun s ->
+          match Inject.Spec.parse s with
+          | Ok f -> Ok f
+          | Error e -> Error (`Msg e)),
+        Inject.Fault.pp )
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Campaign seed; same seed, bit-for-bit identical matrix.")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt_all spec_conv []
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:
+            (Inject.Spec.conv_doc
+            ^ " Repeatable; default: the smoke grid's three sensor faults."))
+  in
+  let scenarios =
+    Arg.(
+      value
+      & opt (list int) [ 1; 3; 7 ]
+      & info [ "scenarios" ] ~docv:"N,.."
+          ~doc:"Scenario numbers forming the grid columns.")
+  in
+  let run domains seed faults scenarios =
+    let smoke = Scenarios.Campaign.smoke ~seed () in
+    let grid =
+      {
+        Scenarios.Campaign.seed;
+        faults = (if faults = [] then smoke.Scenarios.Campaign.faults else faults);
+        grid_scenarios = List.map Scenarios.Defs.get scenarios;
+      }
+    in
+    Fmt.pr "%a@." Scenarios.Campaign.pp (Scenarios.Campaign.run ?domains grid)
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(const run $ domains_arg $ seed $ faults $ scenarios)
+
 let () =
   let doc = "Regenerate the tables and figures of the thesis evaluation." in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "experiments" ~doc) [ list_cmd; all_cmd; run_cmd ]))
+       (Cmd.group (Cmd.info "experiments" ~doc)
+          [ list_cmd; all_cmd; run_cmd; campaign_cmd ]))

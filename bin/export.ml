@@ -5,6 +5,7 @@
     export figures --out-dir plots/          # every fig_5_* as CSV
     export scenario 3 --out-dir plots/       # full trace + violations
     export scenario 3 --repaired -s host_speed -s ca_accel_req
+    export campaign --seed 42 --out-dir plots/   # detection-coverage matrix
     v} *)
 
 open Cmdliner
@@ -73,6 +74,70 @@ let scenario_cmd =
   Cmd.v (Cmd.info "scenario" ~doc:"Export one scenario's trace and violations as CSV.")
     Term.(const run $ n $ out_dir $ repaired $ signals $ stride)
 
+let campaign_cmd =
+  let spec_conv =
+    Arg.conv
+      ( (fun s ->
+          match Inject.Spec.parse s with
+          | Ok f -> Ok f
+          | Error e -> Error (`Msg e)),
+        Inject.Fault.pp )
+  in
+  let out_dir =
+    Arg.(value & opt string "." & info [ "out-dir"; "o" ] ~doc:"Output directory.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Campaign seed; same seed, bit-for-bit identical CSV.")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt_all spec_conv []
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:
+            (Inject.Spec.conv_doc
+            ^ " Repeatable; default: the smoke grid's three sensor faults."))
+  in
+  let scenarios =
+    Arg.(
+      value
+      & opt (list int) [ 1; 3; 7 ]
+      & info [ "scenarios" ] ~docv:"N,.."
+          ~doc:"Scenario numbers forming the grid columns.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains"; "j" ] ~docv:"N"
+          ~doc:"Run the grid on $(docv) domains (1 = sequential).")
+  in
+  let run out_dir seed faults scenarios domains =
+    ensure_dir out_dir;
+    let smoke = Scenarios.Campaign.smoke ~seed () in
+    let grid =
+      {
+        Scenarios.Campaign.seed;
+        faults = (if faults = [] then smoke.Scenarios.Campaign.faults else faults);
+        grid_scenarios = List.map Scenarios.Defs.get scenarios;
+      }
+    in
+    let c = Scenarios.Campaign.run ?domains grid in
+    let path = Filename.concat out_dir (Fmt.str "campaign_seed%d.csv" seed) in
+    Scenarios.Export.write_file path (Scenarios.Export.campaign_csv c);
+    Fmt.pr "wrote %s@." path
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Export a fault-injection detection-coverage matrix as CSV.")
+    Term.(const run $ out_dir $ seed $ faults $ scenarios $ domains)
+
 let () =
   let doc = "Export traces, figures and violation tables as CSV." in
-  exit (Cmd.eval (Cmd.group (Cmd.info "export" ~doc) [ figures_cmd; scenario_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "export" ~doc)
+          [ figures_cmd; scenario_cmd; campaign_cmd ]))

@@ -5,15 +5,27 @@
     simulate 1                 # scenario 1 as the thesis evaluated it
     simulate 6 --repaired      # the counterfactual: defects fixed
     simulate 3 --signal host_speed --signal ca_accel_req
+    simulate 1 --repaired --inject nan:object_range@2..8 --seed 7
     v} *)
 
 open Cmdliner
 
-let run n repaired signals =
+let spec_conv =
+  Arg.conv
+    ( (fun s ->
+        match Inject.Spec.parse s with
+        | Ok f -> Ok f
+        | Error e -> Error (`Msg e)),
+      Inject.Fault.pp )
+
+let run n repaired seed faults signals =
   let defects =
     if repaired then Vehicle.Defects.repaired else Vehicle.Defects.as_evaluated
   in
-  let o = Scenarios.Runner.run ~defects (Scenarios.Defs.get n) in
+  let inject = Inject.Plan.make ~seed faults in
+  if not (Inject.Plan.is_empty inject) then
+    Fmt.pr "injecting: %a@." Inject.Plan.pp inject;
+  let o = Scenarios.Runner.run ~defects ~inject (Scenarios.Defs.get n) in
   Fmt.pr "%s@.%s@.@." o.Scenarios.Runner.scenario.Scenarios.Defs.title
     o.Scenarios.Runner.scenario.Scenarios.Defs.description;
   Fmt.pr "%a@." Scenarios.Results.pp_table o;
@@ -33,8 +45,23 @@ let () =
   let repaired =
     Arg.(value & flag & info [ "repaired" ] ~doc:"Run with every seeded defect fixed.")
   in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Injection-plan seed; same seed, same faulted run.")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt_all spec_conv []
+      & info [ "inject" ] ~docv:"SPEC" ~doc:Inject.Spec.conv_doc)
+  in
   let signals =
     Arg.(value & opt_all string [] & info [ "signal"; "s" ] ~doc:"Also print this signal.")
   in
   let doc = "Run a semi-autonomous vehicle evaluation scenario." in
-  exit (Cmd.eval (Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ n $ repaired $ signals)))
+  exit
+    (Cmd.eval
+       (Cmd.v (Cmd.info "simulate" ~doc)
+          Term.(const run $ n $ repaired $ seed $ faults $ signals)))

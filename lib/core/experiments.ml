@@ -273,6 +273,15 @@ let assumption_check ppf =
 
 let sweep mk ppf = Scenarios.Sweeps.pp ppf (mk ())
 
+let inject_campaign ppf =
+  (* The CI smoke grid: three fault models × three scenarios on the forward
+     object sensors, against the repaired baseline so every new violation is
+     attributable to the injected fault. *)
+  let c = Scenarios.Campaign.run (Scenarios.Campaign.smoke ()) in
+  Fmt.pf ppf
+    "@[<v>Fault-injection detection coverage (smoke grid, seed %d)@,@,%a@]"
+    c.Scenarios.Campaign.seed Scenarios.Campaign.pp c
+
 let repaired ppf =
   (* The counterfactual the thesis could not run: the same scenarios with
      every defect repaired. The nine goals then hold everywhere. *)
@@ -333,6 +342,7 @@ let all : t list =
       { id = "ablation_window"; title = "Sweep: classification window vs hit/FP/FN"; run = sweep Scenarios.Sweeps.window_sweep };
       { id = "summary"; title = "Cross-scenario summary and composability estimate"; run = summary };
       { id = "repaired"; title = "Ablation: all defects repaired"; run = repaired };
+      { id = "inject_campaign"; title = "Fault-injection detection-coverage matrix (smoke grid)"; run = inject_campaign };
     ]
 
 let get id = List.find_opt (fun e -> e.id = id) all

@@ -1,8 +1,19 @@
+(* Raw backtraces are only recorded when explicitly enabled; without this,
+   the [backtrace] captured in a worker domain and re-raised on the caller
+   is empty and the failure's origin is lost across the domain boundary.
+   The flag is domain-local in OCaml 5, so besides this process-level
+   enable (covering the sequential paths), every spawned worker re-enables
+   it for its own domain. *)
+let () = Printexc.record_backtrace true
+
 type error = {
   index : int;
   exn : exn;
   backtrace : Printexc.raw_backtrace;
 }
+
+exception Timed_out of float
+(** The per-task watchdog limit, seconds. *)
 
 type t = {
   size : int;
@@ -15,6 +26,7 @@ type t = {
 }
 
 let worker pool =
+  Printexc.record_backtrace true;
   let rec loop () =
     Mutex.lock pool.lock;
     let rec next () =
@@ -69,34 +81,95 @@ let guarded f x ~index =
   | v -> Ok v
   | exception exn -> Error { index; exn; backtrace = Printexc.get_raw_backtrace () }
 
-let try_map_pool pool f xs =
+let timed_out ~index limit =
+  Error { index; exn = Timed_out limit; backtrace = Printexc.get_raw_backtrace () }
+
+(** Sequential execution cannot preempt a running task, so the watchdog
+    here is post-hoc: a task that overran the limit completes, but its
+    result is replaced by [Timed_out] for parity with the pooled path. *)
+let guarded_seq ?timeout_s f x ~index =
+  match timeout_s with
+  | None -> guarded f x ~index
+  | Some limit ->
+      let t0 = Unix.gettimeofday () in
+      let r = guarded f x ~index in
+      if Unix.gettimeofday () -. t0 > limit then timed_out ~index limit else r
+
+let try_map_pool ?timeout_s pool f xs =
   let n = List.length xs in
   let results = Array.make n None in
   (if pool.workers = [] then
      (* size-1 pool: sequential fallback on the calling domain *)
-     List.iteri (fun i x -> results.(i) <- Some (guarded f x ~index:i)) xs
+     List.iteri (fun i x -> results.(i) <- Some (guarded_seq ?timeout_s f x ~index:i)) xs
    else begin
      let remaining = ref n in
+     (* Wall-clock start per task, written under the pool lock when a
+        worker picks the task up; nan = not started yet. The watchdog
+        clock runs from task start, not batch submission. *)
+     let started = Array.make n Float.nan in
      List.iteri
        (fun i x ->
          let job () =
-           let r = guarded f x ~index:i in
            Mutex.lock pool.lock;
-           results.(i) <- Some r;
-           decr remaining;
-           if !remaining = 0 then Condition.broadcast pool.batch_done;
-           Mutex.unlock pool.lock
+           let abandoned = results.(i) <> None in
+           if not abandoned then started.(i) <- Unix.gettimeofday ();
+           Mutex.unlock pool.lock;
+           if not abandoned then begin
+             let r = guarded f x ~index:i in
+             Mutex.lock pool.lock;
+             (match results.(i) with
+             | None ->
+                 results.(i) <- Some r;
+                 decr remaining;
+                 if !remaining = 0 then Condition.broadcast pool.batch_done
+             | Some _ ->
+                 (* The watchdog already published [Timed_out] for this
+                    task and accounted for it; drop the late result. *)
+                 ());
+             Mutex.unlock pool.lock
+           end
          in
          Mutex.lock pool.lock;
          Queue.push job pool.queue;
          Condition.signal pool.pending;
          Mutex.unlock pool.lock)
        xs;
-     Mutex.lock pool.lock;
-     while !remaining > 0 do
-       Condition.wait pool.batch_done pool.lock
-     done;
-     Mutex.unlock pool.lock
+     match timeout_s with
+     | None ->
+         Mutex.lock pool.lock;
+         while !remaining > 0 do
+           Condition.wait pool.batch_done pool.lock
+         done;
+         Mutex.unlock pool.lock
+     | Some limit ->
+         (* OCaml's stdlib [Condition] has no timed wait, so the caller
+            doubles as the watchdog: poll the batch, publishing [Timed_out]
+            for any started task past the limit. The worker running an
+            abandoned task is not preempted — it stays occupied until the
+            task returns on its own, and only then frees its slot — but the
+            batch no longer waits for it. *)
+         let poll = Float.max 0.001 (Float.min 0.05 (limit /. 10.)) in
+         Mutex.lock pool.lock;
+         while !remaining > 0 do
+           let now = Unix.gettimeofday () in
+           Array.iteri
+             (fun i t0 ->
+               if
+                 results.(i) = None
+                 && (not (Float.is_nan t0))
+                 && now -. t0 > limit
+               then begin
+                 results.(i) <- Some (timed_out ~index:i limit);
+                 decr remaining
+               end)
+             started;
+           if !remaining > 0 then begin
+             Mutex.unlock pool.lock;
+             Unix.sleepf poll;
+             Mutex.lock pool.lock
+           end
+         done;
+         Mutex.unlock pool.lock
    end);
   Array.to_list (Array.map Option.get results)
 
@@ -107,7 +180,7 @@ let reraise_first results =
       | Error e -> Printexc.raise_with_backtrace e.exn e.backtrace)
     results
 
-let map_pool pool f xs = reraise_first (try_map_pool pool f xs)
+let map_pool ?timeout_s pool f xs = reraise_first (try_map_pool ?timeout_s pool f xs)
 
 (* ------------------------------------------------------------------ *)
 
@@ -131,10 +204,12 @@ let with_transient ~domains f =
   let pool = create ~domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-let try_map ?domains f xs =
+let try_map ?domains ?timeout_s f xs =
   match domains with
-  | None -> try_map_pool (default ()) f xs
-  | Some n when n <= 1 -> List.mapi (fun i x -> guarded f x ~index:i) xs
-  | Some n -> with_transient ~domains:n (fun pool -> try_map_pool pool f xs)
+  | None -> try_map_pool ?timeout_s (default ()) f xs
+  | Some n when n <= 1 ->
+      List.mapi (fun i x -> guarded_seq ?timeout_s f x ~index:i) xs
+  | Some n ->
+      with_transient ~domains:n (fun pool -> try_map_pool ?timeout_s pool f xs)
 
-let map ?domains f xs = reraise_first (try_map ?domains f xs)
+let map ?domains ?timeout_s f xs = reraise_first (try_map ?domains ?timeout_s f xs)

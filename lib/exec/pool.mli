@@ -16,7 +16,15 @@ type error = {
   index : int;  (** position of the failing task in the submitted batch *)
   exn : exn;
   backtrace : Printexc.raw_backtrace;
+      (** captured at the raise site inside the worker domain and
+          preserved across the domain boundary; [map] re-raises with it so
+          the failure's origin is not replaced by the re-raise site *)
 }
+
+exception Timed_out of float
+(** A task overran the [?timeout_s] watchdog; the payload is the limit in
+    seconds. Appears as the [exn] of an {!error} — never raised into a
+    worker. *)
 
 val create : ?domains:int -> unit -> t
 (** [create ?domains ()] spawns a pool of [domains] workers (default
@@ -28,24 +36,41 @@ val shutdown : t -> unit
 (** Drain the queue, stop the workers and join their domains. The pool
     must not be used afterwards. *)
 
-val try_map_pool : t -> ('a -> 'b) -> 'a list -> ('b, error) result list
+val try_map_pool :
+  ?timeout_s:float -> t -> ('a -> 'b) -> 'a list -> ('b, error) result list
 (** Run [f] over every element on the pool; blocks until all tasks are
     done. Result [i] corresponds to input [i] (submission order). Tasks
-    must not themselves submit work to the same pool. *)
+    must not themselves submit work to the same pool.
 
-val map_pool : t -> ('a -> 'b) -> 'a list -> 'b list
+    [timeout_s] (default: none) arms a per-task wall-clock watchdog,
+    counted from the moment a worker starts the task: a task past the
+    limit yields [Error {exn = Timed_out limit; _}] instead of hanging the
+    batch. The overrunning task itself is not preempted — its worker stays
+    occupied until the task returns, and its late result is dropped. On
+    the sequential paths (size-1 pool, [~domains:1]) nothing can run
+    concurrently with a task, so the watchdog degrades to post-hoc
+    detection: the task completes, then its result is replaced by
+    [Timed_out] if it overran. *)
+
+val map_pool : ?timeout_s:float -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** Like {!try_map_pool} but re-raises the first (lowest-index) task
-    failure, after every task has finished. *)
+    failure — with the backtrace captured in the worker — after every task
+    has finished. *)
 
 val default : unit -> t
 (** The process-wide shared pool, created on first use with the default
     size. *)
 
-val try_map : ?domains:int -> ('a -> 'b) -> 'a list -> ('b, error) result list
+val try_map :
+  ?domains:int ->
+  ?timeout_s:float ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, error) result list
 (** Convenience front-end: [~domains:1] runs inline sequentially;
     [~domains:n] runs on a transient pool of [n] workers that is shut
     down before returning; omitting [domains] uses the shared
-    {!default} pool. *)
+    {!default} pool. [timeout_s] as in {!try_map_pool}. *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?domains:int -> ?timeout_s:float -> ('a -> 'b) -> 'a list -> 'b list
 (** Same dispatch as {!try_map}, re-raising the first task failure. *)

@@ -1,0 +1,38 @@
+(** Splittable seeded PRNG (SplitMix64).
+
+    Every injected fault owns its own generator, derived from the campaign
+    seed and the fault's position in the plan — no global state, so a fault
+    consumes random draws at its own pace and parallel runs on the domain
+    pool stay bit-for-bit identical to sequential ones. *)
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* The SplitMix64 finalizer: a bijective avalanche mix. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [derive seed i] — the [i]-th child seed of [seed], as pure data. Plans
+    store only integers; generators are created fresh for every run. *)
+let derive seed i =
+  Int64.to_int (mix (Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int (i + 1)) golden)))
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+(** Uniform float in [0, 1), from the top 53 bits. *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) *. 0x1p-53
+
+(** Standard normal via Box–Muller (one draw per call; the sine half is
+    discarded to keep the draw count per tick fixed). *)
+let gaussian t =
+  let u1 = Float.max (float t) 0x1p-53 in
+  let u2 = float t in
+  Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)

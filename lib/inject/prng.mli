@@ -1,0 +1,17 @@
+(** Splittable seeded PRNG (SplitMix64): each fault derives a private
+    generator from the campaign seed, so draws never cross fault or run
+    boundaries and parallel campaigns are bit-for-bit reproducible. *)
+
+val derive : int -> int -> int
+(** [derive seed i] — the [i]-th child seed of [seed] (pure; plans store
+    the integers, generators are built per run). *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val gaussian : t -> float
+(** Standard normal (Box–Muller). *)

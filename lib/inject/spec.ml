@@ -1,0 +1,120 @@
+(** Textual fault specs for the [--inject] command-line flag.
+
+    Grammar (inverse of {!Fault.pp}):
+
+    {v
+    SPEC    ::= MODEL ":" TARGET [ "@" [FROM] ".." [UNTIL] ]
+    MODEL   ::= "stuck=" VALUE | "hold" | "nan" | "delay=" STATES
+              | "noise=" SIGMA | "drift=" RATE | "spike=" MAG "/" RATE
+              | "flicker=" PERIOD
+    VALUE   ::= "true" | "false" | NUMBER | SYMBOL
+    v}
+
+    Examples: [nan:object_range\@2..8] (range reads NaN between 2 s and
+    8 s), [stuck=false:object_detected] (radar blind for the whole run),
+    [delay=150:object_range\@5..] (range 150 states late from 5 s on). *)
+
+open Tl
+
+let parse_value s =
+  match s with
+  | "true" -> Value.Bool true
+  | "false" -> Value.Bool false
+  | _ -> (
+      match float_of_string_opt s with
+      | Some f -> Value.Float f
+      | None -> Value.Sym s)
+
+(* first index of ".." in [s], skipping a '.' that is part of a decimal *)
+let dotdot s =
+  let n = String.length s in
+  let rec go i =
+    if i + 1 >= n then None
+    else if s.[i] = '.' && s.[i + 1] = '.' then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let parse_window s =
+  (* "FROM..UNTIL", either side optional *)
+  match dotdot s with
+  | Some i ->
+      let from_s = String.sub s 0 i in
+      let until_s = String.sub s (i + 2) (String.length s - i - 2) in
+      let parse_bound default b =
+        if b = "" then Some default else float_of_string_opt b
+      in
+      Option.bind (parse_bound 0. from_s) (fun from_t ->
+          Option.map
+            (fun until_t -> (from_t, until_t))
+            (parse_bound infinity until_s))
+  | _ -> Option.map (fun t -> (t, infinity)) (float_of_string_opt s)
+
+let parse_model s : (Fault.model, string) result =
+  let num name v k =
+    match float_of_string_opt v with
+    | Some f -> k f
+    | None -> Error (Fmt.str "%s wants a number, got %S" name v)
+  in
+  match String.index_opt s '=' with
+  | None -> (
+      match s with
+      | "hold" -> Ok Fault.Dropout_hold
+      | "nan" -> Ok Fault.Dropout_missing
+      | _ -> Error (Fmt.str "unknown fault model %S" s))
+  | Some i -> (
+      let name = String.sub s 0 i in
+      let arg = String.sub s (i + 1) (String.length s - i - 1) in
+      match name with
+      | "stuck" ->
+          if arg = "" then Error "stuck wants a value (stuck=VALUE)"
+          else Ok (Fault.Stuck_at (parse_value arg))
+      | "delay" -> (
+          match int_of_string_opt arg with
+          | Some k when k > 0 -> Ok (Fault.Delay k)
+          | _ -> Error (Fmt.str "delay wants a positive state count, got %S" arg))
+      | "noise" -> num "noise" arg (fun f -> Ok (Fault.Noise f))
+      | "drift" -> num "drift" arg (fun f -> Ok (Fault.Drift f))
+      | "flicker" -> num "flicker" arg (fun f -> Ok (Fault.Intermittent f))
+      | "spike" -> (
+          match String.index_opt arg '/' with
+          | Some j ->
+              let mag = String.sub arg 0 j in
+              let rate = String.sub arg (j + 1) (String.length arg - j - 1) in
+              num "spike magnitude" mag (fun m ->
+                  num "spike rate" rate (fun r -> Ok (Fault.Spike (m, r))))
+          | None -> Error "spike wants MAGNITUDE/RATE")
+      | _ -> Error (Fmt.str "unknown fault model %S" name))
+
+(** [parse s] — parse one [--inject] SPEC. *)
+let parse s : (Fault.t, string) result =
+  match String.index_opt s ':' with
+  | None -> Error (Fmt.str "missing ':' in fault spec %S (MODEL:TARGET[@FROM..UNTIL])" s)
+  | Some i -> (
+      let model_s = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let target, window_s =
+        match String.index_opt rest '@' with
+        | None -> (rest, None)
+        | Some j ->
+            ( String.sub rest 0 j,
+              Some (String.sub rest (j + 1) (String.length rest - j - 1)) )
+      in
+      if target = "" then Error (Fmt.str "empty target in fault spec %S" s)
+      else
+        match parse_model model_s with
+        | Error e -> Error e
+        | Ok model -> (
+            match window_s with
+            | None -> Ok (Fault.make ~target model)
+            | Some w -> (
+                match parse_window w with
+                | Some (from_t, until_t) ->
+                    Ok (Fault.make ~from_t ~until_t ~target model)
+                | None -> Error (Fmt.str "bad window %S (FROM..UNTIL)" w))))
+
+let parse_exn s =
+  match parse s with Ok f -> f | Error e -> invalid_arg ("--inject: " ^ e)
+
+(** Cmdliner converter for [--inject]. *)
+let conv_doc = "MODEL:TARGET[@FROM..UNTIL] — see Inject.Spec"

@@ -1,0 +1,10 @@
+(** Textual fault specs for [--inject]:
+    [MODEL:TARGET[@FROM..UNTIL]] with models [stuck=V], [hold], [nan],
+    [delay=K], [noise=SIGMA], [drift=RATE], [spike=MAG/RATE],
+    [flicker=PERIOD]. {!Fault.pp} prints this syntax back. *)
+
+val parse : string -> (Fault.t, string) result
+val parse_exn : string -> Fault.t
+(** @raise Invalid_argument on a malformed spec. *)
+
+val conv_doc : string

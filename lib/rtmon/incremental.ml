@@ -177,3 +177,81 @@ let run_trace f (trace : Trace.t) : bool array =
   in
   go 0 t0;
   out
+
+(* ------------------------------------------------------------------ *)
+(* Degradation-aware monitoring: under runtime faults (dropout, NaN,
+   frozen sensors) a monitor's inputs can be missing or garbage. Rather
+   than silently classifying over garbage, the three-valued runner reports
+   [Inhibited] for such states — the monitor knows it cannot judge. *)
+
+type status = Pass | Fail | Inhibited
+
+(** A value a monitor must refuse to judge on. *)
+let degraded = function Value.Float f -> Float.is_nan f | _ -> false
+
+(** [inhibited state vars] — is any monitored input missing or NaN? *)
+let inhibited state vars =
+  List.exists
+    (fun v ->
+      match State.find_opt v state with None -> true | Some x -> degraded x)
+    vars
+
+(** [run_trace_status ?stale f trace] — three-valued verdict per state.
+
+    A state is [Inhibited] when any state variable of [f] is missing or
+    NaN, or when a variable listed in [stale] has held the exact same value
+    for longer than its bound (opt-in, for signals with known activity:
+    hold-last dropout is otherwise indistinguishable from a legitimately
+    constant signal). The monitor's memory is {e frozen} across inhibited
+    states — it resumes from its pre-fault state rather than absorbing
+    garbage. *)
+let run_trace_status ?(stale = []) f (trace : Trace.t) : status array =
+  let vars = Formula.vars f in
+  let n = Trace.length trace in
+  let out = Array.make n Pass in
+  let dt = Trace.dt trace in
+  (* per-stale-variable run length of the unchanged value *)
+  let stale_k =
+    List.map (fun (v, bound) -> (v, Trace.duration_to_states ~dt bound)) stale
+  in
+  let runs = Hashtbl.create 8 in
+  let stale_now state =
+    List.exists
+      (fun (v, k) ->
+        match State.find_opt v state with
+        | None -> false (* missing is the [inhibited] check's business *)
+        | Some x -> (
+            match Hashtbl.find_opt runs v with
+            | Some (prev, len) when Value.equal prev x ->
+                Hashtbl.replace runs v (x, len + 1);
+                len + 1 > k
+            | _ ->
+                Hashtbl.replace runs v (x, 1);
+                false))
+      stale_k
+  in
+  let rec go i t =
+    if i < n then begin
+      let state = Trace.get trace i in
+      let is_stale = stale_now state in
+      if inhibited state vars || is_stale then begin
+        out.(i) <- Inhibited;
+        go (i + 1) t (* memory frozen *)
+      end
+      else begin
+        let ok, t' = step t state in
+        out.(i) <- (if ok then Pass else Fail);
+        go (i + 1) t'
+      end
+    end
+  in
+  go 0 (create ~dt f);
+  out
+
+(** Violation intervals of a status series (maximal [Fail] runs). *)
+let fails ~dt status =
+  Violation.of_series ~dt (Array.map (fun s -> s <> Fail) status)
+
+(** Inhibition intervals of a status series (maximal [Inhibited] runs). *)
+let inhibitions ~dt status =
+  Violation.of_series ~dt (Array.map (fun s -> s <> Inhibited) status)

@@ -39,3 +39,32 @@ val step : t -> State.t -> bool * t
 val run_trace : Formula.t -> Trace.t -> bool array
 (** Truth value of the formula's invariant body at every state, computed
     incrementally; agrees with [Tl.Eval.series] on the body. *)
+
+(** {1 Degradation-aware monitoring}
+
+    Under runtime faults (sensor dropout, NaN measurements) a monitor's
+    inputs can be missing or garbage; the three-valued runner reports
+    {!Inhibited} for such states instead of silently classifying. *)
+
+type status = Pass | Fail | Inhibited
+
+val degraded : Value.t -> bool
+(** A value a monitor must refuse to judge on (NaN). *)
+
+val inhibited : State.t -> string list -> bool
+(** Is any of the given state variables missing or degraded? *)
+
+val run_trace_status :
+  ?stale:(string * float) list -> Formula.t -> Trace.t -> status array
+(** Three-valued verdict per state: [Inhibited] when any variable of the
+    formula is missing or NaN in that state, or when a variable listed in
+    [stale] has held the exact same value for longer than its bound
+    (seconds; opt-in, since hold-last dropout is indistinguishable from a
+    legitimately constant signal). The monitor's memory is frozen across
+    inhibited states. *)
+
+val fails : dt:float -> status array -> Violation.interval list
+(** Maximal [Fail] runs — the violation intervals. *)
+
+val inhibitions : dt:float -> status array -> Violation.interval list
+(** Maximal [Inhibited] runs. *)

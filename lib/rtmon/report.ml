@@ -9,12 +9,13 @@
       violation — restrictive or redundant goal coverage (the angel [Y] of
       Eq. 3.23), or a masked subsystem defect. *)
 
-type outcome = Hit | False_negative | False_positive
+type outcome = Hit | False_negative | False_positive | Monitor_inhibited
 
 let outcome_to_string = function
   | Hit -> "hit"
   | False_negative -> "false negative"
   | False_positive -> "false positive"
+  | Monitor_inhibited -> "monitor inhibited"
 
 type entry = {
   goal_name : string;  (** the goal or subgoal violated *)
@@ -29,12 +30,19 @@ type t = {
   hits : int;
   false_negatives : int;
   false_positives : int;
+  inhibited : int;  (** total inhibition intervals across all monitors *)
+  inhibitions : (string * int) list;
+      (** per-monitor inhibition-interval counts (monitor name → count);
+          monitors that were never inhibited are omitted *)
 }
 
-(** [classify ~window ~goal ~subgoals] classifies every violation.
-    [goal = (name, location, intervals)]; each subgoal likewise. *)
-let classify ~window ~goal:(gname, gloc, givs)
-    ~(subgoals : (string * string * Violation.interval list) list) : t =
+(** [classify ~window ?inhibitions ~goal ~subgoals] classifies every
+    violation. [goal = (name, location, intervals)]; each subgoal likewise.
+    [inhibitions] lists per-monitor intervals during which the monitor
+    could not judge (degraded inputs); they appear as [Monitor_inhibited]
+    entries and counts, distinct from hits/FNs/FPs. *)
+let classify ~window ?(inhibitions = []) ~goal:(gname, gloc, givs)
+    ~(subgoals : (string * string * Violation.interval list) list) () : t =
   let sub_ivs = List.concat_map (fun (_, _, ivs) -> ivs) subgoals in
   let goal_entries =
     List.map
@@ -67,7 +75,16 @@ let classify ~window ~goal:(gname, gloc, givs)
           sivs)
       subgoals
   in
-  let entries = goal_entries @ sub_entries in
+  let inhibited_entries =
+    List.concat_map
+      (fun (name, loc, ivs) ->
+        List.map
+          (fun iv ->
+            { goal_name = name; location = loc; interval = iv; outcome = Monitor_inhibited })
+          ivs)
+      inhibitions
+  in
+  let entries = goal_entries @ sub_entries @ inhibited_entries in
   let count o = List.length (List.filter (fun e -> e.outcome = o) entries) in
   {
     window;
@@ -75,6 +92,12 @@ let classify ~window ~goal:(gname, gloc, givs)
     hits = List.length (List.filter (fun e -> e.outcome = Hit) goal_entries);
     false_negatives = count False_negative;
     false_positives = count False_positive;
+    inhibited = List.length inhibited_entries;
+    inhibitions =
+      List.filter_map
+        (fun (name, _, ivs) ->
+          if ivs = [] then None else Some (name, List.length ivs))
+        inhibitions;
   }
 
 let pp_entry ppf e =
@@ -83,6 +106,8 @@ let pp_entry ppf e =
     (outcome_to_string e.outcome)
 
 let pp ppf t =
-  Fmt.pf ppf "@[<v>%a@,hits=%d false_negatives=%d false_positives=%d@]"
+  Fmt.pf ppf "@[<v>%a@,hits=%d false_negatives=%d false_positives=%d%a@]"
     (Fmt.list ~sep:Fmt.cut pp_entry)
     t.entries t.hits t.false_negatives t.false_positives
+    (fun ppf n -> if n > 0 then Fmt.pf ppf " inhibited=%d" n)
+    t.inhibited

@@ -10,7 +10,7 @@
       goal violation — restrictive or redundant goal coverage (the angel
       [Y] of Eq. 3.23), or a masked subsystem defect. *)
 
-type outcome = Hit | False_negative | False_positive
+type outcome = Hit | False_negative | False_positive | Monitor_inhibited
 
 val outcome_to_string : outcome -> string
 
@@ -27,15 +27,25 @@ type t = {
   hits : int;
   false_negatives : int;
   false_positives : int;
+  inhibited : int;  (** total inhibition intervals across all monitors *)
+  inhibitions : (string * int) list;
+      (** per-monitor inhibition-interval counts (monitor name → count);
+          monitors never inhibited are omitted *)
 }
 
 val classify :
   window:float ->
+  ?inhibitions:(string * string * Violation.interval list) list ->
   goal:string * string * Violation.interval list ->
   subgoals:(string * string * Violation.interval list) list ->
+  unit ->
   t
-(** [classify ~window ~goal:(name, location, intervals) ~subgoals] —
-    classify every violation by temporal correspondence within [window]. *)
+(** [classify ~window ?inhibitions ~goal:(name, location, intervals)
+    ~subgoals ()] — classify every violation by temporal correspondence
+    within [window]. [inhibitions] lists per-monitor intervals during which
+    the monitor could not judge (missing/NaN/stale inputs under runtime
+    faults); each becomes a [Monitor_inhibited] entry, counted separately
+    from hits/FNs/FPs. *)
 
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit

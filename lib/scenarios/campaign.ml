@@ -1,0 +1,290 @@
+(** Fault-injection campaigns: enumerate a fault-specimen × scenario grid,
+    run every cell through the shared outcome cache on the domain pool, and
+    report a detection-coverage matrix.
+
+    Each cell compares an injected run against the fault-free baseline of
+    the same scenario (same defects, default [Vehicle.Defects.repaired] so
+    new violations are attributable to the fault):
+
+    - {e detected} — the fault produced a goal-level effect (a new
+      vehicle-level violation, or a new collision) that some subgoal
+      monitor anticipated within the classification window; the lead time
+      is how far ahead the earliest new subgoal alarm ran;
+    - {e missed} — a goal-level effect with no (timely) subgoal warning:
+      the hierarchical monitors were defeated, e.g. because the fault
+      blinds the very sensors the subgoals observe;
+    - {e spurious} — subgoal alarms with no goal-level effect;
+    - {e no effect} — the fault perturbed nothing the monitors judge.
+
+    Monitors inhibited by degraded inputs (NaN / missing under dropout
+    faults) are counted separately — an inhibited monitor is not a false
+    negative, it is a known coverage gap. *)
+
+type detection =
+  | Detected of float  (** goal-level effect anticipated; lead time, s *)
+  | Missed  (** goal-level effect, no timely subgoal warning *)
+  | Spurious  (** subgoal alarms only *)
+  | No_effect
+
+let detection_to_string = function
+  | Detected lead -> Fmt.str "detected (lead %.3fs)" lead
+  | Missed -> "missed"
+  | Spurious -> "spurious"
+  | No_effect -> "no effect"
+
+type cell = {
+  scenario : int;
+  fault : Inject.Fault.t;
+  detection : detection;
+  hits : int;
+  false_negatives : int;
+  false_positives : int;
+  inhibited : int;  (** inhibition intervals across all monitors *)
+  inhibitions : (string * int) list;  (** per-monitor (id, intervals) *)
+  collided : bool;
+  baseline_collided : bool;
+}
+
+type t = {
+  seed : int;
+  window : float;
+  scenarios : int list;  (** column order *)
+  cells : cell list;  (** fault-major, scenario-minor *)
+  detected : int;
+  missed : int;
+  spurious : int;
+  no_effect : int;
+  hits : int;
+  false_negatives : int;
+  false_positives : int;
+  inhibited : int;
+}
+
+type grid = {
+  faults : Inject.Fault.t list;
+  grid_scenarios : Defs.t list;
+  seed : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Cell classification                                                 *)
+
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Float.min a b)
+
+(** Violations of an injected run with no corresponding baseline violation
+    (within the window) — the fault's own footprint. *)
+let new_intervals ~window base ivs =
+  List.filter
+    (fun iv ->
+      not
+        (List.exists (fun biv -> Rtmon.Violation.overlap_within ~window iv biv) base))
+    ivs
+
+let first_time = function
+  | [] -> None
+  | ivs ->
+      Some
+        (List.fold_left
+           (fun acc (iv : Rtmon.Violation.interval) ->
+             Float.min acc iv.Rtmon.Violation.start_time)
+           infinity ivs)
+
+let classify_cell ~window (fault : Inject.Fault.t)
+    ~(baseline : Runner.outcome) (injected : Runner.outcome) : cell =
+  let base_of (r : Vehicle.Monitors.result) =
+    match
+      List.find_opt
+        (fun (b : Vehicle.Monitors.result) ->
+          b.Vehicle.Monitors.entry.Vehicle.Monitors.id
+          = r.Vehicle.Monitors.entry.Vehicle.Monitors.id)
+        baseline.Runner.results
+    with
+    | Some b -> b.Vehicle.Monitors.violations
+    | None -> []
+  in
+  let fresh loc_pred =
+    List.filter_map
+      (fun (r : Vehicle.Monitors.result) ->
+        if loc_pred r.Vehicle.Monitors.entry.Vehicle.Monitors.location then
+          first_time
+            (new_intervals ~window (base_of r) r.Vehicle.Monitors.violations)
+        else None)
+      injected.Runner.results
+    |> List.fold_left (fun acc t -> min_opt acc (Some t)) None
+  in
+  let new_collision =
+    if injected.Runner.collided && not baseline.Runner.collided then
+      Some injected.Runner.end_time
+    else None
+  in
+  let goal_first =
+    min_opt (fresh (fun l -> l = Vehicle.Monitors.Vehicle)) new_collision
+  in
+  let sub_first = fresh (fun l -> l <> Vehicle.Monitors.Vehicle) in
+  let detection =
+    match (goal_first, sub_first) with
+    | None, None -> No_effect
+    | None, Some _ -> Spurious
+    | Some g, Some s when s <= g +. window -> Detected (Float.max 0. (g -. s))
+    | Some _, _ -> Missed
+  in
+  let sum f = List.fold_left (fun acc (_, r) -> acc + f r) 0 injected.Runner.reports in
+  let inhibitions =
+    List.filter_map
+      (fun (r : Vehicle.Monitors.result) ->
+        match r.Vehicle.Monitors.inhibited with
+        | [] -> None
+        | ivs -> Some (r.Vehicle.Monitors.entry.Vehicle.Monitors.id, List.length ivs))
+      injected.Runner.results
+  in
+  {
+    scenario = injected.Runner.scenario.Defs.number;
+    fault;
+    detection;
+    hits = sum (fun r -> r.Rtmon.Report.hits);
+    false_negatives = sum (fun r -> r.Rtmon.Report.false_negatives);
+    false_positives = sum (fun r -> r.Rtmon.Report.false_positives);
+    inhibited =
+      List.fold_left
+        (fun acc (r : Vehicle.Monitors.result) ->
+          acc + List.length r.Vehicle.Monitors.inhibited)
+        0 injected.Runner.results;
+    inhibitions;
+    collided = injected.Runner.collided;
+    baseline_collided = baseline.Runner.collided;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Grid execution                                                      *)
+
+(** Run a campaign grid. Every (fault, scenario) cell simulates once with
+    the single-fault plan [Plan.make ~seed [fault]] — the plan seed is the
+    campaign seed for every cell, so the cell's cache key depends only on
+    (scenario, fault, seed), not on its grid position, and repeated or
+    overlapping campaigns hit the outcome cache. Cells fan out over the
+    domain pool in submission order; results are bit-for-bit identical
+    sequential ([~domains:1]) and parallel. *)
+let run ?domains ?use_cache ?(defects = Vehicle.Defects.repaired)
+    ?(window = Runner.default_window) (g : grid) : t =
+  let pairs =
+    List.concat_map
+      (fun f -> List.map (fun s -> (f, s)) g.grid_scenarios)
+      g.faults
+  in
+  let cells =
+    Exec.Pool.map ?domains
+      (fun (fault, s) ->
+        let baseline = Runner.run ?use_cache ~defects ~window s in
+        let injected =
+          Runner.run ?use_cache ~defects
+            ~inject:(Inject.Plan.make ~seed:g.seed [ fault ])
+            ~window s
+        in
+        classify_cell ~window fault ~baseline injected)
+      pairs
+  in
+  let count p = List.length (List.filter p cells) in
+  let sum f = List.fold_left (fun acc c -> acc + f c) 0 cells in
+  {
+    seed = g.seed;
+    window;
+    scenarios = List.map (fun s -> s.Defs.number) g.grid_scenarios;
+    cells;
+    detected = count (fun c -> match c.detection with Detected _ -> true | _ -> false);
+    missed = count (fun c -> c.detection = Missed);
+    spurious = count (fun c -> c.detection = Spurious);
+    no_effect = count (fun c -> c.detection = No_effect);
+    hits = sum (fun c -> c.hits);
+    false_negatives = sum (fun c -> c.false_negatives);
+    false_positives = sum (fun c -> c.false_positives);
+    inhibited = sum (fun c -> c.inhibited);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The smoke grid: four fault specimens (three fault models) × three
+   scenarios, small enough for CI yet exercising every detection class:
+
+   - a stuck acceleration request trips the command-level subgoal monitor
+     the moment the fault activates, long before the vehicle-level effect
+     (detected, with lead time) — and where the request is never selected
+     it alarms with no goal-level effect (spurious);
+   - a blinded forward radar defeats the hierarchy wholesale: the features
+     whose requests the subgoals watch are blinded by the very same fault
+     (missed);
+   - an actuation delay on the arbiter command perturbs only the plant —
+     every command-level signal the subgoals watch stays legal (missed);
+   - NaN dropout on the jerk accelerometer channel inhibits the goal-2
+     monitor (it refuses to judge garbage) without touching the physics
+     (no effect, inhibitions counted). *)
+
+let smoke ?(seed = 42) () =
+  let open Inject.Fault in
+  {
+    seed;
+    faults =
+      [
+        make
+          ~target:(Vehicle.Signals.accel_req "CA")
+          (Stuck_at (Tl.Value.Float 3.0));
+        make ~target:Vehicle.Signals.object_detected
+          (Stuck_at (Tl.Value.Bool false));
+        make ~target:Vehicle.Signals.accel_cmd (Delay 150);
+        make ~from_t:2.0 ~until_t:8.0 ~target:Vehicle.Signals.host_jerk
+          Dropout_missing;
+      ];
+    grid_scenarios = [ Defs.get 1; Defs.get 3; Defs.get 7 ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let cell_code c =
+  match c.detection with
+  | Detected lead -> Fmt.str "D+%.2f" lead
+  | Missed -> "M"
+  | Spurious -> "S"
+  | No_effect -> "-"
+
+(** The detection-coverage matrix: one row per fault, one column per
+    scenario; [D+lead] / [M]issed / [S]purious / [-] no effect, with
+    per-cell inhibition counts in parentheses when monitors were degraded. *)
+let pp ppf (t : t) =
+  let fault_label c = Inject.Fault.to_string c.fault in
+  let faults =
+    List.fold_left
+      (fun acc c -> if List.mem (fault_label c) acc then acc else acc @ [ fault_label c ])
+      [] t.cells
+  in
+  let width =
+    List.fold_left (fun acc f -> max acc (String.length f)) 24 faults
+  in
+  Fmt.pf ppf "@[<v>%-*s" width "fault \\ scenario";
+  List.iter (fun n -> Fmt.pf ppf " %10s" (Fmt.str "#%d" n)) t.scenarios;
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "@,%-*s" width f;
+      List.iter
+        (fun n ->
+          match
+            List.find_opt
+              (fun c -> fault_label c = f && c.scenario = n)
+              t.cells
+          with
+          | Some c ->
+              let code =
+                if c.inhibited > 0 then
+                  Fmt.str "%s(%d)" (cell_code c) c.inhibited
+                else cell_code c
+              in
+              Fmt.pf ppf " %10s" code
+          | None -> Fmt.pf ppf " %10s" "?")
+        t.scenarios)
+    faults;
+  Fmt.pf ppf
+    "@,detected=%d missed=%d spurious=%d no_effect=%d@,\
+     hits=%d false negatives=%d false positives=%d inhibited=%d@]"
+    t.detected t.missed t.spurious t.no_effect t.hits t.false_negatives
+    t.false_positives t.inhibited

@@ -93,6 +93,33 @@ let violations_csv (o : Runner.outcome) : string =
     o.Runner.results;
   Buffer.contents buf
 
+(** [campaign_csv campaign] — one row per (fault, scenario) cell of the
+    detection-coverage matrix, with the per-cell classification counts. *)
+let campaign_csv (c : Campaign.t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "fault,scenario,detection,lead_s,hits,false_negatives,false_positives,\
+     inhibited,collided,baseline_collided\n";
+  List.iter
+    (fun (cell : Campaign.cell) ->
+      let detection, lead =
+        match cell.Campaign.detection with
+        | Campaign.Detected lead -> ("detected", Fmt.str "%g" lead)
+        | Campaign.Missed -> ("missed", "")
+        | Campaign.Spurious -> ("spurious", "")
+        | Campaign.No_effect -> ("no_effect", "")
+      in
+      Buffer.add_string buf
+        (Fmt.str "%s,%d,%s,%s,%d,%d,%d,%d,%d,%d\n"
+           (escape (Inject.Fault.to_string cell.Campaign.fault))
+           cell.Campaign.scenario detection lead cell.Campaign.hits
+           cell.Campaign.false_negatives cell.Campaign.false_positives
+           cell.Campaign.inhibited
+           (if cell.Campaign.collided then 1 else 0)
+           (if cell.Campaign.baseline_collided then 1 else 0)))
+    c.Campaign.cells;
+  Buffer.contents buf
+
 let write_file path contents =
   let oc = open_out path in
   Fun.protect

@@ -40,6 +40,21 @@ let pp_table ppf (o : Runner.outcome) =
               (classification_of o r iv))
           r.Vehicle.Monitors.violations)
       rows;
+  (* Monitors inhibited by degraded inputs (fault injection): distinct
+     rows, never mixed into the violation classes. *)
+  List.iter
+    (fun (r : Vehicle.Monitors.result) ->
+      List.iter
+        (fun (iv : Rtmon.Violation.interval) ->
+          Fmt.pf ppf "%-10s %-52s %-10s %-10.3f %-9.0f %s@,"
+            (Vehicle.Monitors.location_to_string
+               r.Vehicle.Monitors.entry.Vehicle.Monitors.location)
+            r.Vehicle.Monitors.entry.Vehicle.Monitors.goal.Kaos.Goal.name
+            r.Vehicle.Monitors.entry.Vehicle.Monitors.id iv.Rtmon.Violation.start_time
+            (iv.Rtmon.Violation.duration *. 1000.)
+            "monitor inhibited")
+        r.Vehicle.Monitors.inhibited)
+    o.Runner.results;
   let hits = List.fold_left (fun acc (_, (r : Rtmon.Report.t)) -> acc + r.Rtmon.Report.hits) 0 o.Runner.reports in
   let fns =
     List.fold_left
@@ -51,7 +66,15 @@ let pp_table ppf (o : Runner.outcome) =
       (fun acc (_, (r : Rtmon.Report.t)) -> acc + r.Rtmon.Report.false_positives)
       0 o.Runner.reports
   in
-  Fmt.pf ppf "@,hits=%d  false negatives=%d  false positives=%d@]@." hits fns fps
+  let inhibited =
+    List.fold_left
+      (fun acc (r : Vehicle.Monitors.result) ->
+        acc + List.length r.Vehicle.Monitors.inhibited)
+      0 o.Runner.results
+  in
+  Fmt.pf ppf "@,hits=%d  false negatives=%d  false positives=%d" hits fns fps;
+  if inhibited > 0 then Fmt.pf ppf "  inhibited=%d" inhibited;
+  Fmt.pf ppf "@]@."
 
 (** Summary across all scenarios: the evidence table for §5.5/§6.2. *)
 let pp_summary ppf (outcomes : Runner.outcome list) =

@@ -36,10 +36,14 @@ let classify ~window (s : Defs.t) trace results : outcome =
     end_time = Trace.time trace (Trace.length trace - 1);
   }
 
-let monitored ~defects ~timing ~dynamics (s : Defs.t) =
+let monitored ~defects ~timing ~dynamics ~inject (s : Defs.t) =
+  let interpose =
+    if Inject.Plan.is_empty inject then None
+    else Some (Inject.Plan.interposer ~dt:Vehicle.System.dt inject)
+  in
   let trace =
-    Vehicle.System.run ~defects ~timing ~dynamics ~duration:s.Defs.duration
-      ~objects:s.Defs.objects ~events:s.Defs.events ()
+    Vehicle.System.run ~defects ~timing ~dynamics ?interpose
+      ~duration:s.Defs.duration ~objects:s.Defs.objects ~events:s.Defs.events ()
   in
   (trace, Vehicle.Monitors.run trace)
 
@@ -67,27 +71,31 @@ let clear_cache () =
 
 let run ?(use_cache = true) ?(defects = Vehicle.Defects.as_evaluated)
     ?(timing = Vehicle.Arbiter.default_timing)
-    ?(dynamics = Vehicle.Plant.default_dynamics) ?(window = default_window)
-    (s : Defs.t) : outcome =
+    ?(dynamics = Vehicle.Plant.default_dynamics)
+    ?(inject = Inject.Plan.empty) ?(window = default_window) (s : Defs.t) :
+    outcome =
   if not use_cache then
-    let trace, results = monitored ~defects ~timing ~dynamics s in
+    let trace, results = monitored ~defects ~timing ~dynamics ~inject s in
     classify ~window s trace results
   else
     (* [Defs.t] contains the scripted lead-speed closure; [Exec.Memo.digest]
-       handles closures, and the cache never outlives the process. *)
-    let sim_key = Exec.Memo.digest (s, defects, timing, dynamics) in
+       handles closures, and the cache never outlives the process. The
+       injection plan is pure data (no closures, no PRNG state — runtime
+       fault state is re-derived per run from the plan seed), so equal plans
+       digest equally and campaign repeats hit the cache. *)
+    let sim_key = Exec.Memo.digest (s, defects, timing, dynamics, inject) in
     Exec.Memo.find_or_add outcome_cache
       (Exec.Memo.digest (sim_key, window))
       (fun () ->
         let trace, results =
           Exec.Memo.find_or_add sim_cache sim_key (fun () ->
-              monitored ~defects ~timing ~dynamics s)
+              monitored ~defects ~timing ~dynamics ~inject s)
         in
         classify ~window s trace results)
 
-let run_all ?domains ?use_cache ?defects ?timing ?dynamics ?window () =
+let run_all ?domains ?use_cache ?defects ?timing ?dynamics ?inject ?window () =
   Exec.Pool.map ?domains
-    (run ?use_cache ?defects ?timing ?dynamics ?window)
+    (run ?use_cache ?defects ?timing ?dynamics ?inject ?window)
     Defs.all
 
 (** Violating monitor entries only, for the Appendix D tables. *)

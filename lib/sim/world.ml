@@ -45,19 +45,29 @@ let step world now prev =
     (fun next c -> State.update (c.Component.step ctx) next)
     prev world.components
 
-(** [run world ~until ?stop ()] — simulate from time 0 to [until] seconds,
-    recording every snapshot (the initial state is state 0 at time 0).
-    [stop] terminates the run early when it returns true on a freshly
-    computed snapshot (the thesis's runs end early on collision); the
-    terminating snapshot is included. *)
-let run ?stop ~until world : Trace.t =
+(** [run world ~until ?stop ?transform ()] — simulate from time 0 to
+    [until] seconds, recording every snapshot (the initial state is state 0
+    at time 0). [stop] terminates the run early when it returns true on a
+    freshly computed snapshot (the thesis's runs end early on collision);
+    the terminating snapshot is included.
+
+    [transform] interposes on every freshly computed snapshot before it is
+    recorded or tested by [stop] — the hook behind runtime fault injection
+    ({!Inject}): because the kernel is double buffered, an interposed value
+    is exactly what every component and monitor observes on the following
+    tick. The initial state is not transformed (no component has produced
+    an output yet). *)
+let run ?stop ?transform ~until world : Trace.t =
   let n_max = int_of_float (Float.ceil (until /. world.dt)) in
   let buf = ref [ world.initial ] in
+  let apply now next =
+    match transform with None -> next | Some f -> f ~now next
+  in
   let rec go i prev =
     if i > n_max then ()
     else
       let now = float_of_int i *. world.dt in
-      let next = step world now prev in
+      let next = apply now (step world now prev) in
       buf := next :: !buf;
       match stop with
       | Some f when f next -> ()

@@ -27,8 +27,19 @@ val step : t -> float -> State.t -> State.t
 (** [step world now prev] — the snapshot at time [now] from the previous
     snapshot. *)
 
-val run : ?stop:(State.t -> bool) -> until:float -> t -> Trace.t
+val run :
+  ?stop:(State.t -> bool) ->
+  ?transform:(now:float -> State.t -> State.t) ->
+  until:float ->
+  t ->
+  Trace.t
 (** Simulate from time 0 to [until] seconds, recording every snapshot (the
     initial state is state 0 at time 0). [stop] terminates the run early
     when it returns true on a freshly computed snapshot (the thesis's runs
-    end early on collision); the terminating snapshot is included. *)
+    end early on collision); the terminating snapshot is included.
+
+    [transform] interposes on every freshly computed snapshot before it is
+    recorded or tested by [stop] — the runtime fault-injection hook: with
+    the double-buffered kernel, an interposed value is exactly what every
+    component and monitor observes on the following tick. The initial state
+    is not transformed. *)

@@ -65,14 +65,30 @@ let feature_level =
 (** The complete monitoring plan of Table 5.3. *)
 let all = vehicle_level @ arbiter_level @ feature_level
 
-type result = { entry : entry; violations : Rtmon.Violation.interval list }
+type result = {
+  entry : entry;
+  violations : Rtmon.Violation.interval list;
+  inhibited : Rtmon.Violation.interval list;
+      (** intervals where the monitor's inputs were missing or NaN and it
+          refused to judge (degraded sensors under fault injection) *)
+}
 
-(** Run every monitor of the plan over a trace. *)
-let run (trace : Trace.t) : result list =
+(** Run every monitor of the plan over a trace. Under fault injection a
+    monitored input can be missing or NaN; such states inhibit the monitor
+    (three-valued verdict) rather than silently classifying over garbage. *)
+let run ?stale (trace : Trace.t) : result list =
+  let dt = Trace.dt trace in
   List.map
     (fun entry ->
-      let ok = Rtmon.Incremental.run_trace entry.goal.Kaos.Goal.formal trace in
-      { entry; violations = Rtmon.Violation.of_series ~dt:(Trace.dt trace) ok })
+      let status =
+        Rtmon.Incremental.run_trace_status ?stale entry.goal.Kaos.Goal.formal
+          trace
+      in
+      {
+        entry;
+        violations = Rtmon.Incremental.fails ~dt status;
+        inhibited = Rtmon.Incremental.inhibitions ~dt status;
+      })
     all
 
 (** Per-parent-goal classification: compare the vehicle-level goal's
@@ -87,6 +103,16 @@ let classify ?(window = 0.05) (results : result list) (n : int) : Rtmon.Report.t
   in
   let subs = find (fun r -> r.entry.parent = n && r.entry.location <> Vehicle) in
   Rtmon.Report.classify ~window
+    ~inhibitions:
+      (List.filter_map
+         (fun r ->
+           if r.inhibited = [] then None
+           else
+             Some
+               ( r.entry.goal.Kaos.Goal.name,
+                 location_to_string r.entry.location,
+                 r.inhibited ))
+         (goal_res :: subs))
     ~goal:(goal_res.entry.goal.Kaos.Goal.name, "Vehicle", goal_res.violations)
     ~subgoals:
       (List.map
@@ -95,6 +121,7 @@ let classify ?(window = 0.05) (results : result list) (n : int) : Rtmon.Report.t
              location_to_string r.entry.location,
              r.violations ))
          subs)
+    ()
 
 (** Overall composability estimate across the nine goals (§3.4). *)
 let estimate ?window results =

@@ -44,12 +44,15 @@ let world ?(defects = Defects.as_evaluated) ?timing ?dynamics ~objects ~events (
     ]
 
 (** Run a scenario world; terminates early on collision, like the thesis's
-    runs. *)
-let run ?(defects = Defects.as_evaluated) ?timing ?dynamics ?(duration = 20.0) ~objects
-    ~events () =
+    runs. [interpose] is the runtime fault-injection hook: a stateful
+    snapshot transform (e.g. [Inject.Plan.interposer]) applied to every
+    freshly computed state, so faulted signals are what the features, the
+    arbiter and the monitors all observe one tick later. *)
+let run ?(defects = Defects.as_evaluated) ?timing ?dynamics ?interpose
+    ?(duration = 20.0) ~objects ~events () =
   Sim.World.run
     ~stop:(fun s -> State.bool s collision)
-    ~until:duration
+    ?transform:interpose ~until:duration
     (world ~defects ?timing ?dynamics ~objects ~events ())
 
 (* ------------------------------------------------------------------ *)

@@ -136,9 +136,11 @@ let test_runtime_estimate () =
   let r1 =
     Rtmon.Report.classify ~window:0.1 ~goal:("G", "V", [ iv 1.0 ])
       ~subgoals:[ ("S", "A", [ iv 1.02 ]) ]
+      ()
   in
   let r2 =
     Rtmon.Report.classify ~window:0.1 ~goal:("G", "V", [ iv 3.0 ]) ~subgoals:[]
+      ()
   in
   let est = Compose.Runtime.of_reports [ r1; r2 ] in
   Alcotest.(check int) "scenarios" 2 est.Compose.Runtime.scenarios;

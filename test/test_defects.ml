@@ -1,0 +1,190 @@
+(** One test per defect toggle of {!Vehicle.Defects.t}: each enables a
+    single defect against the repaired baseline and asserts an empirical
+    signature — a critical-relationship violation, a collision, or a
+    behavioural delta on a scenario where that defect (and only that
+    defect) manifests. Runs share the process-wide scenario outcome cache,
+    so the repaired baselines are simulated once. *)
+
+open Tl
+
+let defs n = Scenarios.Defs.get n
+let run ~defects n = Scenarios.Runner.run ~defects (defs n)
+let repaired = Vehicle.Defects.repaired
+let base n = run ~defects:repaired n
+
+(** Violation-interval count for the named critical relationship. *)
+let rel_count name trace =
+  match
+    List.find_opt
+      (fun ((r : Vehicle.Relationships.t), _) -> r.name = name)
+      (Vehicle.Relationships.check trace)
+  with
+  | Some (_, ivs) -> List.length ivs
+  | None -> Alcotest.failf "unknown relationship %s" name
+
+let count_states pred trace = Trace.fold (fun n s -> if pred s then n + 1 else n) 0 trace
+
+let fold_signal f init var trace =
+  Trace.fold (fun acc s -> f acc (State.float s var)) init trace
+
+let min_signal = fold_signal Float.min infinity
+let max_signal = fold_signal Float.max neg_infinity
+
+(* ------------------------------------------------------------------ *)
+
+let test_pa_ghost_requests () =
+  let o = run ~defects:{ repaired with pa_ghost_requests = true } 1 in
+  Alcotest.(check int) "repaired: R9 quiet" 0 (rel_count "InactiveFeaturesQuiet" (base 1).trace);
+  Alcotest.(check bool) "ghost requests violate R9" true
+    (rel_count "InactiveFeaturesQuiet" o.trace > 0)
+
+let test_ca_no_hysteresis () =
+  let o = run ~defects:{ repaired with ca_no_hysteresis = true } 1 in
+  Alcotest.(check int) "repaired: R10 quiet" 0 (rel_count "BrakingContinuity" (base 1).trace);
+  Alcotest.(check bool) "cancelled braking violates R10" true
+    (rel_count "BrakingContinuity" o.trace > 0)
+
+(** The radar's minimum range is 2 m; scenarios rarely close inside it, so
+    probe the sensor directly: an object parked 1.5 m ahead. *)
+let test_radar_min_range_dropout () =
+  let detected defects =
+    let trace =
+      Vehicle.System.run ~defects ~duration:0.1
+        ~objects:(Vehicle.Plant.stationary_ahead 1.5) ~events:[] ()
+    in
+    State.bool (Trace.get trace (Trace.length trace - 1)) Vehicle.Signals.object_detected
+  in
+  Alcotest.(check bool) "repaired radar sees 1.5 m" true (detected repaired);
+  Alcotest.(check bool) "dropout loses objects inside min range" false
+    (detected { repaired with radar_min_range_dropout = true })
+
+let test_arbiter_steering_priority_reversed () =
+  let o = run ~defects:{ repaired with arbiter_steering_priority_reversed = true } 2 in
+  Alcotest.(check bool) "repaired S2 avoids collision" false (base 2).collided;
+  Alcotest.(check bool) "reversed priority collides in S2" true o.collided
+
+(** The latch holds the flag-derived attribution ([va_source]) past the
+    actual source change, so it disagrees with [accel_source]. *)
+let test_arbiter_selected_latch () =
+  let disagreement trace =
+    count_states
+      (fun s ->
+        State.sym s Vehicle.Signals.va_source
+        <> State.sym s Vehicle.Signals.accel_source)
+      trace
+  in
+  let o = run ~defects:{ repaired with arbiter_selected_latch = true } 4 in
+  Alcotest.(check int) "repaired attributions agree" 0 (disagreement (base 4).trace);
+  Alcotest.(check bool) "latch holds stale attribution" true (disagreement o.trace > 0)
+
+(** Enabled-but-disengaged ACC regulates toward set speed 0: it emits
+    braking requests it has no business computing. *)
+let test_acc_controls_when_disengaged () =
+  let min_req o = min_signal (Vehicle.Signals.accel_req "ACC") o.Scenarios.Runner.trace in
+  Alcotest.(check bool) "repaired disengaged ACC is quiet" true (min_req (base 3) >= -0.001);
+  Alcotest.(check bool) "defect brakes toward set speed 0" true
+    (min_req (run ~defects:{ repaired with acc_controls_when_disengaged = true } 3) < -1.0)
+
+let test_acc_no_gear_check () =
+  let o = run ~defects:{ repaired with acc_no_gear_check = true } 8 in
+  Alcotest.(check int) "repaired: R8 quiet" 0 (rel_count "DirectionDiscipline" (base 8).trace);
+  Alcotest.(check bool) "ACC in reverse violates R8" true
+    (rel_count "DirectionDiscipline" o.trace > 0)
+
+(** Integrating through a driver override winds the integrator up; on
+    regaining control ACC overshoots the set speed. *)
+let test_acc_integrator_windup () =
+  let top o = max_signal Vehicle.Signals.host_speed o.Scenarios.Runner.trace in
+  let o = run ~defects:{ repaired with acc_integrator_windup = true } 4 in
+  Alcotest.(check bool) "windup overshoots past repaired peak" true
+    (top o > top (base 4) +. 0.2)
+
+let test_acc_no_standstill_clamp () =
+  let floor_ o = min_signal Vehicle.Signals.host_speed o.Scenarios.Runner.trace in
+  let o = run ~defects:{ repaired with acc_no_standstill_clamp = true } 6 in
+  Alcotest.(check bool) "repaired never reverses" true (floor_ (base 6) >= -0.01);
+  Alcotest.(check bool) "unclamped gap control drives speed negative" true (floor_ o < -0.1);
+  Alcotest.(check bool) "violates R7" true (rel_count "StandstillHold" o.trace > 0)
+
+let test_lca_steering_ignored () =
+  let o = run ~defects:{ repaired with lca_steering_ignored = true } 6 in
+  Alcotest.(check int) "repaired: R6 quiet" 0 (rel_count "SteeringFollowsWinner" (base 6).trace);
+  Alcotest.(check bool) "stale steering command violates R6" true
+    (rel_count "SteeringFollowsWinner" o.trace > 0)
+
+let test_rca_never_engages () =
+  let o = run ~defects:{ repaired with rca_never_engages = true } 7 in
+  Alcotest.(check bool) "repaired RCA brakes in reverse" false (base 7).collided;
+  Alcotest.(check bool) "without RCA the backing collision happens" true o.collided
+
+(** The mis-routed slot feeds PA a command unequal to its request, so the
+    parking manoeuvre stalls: the vehicle never moves. *)
+let test_pa_command_mismatch () =
+  let top o = max_signal Vehicle.Signals.host_speed o.Scenarios.Runner.trace in
+  let o = run ~defects:{ repaired with pa_command_mismatch = true } 9 in
+  Alcotest.(check bool) "repaired PA moves the vehicle" true (top (base 9) > 0.1);
+  Alcotest.(check bool) "mismatch stalls the manoeuvre" true (top o < 0.01);
+  Alcotest.(check bool) "violates R2" true
+    (rel_count "CommandEqualsSelectedRequest" o.trace > 0)
+
+let test_powertrain_creep_on_engage () =
+  let o = run ~defects:{ repaired with powertrain_creep_on_engage = true } 10 in
+  Alcotest.(check bool) "repaired failed engage stays at standstill" true
+    (max_signal Vehicle.Signals.host_speed (base 10).trace < 0.01);
+  Alcotest.(check bool) "leaked creep torque rolls into the obstacle" true o.collided
+
+let test_arbiter_dual_selected () =
+  let dual trace =
+    count_states
+      (fun s ->
+        List.length
+          (List.filter (fun f -> State.bool s (Vehicle.Signals.selected f))
+             Vehicle.Signals.features)
+        >= 2)
+      trace
+  in
+  let o = run ~defects:{ repaired with arbiter_dual_selected = true } 6 in
+  Alcotest.(check int) "repaired: one selected flag at a time" 0 (dual (base 6).trace);
+  Alcotest.(check bool) "defect flags two subsystems at once" true (dual o.trace > 0)
+
+(** Pedal-blind selection lets a newly engaged feature hold acceleration
+    while the throttle is applied — more subsystem-sourced states under
+    throttle than the repaired arbiter allows. *)
+let test_arbiter_selects_under_pedals () =
+  let under_throttle trace =
+    count_states
+      (fun s ->
+        State.float s Vehicle.Signals.throttle_pedal > 0.05
+        && List.mem (State.sym s Vehicle.Signals.accel_source) Vehicle.Signals.features)
+      trace
+  in
+  let o = run ~defects:{ repaired with arbiter_selects_under_pedals = true } 4 in
+  Alcotest.(check bool) "defect extends subsystem control under throttle" true
+    (under_throttle o.trace > under_throttle (base 4).trace)
+
+let () =
+  Alcotest.run "defects"
+    [
+      ( "toggles",
+        [
+          Alcotest.test_case "pa_ghost_requests" `Slow test_pa_ghost_requests;
+          Alcotest.test_case "ca_no_hysteresis" `Slow test_ca_no_hysteresis;
+          Alcotest.test_case "radar_min_range_dropout" `Quick test_radar_min_range_dropout;
+          Alcotest.test_case "arbiter_steering_priority_reversed" `Slow
+            test_arbiter_steering_priority_reversed;
+          Alcotest.test_case "arbiter_selected_latch" `Slow test_arbiter_selected_latch;
+          Alcotest.test_case "acc_controls_when_disengaged" `Slow
+            test_acc_controls_when_disengaged;
+          Alcotest.test_case "acc_no_gear_check" `Slow test_acc_no_gear_check;
+          Alcotest.test_case "acc_integrator_windup" `Slow test_acc_integrator_windup;
+          Alcotest.test_case "acc_no_standstill_clamp" `Slow test_acc_no_standstill_clamp;
+          Alcotest.test_case "lca_steering_ignored" `Slow test_lca_steering_ignored;
+          Alcotest.test_case "rca_never_engages" `Slow test_rca_never_engages;
+          Alcotest.test_case "pa_command_mismatch" `Slow test_pa_command_mismatch;
+          Alcotest.test_case "powertrain_creep_on_engage" `Slow
+            test_powertrain_creep_on_engage;
+          Alcotest.test_case "arbiter_dual_selected" `Slow test_arbiter_dual_selected;
+          Alcotest.test_case "arbiter_selects_under_pedals" `Slow
+            test_arbiter_selects_under_pedals;
+        ] );
+    ]

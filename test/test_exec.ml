@@ -73,6 +73,48 @@ let test_map_reraises () =
   | _ -> Alcotest.fail "expected Boom"
   | exception Boom 1 -> ()
 
+let test_backtrace_preserved () =
+  (* The raise site is inside the worker task; the captured backtrace must
+     survive the domain boundary instead of being replaced by the re-raise
+     site's (empty) one. *)
+  let deep i = if i = 0 then raise (Boom 0) else i in
+  (match Exec.Pool.try_map ~domains:2 deep [ 0 ] with
+  | [ Error e ] ->
+      Alcotest.(check bool) "worker backtrace is non-empty" true
+        (String.length (Printexc.raw_backtrace_to_string e.Exec.Pool.backtrace) > 0)
+  | _ -> Alcotest.fail "expected a single task failure");
+  Alcotest.(check bool) "backtrace recording enabled" true (Printexc.backtrace_status ())
+
+let slow_then i =
+  if i = 0 then Unix.sleepf 0.4;
+  i * 10
+
+let is_timeout = function
+  | Error e -> e.Exec.Pool.exn = Exec.Pool.Timed_out 0.1
+  | Ok _ -> false
+
+let test_watchdog_parallel () =
+  (* Task 0 sleeps past the limit: its slot must come back [Timed_out]
+     while the rest of the batch completes normally, without waiting for
+     the sleeper. *)
+  match Exec.Pool.try_map ~domains:2 ~timeout_s:0.1 slow_then [ 0; 1; 2; 3 ] with
+  | [ r0; Ok 10; Ok 20; Ok 30 ] ->
+      Alcotest.(check bool) "overrunning task timed out" true (is_timeout r0)
+  | _ -> Alcotest.fail "unexpected batch shape"
+
+let test_watchdog_sequential () =
+  (* ~domains:1 cannot preempt: the watchdog degrades to post-hoc
+     detection, still reporting [Timed_out] for the overrun. *)
+  match Exec.Pool.try_map ~domains:1 ~timeout_s:0.1 slow_then [ 0; 1 ] with
+  | [ r0; Ok 10 ] ->
+      Alcotest.(check bool) "post-hoc timeout detected" true (is_timeout r0)
+  | _ -> Alcotest.fail "unexpected batch shape"
+
+let test_watchdog_not_triggered () =
+  Alcotest.(check (list int))
+    "fast batch unaffected by watchdog" [ 0; 10; 20 ]
+    (Exec.Pool.map ~domains:2 ~timeout_s:5.0 (fun i -> i * 10) [ 0; 1; 2 ])
+
 (* ------------------------------------------------------------------ *)
 (* Fleet equivalence: parallel run_all is bit-for-bit the sequential run *)
 
@@ -164,6 +206,11 @@ let () =
           Alcotest.test_case "per-task exception capture" `Quick test_exception_isolated;
           Alcotest.test_case "pool survives task failure" `Quick test_pool_survives_failure;
           Alcotest.test_case "map re-raises" `Quick test_map_reraises;
+          Alcotest.test_case "worker backtrace preserved" `Quick test_backtrace_preserved;
+          Alcotest.test_case "watchdog: parallel timeout" `Quick test_watchdog_parallel;
+          Alcotest.test_case "watchdog: sequential post-hoc" `Quick test_watchdog_sequential;
+          Alcotest.test_case "watchdog: fast batch untouched" `Quick
+            test_watchdog_not_triggered;
         ] );
       ( "fleet",
         [

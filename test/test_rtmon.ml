@@ -131,13 +131,16 @@ let test_classification () =
       ~goal:("G", "Vehicle", [ iv 1.0 0.01; iv 5.0 0.01 ])
       ~subgoals:
         [ ("G-A", "Arbiter", [ iv 1.01 0.01 ]); ("G-B", "CA", [ iv 9.0 0.01 ]) ]
+      ()
   in
   Alcotest.(check int) "one hit" 1 r.Rtmon.Report.hits;
   Alcotest.(check int) "one false negative" 1 r.Rtmon.Report.false_negatives;
   Alcotest.(check int) "one false positive" 1 r.Rtmon.Report.false_positives
 
 let test_classification_empty () =
-  let r = Rtmon.Report.classify ~window:0.05 ~goal:("G", "V", []) ~subgoals:[] in
+  let r =
+    Rtmon.Report.classify ~window:0.05 ~goal:("G", "V", []) ~subgoals:[] ()
+  in
   Alcotest.(check int) "no hits" 0 r.Rtmon.Report.hits;
   Alcotest.(check int) "no FN" 0 r.Rtmon.Report.false_negatives;
   Alcotest.(check int) "no FP" 0 r.Rtmon.Report.false_positives
@@ -156,6 +159,7 @@ let prop_classification_conservation =
       let r =
         Rtmon.Report.classify ~window:0.5 ~goal:("G", "V", givs)
           ~subgoals:[ ("S", "A", sivs) ]
+          ()
       in
       let goal_hits =
         List.length
