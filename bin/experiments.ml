@@ -6,9 +6,49 @@
     experiments run table_d_1 fig_5_2 ...
     experiments campaign --seed 42 --domains 4
     experiments campaign --inject nan:object_range@2..8 --scenarios 1,3
+    experiments campaign --journal c.jnl --retries 2   # crash-safe run
+    experiments campaign --journal c.jnl --resume      # finish a killed run
     v} *)
 
 open Cmdliner
+
+(* Shared flags of the supervised, journaled campaign path (also on
+   [export campaign] and, for retries, [simulate]). *)
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Fsync-append every completed campaign cell to this crash-safe \
+           journal; with $(b,--resume), replay it first and execute only \
+           the missing cells. Without $(b,--resume) an existing journal is \
+           truncated.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Replay the $(b,--journal) before running: completed cells are \
+           restored bit-for-bit instead of re-simulated, so a campaign \
+           killed mid-run finishes from where it stopped.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry a failing cell up to $(docv) extra times (exponential \
+           backoff with jitter, seeded by $(b,--seed)); a cell still \
+           failing afterwards is quarantined and reported, instead of \
+           aborting the campaign. Default 0: first failure aborts.")
+
+let retry_policy ~seed retries =
+  if retries > 0 then
+    Some (Exec.Supervise.policy ~max_attempts:(retries + 1) ~seed ())
+  else None
 
 let run_one (e : Core.Experiments.t) =
   Fmt.pr "==================================================================@.";
@@ -99,7 +139,11 @@ let campaign_cmd =
       & info [ "scenarios" ] ~docv:"N,.."
           ~doc:"Scenario numbers forming the grid columns.")
   in
-  let run domains seed faults scenarios =
+  let run domains seed faults scenarios journal resume retries =
+    if resume && journal = None then begin
+      Fmt.epr "--resume requires --journal PATH@.";
+      exit 1
+    end;
     let smoke = Scenarios.Campaign.smoke ~seed () in
     let grid =
       {
@@ -108,10 +152,14 @@ let campaign_cmd =
         grid_scenarios = List.map Scenarios.Defs.get scenarios;
       }
     in
-    Fmt.pr "%a@." Scenarios.Campaign.pp (Scenarios.Campaign.run ?domains grid)
+    Fmt.pr "%a@." Scenarios.Campaign.pp
+      (Scenarios.Campaign.run ?domains ?journal ~resume
+         ?retry:(retry_policy ~seed retries) grid)
   in
   Cmd.v (Cmd.info "campaign" ~doc)
-    Term.(const run $ domains_arg $ seed $ faults $ scenarios)
+    Term.(
+      const run $ domains_arg $ seed $ faults $ scenarios $ journal_arg
+      $ resume_arg $ retries_arg)
 
 let () =
   let doc = "Regenerate the tables and figures of the thesis evaluation." in

@@ -1,14 +1,43 @@
 type ('k, 'v) t = {
   table : ('k, 'v) Hashtbl.t;
+  order : 'k Queue.t;  (** insertion order, for FIFO eviction *)
+  capacity : int option;
   lock : Mutex.t;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
-type stats = { hits : int; misses : int }
+type stats = { hits : int; misses : int; evictions : int }
 
-let create ?(size = 64) () =
-  { table = Hashtbl.create size; lock = Mutex.create (); hits = 0; misses = 0 }
+let create ?(size = 64) ?capacity () =
+  let capacity =
+    match capacity with
+    | Some c when c < 1 -> invalid_arg "Memo.create: capacity must be >= 1"
+    | c -> c
+  in
+  {
+    table = Hashtbl.create size;
+    order = Queue.create ();
+    capacity;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+(* Caller holds the lock. Every key in [order] is in [table] exactly once
+   (keys are only added when absent, and eviction removes both together),
+   so popping the queue always names a live entry. *)
+let enforce_capacity t =
+  match t.capacity with
+  | None -> ()
+  | Some cap ->
+      while Hashtbl.length t.table > cap do
+        let oldest = Queue.pop t.order in
+        Hashtbl.remove t.table oldest;
+        t.evictions <- t.evictions + 1
+      done
 
 let find_or_add t key supply =
   Mutex.lock t.lock;
@@ -28,6 +57,8 @@ let find_or_add t key supply =
         | Some winner -> winner (* a racing domain filled it first; share *)
         | None ->
             Hashtbl.add t.table key v;
+            Queue.push key t.order;
+            enforce_capacity t;
             v
       in
       Mutex.unlock t.lock;
@@ -36,8 +67,10 @@ let find_or_add t key supply =
 let clear t =
   Mutex.lock t.lock;
   Hashtbl.reset t.table;
+  Queue.clear t.order;
   t.hits <- 0;
   t.misses <- 0;
+  t.evictions <- 0;
   Mutex.unlock t.lock
 
 let length t =
@@ -48,7 +81,7 @@ let length t =
 
 let stats t =
   Mutex.lock t.lock;
-  let s = { hits = t.hits; misses = t.misses } in
+  let s = { hits = t.hits; misses = t.misses; evictions = t.evictions } in
   Mutex.unlock t.lock;
   s
 

@@ -11,9 +11,17 @@ type ('k, 'v) t
 type stats = {
   hits : int;  (** warm lookups: value served from the table *)
   misses : int;  (** cold lookups: the supplier was invoked *)
+  evictions : int;  (** entries dropped to stay under [capacity] *)
 }
 
-val create : ?size:int -> unit -> ('k, 'v) t
+val create : ?size:int -> ?capacity:int -> unit -> ('k, 'v) t
+(** [size] is the initial hash-table size (a hint, {e not} a bound).
+    [capacity] (default: unbounded) is a hard bound on the number of live
+    entries: when an insertion exceeds it the oldest entries (FIFO over
+    insertion order) are evicted and counted in [stats.evictions], so
+    long-running campaigns cannot grow memory without limit. Must be
+    [>= 1]. *)
+
 val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 val clear : ('k, 'v) t -> unit
 (** Drop every entry and reset the counters. *)

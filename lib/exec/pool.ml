@@ -12,8 +12,11 @@ type error = {
   backtrace : Printexc.raw_backtrace;
 }
 
-exception Timed_out of float
-(** The per-task watchdog limit, seconds. *)
+exception Timed_out of { limit_s : float; elapsed_s : float }
+(** The per-task watchdog limit and the elapsed time measured when the
+    overrun was published. *)
+
+exception Reentrant_submission
 
 type t = {
   size : int;
@@ -81,21 +84,41 @@ let guarded f x ~index =
   | v -> Ok v
   | exception exn -> Error { index; exn; backtrace = Printexc.get_raw_backtrace () }
 
-let timed_out ~index limit =
-  Error { index; exn = Timed_out limit; backtrace = Printexc.get_raw_backtrace () }
+let timed_out ~index ~elapsed_s limit =
+  Error
+    {
+      index;
+      exn = Timed_out { limit_s = limit; elapsed_s };
+      backtrace = Printexc.get_raw_backtrace ();
+    }
 
 (** Sequential execution cannot preempt a running task, so the watchdog
     here is post-hoc: a task that overran the limit completes, but its
-    result is replaced by [Timed_out] for parity with the pooled path. *)
+    result is replaced by [Timed_out] for parity with the pooled path; the
+    payload's [elapsed_s] is the task's full measured duration. *)
 let guarded_seq ?timeout_s f x ~index =
   match timeout_s with
   | None -> guarded f x ~index
   | Some limit ->
       let t0 = Unix.gettimeofday () in
       let r = guarded f x ~index in
-      if Unix.gettimeofday () -. t0 > limit then timed_out ~index limit else r
+      let elapsed_s = Unix.gettimeofday () -. t0 in
+      if elapsed_s > limit then timed_out ~index ~elapsed_s limit else r
+
+(** A worker asking its own pool to run a batch would deadlock (every
+    worker may end up blocked on an inner batch no free worker can ever
+    start), so refuse re-entrant submissions outright. *)
+let check_reentrancy pool =
+  let self = Domain.self () in
+  Mutex.lock pool.lock;
+  let reentrant =
+    List.exists (fun d -> Domain.get_id d = self) pool.workers
+  in
+  Mutex.unlock pool.lock;
+  if reentrant then raise Reentrant_submission
 
 let try_map_pool ?timeout_s pool f xs =
+  check_reentrancy pool;
   let n = List.length xs in
   let results = Array.make n None in
   (if pool.workers = [] then
@@ -159,7 +182,7 @@ let try_map_pool ?timeout_s pool f xs =
                  && (not (Float.is_nan t0))
                  && now -. t0 > limit
                then begin
-                 results.(i) <- Some (timed_out ~index:i limit);
+                 results.(i) <- Some (timed_out ~index:i ~elapsed_s:(now -. t0) limit);
                  decr remaining
                end)
              started;

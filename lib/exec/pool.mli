@@ -21,10 +21,22 @@ type error = {
           the failure's origin is not replaced by the re-raise site *)
 }
 
-exception Timed_out of float
-(** A task overran the [?timeout_s] watchdog; the payload is the limit in
-    seconds. Appears as the [exn] of an {!error} — never raised into a
-    worker. *)
+exception Timed_out of { limit_s : float; elapsed_s : float }
+(** A task overran the [?timeout_s] watchdog; the payload carries both the
+    configured limit and the elapsed wall-clock time actually measured when
+    the overrun was published (so post-mortems can tell a marginal overrun
+    from a wedged task). Appears as the [exn] of an {!error} — never raised
+    into a worker. [elapsed_s >= limit_s] always holds; on the pooled path
+    [elapsed_s] is the watchdog's poll-time measurement, on the sequential
+    post-hoc path it is the task's full measured duration. *)
+
+exception Reentrant_submission
+(** A task attempted to submit a batch to the pool that is running it.
+    Every worker of the pool may be blocked on the inner batch while the
+    inner batch waits for a free worker — a deadlock — so the submission
+    is refused up front. Raised by {!try_map_pool} / {!map_pool} (and the
+    convenience wrappers when they resolve to the same pool) when called
+    from one of the pool's own worker domains. *)
 
 val create : ?domains:int -> unit -> t
 (** [create ?domains ()] spawns a pool of [domains] workers (default
@@ -40,11 +52,13 @@ val try_map_pool :
   ?timeout_s:float -> t -> ('a -> 'b) -> 'a list -> ('b, error) result list
 (** Run [f] over every element on the pool; blocks until all tasks are
     done. Result [i] corresponds to input [i] (submission order). Tasks
-    must not themselves submit work to the same pool.
+    must not themselves submit work to the same pool: such a submission
+    raises {!Reentrant_submission} (inside the offending task it is
+    captured as that task's {!error}).
 
     [timeout_s] (default: none) arms a per-task wall-clock watchdog,
     counted from the moment a worker starts the task: a task past the
-    limit yields [Error {exn = Timed_out limit; _}] instead of hanging the
+    limit yields [Error {exn = Timed_out _; _}] instead of hanging the
     batch. The overrunning task itself is not preempted — its worker stays
     occupied until the task returns, and its late result is dropped. On
     the sequential paths (size-1 pool, [~domains:1]) nothing can run
@@ -60,6 +74,11 @@ val map_pool : ?timeout_s:float -> t -> ('a -> 'b) -> 'a list -> 'b list
 val default : unit -> t
 (** The process-wide shared pool, created on first use with the default
     size. *)
+
+val with_transient : domains:int -> (t -> 'a) -> 'a
+(** [with_transient ~domains f] — run [f] on a transient pool of
+    [domains] workers, shutting the pool down (also on exception) before
+    returning. *)
 
 val try_map :
   ?domains:int ->

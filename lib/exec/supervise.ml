@@ -1,0 +1,123 @@
+(** Supervised batch execution: retry with jittered exponential backoff
+    around {!Pool}, quarantining tasks that keep failing so one poisoned
+    cell degrades the batch instead of aborting it. *)
+
+type policy = {
+  max_attempts : int;
+  base_delay_s : float;
+  max_delay_s : float;
+  jitter : float;
+  seed : int;
+  retry_on : exn -> bool;
+}
+
+let default_policy =
+  {
+    max_attempts = 3;
+    base_delay_s = 0.05;
+    max_delay_s = 1.0;
+    jitter = 0.25;
+    seed = 0;
+    retry_on = (function Pool.Reentrant_submission -> false | _ -> true);
+  }
+
+let policy ?(max_attempts = default_policy.max_attempts)
+    ?(base_delay_s = default_policy.base_delay_s)
+    ?(max_delay_s = default_policy.max_delay_s)
+    ?(jitter = default_policy.jitter) ?(seed = default_policy.seed)
+    ?(retry_on = default_policy.retry_on) () =
+  if max_attempts < 1 then invalid_arg "Supervise.policy: max_attempts < 1";
+  if jitter < 0. || jitter > 1. then
+    invalid_arg "Supervise.policy: jitter outside [0, 1]";
+  { max_attempts; base_delay_s; max_delay_s; jitter; seed; retry_on }
+
+let backoff_delay p ~attempt =
+  let expo =
+    Float.min p.max_delay_s
+      (p.base_delay_s *. Float.pow 2. (float_of_int (attempt - 1)))
+  in
+  (* One private generator per attempt, derived from the policy seed: the
+     schedule is a pure function of (seed, attempt), never of how many
+     draws earlier rounds consumed. *)
+  let u = Inject.Prng.float (Inject.Prng.create (Inject.Prng.derive p.seed attempt)) in
+  Float.max 0. (expo *. (1. +. (p.jitter *. ((2. *. u) -. 1.))))
+
+type 'a status = Done of 'a | Quarantined of Pool.error
+type 'a report = { status : 'a status; attempts : int }
+
+type stats = { tasks : int; retried : int; retries : int; quarantined : int }
+
+let stats reports =
+  List.fold_left
+    (fun acc r ->
+      {
+        tasks = acc.tasks + 1;
+        retried = (acc.retried + if r.attempts > 1 then 1 else 0);
+        retries = acc.retries + r.attempts - 1;
+        quarantined =
+          (acc.quarantined
+          + match r.status with Quarantined _ -> 1 | Done _ -> 0);
+      })
+    { tasks = 0; retried = 0; retries = 0; quarantined = 0 }
+    reports
+
+(** The supervision loop over an arbitrary batch runner ([Pool.try_map_pool]
+    or [Pool.try_map]), so every dispatch mode shares one implementation.
+    Each round runs the still-pending tasks as a single batch; failures the
+    policy deems retryable survive to the next round, everything else
+    settles. [Pool.error.index] is rewritten from the round-local position
+    back to the task's position in the original batch. *)
+let supervise p run_batch f xs =
+  let n = List.length xs in
+  let reports = Array.make n None in
+  let rec go attempt pending =
+    let results = run_batch f (List.map snd pending) in
+    let failed =
+      List.concat
+        (List.map2
+           (fun (i, x) r ->
+             match r with
+             | Ok v ->
+                 reports.(i) <- Some { status = Done v; attempts = attempt };
+                 []
+             | Error (e : Pool.error) ->
+                 if attempt < p.max_attempts && p.retry_on e.Pool.exn then
+                   [ (i, x) ]
+                 else begin
+                   reports.(i) <-
+                     Some
+                       {
+                         status = Quarantined { e with Pool.index = i };
+                         attempts = attempt;
+                       };
+                   []
+                 end)
+           pending results)
+    in
+    if failed <> [] then begin
+      Unix.sleepf (backoff_delay p ~attempt);
+      go (attempt + 1) failed
+    end
+  in
+  if n > 0 then go 1 (List.mapi (fun i x -> (i, x)) xs);
+  Array.to_list (Array.map Option.get reports)
+
+let try_map_pool ?timeout_s ?(policy = default_policy) pool f xs =
+  supervise policy (Pool.try_map_pool ?timeout_s pool) f xs
+
+let try_map ?domains ?timeout_s ?(policy = default_policy) f xs =
+  match domains with
+  | Some n when n > 1 ->
+      (* One transient pool for the whole supervised run — not one per
+         retry round, which would re-spawn domains on every backoff. *)
+      Pool.with_transient ~domains:n (fun pool ->
+          try_map_pool ?timeout_s ~policy pool f xs)
+  | _ -> supervise policy (Pool.try_map ?domains ?timeout_s) f xs
+
+let map ?domains ?timeout_s ?policy f xs =
+  List.map
+    (fun r ->
+      match r.status with
+      | Done v -> v
+      | Quarantined e -> Printexc.raise_with_backtrace e.Pool.exn e.Pool.backtrace)
+    (try_map ?domains ?timeout_s ?policy f xs)

@@ -1,0 +1,101 @@
+(** Supervised batch execution: retry with exponential backoff and
+    quarantine on top of {!Pool}.
+
+    A batch run through the supervisor degrades gracefully instead of
+    aborting: a task that fails a retryable way is re-submitted (with the
+    rest of that round's failures) after a jittered exponential backoff,
+    up to [max_attempts] total attempts; a task that keeps failing — or
+    fails a non-retryable way — ends in the {!Quarantined} terminal state
+    carrying its last error, while every other task's result is kept.
+
+    Backoff jitter is drawn from {!Inject.Prng} seeded by the policy, so a
+    supervised run's delay schedule is deterministic for a given policy —
+    the same reproducibility contract as the fault-injection campaigns the
+    supervisor protects. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts per task, [>= 1] *)
+  base_delay_s : float;  (** backoff before the first retry *)
+  max_delay_s : float;  (** cap on the exponential growth *)
+  jitter : float;
+      (** fraction in [\[0, 1\]]: each delay is scaled by a factor drawn
+          uniformly from [1 - jitter, 1 + jitter] *)
+  seed : int;  (** seeds the jitter PRNG ({!Inject.Prng.derive}) *)
+  retry_on : exn -> bool;
+      (** failures worth re-attempting; a failure rejected here
+          quarantines its task immediately *)
+}
+
+val default_policy : policy
+(** 3 attempts, 50 ms base delay doubling up to 1 s, ±25% jitter, seed 0,
+    retry on everything except {!Pool.Reentrant_submission} (a re-entrant
+    submission is a programming error that no retry can fix). *)
+
+val policy :
+  ?max_attempts:int ->
+  ?base_delay_s:float ->
+  ?max_delay_s:float ->
+  ?jitter:float ->
+  ?seed:int ->
+  ?retry_on:(exn -> bool) ->
+  unit ->
+  policy
+(** {!default_policy} with overrides. *)
+
+val backoff_delay : policy -> attempt:int -> float
+(** [backoff_delay p ~attempt] — the delay slept after [attempt] failed
+    attempts (so [~attempt:1] precedes the first retry):
+    [base_delay_s * 2^(attempt-1)], capped at [max_delay_s], scaled by the
+    jitter factor for that attempt. Pure and deterministic in
+    [(p.seed, attempt)]. *)
+
+type 'a status =
+  | Done of 'a  (** completed, possibly after retries *)
+  | Quarantined of Pool.error
+      (** terminal: last error after exhausting attempts (or failing a
+          non-retryable way); [error.index] is the task's position in the
+          original batch *)
+
+type 'a report = { status : 'a status; attempts : int }
+(** [attempts] is the number of attempts actually made ([>= 1]). *)
+
+type stats = {
+  tasks : int;
+  retried : int;  (** tasks that needed more than one attempt *)
+  retries : int;  (** total extra attempts across the batch *)
+  quarantined : int;  (** tasks that ended {!Quarantined} *)
+}
+
+val stats : 'a report list -> stats
+
+val try_map_pool :
+  ?timeout_s:float ->
+  ?policy:policy ->
+  Pool.t ->
+  ('a -> 'b) ->
+  'a list ->
+  'b report list
+(** {!Pool.try_map_pool} under supervision: report [i] corresponds to
+    input [i] (submission order). Each retry round re-submits only the
+    still-failing tasks, as one batch, after a single backoff sleep. *)
+
+val try_map :
+  ?domains:int ->
+  ?timeout_s:float ->
+  ?policy:policy ->
+  ('a -> 'b) ->
+  'a list ->
+  'b report list
+(** Same dispatch as {!Pool.try_map} ([~domains:1] sequential, [~domains:n]
+    transient pool, default shared pool), supervised. *)
+
+val map :
+  ?domains:int ->
+  ?timeout_s:float ->
+  ?policy:policy ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** Like {!try_map} but re-raises the first (lowest-index) quarantined
+    task's error — with the backtrace captured in the worker — after the
+    whole batch has settled. *)

@@ -100,6 +100,34 @@ let classify ~window ?(inhibitions = []) ~goal:(gname, gloc, givs)
         inhibitions;
   }
 
+type totals = {
+  total_hits : int;
+  total_false_negatives : int;
+  total_false_positives : int;
+  total_inhibited : int;
+}
+
+(** Sum the classification counters over a set of reports — the one
+    aggregation every campaign summary (per cell, per grid, per resumed
+    run) needs, kept here so the counts can never drift between
+    consumers. *)
+let totals reports =
+  List.fold_left
+    (fun acc r ->
+      {
+        total_hits = acc.total_hits + r.hits;
+        total_false_negatives = acc.total_false_negatives + r.false_negatives;
+        total_false_positives = acc.total_false_positives + r.false_positives;
+        total_inhibited = acc.total_inhibited + r.inhibited;
+      })
+    {
+      total_hits = 0;
+      total_false_negatives = 0;
+      total_false_positives = 0;
+      total_inhibited = 0;
+    }
+    reports
+
 let pp_entry ppf e =
   Fmt.pf ppf "%-12s %-48s %a %s" e.location e.goal_name Violation.pp_interval
     e.interval

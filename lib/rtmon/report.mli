@@ -47,5 +47,16 @@ val classify :
     faults); each becomes a [Monitor_inhibited] entry, counted separately
     from hits/FNs/FPs. *)
 
+type totals = {
+  total_hits : int;
+  total_false_negatives : int;
+  total_false_positives : int;
+  total_inhibited : int;
+}
+
+val totals : t list -> totals
+(** Sum the classification counters over a set of reports (e.g. all the
+    reports of one campaign cell, or of a whole resumed run). *)
+
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit

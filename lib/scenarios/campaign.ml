@@ -45,6 +45,14 @@ type cell = {
   baseline_collided : bool;
 }
 
+type robustness = {
+  executed : int;  (** cells simulated by this run *)
+  replayed : int;  (** cells restored from the journal, not re-simulated *)
+  retried : int;  (** executed cells that needed more than one attempt *)
+  retries : int;  (** total extra attempts across the grid *)
+  quarantined : int;  (** cells abandoned after exhausting their attempts *)
+}
+
 type t = {
   seed : int;
   window : float;
@@ -58,6 +66,7 @@ type t = {
   false_negatives : int;
   false_positives : int;
   inhibited : int;
+  robustness : robustness;
 }
 
 type grid = {
@@ -131,7 +140,7 @@ let classify_cell ~window (fault : Inject.Fault.t)
     | Some g, Some s when s <= g +. window -> Detected (Float.max 0. (g -. s))
     | Some _, _ -> Missed
   in
-  let sum f = List.fold_left (fun acc (_, r) -> acc + f r) 0 injected.Runner.reports in
+  let totals = Rtmon.Report.totals (List.map snd injected.Runner.reports) in
   let inhibitions =
     List.filter_map
       (fun (r : Vehicle.Monitors.result) ->
@@ -144,9 +153,9 @@ let classify_cell ~window (fault : Inject.Fault.t)
     scenario = injected.Runner.scenario.Defs.number;
     fault;
     detection;
-    hits = sum (fun r -> r.Rtmon.Report.hits);
-    false_negatives = sum (fun r -> r.Rtmon.Report.false_negatives);
-    false_positives = sum (fun r -> r.Rtmon.Report.false_positives);
+    hits = totals.Rtmon.Report.total_hits;
+    false_negatives = totals.Rtmon.Report.total_false_negatives;
+    false_positives = totals.Rtmon.Report.total_false_positives;
     inhibited =
       List.fold_left
         (fun acc (r : Vehicle.Monitors.result) ->
@@ -160,31 +169,122 @@ let classify_cell ~window (fault : Inject.Fault.t)
 (* ------------------------------------------------------------------ *)
 (* Grid execution                                                      *)
 
+(** The journal key of one grid cell. Deliberately {e not} the runner's
+    in-process cache digest: [Defs.t] carries the scripted lead-speed
+    closure, whose [Marshal] image is only stable within one binary
+    invocation, and a resume key must survive process death. Everything
+    the cell's outcome depends on is closure-free pure data — the scenario
+    {e number} (scenario definitions are versioned with the binary), the
+    fault, the campaign seed, the window and the defect set — so the key
+    is stable across runs and independent of grid position: resuming with
+    a reordered or enlarged grid still reuses every completed cell. *)
+let cell_key ~seed ~window ~defects (fault : Inject.Fault.t) (s : Defs.t) =
+  Exec.Memo.digest (s.Defs.number, fault, seed, window, defects)
+
 (** Run a campaign grid. Every (fault, scenario) cell simulates once with
     the single-fault plan [Plan.make ~seed [fault]] — the plan seed is the
     campaign seed for every cell, so the cell's cache key depends only on
     (scenario, fault, seed), not on its grid position, and repeated or
     overlapping campaigns hit the outcome cache. Cells fan out over the
     domain pool in submission order; results are bit-for-bit identical
-    sequential ([~domains:1]) and parallel. *)
+    sequential ([~domains:1]) and parallel.
+
+    [journal] names an on-disk result journal: each completed cell is
+    fsync-appended as it finishes (from the worker that computed it), so a
+    killed campaign loses at most the cells in flight. With [resume]
+    (default [false]) the journal is replayed first and only the missing
+    cells execute — the resumed matrix is bit-for-bit the uninterrupted
+    one; without [resume] an existing journal is truncated and the run
+    starts fresh.
+
+    [retry] supervises cell execution (exponential backoff with jitter,
+    per-cell attempt counts): a cell that keeps failing is quarantined —
+    dropped from the matrix and counted in [robustness.quarantined] —
+    instead of aborting the campaign. Without [retry] the historical
+    semantics hold: the first cell failure re-raises after the batch
+    settles. *)
 let run ?domains ?use_cache ?(defects = Vehicle.Defects.repaired)
-    ?(window = Runner.default_window) (g : grid) : t =
+    ?(window = Runner.default_window) ?journal ?(resume = false) ?retry
+    (g : grid) : t =
   let pairs =
     List.concat_map
       (fun f -> List.map (fun s -> (f, s)) g.grid_scenarios)
       g.faults
   in
-  let cells =
-    Exec.Pool.map ?domains
-      (fun (fault, s) ->
-        let baseline = Runner.run ?use_cache ~defects ~window s in
-        let injected =
-          Runner.run ?use_cache ~defects
-            ~inject:(Inject.Plan.make ~seed:g.seed [ fault ])
-            ~window s
-        in
-        classify_cell ~window fault ~baseline injected)
+  let keyed =
+    List.map
+      (fun (fault, s) -> ((fault, s), cell_key ~seed:g.seed ~window ~defects fault s))
       pairs
+  in
+  let journaled =
+    match journal with
+    | Some path when resume ->
+        let r = (Journal.replay path : cell Journal.replay) in
+        let tbl = Hashtbl.create (List.length r.Journal.entries) in
+        List.iter (fun (k, c) -> Hashtbl.replace tbl k c) r.Journal.entries;
+        tbl
+    | _ -> Hashtbl.create 0
+  in
+  let slots =
+    List.map (fun (pair, k) -> (pair, k, Hashtbl.find_opt journaled k)) keyed
+  in
+  let todo = List.filter (fun (_, _, cached) -> cached = None) slots in
+  let simulate (fault, s) =
+    let baseline = Runner.run ?use_cache ~defects ~window s in
+    let injected =
+      Runner.run ?use_cache ~defects
+        ~inject:(Inject.Plan.make ~seed:g.seed [ fault ])
+        ~window s
+    in
+    classify_cell ~window fault ~baseline injected
+  in
+  let reports =
+    let execute writer =
+      let task (pair, k, _) =
+        let cell = simulate pair in
+        Option.iter (fun w -> Journal.append w ~key:k cell) writer;
+        cell
+      in
+      let policy =
+        match retry with
+        | Some p -> p
+        | None -> Exec.Supervise.policy ~max_attempts:1 ()
+      in
+      Exec.Supervise.try_map ?domains ~policy task todo
+    in
+    match journal with
+    | None -> execute None
+    | Some path ->
+        Journal.with_writer ~fresh:(not resume) path (fun w ->
+            execute (Some w))
+  in
+  (* Without a retry policy, preserve the historical contract: the first
+     cell failure re-raises (with the worker's backtrace) instead of
+     silently thinning the matrix. *)
+  if retry = None then
+    List.iter
+      (fun (r : cell Exec.Supervise.report) ->
+        match r.Exec.Supervise.status with
+        | Exec.Supervise.Quarantined e ->
+            Printexc.raise_with_backtrace e.Exec.Pool.exn e.Exec.Pool.backtrace
+        | Exec.Supervise.Done _ -> ())
+      reports;
+  let sstats = Exec.Supervise.stats reports in
+  let cells =
+    let remaining = ref reports in
+    List.filter_map
+      (fun (_, _, cached) ->
+        match cached with
+        | Some cell -> Some cell
+        | None -> (
+            match !remaining with
+            | [] -> assert false (* one report per todo slot, in order *)
+            | r :: rest -> (
+                remaining := rest;
+                match r.Exec.Supervise.status with
+                | Exec.Supervise.Done cell -> Some cell
+                | Exec.Supervise.Quarantined _ -> None)))
+      slots
   in
   let count p = List.length (List.filter p cells) in
   let sum f = List.fold_left (fun acc c -> acc + f c) 0 cells in
@@ -201,6 +301,14 @@ let run ?domains ?use_cache ?(defects = Vehicle.Defects.repaired)
     false_negatives = sum (fun c -> c.false_negatives);
     false_positives = sum (fun c -> c.false_positives);
     inhibited = sum (fun c -> c.inhibited);
+    robustness =
+      {
+        executed = List.length todo - sstats.Exec.Supervise.quarantined;
+        replayed = List.length slots - List.length todo;
+        retried = sstats.Exec.Supervise.retried;
+        retries = sstats.Exec.Supervise.retries;
+        quarantined = sstats.Exec.Supervise.quarantined;
+      };
   }
 
 (* ------------------------------------------------------------------ *)
@@ -285,6 +393,8 @@ let pp ppf (t : t) =
     faults;
   Fmt.pf ppf
     "@,detected=%d missed=%d spurious=%d no_effect=%d@,\
-     hits=%d false negatives=%d false positives=%d inhibited=%d@]"
+     hits=%d false negatives=%d false positives=%d inhibited=%d@,\
+     cells: executed=%d replayed=%d retried=%d retries=%d quarantined=%d@]"
     t.detected t.missed t.spurious t.no_effect t.hits t.false_negatives
-    t.false_positives t.inhibited
+    t.false_positives t.inhibited t.robustness.executed t.robustness.replayed
+    t.robustness.retried t.robustness.retries t.robustness.quarantined

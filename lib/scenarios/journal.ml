@@ -1,0 +1,175 @@
+(** Crash-safe, append-only result journal (see journal.mli).
+
+    Record layout, all integers little-endian:
+
+    {v
+    +-------+-----------+-----------+-------------------+
+    | "SJL1"| len : u32 | crc : u32 | payload (len bytes)|
+    +-------+-----------+-----------+-------------------+
+    v}
+
+    where [payload] is [Marshal.to_string (key, value) [Closures]] and
+    [crc] its CRC-32. A replay accepts the longest valid prefix of
+    records and drops the rest: a record can only be torn by a crash
+    mid-append, and append order means nothing after the tear can be
+    intact anyway. *)
+
+let magic = "SJL1"
+let header_len = 12
+
+(* A record claiming a payload beyond this bound is treated as corrupt
+   rather than allocated: a bit-flip in the length field must not turn
+   replay into a multi-gigabyte allocation. *)
+let max_payload = 1 lsl 28
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, reflected, as used by gzip/zlib)                 *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i =
+        Int32.to_int
+          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                               *)
+
+type 'a writer = {
+  oc : out_channel;
+  lock : Mutex.t;  (** appends may come from pool worker domains *)
+  mutable closed : bool;
+}
+
+let create ?(fresh = false) path =
+  let flags =
+    [ Open_wronly; Open_creat; Open_binary ]
+    @ if fresh then [ Open_trunc ] else [ Open_append ]
+  in
+  { oc = open_out_gen flags 0o644 path; lock = Mutex.create (); closed = false }
+
+let append w ~key v =
+  let payload = Marshal.to_string (key, v) [ Marshal.Closures ] in
+  if String.length payload > max_payload then
+    invalid_arg "Journal.append: payload too large";
+  let buf = Buffer.create (header_len + String.length payload) in
+  Buffer.add_string buf magic;
+  Buffer.add_int32_le buf (Int32.of_int (String.length payload));
+  Buffer.add_int32_le buf (crc32 payload);
+  Buffer.add_string buf payload;
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      if w.closed then invalid_arg "Journal.append: writer is closed";
+      Buffer.output_buffer w.oc buf;
+      flush w.oc;
+      (* The record is only durable once the kernel has it on disk: a
+         flushed-but-unsynced append can still vanish with the page cache
+         on power loss, breaking the resume-equals-uninterrupted
+         contract. *)
+      Unix.fsync (Unix.descr_of_out_channel w.oc))
+
+let close w =
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      if not w.closed then begin
+        w.closed <- true;
+        close_out w.oc
+      end)
+
+let with_writer ?fresh path f =
+  let w = create ?fresh path in
+  Fun.protect ~finally:(fun () -> close w) (fun () -> f w)
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                               *)
+
+type 'a replay = {
+  entries : (string * 'a) list;
+  records : int;
+  duplicates : int;
+  dropped_bytes : int;
+}
+
+let empty_replay = { entries = []; records = 0; duplicates = 0; dropped_bytes = 0 }
+
+(** Read one record at the current position; [None] on any validation
+    failure (short header, bad magic, absurd length, short payload, CRC
+    mismatch, unmarshal failure) — all of which stop the replay. *)
+let read_record (type a) ic size : (string * a) option =
+  match
+    let header = Bytes.create header_len in
+    really_input ic header 0 header_len;
+    header
+  with
+  | exception End_of_file -> None
+  | header ->
+      if Bytes.sub_string header 0 4 <> magic then None
+      else
+        let len = Int32.to_int (Bytes.get_int32_le header 4) in
+        let crc = Bytes.get_int32_le header 8 in
+        if len < 0 || len > max_payload || len > size - pos_in ic then None
+        else begin
+          let payload = Bytes.create len in
+          match really_input ic payload 0 len with
+          | exception End_of_file -> None
+          | () ->
+              let payload = Bytes.unsafe_to_string payload in
+              if crc32 payload <> crc then None
+              else (
+                try Some (Marshal.from_string payload 0 : string * a)
+                with _ -> None)
+        end
+
+let replay (type a) path : a replay =
+  if not (Sys.file_exists path) then empty_replay
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let size = in_channel_length ic in
+        let latest : (string, a) Hashtbl.t = Hashtbl.create 64 in
+        let order = ref [] in
+        let records = ref 0 and duplicates = ref 0 in
+        let rec loop () =
+          let pos = pos_in ic in
+          match (read_record ic size : (string * a) option) with
+          | None -> size - pos
+          | Some (key, v) ->
+              incr records;
+              if Hashtbl.mem latest key then incr duplicates
+              else order := key :: !order;
+              Hashtbl.replace latest key v;
+              loop ()
+        in
+        let dropped_bytes = loop () in
+        {
+          entries =
+            List.rev_map (fun k -> (k, Hashtbl.find latest k)) !order;
+          records = !records;
+          duplicates = !duplicates;
+          dropped_bytes;
+        })
+  end

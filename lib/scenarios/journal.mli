@@ -1,0 +1,62 @@
+(** Crash-safe, append-only result journal.
+
+    A journal is a flat file of self-delimiting records, each holding one
+    [(key, value)] pair: a record is [magic | payload length | CRC-32 of
+    the payload | payload], with the payload a [Marshal]ed pair. Appends
+    are flushed {e and fsynced} before returning, so every record that
+    [append] completed survives [SIGKILL] or power loss; a record that was
+    being written when the process died is torn, fails its length or CRC
+    check on replay, and is skipped — never fatal.
+
+    Replay is tolerant by construction: an absent or empty file replays as
+    empty; a torn or bit-flipped tail is detected (magic, length bound,
+    CRC, unmarshal) and dropped, keeping every intact record before it;
+    duplicate keys resolve to the last occurrence, so re-running a
+    partially journaled campaign is idempotent.
+
+    The value type is fixed by the caller at use site (the payload is
+    [Marshal]ed with [Closures] mode, so closure-carrying values work
+    within one binary); replaying a journal at a different type — or one
+    written by a different binary, for closure-carrying values — is
+    detected by the unmarshal guard at worst, but is the caller's contract
+    to avoid, exactly as with [Marshal] itself. Writers serialize appends
+    internally and are safe to share across domains; concurrent writers in
+    {e separate processes} are not supported. *)
+
+type 'a writer
+
+val create : ?fresh:bool -> string -> 'a writer
+(** [create ?fresh path] opens [path] for appending, creating it if
+    absent. [~fresh:true] (default [false]) truncates an existing file
+    first — a new run rather than a resumed one. *)
+
+val append : 'a writer -> key:string -> 'a -> unit
+(** Append one record and fsync it to disk before returning.
+    Domain-safe. *)
+
+val close : 'a writer -> unit
+
+val with_writer : ?fresh:bool -> string -> ('a writer -> 'b) -> 'b
+(** [create], run, then [close] (also on exception). *)
+
+type 'a replay = {
+  entries : (string * 'a) list;
+      (** intact records in first-appearance order; for a duplicated key
+          the {e last} appended value wins *)
+  records : int;  (** intact records read, duplicates included *)
+  duplicates : int;  (** records whose key had already appeared *)
+  dropped_bytes : int;
+      (** trailing bytes discarded as torn or corrupt (0 for a clean
+          file) *)
+}
+
+val replay : string -> 'a replay
+(** Read every intact record of the journal at [path]. An absent file
+    replays as empty. Never raises on torn, truncated or bit-flipped
+    data: the first record that fails validation ends the replay and the
+    remaining bytes are counted in [dropped_bytes]. *)
+
+val crc32 : string -> int32
+(** The CRC-32 (IEEE 802.3, as in gzip) of a string — exposed for tests
+    and for callers that want to checksum derived artifacts the same
+    way. *)

@@ -58,10 +58,17 @@ let monitored ~defects ~timing ~dynamics ~inject (s : Defs.t) =
    classified outcome by the same key plus the window — so a window sweep
    re-simulates nothing. *)
 
+(* Both levels are capacity-bounded (FIFO eviction, counted in
+   [stats.evictions]): a week-long campaign sweeping thousands of faults
+   must not accumulate every 20 k-state trace it ever simulated. The
+   sim level holds full traces (heavy — bound it tightly); the outcome
+   level additionally varies per classification window (lighter per
+   entry, so a larger bound keeps window sweeps warm). *)
 let sim_cache : (string, Trace.t * Vehicle.Monitors.result list) Exec.Memo.t =
-  Exec.Memo.create ~size:64 ()
+  Exec.Memo.create ~size:64 ~capacity:256 ()
 
-let outcome_cache : (string, outcome) Exec.Memo.t = Exec.Memo.create ~size:64 ()
+let outcome_cache : (string, outcome) Exec.Memo.t =
+  Exec.Memo.create ~size:64 ~capacity:1024 ()
 
 let cache_stats () = Exec.Memo.stats outcome_cache
 
@@ -93,10 +100,80 @@ let run ?(use_cache = true) ?(defects = Vehicle.Defects.as_evaluated)
         in
         classify ~window s trace results)
 
-let run_all ?domains ?use_cache ?defects ?timing ?dynamics ?inject ?window () =
-  Exec.Pool.map ?domains
-    (run ?use_cache ?defects ?timing ?dynamics ?inject ?window)
-    Defs.all
+(** [retry] supervises the fleet fan-out: scenarios whose task fails a
+    transient way (the retry policy's [retry_on]) are re-attempted with
+    backoff before the failure is re-raised; without it a task failure
+    re-raises immediately after the batch settles, as before. The fleet
+    result always contains every scenario — [run_all] never thins the
+    fleet, because its consumers (sweeps, figures, estimates) index it
+    positionally. *)
+let run_all ?domains ?use_cache ?defects ?timing ?dynamics ?inject ?window
+    ?retry () =
+  let f = run ?use_cache ?defects ?timing ?dynamics ?inject ?window in
+  match retry with
+  | None -> Exec.Pool.map ?domains f Defs.all
+  | Some policy -> Exec.Supervise.map ?domains ~policy f Defs.all
+
+(* ------------------------------------------------------------------ *)
+(* Cross-process persistence: journaled single-scenario runs.
+
+   The in-process cache digests [Defs.t] itself, closures included —
+   perfect within one process, meaningless after it dies. The journal key
+   must survive process death, so it is built from closure-free pure data
+   only: the scenario *number* (definitions are versioned with the
+   binary) plus everything else the outcome depends on. The journaled
+   outcome payload does carry the scenario's closures ([Marshal] in
+   [Closures] mode), so it only unmarshals inside the same binary; a
+   journal written by a different build fails the unmarshal guard and
+   replays as empty — a clean re-run, never a crash. *)
+
+let stable_key ?(defects = Vehicle.Defects.as_evaluated)
+    ?(timing = Vehicle.Arbiter.default_timing)
+    ?(dynamics = Vehicle.Plant.default_dynamics)
+    ?(inject = Inject.Plan.empty) ?(window = default_window) (s : Defs.t) =
+  Exec.Memo.digest (s.Defs.number, defects, timing, dynamics, inject, window)
+
+type provenance =
+  | Replayed  (** restored from the journal; nothing simulated *)
+  | Ran of int  (** simulated by this run, after [attempts] attempts *)
+
+(** [run_journaled ?journal ?resume ?retry … s] — the crash-safe form of
+    {!run}: with [journal] and [resume], an outcome already journaled
+    under this exact configuration is returned without simulating;
+    otherwise the scenario runs (supervised by [retry] when given, which
+    re-attempts transient failures with backoff before re-raising) and,
+    when a journal is named, the classified outcome is fsync-appended to
+    it before returning. *)
+let run_journaled ?journal ?(resume = false) ?retry ?use_cache ?defects
+    ?timing ?dynamics ?inject ?window (s : Defs.t) : outcome * provenance =
+  let key = stable_key ?defects ?timing ?dynamics ?inject ?window s in
+  let replayed =
+    match journal with
+    | Some path when resume ->
+        List.assoc_opt key (Journal.replay path : outcome Journal.replay).Journal.entries
+    | _ -> None
+  in
+  match replayed with
+  | Some o -> (o, Replayed)
+  | None ->
+      let compute () = run ?use_cache ?defects ?timing ?dynamics ?inject ?window s in
+      let o, attempts =
+        match retry with
+        | None -> (compute (), 1)
+        | Some policy -> (
+            match Exec.Supervise.try_map ~domains:1 ~policy compute [ () ] with
+            | [ { Exec.Supervise.status = Exec.Supervise.Done o; attempts } ] ->
+                (o, attempts)
+            | [ { Exec.Supervise.status = Exec.Supervise.Quarantined e; _ } ] ->
+                Printexc.raise_with_backtrace e.Exec.Pool.exn e.Exec.Pool.backtrace
+            | _ -> assert false)
+      in
+      Option.iter
+        (fun path ->
+          Journal.with_writer ~fresh:(not resume) path (fun w ->
+              Journal.append w ~key o))
+        journal;
+      (o, Ran attempts)
 
 (** Violating monitor entries only, for the Appendix D tables. *)
 let violations (o : outcome) =

@@ -90,7 +90,11 @@ let slow_then i =
   i * 10
 
 let is_timeout = function
-  | Error e -> e.Exec.Pool.exn = Exec.Pool.Timed_out 0.1
+  | Error e -> (
+      match e.Exec.Pool.exn with
+      | Exec.Pool.Timed_out { limit_s; elapsed_s } ->
+          limit_s = 0.1 && elapsed_s >= limit_s
+      | _ -> false)
   | Ok _ -> false
 
 let test_watchdog_parallel () =
@@ -104,11 +108,66 @@ let test_watchdog_parallel () =
 
 let test_watchdog_sequential () =
   (* ~domains:1 cannot preempt: the watchdog degrades to post-hoc
-     detection, still reporting [Timed_out] for the overrun. *)
+     detection, still reporting [Timed_out] for the overrun — and because
+     detection is post-hoc, the payload's [elapsed_s] must be the task's
+     *full* measured duration (the 0.4 s sleep), not the 0.1 s limit. *)
   match Exec.Pool.try_map ~domains:1 ~timeout_s:0.1 slow_then [ 0; 1 ] with
-  | [ r0; Ok 10 ] ->
-      Alcotest.(check bool) "post-hoc timeout detected" true (is_timeout r0)
+  | [ Error e; Ok 10 ] -> (
+      match e.Exec.Pool.exn with
+      | Exec.Pool.Timed_out { limit_s; elapsed_s } ->
+          Alcotest.(check (float 1e-9)) "limit preserved" 0.1 limit_s;
+          Alcotest.(check bool)
+            "post-hoc elapsed covers the whole overrunning task" true
+            (elapsed_s >= 0.4);
+          Alcotest.(check bool) "elapsed past the limit" true (elapsed_s > limit_s)
+      | _ -> Alcotest.fail "expected Timed_out")
   | _ -> Alcotest.fail "unexpected batch shape"
+
+let test_watchdog_parallel_elapsed () =
+  (* On the pooled path the watchdog publishes the overrun as soon as its
+     poll sees it, so elapsed lands past the limit but well before the
+     sleeper's full duration would require waiting. *)
+  match Exec.Pool.try_map ~domains:2 ~timeout_s:0.1 slow_then [ 0; 1 ] with
+  | [ Error e; Ok 10 ] -> (
+      match e.Exec.Pool.exn with
+      | Exec.Pool.Timed_out { limit_s; elapsed_s } ->
+          Alcotest.(check bool) "elapsed >= limit" true (elapsed_s >= limit_s)
+      | _ -> Alcotest.fail "expected Timed_out")
+  | _ -> Alcotest.fail "unexpected batch shape"
+
+let test_reentrant_submission () =
+  (* A task submitting to its own pool is a guaranteed deadlock; it must
+     be refused with [Reentrant_submission] — captured as that task's
+     error — while an inner batch on a *different* pool stays legal. *)
+  let pool = Exec.Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown pool)
+    (fun () ->
+      let results =
+        Exec.Pool.try_map_pool pool
+          (fun i ->
+            if i = 0 then
+              (* would deadlock if accepted *)
+              List.length (Exec.Pool.map_pool pool Fun.id [ 1; 2; 3 ])
+            else i)
+          [ 0; 1 ]
+      in
+      (match results with
+      | [ Error e; Ok 1 ] ->
+          Alcotest.(check bool) "refused as Reentrant_submission" true
+            (e.Exec.Pool.exn = Exec.Pool.Reentrant_submission)
+      | _ -> Alcotest.fail "expected task 0 refused, task 1 fine");
+      (* the refusal must not poison the pool *)
+      Alcotest.(check (list int))
+        "pool usable afterwards" [ 0; 2; 4 ]
+        (Exec.Pool.map_pool pool (fun i -> 2 * i) [ 0; 1; 2 ]);
+      (* a nested batch on another pool is not re-entrant *)
+      let inner =
+        Exec.Pool.map_pool pool
+          (fun i -> List.fold_left ( + ) 0 (Exec.Pool.map ~domains:1 Fun.id [ i; i ]))
+          [ 3 ]
+      in
+      Alcotest.(check (list int)) "different pool allowed" [ 6 ] inner)
 
 let test_watchdog_not_triggered () =
   Alcotest.(check (list int))
@@ -196,6 +255,33 @@ let test_cache_hit_and_counters () =
   let s3 = Scenarios.Runner.cache_stats () in
   Alcotest.(check int) "distinct key is a miss" 2 s3.Exec.Memo.misses
 
+(* ------------------------------------------------------------------ *)
+(* Memo capacity bound                                                  *)
+
+let test_memo_capacity () =
+  let m : (int, int) Exec.Memo.t = Exec.Memo.create ~capacity:3 () in
+  let compute k () = k * 100 in
+  List.iter (fun k -> ignore (Exec.Memo.find_or_add m k (compute k))) [ 1; 2; 3 ];
+  let s = Exec.Memo.stats m in
+  Alcotest.(check int) "under capacity: no evictions" 0 s.Exec.Memo.evictions;
+  (* key 4 evicts the oldest entry (key 1, FIFO) *)
+  ignore (Exec.Memo.find_or_add m 4 (compute 4));
+  let s = Exec.Memo.stats m in
+  Alcotest.(check int) "over capacity: one eviction" 1 s.Exec.Memo.evictions;
+  ignore (Exec.Memo.find_or_add m 1 (compute 1));
+  let s = Exec.Memo.stats m in
+  Alcotest.(check int) "evicted key re-misses" 5 s.Exec.Memo.misses;
+  (* keys 3 and 4 are still resident *)
+  ignore (Exec.Memo.find_or_add m 4 (fun () -> Alcotest.fail "4 was evicted"));
+  let s = Exec.Memo.stats m in
+  Alcotest.(check int) "resident key hits" 1 s.Exec.Memo.hits;
+  Alcotest.(check int) "second eviction for re-adding 1" 2 s.Exec.Memo.evictions
+
+let test_memo_capacity_invalid () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Memo.create: capacity must be >= 1") (fun () ->
+      ignore (Exec.Memo.create ~capacity:0 () : (int, int) Exec.Memo.t))
+
 let () =
   Alcotest.run "exec"
     [
@@ -209,8 +295,12 @@ let () =
           Alcotest.test_case "worker backtrace preserved" `Quick test_backtrace_preserved;
           Alcotest.test_case "watchdog: parallel timeout" `Quick test_watchdog_parallel;
           Alcotest.test_case "watchdog: sequential post-hoc" `Quick test_watchdog_sequential;
+          Alcotest.test_case "watchdog: parallel elapsed payload" `Quick
+            test_watchdog_parallel_elapsed;
           Alcotest.test_case "watchdog: fast batch untouched" `Quick
             test_watchdog_not_triggered;
+          Alcotest.test_case "re-entrant submission refused" `Quick
+            test_reentrant_submission;
         ] );
       ( "fleet",
         [
@@ -223,5 +313,8 @@ let () =
         [
           Alcotest.test_case "hit is physically equal; counters move" `Slow
             test_cache_hit_and_counters;
+          Alcotest.test_case "capacity bound evicts FIFO" `Quick test_memo_capacity;
+          Alcotest.test_case "capacity must be positive" `Quick
+            test_memo_capacity_invalid;
         ] );
     ]

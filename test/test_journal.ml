@@ -1,0 +1,230 @@
+(** Crash-safe journal: round-trips, tolerance to torn and corrupted
+    tails, and the campaign resume contract (resumed run = uninterrupted
+    run, bit-for-bit, re-simulating only the missing cells). *)
+
+module Journal_access = Scenarios.Journal
+
+let tmp name =
+  let path = Filename.temp_file "journal_test_" ("_" ^ name ^ ".jnl") in
+  Sys.remove path;
+  path
+
+let with_path name f =
+  let path = tmp name in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* ------------------------------------------------------------------ *)
+(* Record-level robustness                                              *)
+
+let entries_t = Alcotest.(list (pair string (pair int string)))
+
+let test_round_trip () =
+  with_path "roundtrip" @@ fun path ->
+  Journal_access.with_writer path (fun w ->
+      Journal_access.append w ~key:"a" (1, "one");
+      Journal_access.append w ~key:"b" (2, "two");
+      Journal_access.append w ~key:"c" (3, "three"));
+  let r = Journal_access.replay path in
+  Alcotest.check entries_t "entries in append order"
+    [ ("a", (1, "one")); ("b", (2, "two")); ("c", (3, "three")) ]
+    r.Journal_access.entries;
+  Alcotest.(check int) "3 records" 3 r.Journal_access.records;
+  Alcotest.(check int) "no duplicates" 0 r.Journal_access.duplicates;
+  Alcotest.(check int) "nothing dropped" 0 r.Journal_access.dropped_bytes
+
+let test_absent_and_empty () =
+  with_path "absent" @@ fun path ->
+  let r = (Journal_access.replay path : (int * string) Journal_access.replay) in
+  Alcotest.check entries_t "absent file: empty" [] r.Journal_access.entries;
+  Alcotest.(check int) "absent file: nothing dropped" 0 r.Journal_access.dropped_bytes;
+  (* An empty file (created, nothing appended) also replays clean. *)
+  Journal_access.with_writer path (fun _ -> ());
+  let r = (Journal_access.replay path : (int * string) Journal_access.replay) in
+  Alcotest.check entries_t "empty file: empty" [] r.Journal_access.entries;
+  Alcotest.(check int) "empty file: nothing dropped" 0 r.Journal_access.dropped_bytes
+
+let test_truncated_tail () =
+  with_path "torn" @@ fun path ->
+  Journal_access.with_writer path (fun w ->
+      Journal_access.append w ~key:"a" (1, "one");
+      Journal_access.append w ~key:"b" (2, "two"));
+  (* Tear the final record mid-payload, as a crash mid-append would. *)
+  let size = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (size - 5);
+  let r = Journal_access.replay path in
+  Alcotest.check entries_t "intact prefix survives"
+    [ ("a", (1, "one")) ]
+    r.Journal_access.entries;
+  Alcotest.(check bool) "torn bytes counted" true (r.Journal_access.dropped_bytes > 0)
+
+let test_bit_flip () =
+  with_path "flip" @@ fun path ->
+  Journal_access.with_writer path (fun w ->
+      Journal_access.append w ~key:"a" (1, "one");
+      Journal_access.append w ~key:"b" (2, "two"));
+  let size = (Unix.stat path).Unix.st_size in
+  (* Flip one bit in the last record's payload: its CRC must reject it
+     while the first record replays untouched. *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      ignore (Unix.lseek fd (size - 3) Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      assert (Unix.read fd b 0 1 = 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+      ignore (Unix.lseek fd (size - 3) Unix.SEEK_SET);
+      assert (Unix.write fd b 0 1 = 1));
+  let r = Journal_access.replay path in
+  Alcotest.check entries_t "corrupt record rejected, prefix kept"
+    [ ("a", (1, "one")) ]
+    r.Journal_access.entries;
+  Alcotest.(check bool) "corrupt bytes counted" true
+    (r.Journal_access.dropped_bytes > 0)
+
+let test_duplicate_last_wins () =
+  with_path "dup" @@ fun path ->
+  Journal_access.with_writer path (fun w ->
+      Journal_access.append w ~key:"a" (1, "stale");
+      Journal_access.append w ~key:"b" (2, "two");
+      Journal_access.append w ~key:"a" (3, "fresh"));
+  let r = Journal_access.replay path in
+  Alcotest.check entries_t "last occurrence wins, first-appearance order"
+    [ ("a", (3, "fresh")); ("b", (2, "two")) ]
+    r.Journal_access.entries;
+  Alcotest.(check int) "all intact records counted" 3 r.Journal_access.records;
+  Alcotest.(check int) "one duplicate" 1 r.Journal_access.duplicates
+
+let test_fresh_truncates_append_extends () =
+  with_path "fresh" @@ fun path ->
+  Journal_access.with_writer path (fun w -> Journal_access.append w ~key:"a" (1, "one"));
+  Journal_access.with_writer path (fun w -> Journal_access.append w ~key:"b" (2, "two"));
+  let r = Journal_access.replay path in
+  Alcotest.(check int) "default append mode extends" 2 (List.length r.Journal_access.entries);
+  Journal_access.with_writer ~fresh:true path (fun w ->
+      Journal_access.append w ~key:"c" (3, "three"));
+  let r = Journal_access.replay path in
+  Alcotest.check entries_t "fresh mode truncates"
+    [ ("c", (3, "three")) ]
+    r.Journal_access.entries
+
+let test_crc32_vector () =
+  (* The standard check value: CRC-32("123456789") = 0xCBF43926. *)
+  Alcotest.(check int32) "IEEE 802.3 check vector" 0xCBF43926l
+    (Journal_access.crc32 "123456789");
+  Alcotest.(check int32) "empty string" 0l (Journal_access.crc32 "")
+
+(* ------------------------------------------------------------------ *)
+(* Campaign resume contract                                             *)
+
+let grid seed =
+  let smoke = Scenarios.Campaign.smoke ~seed () in
+  (* Two faults × two scenarios: small enough for a quick test, large
+     enough that a partial journal is meaningful. *)
+  {
+    Scenarios.Campaign.seed;
+    faults =
+      (match smoke.Scenarios.Campaign.faults with
+      | a :: b :: _ -> [ a; b ]
+      | _ -> Alcotest.fail "smoke grid too small");
+    grid_scenarios = [ Scenarios.Defs.get 1; Scenarios.Defs.get 3 ];
+  }
+
+let strip_robustness (c : Scenarios.Campaign.t) =
+  Scenarios.Export.campaign_csv c
+
+let test_campaign_journal_fresh_and_replay () =
+  with_path "campaign" @@ fun path ->
+  let g = grid 42 in
+  let baseline = Scenarios.Campaign.run ~domains:1 g in
+  let journaled = Scenarios.Campaign.run ~domains:1 ~journal:path g in
+  Alcotest.(check string) "journaled run = plain run (CSV)"
+    (strip_robustness baseline) (strip_robustness journaled);
+  let r = journaled.Scenarios.Campaign.robustness in
+  Alcotest.(check int) "fresh run executed every cell" 4 r.Scenarios.Campaign.executed;
+  Alcotest.(check int) "fresh run replayed nothing" 0 r.Scenarios.Campaign.replayed;
+  (* Full replay: drop the in-process caches to prove the cells come from
+     the journal, not from memory. *)
+  Scenarios.Runner.clear_cache ();
+  let misses_before = (Scenarios.Runner.cache_stats ()).Exec.Memo.misses in
+  let resumed = Scenarios.Campaign.run ~domains:1 ~journal:path ~resume:true g in
+  Alcotest.(check string) "replayed run = plain run (CSV)"
+    (strip_robustness baseline) (strip_robustness resumed);
+  let r = resumed.Scenarios.Campaign.robustness in
+  Alcotest.(check int) "replay executed nothing" 0 r.Scenarios.Campaign.executed;
+  Alcotest.(check int) "replay restored every cell" 4 r.Scenarios.Campaign.replayed;
+  Alcotest.(check int) "no cell re-simulated"
+    misses_before
+    (Scenarios.Runner.cache_stats ()).Exec.Memo.misses
+
+let test_campaign_partial_resume () =
+  with_path "partial" @@ fun path ->
+  let g = grid 42 in
+  let baseline = Scenarios.Campaign.run ~domains:1 g in
+  (* Simulate a campaign killed partway: journal only the first fault's
+     cells by running a sub-grid against the same journal path. *)
+  let partial = { g with Scenarios.Campaign.faults = [ List.hd g.Scenarios.Campaign.faults ] } in
+  let first = Scenarios.Campaign.run ~domains:1 ~journal:path partial in
+  Alcotest.(check int) "partial run journaled 2 cells" 2
+    first.Scenarios.Campaign.robustness.Scenarios.Campaign.executed;
+  (* Resume the *full* grid from the partial journal: only the second
+     fault's cells may execute, and the matrix must be bit-for-bit the
+     uninterrupted one. *)
+  let resumed = Scenarios.Campaign.run ~domains:1 ~journal:path ~resume:true g in
+  Alcotest.(check string) "resumed CSV = uninterrupted CSV"
+    (strip_robustness baseline) (strip_robustness resumed);
+  let r = resumed.Scenarios.Campaign.robustness in
+  Alcotest.(check int) "only missing cells executed" 2 r.Scenarios.Campaign.executed;
+  Alcotest.(check int) "journaled cells replayed" 2 r.Scenarios.Campaign.replayed;
+  Alcotest.(check int) "nothing quarantined" 0 r.Scenarios.Campaign.quarantined;
+  (* And the journal now holds the full grid: a second resume replays
+     everything. *)
+  let again = Scenarios.Campaign.run ~domains:1 ~journal:path ~resume:true g in
+  Alcotest.(check int) "second resume replays all" 4
+    again.Scenarios.Campaign.robustness.Scenarios.Campaign.replayed;
+  Alcotest.(check string) "second resume still identical"
+    (strip_robustness baseline) (strip_robustness again)
+
+let test_campaign_journal_corrupt_tail_recovers () =
+  with_path "crashy" @@ fun path ->
+  let g = grid 42 in
+  let baseline = Scenarios.Campaign.run ~domains:1 g in
+  ignore (Scenarios.Campaign.run ~domains:1 ~journal:path g);
+  (* Tear the journal's final record, as SIGKILL mid-append would, then
+     resume: the torn cell re-executes and the matrix is unchanged. *)
+  let size = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (size - 7);
+  let resumed = Scenarios.Campaign.run ~domains:1 ~journal:path ~resume:true g in
+  Alcotest.(check string) "resume over torn tail = uninterrupted"
+    (strip_robustness baseline) (strip_robustness resumed);
+  let r = resumed.Scenarios.Campaign.robustness in
+  Alcotest.(check int) "torn cell re-executed" 1 r.Scenarios.Campaign.executed;
+  Alcotest.(check int) "intact cells replayed" 3 r.Scenarios.Campaign.replayed
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "records",
+        [
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "absent and empty files" `Quick test_absent_and_empty;
+          Alcotest.test_case "truncated tail skipped" `Quick test_truncated_tail;
+          Alcotest.test_case "bit flip rejected by CRC" `Quick test_bit_flip;
+          Alcotest.test_case "duplicate keys: last wins" `Quick
+            test_duplicate_last_wins;
+          Alcotest.test_case "fresh truncates, append extends" `Quick
+            test_fresh_truncates_append_extends;
+          Alcotest.test_case "crc32 check vector" `Quick test_crc32_vector;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "journal + full replay" `Slow
+            test_campaign_journal_fresh_and_replay;
+          Alcotest.test_case "partial journal resumes to identical matrix" `Slow
+            test_campaign_partial_resume;
+          Alcotest.test_case "torn tail re-executes only the torn cell" `Slow
+            test_campaign_journal_corrupt_tail_recovers;
+        ] );
+    ]
