@@ -5,7 +5,14 @@
 
     Scenario simulations are pre-warmed once so the per-table benchmarks
     measure table regeneration over the shared outcomes, not ten repeated
-    20-second simulations per sample. *)
+    20-second simulations per sample.
+
+    Besides the human-readable table, every run writes a machine-readable
+    [BENCH_smoke.json] / [BENCH_full.json] snapshot in the obs/1 schema:
+    the per-benchmark time estimates (ns/run) under ["bench"], alongside
+    the exec-engine telemetry (pool/cache counters, latency histograms)
+    the warm-up and fleet runs produced. CI validates it with
+    [metrics_check] and archives it for cross-commit comparison. *)
 
 open Bechamel
 open Toolkit
@@ -119,28 +126,33 @@ let run_test test =
   let raw = Benchmark.all cfg instances test in
   Analyze.all ols Instance.monotonic_clock raw
 
-let pp_result name result =
-  Hashtbl.iter
-    (fun _k ols ->
-      match Analyze.OLS.estimates ols with
-      | Some [ t ] ->
-          let t, unit_ =
-            if t > 1e9 then (t /. 1e9, "s")
-            else if t > 1e6 then (t /. 1e6, "ms")
-            else if t > 1e3 then (t /. 1e3, "us")
-            else (t, "ns")
-          in
-          Fmt.pr "%-34s %10.2f %s/run@." name t unit_
-      | _ -> Fmt.pr "%-34s (no estimate)@." name)
-    result
+(* The single OLS time estimate of a run, in ns, if the fit produced one. *)
+let estimate_ns result =
+  Hashtbl.fold
+    (fun _k ols acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match Analyze.OLS.estimates ols with Some [ t ] -> Some t | _ -> None))
+    result None
+
+let pp_estimate name = function
+  | Some t ->
+      let t, unit_ =
+        if t > 1e9 then (t /. 1e9, "s")
+        else if t > 1e6 then (t /. 1e6, "ms")
+        else if t > 1e3 then (t /. 1e3, "us")
+        else (t, "ns")
+      in
+      Fmt.pr "%-34s %10.2f %s/run@." name t unit_
+  | None -> Fmt.pr "%-34s (no estimate)@." name
 
 (* ------------------------------------------------------------------ *)
 (* Full-fleet regeneration: the hot path the exec engine parallelizes.  *)
 
-let wall f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+(* Monotonic ([Obs.Clock]), not [Unix.gettimeofday]: an NTP step during a
+   multi-minute bench run must not corrupt the headline numbers. *)
+let wall = Obs.Clock.elapsed
 
 let fleet_comparison () =
   let n = max 1 (Domain.recommended_domain_count ()) in
@@ -157,16 +169,29 @@ let fleet_comparison () =
     (Fmt.str "parallel (%d domains)" n)
     t_par (t_seq /. t_par);
   let _, t_warm = wall (fun () -> Scenarios.Runner.run_all ()) in
-  Fmt.pr "%-34s %10.4f s@." "warm cache" t_warm
+  Fmt.pr "%-34s %10.4f s@." "warm cache" t_warm;
+  (* whole-run timings as bench entries, normalized to ns like the rest *)
+  [
+    ("fleet_sequential", t_seq *. 1e9);
+    ("fleet_parallel", t_par *. 1e9);
+    ("fleet_warm_cache", t_warm *. 1e9);
+  ]
 
 let run_bench tests =
   Fmt.pr "@.%-34s %14s@." "benchmark" "time";
   Fmt.pr "%s@." (String.make 50 '-');
-  List.iter
+  List.filter_map
     (fun test ->
       let name = Test.Elt.name (List.hd (Test.elements test)) in
-      pp_result name (run_test test))
+      let est = estimate_ns (run_test test) in
+      pp_estimate name est;
+      Option.map (fun t -> (name, t)) est)
     tests
+
+let write_snapshot ~name bench =
+  let path = Fmt.str "BENCH_%s.json" name in
+  Obs.Export.write_file ~name ~bench path;
+  Fmt.pr "@.wrote %s (%d estimates)@." path (List.length bench)
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
@@ -183,7 +208,8 @@ let () =
             (Staged.stage (fun () -> null_formatter e.Core.Experiments.run))
       | [] -> assert false
     in
-    run_bench [ smoke_test ]
+    let estimates = run_bench [ smoke_test ] in
+    write_snapshot ~name:"smoke" (("prewarm_scenario_1", t *. 1e9) :: estimates)
   end
   else begin
     (* Pre-warm the scenario outcomes — in parallel, through the exec
@@ -193,6 +219,8 @@ let () =
       (max 1 (Domain.recommended_domain_count ()));
     let _, t = wall (fun () -> Core.Experiments.prewarm ()) in
     Fmt.pr "fleet warmed in %.2f s@." t;
-    fleet_comparison ();
-    run_bench (micro_tests @ experiment_tests)
+    let fleet = fleet_comparison () in
+    let estimates = run_bench (micro_tests @ experiment_tests) in
+    write_snapshot ~name:"full"
+      ((("prewarm_fleet", t *. 1e9) :: fleet) @ estimates)
   end

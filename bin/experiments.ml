@@ -50,6 +50,23 @@ let retry_policy ~seed retries =
     Some (Exec.Supervise.policy ~max_attempts:(retries + 1) ~seed ())
   else None
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Write an obs/1 JSON telemetry snapshot (pool/cache/journal \
+           counters, latency histograms, phase spans) to $(docv) before \
+           exiting.")
+
+let write_metrics ~name metrics =
+  Option.iter
+    (fun path ->
+      Obs.Export.write_file ~name path;
+      Fmt.pr "wrote metrics snapshot %s@." path)
+    metrics
+
 let run_one (e : Core.Experiments.t) =
   Fmt.pr "==================================================================@.";
   Fmt.pr "%s — %s@." e.Core.Experiments.id e.Core.Experiments.title;
@@ -80,16 +97,17 @@ let domains_arg =
 
 let all_cmd =
   let doc = "Run every experiment (regenerates every table and figure)." in
-  let run domains =
+  let run domains metrics =
     Core.Experiments.prewarm ?domains ();
-    List.iter run_one Core.Experiments.all
+    List.iter run_one Core.Experiments.all;
+    write_metrics ~name:"experiments_all" metrics
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ domains_arg)
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ domains_arg $ metrics_arg)
 
 let run_cmd =
   let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
   let doc = "Run the named experiments." in
-  let run domains ids =
+  let run domains ids metrics =
     (match domains with
     | Some d -> Core.Experiments.prewarm ~domains:d ()
     | None -> ());
@@ -100,9 +118,10 @@ let run_cmd =
         | None ->
             Fmt.epr "unknown experiment %s (try 'experiments list')@." id;
             exit 1)
-      ids
+      ids;
+    write_metrics ~name:"experiments_run" metrics
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ domains_arg $ ids)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ domains_arg $ ids $ metrics_arg)
 
 let campaign_cmd =
   let doc =
@@ -139,7 +158,7 @@ let campaign_cmd =
       & info [ "scenarios" ] ~docv:"N,.."
           ~doc:"Scenario numbers forming the grid columns.")
   in
-  let run domains seed faults scenarios journal resume retries =
+  let run domains seed faults scenarios journal resume retries metrics =
     if resume && journal = None then begin
       Fmt.epr "--resume requires --journal PATH@.";
       exit 1
@@ -154,12 +173,13 @@ let campaign_cmd =
     in
     Fmt.pr "%a@." Scenarios.Campaign.pp
       (Scenarios.Campaign.run ?domains ?journal ~resume
-         ?retry:(retry_policy ~seed retries) grid)
+         ?retry:(retry_policy ~seed retries) grid);
+    write_metrics ~name:(Fmt.str "campaign_seed%d" seed) metrics
   in
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
       const run $ domains_arg $ seed $ faults $ scenarios $ journal_arg
-      $ resume_arg $ retries_arg)
+      $ resume_arg $ retries_arg $ metrics_arg)
 
 let () =
   let doc = "Regenerate the tables and figures of the thesis evaluation." in

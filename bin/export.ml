@@ -16,6 +16,23 @@ open Cmdliner
 
 let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Write an obs/1 JSON telemetry snapshot (pool/cache/journal \
+           counters, latency histograms, phase spans) to $(docv) before \
+           exiting.")
+
+let write_metrics ~name metrics =
+  Option.iter
+    (fun path ->
+      Obs.Export.write_file ~name path;
+      Fmt.pr "wrote metrics snapshot %s@." path)
+    metrics
+
 let figures_cmd =
   let out_dir =
     Arg.(value & opt string "." & info [ "out-dir"; "o" ] ~doc:"Output directory.")
@@ -27,21 +44,25 @@ let figures_cmd =
       & info [ "domains"; "j" ] ~docv:"N"
           ~doc:"Simulate the fleet on $(docv) domains (1 = sequential).")
   in
-  let run out_dir domains =
+  let run out_dir domains metrics =
     ensure_dir out_dir;
     (* Warm the shared outcome cache for the whole fleet in parallel; each
        figure below then reads its scenario's outcome from the cache. *)
     ignore (Scenarios.Runner.run_all ?domains ());
-    List.iter
-      (fun (fig : Scenarios.Figures.t) ->
-        let o = Scenarios.Runner.run (Scenarios.Defs.get fig.Scenarios.Figures.scenario) in
-        let path = Filename.concat out_dir (fig.Scenarios.Figures.id ^ ".csv") in
-        Scenarios.Export.write_file path (Scenarios.Export.figure_csv fig o);
-        Fmt.pr "wrote %s@." path)
-      Scenarios.Figures.all
+    Obs.span "export.figures" (fun () ->
+        List.iter
+          (fun (fig : Scenarios.Figures.t) ->
+            let o =
+              Scenarios.Runner.run (Scenarios.Defs.get fig.Scenarios.Figures.scenario)
+            in
+            let path = Filename.concat out_dir (fig.Scenarios.Figures.id ^ ".csv") in
+            Scenarios.Export.write_file path (Scenarios.Export.figure_csv fig o);
+            Fmt.pr "wrote %s@." path)
+          Scenarios.Figures.all);
+    write_metrics ~name:"export_figures" metrics
   in
   Cmd.v (Cmd.info "figures" ~doc:"Export every regenerated figure as CSV.")
-    Term.(const run $ out_dir $ domains)
+    Term.(const run $ out_dir $ domains $ metrics_arg)
 
 let scenario_cmd =
   let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"SCENARIO") in
@@ -146,7 +167,7 @@ let campaign_cmd =
              exponential backoff before quarantining it. Default 0: first \
              failure aborts.")
   in
-  let run out_dir seed faults scenarios domains journal resume retries =
+  let run out_dir seed faults scenarios domains journal resume retries metrics =
     if resume && journal = None then begin
       Fmt.epr "--resume requires --journal PATH@.";
       exit 1
@@ -167,13 +188,15 @@ let campaign_cmd =
     in
     let c = Scenarios.Campaign.run ?domains ?journal ~resume ?retry grid in
     let path = Filename.concat out_dir (Fmt.str "campaign_seed%d.csv" seed) in
-    Scenarios.Export.write_file path (Scenarios.Export.campaign_csv c);
+    Obs.span "campaign.export" (fun () ->
+        Scenarios.Export.write_file path (Scenarios.Export.campaign_csv c));
     let r = c.Scenarios.Campaign.robustness in
     Fmt.pr "cells: executed=%d replayed=%d retried=%d retries=%d quarantined=%d@."
       r.Scenarios.Campaign.executed r.Scenarios.Campaign.replayed
       r.Scenarios.Campaign.retried r.Scenarios.Campaign.retries
       r.Scenarios.Campaign.quarantined;
-    Fmt.pr "wrote %s@." path
+    Fmt.pr "wrote %s@." path;
+    write_metrics ~name:(Fmt.str "export_campaign_seed%d" seed) metrics
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -182,7 +205,7 @@ let campaign_cmd =
           optionally journaled, resumable and retried.")
     Term.(
       const run $ out_dir $ seed $ faults $ scenarios $ domains $ journal
-      $ resume $ retries)
+      $ resume $ retries $ metrics_arg)
 
 let () =
   let doc = "Export traces, figures and violation tables as CSV." in

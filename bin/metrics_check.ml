@@ -1,0 +1,138 @@
+(** [metrics_check] — validate obs/1 telemetry snapshots and compare runs.
+
+    {v
+    metrics_check BENCH_smoke.json                 # schema validation only
+    metrics_check m.json --expect-counter pool.tasks_completed=12
+    metrics_check m.json --summary                 # deterministic digest
+    v}
+
+    The [--summary] output deliberately excludes gauges, timings and
+    spans: it prints only the run-shape facts (counters, histogram
+    counts) that must be identical between a sequential and a parallel
+    execution of the same workload, so two summaries can be [diff]ed
+    directly in CI. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_expect s =
+  match String.index_opt s '=' with
+  | None -> Error (`Msg "expected NAME=VALUE")
+  | Some i -> (
+      let name = String.sub s 0 i in
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt v with
+      | Some v when name <> "" -> Ok (name, v)
+      | _ -> Error (`Msg "expected NAME=VALUE with an integer VALUE"))
+
+let expect_conv =
+  Arg.conv (parse_expect, fun ppf (n, v) -> Fmt.pf ppf "%s=%d" n v)
+
+let counter_value json name =
+  match Obs.Json.member "counters" json with
+  | Some counters ->
+      Option.bind (Obs.Json.member name counters) Obs.Json.to_float
+  | None -> None
+
+(* Sorted [counter NAME V] then [histogram NAME count=N] lines: the
+   cross-mode-stable projection of a snapshot. *)
+let print_summary json =
+  let entries kind =
+    match Obs.Json.member kind json with
+    | Some obj -> List.sort compare (Obs.Json.keys obj)
+    | None -> []
+  in
+  List.iter
+    (fun name ->
+      match counter_value json name with
+      | Some v -> Fmt.pr "counter %s %.0f@." name v
+      | None -> ())
+    (entries "counters");
+  List.iter
+    (fun name ->
+      match Obs.Json.member "histograms" json with
+      | None -> ()
+      | Some hs -> (
+          match
+            Option.bind (Obs.Json.member name hs) (fun h ->
+                Option.bind (Obs.Json.member "count" h) Obs.Json.to_float)
+          with
+          | Some c -> Fmt.pr "histogram %s count=%.0f@." name c
+          | None -> ()))
+    (entries "histograms")
+
+let check path expects summary =
+  let raw = read_file path in
+  match Obs.Export.validate_string raw with
+  | Error e ->
+      Fmt.epr "%s: INVALID — %s@." path e;
+      false
+  | Ok () ->
+      let json =
+        match Obs.Json.of_string raw with Ok j -> j | Error _ -> assert false
+      in
+      let ok =
+        List.for_all
+          (fun (name, want) ->
+            match counter_value json name with
+            | Some got when Float.to_int got = want -> true
+            | Some got ->
+                Fmt.epr "%s: counter %s = %.0f, expected %d@." path name got want;
+                false
+            | None ->
+                Fmt.epr "%s: counter %s missing@." path name;
+                false)
+          expects
+      in
+      if ok then
+        if summary then print_summary json
+        else Fmt.pr "%s: valid obs/1 snapshot@." path;
+      ok
+
+let run paths expects summary =
+  let ok =
+    List.fold_left
+      (fun acc path ->
+        let this =
+          try check path expects summary
+          with Sys_error e ->
+            Fmt.epr "%s@." e;
+            false
+        in
+        acc && this)
+      true paths
+  in
+  if ok then 0 else 1
+
+let () =
+  let paths =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"SNAPSHOT.json")
+  in
+  let expects =
+    Arg.(
+      value
+      & opt_all expect_conv []
+      & info [ "expect-counter" ] ~docv:"NAME=VALUE"
+          ~doc:
+            "Fail unless counter $(i,NAME) has exactly $(i,VALUE). \
+             Repeatable.")
+  in
+  let summary =
+    Arg.(
+      value & flag
+      & info [ "summary" ]
+          ~doc:
+            "After validating, print a deterministic digest (sorted \
+             counters and histogram counts, no timings) suitable for \
+             diffing a sequential run against a parallel one.")
+  in
+  let doc = "Validate obs/1 telemetry snapshots." in
+  exit
+    (Cmd.eval'
+       (Cmd.v (Cmd.info "metrics_check" ~doc)
+          Term.(const run $ paths $ expects $ summary)))

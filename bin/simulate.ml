@@ -21,7 +21,7 @@ let spec_conv =
         | Error e -> Error (`Msg e)),
       Inject.Fault.pp )
 
-let run n repaired seed faults signals journal resume retries =
+let run n repaired seed faults signals journal resume retries metrics =
   if resume && journal = None then begin
     Fmt.epr "--resume requires --journal PATH@.";
     exit 1
@@ -58,7 +58,12 @@ let run n repaired seed faults signals journal resume retries =
           sig_name sig_name
       in
       List.iter (fun (t, v) -> Fmt.pr "  %8.3f  %10.4f@." t v) s.Scenarios.Figures.points)
-    signals
+    signals;
+  Option.iter
+    (fun path ->
+      Obs.Export.write_file ~name:(Fmt.str "simulate_%d" n) path;
+      Fmt.pr "wrote metrics snapshot %s@." path)
+    metrics
 
 let () =
   let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"SCENARIO") in
@@ -108,10 +113,19 @@ let () =
             "Retry a failing run up to $(docv) extra times with jittered \
              exponential backoff before giving up. Default 0.")
   in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"PATH"
+          ~doc:
+            "Write an obs/1 JSON telemetry snapshot (counters, latency \
+             histograms, spans) to $(docv) before exiting.")
+  in
   let doc = "Run a semi-autonomous vehicle evaluation scenario." in
   exit
     (Cmd.eval
        (Cmd.v (Cmd.info "simulate" ~doc)
           Term.(
             const run $ n $ repaired $ seed $ faults $ signals $ journal
-            $ resume $ retries)))
+            $ resume $ retries $ metrics)))

@@ -1,8 +1,13 @@
 type ('k, 'v) t = {
   table : ('k, 'v) Hashtbl.t;
+  inflight : ('k, unit) Hashtbl.t;
+      (** keys whose supplier is currently running in some domain *)
   order : 'k Queue.t;  (** insertion order, for FIFO eviction *)
   capacity : int option;
   lock : Mutex.t;
+  settled : Condition.t;  (** an in-flight computation finished (or failed) *)
+  counters : (Obs.Metrics.counter * Obs.Metrics.counter * Obs.Metrics.counter) option;
+      (** optional (hits, misses, evictions) exported to the obs registry *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -10,7 +15,7 @@ type ('k, 'v) t = {
 
 type stats = { hits : int; misses : int; evictions : int }
 
-let create ?(size = 64) ?capacity () =
+let create ?(size = 64) ?capacity ?name () =
   let capacity =
     match capacity with
     | Some c when c < 1 -> invalid_arg "Memo.create: capacity must be >= 1"
@@ -18,9 +23,18 @@ let create ?(size = 64) ?capacity () =
   in
   {
     table = Hashtbl.create size;
+    inflight = Hashtbl.create 8;
     order = Queue.create ();
     capacity;
     lock = Mutex.create ();
+    settled = Condition.create ();
+    counters =
+      Option.map
+        (fun n ->
+          ( Obs.Metrics.counter ("cache." ^ n ^ ".hits"),
+            Obs.Metrics.counter ("cache." ^ n ^ ".misses"),
+            Obs.Metrics.counter ("cache." ^ n ^ ".evictions") ))
+        name;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -28,7 +42,8 @@ let create ?(size = 64) ?capacity () =
 
 (* Caller holds the lock. Every key in [order] is in [table] exactly once
    (keys are only added when absent, and eviction removes both together),
-   so popping the queue always names a live entry. *)
+   so popping the queue always names a live entry. In-flight keys are not
+   in [table] yet and never count against the capacity. *)
 let enforce_capacity t =
   match t.capacity with
   | None -> ()
@@ -36,33 +51,66 @@ let enforce_capacity t =
       while Hashtbl.length t.table > cap do
         let oldest = Queue.pop t.order in
         Hashtbl.remove t.table oldest;
-        t.evictions <- t.evictions + 1
+        t.evictions <- t.evictions + 1;
+        Option.iter (fun (_, _, e) -> Obs.Metrics.incr e) t.counters
       done
 
+let record_hit (t : (_, _) t) =
+  t.hits <- t.hits + 1;
+  Option.iter (fun (h, _, _) -> Obs.Metrics.incr h) t.counters
+
+let record_miss (t : (_, _) t) =
+  t.misses <- t.misses + 1;
+  Option.iter (fun (_, m, _) -> Obs.Metrics.incr m) t.counters
+
+(* Single-flight: the first domain to miss a key runs the supplier; a
+   domain finding the same key in flight waits for that computation and
+   then serves the freshly inserted value as a hit — exactly the counters
+   a sequential interleaving of the same lookups would produce, and no
+   duplicated supplier work. If the winner's supplier raises, the waiters
+   are woken and race to become the next winner (each such retry is that
+   caller's one recorded miss). *)
 let find_or_add t key supply =
   Mutex.lock t.lock;
-  match Hashtbl.find_opt t.table key with
-  | Some v ->
-      t.hits <- t.hits + 1;
-      Mutex.unlock t.lock;
-      v
+  let rec await () =
+    match Hashtbl.find_opt t.table key with
+    | Some v ->
+        record_hit t;
+        Mutex.unlock t.lock;
+        Some v
+    | None ->
+        if Hashtbl.mem t.inflight key then begin
+          Condition.wait t.settled t.lock;
+          await ()
+        end
+        else None
+  in
+  match await () with
+  | Some v -> v
   | None ->
-      t.misses <- t.misses + 1;
+      record_miss t;
+      Hashtbl.add t.inflight key ();
       Mutex.unlock t.lock;
       (* compute outside the lock so distinct cold keys fill in parallel *)
-      let v = supply () in
-      Mutex.lock t.lock;
-      let v =
-        match Hashtbl.find_opt t.table key with
-        | Some winner -> winner (* a racing domain filled it first; share *)
-        | None ->
-            Hashtbl.add t.table key v;
-            Queue.push key t.order;
-            enforce_capacity t;
-            v
-      in
-      Mutex.unlock t.lock;
-      v
+      (match supply () with
+      | v ->
+          Mutex.lock t.lock;
+          Hashtbl.remove t.inflight key;
+          (* [clear] may have run while computing; insertion is still
+             correct — the entry is simply the first of the new epoch. *)
+          Hashtbl.add t.table key v;
+          Queue.push key t.order;
+          enforce_capacity t;
+          Condition.broadcast t.settled;
+          Mutex.unlock t.lock;
+          v
+      | exception exn ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock t.lock;
+          Hashtbl.remove t.inflight key;
+          Condition.broadcast t.settled;
+          Mutex.unlock t.lock;
+          Printexc.raise_with_backtrace exn bt)
 
 let clear t =
   Mutex.lock t.lock;

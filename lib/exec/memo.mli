@@ -2,9 +2,18 @@
 
     Lookups and insertions are serialized by a mutex, but the supplier
     runs {e outside} the lock so concurrent misses on distinct keys
-    compute in parallel. If two domains race to fill the same key the
-    first insertion wins and both callers receive the same (physically
-    equal) value; the loser's computation is discarded. *)
+    compute in parallel. Lookups are {e single-flight} per key: the
+    first domain to miss runs the supplier, any domain looking the same
+    key up meanwhile blocks until that computation settles and then
+    receives the same (physically equal) value, counted as a hit. The
+    counters are therefore exactly what a sequential interleaving of the
+    same lookups would produce — parallel and sequential runs of one
+    workload report identical hit/miss totals — and a supplier is never
+    invoked twice for a key that stays resident.
+
+    The supplier of a key must not look up the {e same} key in the same
+    table (single-flight would make it wait on itself); distinct keys,
+    including through nested tables, are fine. *)
 
 type ('k, 'v) t
 
@@ -14,15 +23,22 @@ type stats = {
   evictions : int;  (** entries dropped to stay under [capacity] *)
 }
 
-val create : ?size:int -> ?capacity:int -> unit -> ('k, 'v) t
+val create : ?size:int -> ?capacity:int -> ?name:string -> unit -> ('k, 'v) t
 (** [size] is the initial hash-table size (a hint, {e not} a bound).
     [capacity] (default: unbounded) is a hard bound on the number of live
     entries: when an insertion exceeds it the oldest entries (FIFO over
     insertion order) are evicted and counted in [stats.evictions], so
     long-running campaigns cannot grow memory without limit. Must be
-    [>= 1]. *)
+    [>= 1]. [name] additionally mirrors the three counters into the
+    process-wide metrics registry as [cache.<name>.hits] / [.misses] /
+    [.evictions], so snapshots ([--metrics]) report this table. *)
 
 val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** Serve [key] from the table, or run the supplier (single-flight, see
+    above) and insert its result. A supplier exception propagates to the
+    caller that ran it (with its backtrace); waiters then retry, the
+    next one becoming the new supplier. *)
+
 val clear : ('k, 'v) t -> unit
 (** Drop every entry and reset the counters. *)
 

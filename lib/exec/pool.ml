@@ -79,6 +79,31 @@ let shutdown pool =
   List.iter Domain.join pool.workers;
   pool.workers <- []
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry. Counter parity between the pooled and sequential paths:
+   every task is counted submitted once, and settles as exactly one of
+   completed (result published, Ok or Error) or timed_out. [failed]
+   counts the Error subset of completed. Wait/run histograms record
+   per-task latency; on the sequential path the wait is structurally 0
+   and the run duration is the full task, so completed-only batches
+   report identical counts (not timings) in both modes. *)
+
+let m_submitted = Obs.Metrics.counter "pool.tasks_submitted"
+let m_completed = Obs.Metrics.counter "pool.tasks_completed"
+let m_failed = Obs.Metrics.counter "pool.tasks_failed"
+let m_timed_out = Obs.Metrics.counter "pool.tasks_timed_out"
+let m_batches = Obs.Metrics.counter "pool.batches"
+let g_queue_depth = Obs.Metrics.gauge "pool.queue_depth"
+let g_workers = Obs.Metrics.gauge "pool.workers"
+let h_wait = Obs.Metrics.histogram "pool.task_wait_s"
+let h_run = Obs.Metrics.histogram "pool.task_run_s"
+
+let count_published = function
+  | Ok _ -> Obs.Metrics.incr m_completed
+  | Error _ ->
+      Obs.Metrics.incr m_completed;
+      Obs.Metrics.incr m_failed
+
 let guarded f x ~index =
   match f x with
   | v -> Ok v
@@ -89,7 +114,11 @@ let timed_out ~index ~elapsed_s limit =
     {
       index;
       exn = Timed_out { limit_s = limit; elapsed_s };
-      backtrace = Printexc.get_raw_backtrace ();
+      (* Deliberately empty: the overrun is published from the watchdog
+         (or post-hoc from the sequential wrapper), whose most recent
+         recorded backtrace belongs to some unrelated earlier raise —
+         attaching it would point post-mortems at innocent frames. *)
+      backtrace = Printexc.get_callstack 0;
     }
 
 (** Sequential execution cannot preempt a running task, so the watchdog
@@ -97,13 +126,19 @@ let timed_out ~index ~elapsed_s limit =
     result is replaced by [Timed_out] for parity with the pooled path; the
     payload's [elapsed_s] is the task's full measured duration. *)
 let guarded_seq ?timeout_s f x ~index =
+  Obs.Metrics.incr m_submitted;
+  Obs.Metrics.observe h_wait 0.;
+  let t0 = Obs.Clock.now () in
+  let r = guarded f x ~index in
+  let elapsed_s = Obs.Clock.now () -. t0 in
+  Obs.Metrics.observe h_run elapsed_s;
   match timeout_s with
-  | None -> guarded f x ~index
-  | Some limit ->
-      let t0 = Unix.gettimeofday () in
-      let r = guarded f x ~index in
-      let elapsed_s = Unix.gettimeofday () -. t0 in
-      if elapsed_s > limit then timed_out ~index ~elapsed_s limit else r
+  | Some limit when elapsed_s > limit ->
+      Obs.Metrics.incr m_timed_out;
+      timed_out ~index ~elapsed_s limit
+  | _ ->
+      count_published r;
+      r
 
 (** A worker asking its own pool to run a batch would deadlock (every
     worker may end up blocked on an inner batch no free worker can ever
@@ -119,6 +154,8 @@ let check_reentrancy pool =
 
 let try_map_pool ?timeout_s pool f xs =
   check_reentrancy pool;
+  Obs.Metrics.incr m_batches;
+  Obs.Metrics.set g_workers (float_of_int pool.size);
   let n = List.length xs in
   let results = Array.make n None in
   (if pool.workers = [] then
@@ -126,23 +163,42 @@ let try_map_pool ?timeout_s pool f xs =
      List.iteri (fun i x -> results.(i) <- Some (guarded_seq ?timeout_s f x ~index:i)) xs
    else begin
      let remaining = ref n in
-     (* Wall-clock start per task, written under the pool lock when a
-        worker picks the task up; nan = not started yet. The watchdog
-        clock runs from task start, not batch submission. *)
+     let submitted = Obs.Clock.now () in
+     (* The last instant the batch demonstrably made progress (a worker
+        started or published a task), initially the submission instant.
+        The watchdog bounds still-queued tasks against this: while the
+        queue drains, waiting is not counted against them, but once every
+        worker is wedged, no progress can advance it and the queued tasks
+        time out instead of keeping the batch alive forever. *)
+     let last_progress = ref submitted in
+     (* Monotonic start per task, written under the pool lock when a
+        worker picks the task up; nan = not started yet. For a started
+        task the watchdog clock runs from its start, not from batch
+        submission. *)
      let started = Array.make n Float.nan in
      List.iteri
        (fun i x ->
          let job () =
            Mutex.lock pool.lock;
            let abandoned = results.(i) <> None in
-           if not abandoned then started.(i) <- Unix.gettimeofday ();
+           if not abandoned then begin
+             let t = Obs.Clock.now () in
+             started.(i) <- t;
+             last_progress := t;
+             Obs.Metrics.observe h_wait (t -. submitted)
+           end;
+           Obs.Metrics.set g_queue_depth (float_of_int (Queue.length pool.queue));
            Mutex.unlock pool.lock;
            if not abandoned then begin
+             let t_run = Obs.Clock.now () in
              let r = guarded f x ~index:i in
+             Obs.Metrics.observe h_run (Obs.Clock.now () -. t_run);
              Mutex.lock pool.lock;
              (match results.(i) with
              | None ->
                  results.(i) <- Some r;
+                 last_progress := Obs.Clock.now ();
+                 count_published r;
                  decr remaining;
                  if !remaining = 0 then Condition.broadcast pool.batch_done
              | Some _ ->
@@ -152,8 +208,10 @@ let try_map_pool ?timeout_s pool f xs =
              Mutex.unlock pool.lock
            end
          in
+         Obs.Metrics.incr m_submitted;
          Mutex.lock pool.lock;
          Queue.push job pool.queue;
+         Obs.Metrics.set g_queue_depth (float_of_int (Queue.length pool.queue));
          Condition.signal pool.pending;
          Mutex.unlock pool.lock)
        xs;
@@ -167,23 +225,30 @@ let try_map_pool ?timeout_s pool f xs =
      | Some limit ->
          (* OCaml's stdlib [Condition] has no timed wait, so the caller
             doubles as the watchdog: poll the batch, publishing [Timed_out]
-            for any started task past the limit. The worker running an
-            abandoned task is not preempted — it stays occupied until the
-            task returns on its own, and only then frees its slot — but the
-            batch no longer waits for it. *)
+            for any task past the limit. The worker running an abandoned
+            task is not preempted — it stays occupied until the task
+            returns on its own, and only then frees its slot — but the
+            batch no longer waits for it. A task no worker has started is
+            bounded against [last_progress] (initially the submission
+            instant): if every worker is wedged, queued tasks would
+            otherwise keep [nan] start times forever and the batch would
+            never settle despite the limit, while on a healthy pool every
+            task start refreshes the bound so a long queue never times out
+            merely for waiting. *)
          let poll = Float.max 0.001 (Float.min 0.05 (limit /. 10.)) in
          Mutex.lock pool.lock;
          while !remaining > 0 do
-           let now = Unix.gettimeofday () in
+           let now = Obs.Clock.now () in
            Array.iteri
              (fun i t0 ->
-               if
-                 results.(i) = None
-                 && (not (Float.is_nan t0))
-                 && now -. t0 > limit
-               then begin
-                 results.(i) <- Some (timed_out ~index:i ~elapsed_s:(now -. t0) limit);
-                 decr remaining
+               if results.(i) = None then begin
+                 let origin = if Float.is_nan t0 then !last_progress else t0 in
+                 if now -. origin > limit then begin
+                   results.(i) <-
+                     Some (timed_out ~index:i ~elapsed_s:(now -. origin) limit);
+                   Obs.Metrics.incr m_timed_out;
+                   decr remaining
+                 end
                end)
              started;
            if !remaining > 0 then begin
@@ -231,6 +296,8 @@ let try_map ?domains ?timeout_s f xs =
   match domains with
   | None -> try_map_pool ?timeout_s (default ()) f xs
   | Some n when n <= 1 ->
+      Obs.Metrics.incr m_batches;
+      Obs.Metrics.set g_workers 1.;
       List.mapi (fun i x -> guarded_seq ?timeout_s f x ~index:i) xs
   | Some n ->
       with_transient ~domains:n (fun pool -> try_map_pool ?timeout_s pool f xs)

@@ -23,12 +23,16 @@ type error = {
 
 exception Timed_out of { limit_s : float; elapsed_s : float }
 (** A task overran the [?timeout_s] watchdog; the payload carries both the
-    configured limit and the elapsed wall-clock time actually measured when
+    configured limit and the elapsed monotonic time actually measured when
     the overrun was published (so post-mortems can tell a marginal overrun
     from a wedged task). Appears as the [exn] of an {!error} — never raised
-    into a worker. [elapsed_s >= limit_s] always holds; on the pooled path
-    [elapsed_s] is the watchdog's poll-time measurement, on the sequential
-    post-hoc path it is the task's full measured duration. *)
+    into a worker, and its {!error.backtrace} is deliberately empty (the
+    watchdog publishes from outside the task, so any backtrace it could
+    capture would name innocent frames). [elapsed_s >= limit_s] always
+    holds; on the pooled path [elapsed_s] is the watchdog's poll-time
+    measurement from the task's start (or from batch submission, for a
+    task no worker ever started), on the sequential post-hoc path it is
+    the task's full measured duration. *)
 
 exception Reentrant_submission
 (** A task attempted to submit a batch to the pool that is running it.
@@ -56,15 +60,22 @@ val try_map_pool :
     raises {!Reentrant_submission} (inside the offending task it is
     captured as that task's {!error}).
 
-    [timeout_s] (default: none) arms a per-task wall-clock watchdog,
-    counted from the moment a worker starts the task: a task past the
-    limit yields [Error {exn = Timed_out _; _}] instead of hanging the
-    batch. The overrunning task itself is not preempted — its worker stays
-    occupied until the task returns, and its late result is dropped. On
-    the sequential paths (size-1 pool, [~domains:1]) nothing can run
-    concurrently with a task, so the watchdog degrades to post-hoc
-    detection: the task completes, then its result is replaced by
-    [Timed_out] if it overran. *)
+    [timeout_s] (default: none) arms a per-task monotonic-clock watchdog:
+    a task past the limit yields [Error {exn = Timed_out _; _}] instead
+    of hanging the batch. For a task a worker has started, the clock runs
+    from its start; for a task still queued, it runs from the batch's
+    last progress instant (a task start or completion, initially the
+    submission) — so a long queue on a healthy pool never times out
+    merely for waiting, yet a fully wedged pool (every worker stuck on a
+    task that never returns) publishes [Timed_out] for the queued tasks
+    and the batch returns within roughly the limit plus one poll
+    interval. The overrunning task itself is not preempted — its worker
+    stays occupied until the task returns, and its late result is
+    dropped; an abandoned still-queued task is skipped outright when a
+    worker eventually pops it. On the sequential paths (size-1 pool,
+    [~domains:1]) nothing can run concurrently with a task, so the
+    watchdog degrades to post-hoc detection: the task completes, then its
+    result is replaced by [Timed_out] if it overran. *)
 
 val map_pool : ?timeout_s:float -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** Like {!try_map_pool} but re-raises the first (lowest-index) task

@@ -45,6 +45,14 @@ let backoff_delay p ~attempt =
 type 'a status = Done of 'a | Quarantined of Pool.error
 type 'a report = { status : 'a status; attempts : int }
 
+(* Telemetry: attempts counts every task execution (first tries and
+   retries alike), retries only the extra rounds, and backoff_s records
+   each inter-round sleep actually performed. *)
+let m_attempts = Obs.Metrics.counter "supervise.attempts"
+let m_retries = Obs.Metrics.counter "supervise.retries"
+let m_quarantined = Obs.Metrics.counter "supervise.quarantined"
+let h_backoff = Obs.Metrics.histogram "supervise.backoff_s"
+
 type stats = { tasks : int; retried : int; retries : int; quarantined : int }
 
 let stats reports =
@@ -71,6 +79,8 @@ let supervise p run_batch f xs =
   let n = List.length xs in
   let reports = Array.make n None in
   let rec go attempt pending =
+    Obs.Metrics.incr ~by:(List.length pending) m_attempts;
+    if attempt > 1 then Obs.Metrics.incr ~by:(List.length pending) m_retries;
     let results = run_batch f (List.map snd pending) in
     let failed =
       List.concat
@@ -84,6 +94,7 @@ let supervise p run_batch f xs =
                  if attempt < p.max_attempts && p.retry_on e.Pool.exn then
                    [ (i, x) ]
                  else begin
+                   Obs.Metrics.incr m_quarantined;
                    reports.(i) <-
                      Some
                        {
@@ -95,7 +106,9 @@ let supervise p run_batch f xs =
            pending results)
     in
     if failed <> [] then begin
-      Unix.sleepf (backoff_delay p ~attempt);
+      let delay = backoff_delay p ~attempt in
+      Obs.Metrics.observe h_backoff delay;
+      Unix.sleepf delay;
       go (attempt + 1) failed
     end
   in

@@ -1,0 +1,26 @@
+(** Monotonic time. All elapsed-time computation in this repository goes
+    through here: [Unix.gettimeofday] is wall clock and steps under NTP
+    adjustment, which would skew watchdog timeouts and bench numbers
+    mid-run. The only legitimate remaining use of wall clock is
+    provenance (timestamping a snapshot with the calendar date). *)
+
+external monotonic_ns : unit -> int64 = "obs_monotonic_ns"
+
+let now_ns = monotonic_ns
+
+(** Seconds on the monotonic clock. The epoch is arbitrary (typically
+    system boot): only differences are meaningful. *)
+let now () = Int64.to_float (monotonic_ns ()) /. 1e9
+
+let started = now ()
+
+(** Seconds since this module was initialized, i.e. since process start
+    for any binary linking obs. *)
+let uptime () = now () -. started
+
+(** [elapsed f] — run [f] and return its result with its monotonic
+    duration in seconds. *)
+let elapsed f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)

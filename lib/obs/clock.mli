@@ -1,0 +1,21 @@
+(** Monotonic-clock helper: NTP-step-immune elapsed time.
+
+    Durations must never be computed from [Unix.gettimeofday] — wall
+    clock steps under NTP adjustment. This module wraps
+    [clock_gettime(CLOCK_MONOTONIC)] (via a local C stub; the stdlib
+    [Unix] does not expose it). *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock (arbitrary epoch). *)
+
+val now : unit -> float
+(** Seconds on the monotonic clock (arbitrary epoch); only differences
+    are meaningful. *)
+
+val uptime : unit -> float
+(** Seconds since process start (more precisely, since obs was
+    initialized). *)
+
+val elapsed : (unit -> 'a) -> 'a * float
+(** [elapsed f] runs [f], returning its result and its duration in
+    seconds. *)

@@ -1,0 +1,219 @@
+(** Stable JSON snapshot of the metrics registry and span ring — the one
+    machine-readable telemetry format shared by [--metrics PATH] on the
+    CLIs and by [BENCH_<name>.json] from the bench harness (which adds
+    its estimates under ["bench"]).
+
+    Schema ["obs/1"], all fields always present, field order fixed:
+
+    {v
+    { "schema": "obs/1",
+      "name": <string|null>,          // run label, e.g. "smoke"
+      "created_unix": <number>,       // wall clock, provenance only
+      "uptime_s": <number>,           // monotonic process uptime
+      "counters":   { "<name>": <int>, ... },      // sorted by name
+      "gauges":     { "<name>": <number>, ... },
+      "histograms": { "<name>": { "count":…, "sum":…, "min":…, "max":…,
+                                  "mean":…, "p50":…, "p95":… }, ... },
+      "spans": [ { "name":…, "start_s":…, "dur_s":…,
+                   "depth":…, "domain":… }, ... ], // oldest first
+      "spans_dropped": <int>,         // overwritten by the ring
+      "bench": [ { "name":…, "time_ns":… }, ... ] }
+    v} *)
+
+let schema_version = "obs/1"
+
+let histogram_fields = [ "count"; "sum"; "min"; "max"; "mean"; "p50"; "p95" ]
+
+let top_level_fields =
+  [
+    "schema";
+    "name";
+    "created_unix";
+    "uptime_s";
+    "counters";
+    "gauges";
+    "histograms";
+    "spans";
+    "spans_dropped";
+    "bench";
+  ]
+
+let summary_json (s : Metrics.summary) =
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int s.Metrics.count));
+      ("sum", Json.Num s.Metrics.sum);
+      ("min", Json.Num s.Metrics.min);
+      ("max", Json.Num s.Metrics.max);
+      ("mean", Json.Num s.Metrics.mean);
+      ("p50", Json.Num s.Metrics.p50);
+      ("p95", Json.Num s.Metrics.p95);
+    ]
+
+let span_json (s : Trace.span) =
+  Json.Obj
+    [
+      ("name", Json.Str s.Trace.name);
+      ("start_s", Json.Num s.Trace.start_s);
+      ("dur_s", Json.Num s.Trace.dur_s);
+      ("depth", Json.Num (float_of_int s.Trace.depth));
+      ("domain", Json.Num (float_of_int s.Trace.domain));
+    ]
+
+let snapshot ?name ?(bench = []) () =
+  let m = Metrics.snapshot () in
+  let spans = Trace.recent () in
+  Json.Obj
+    [
+      ("schema", Json.Str schema_version);
+      ("name", match name with Some n -> Json.Str n | None -> Json.Null);
+      ("created_unix", Json.Num (Unix.gettimeofday ()));
+      ("uptime_s", Json.Num (Clock.uptime ()));
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (n, v) -> (n, Json.Num (float_of_int v)))
+             m.Metrics.snap_counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Num v)) m.Metrics.snap_gauges)
+      );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (n, s) -> (n, summary_json s)) m.Metrics.snap_histograms)
+      );
+      ("spans", Json.List (List.map span_json spans));
+      ( "spans_dropped",
+        Json.Num (float_of_int (Trace.total () - List.length spans)) );
+      ( "bench",
+        Json.List
+          (List.map
+             (fun (n, time_ns) ->
+               Json.Obj [ ("name", Json.Str n); ("time_ns", Json.Num time_ns) ])
+             bench) );
+    ]
+
+let to_json ?name ?bench () = Json.to_string (snapshot ?name ?bench ())
+
+let write_file ?name ?bench path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json ?name ?bench ());
+      output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation                                                   *)
+
+let ( let* ) = Result.bind
+
+let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let require_num ctx v =
+  match Json.to_float v with
+  | Some f -> Ok f
+  | None -> fail "%s: expected a number" ctx
+
+let require_int ctx v =
+  let* f = require_num ctx v in
+  if Float.is_integer f then Ok (int_of_float f)
+  else fail "%s: expected an integer" ctx
+
+let require_fields ctx expected j =
+  match j with
+  | Json.Obj _ ->
+      let got = Json.keys j in
+      if got = expected then Ok ()
+      else
+        fail "%s: fields [%s], expected [%s]" ctx (String.concat ";" got)
+          (String.concat ";" expected)
+  | _ -> fail "%s: expected an object" ctx
+
+let validate_obj_of ctx check j =
+  match j with
+  | Json.Obj fields ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* () = acc in
+          check (Printf.sprintf "%s.%s" ctx k) v)
+        (Ok ()) fields
+  | _ -> fail "%s: expected an object" ctx
+
+let validate_list_of ctx check j =
+  match j with
+  | Json.List items ->
+      List.fold_left
+        (fun (acc, i) v ->
+          ( (let* () = acc in
+             check (Printf.sprintf "%s[%d]" ctx i) v),
+            i + 1 ))
+        (Ok (), 0) items
+      |> fst
+  | _ -> fail "%s: expected a list" ctx
+
+let validate_histogram ctx j =
+  let* () = require_fields ctx histogram_fields j in
+  validate_obj_of ctx (fun ctx v -> Result.map ignore (require_num ctx v)) j
+
+let validate_span ctx j =
+  let* () = require_fields ctx [ "name"; "start_s"; "dur_s"; "depth"; "domain" ] j in
+  let field k = Option.get (Json.member k j) in
+  let* _ =
+    match Json.to_str (field "name") with
+    | Some _ -> Ok ()
+    | None -> fail "%s.name: expected a string" ctx
+  in
+  let* _ = require_num (ctx ^ ".start_s") (field "start_s") in
+  let* _ = require_num (ctx ^ ".dur_s") (field "dur_s") in
+  let* _ = require_int (ctx ^ ".depth") (field "depth") in
+  let* _ = require_int (ctx ^ ".domain") (field "domain") in
+  Ok ()
+
+let validate_bench ctx j =
+  let* () = require_fields ctx [ "name"; "time_ns" ] j in
+  let field k = Option.get (Json.member k j) in
+  let* _ =
+    match Json.to_str (field "name") with
+    | Some _ -> Ok ()
+    | None -> fail "%s.name: expected a string" ctx
+  in
+  let* _ = require_num (ctx ^ ".time_ns") (field "time_ns") in
+  Ok ()
+
+let validate j =
+  let* () = require_fields "snapshot" top_level_fields j in
+  let field k = Option.get (Json.member k j) in
+  let* () =
+    match Json.to_str (field "schema") with
+    | Some v when v = schema_version -> Ok ()
+    | Some v -> fail "schema: %S, expected %S" v schema_version
+    | None -> fail "schema: expected a string"
+  in
+  let* () =
+    match field "name" with
+    | Json.Str _ | Json.Null -> Ok ()
+    | _ -> fail "name: expected a string or null"
+  in
+  let* _ = require_num "created_unix" (field "created_unix") in
+  let* _ = require_num "uptime_s" (field "uptime_s") in
+  let* () =
+    validate_obj_of "counters"
+      (fun ctx v ->
+        let* n = require_int ctx v in
+        if n >= 0 then Ok () else fail "%s: negative counter" ctx)
+      (field "counters")
+  in
+  let* () =
+    validate_obj_of "gauges"
+      (fun ctx v -> Result.map ignore (require_num ctx v))
+      (field "gauges")
+  in
+  let* () = validate_obj_of "histograms" validate_histogram (field "histograms") in
+  let* () = validate_list_of "spans" validate_span (field "spans") in
+  let* n = require_int "spans_dropped" (field "spans_dropped") in
+  let* () = if n >= 0 then Ok () else fail "spans_dropped: negative" in
+  validate_list_of "bench" validate_bench (field "bench")
+
+let validate_string s =
+  let* j = Json.of_string s in
+  validate j

@@ -1,0 +1,36 @@
+(** Stable machine-readable telemetry snapshots (schema ["obs/1"]).
+
+    One format serves every producer: the [--metrics PATH] flag on the
+    CLIs dumps the registry and span ring at exit, and the bench harness
+    writes [BENCH_<name>.json] with its time estimates under the
+    ["bench"] field. {!validate} is the schema checker CI runs against
+    both. See export.ml for the exact field layout. *)
+
+val schema_version : string
+(** ["obs/1"]. *)
+
+val top_level_fields : string list
+(** Snapshot field names, in emitted order. *)
+
+val histogram_fields : string list
+(** Histogram-summary field names, in emitted order. *)
+
+val snapshot :
+  ?name:string -> ?bench:(string * float) list -> unit -> Json.t
+(** Assemble a snapshot of every registered metric and retained span.
+    [name] labels the run ([null] when omitted); [bench] adds
+    (name, estimated ns) pairs under ["bench"] (default: empty). *)
+
+val to_json : ?name:string -> ?bench:(string * float) list -> unit -> string
+
+val write_file :
+  ?name:string -> ?bench:(string * float) list -> string -> unit
+(** Write {!to_json} (newline-terminated) to a file. *)
+
+val validate : Json.t -> (unit, string) result
+(** Structural schema check: exact top-level field set and order,
+    [schema = "obs/1"], integer non-negative counters, complete
+    histogram summaries, well-formed span and bench entries. *)
+
+val validate_string : string -> (unit, string) result
+(** Parse then {!validate}. *)

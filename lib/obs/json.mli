@@ -1,0 +1,32 @@
+(** Minimal, dependency-free JSON — the snapshot wire format of
+    {!Export} and the parser behind its schema validator.
+
+    Deliberately small: numbers are floats, object field order is
+    preserved (so emitted snapshots are deterministic and diffable), and
+    the parser accepts standard JSON with basic [\u] escape decoding. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering. Non-finite numbers render as [null]. Integral
+    floats of magnitude below 1e15 render without a fractional part. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries a message with the
+    byte offset of the failure. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on any other constructor. *)
+
+val keys : t -> string list
+(** Field names of an [Obj] in order; [[]] otherwise. *)
+
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

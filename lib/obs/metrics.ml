@@ -1,0 +1,202 @@
+(** Process-wide metrics registry (see metrics.mli).
+
+    Counters and gauges are lock-free ([Atomic]); histograms serialize
+    their ring-buffer updates with a per-histogram mutex. Registration
+    (name → metric) is serialized by one registry mutex and happens once
+    per name — the hot paths touch only the returned handles. *)
+
+type counter = { c_name : string; cell : int Atomic.t }
+type gauge = { g_name : string; level : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  lock : Mutex.t;
+  window : float array;  (** ring of the most recent observations *)
+  mutable next : int;  (** ring write position *)
+  mutable filled : int;  (** valid entries in [window] *)
+  mutable count : int;  (** lifetime observations *)
+  mutable sum : float;  (** lifetime sum *)
+  mutable min_v : float;  (** lifetime minimum *)
+  mutable max_v : float;  (** lifetime maximum *)
+}
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+let registry_lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+(* One namespace across all three kinds: a name re-registered as a
+   different kind is a programming error and a confusing snapshot, so
+   refuse it. *)
+let check_free kind name =
+  let taken k tbl = if Hashtbl.mem tbl name then Some k else None in
+  let clash =
+    match taken "counter" counters with
+    | Some _ as c -> c
+    | None -> (
+        match taken "gauge" gauges with
+        | Some _ as c -> c
+        | None -> taken "histogram" histograms)
+  in
+  match clash with
+  | Some k when k <> kind ->
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics: %S already registered as a %s" name k)
+  | _ -> ()
+
+let counter name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          check_free "counter" name;
+          let c = { c_name = name; cell = Atomic.make 0 } in
+          Hashtbl.add counters name c;
+          c)
+
+let gauge name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g
+      | None ->
+          check_free "gauge" name;
+          let g = { g_name = name; level = Atomic.make 0. } in
+          Hashtbl.add gauges name g;
+          g)
+
+let default_window = 1024
+
+let histogram ?(window = default_window) name =
+  if window < 1 then invalid_arg "Obs.Metrics.histogram: window must be >= 1";
+  with_registry (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+          check_free "histogram" name;
+          let h =
+            {
+              h_name = name;
+              lock = Mutex.create ();
+              window = Array.make window 0.;
+              next = 0;
+              filled = 0;
+              count = 0;
+              sum = 0.;
+              min_v = infinity;
+              max_v = neg_infinity;
+            }
+          in
+          Hashtbl.add histograms name h;
+          h)
+
+(* ------------------------------------------------------------------ *)
+(* Operations                                                          *)
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.cell by)
+let value c = Atomic.get c.cell
+let counter_name c = c.c_name
+
+let set g v = Atomic.set g.level v
+let get g = Atomic.get g.level
+let gauge_name g = g.g_name
+
+let observe h v =
+  Mutex.lock h.lock;
+  h.window.(h.next) <- v;
+  h.next <- (h.next + 1) mod Array.length h.window;
+  if h.filled < Array.length h.window then h.filled <- h.filled + 1;
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  Mutex.unlock h.lock
+
+(** Nearest-rank quantile over the sorted recent window. *)
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (Float.round (q *. float_of_int n +. 0.5)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let summary h =
+  Mutex.lock h.lock;
+  let recent = Array.sub h.window 0 h.filled in
+  let s =
+    {
+      count = h.count;
+      sum = h.sum;
+      min = (if h.count = 0 then 0. else h.min_v);
+      max = (if h.count = 0 then 0. else h.max_v);
+      mean = (if h.count = 0 then 0. else h.sum /. float_of_int h.count);
+      p50 = 0.;
+      p95 = 0.;
+    }
+  in
+  Mutex.unlock h.lock;
+  Array.sort Float.compare recent;
+  { s with p50 = quantile recent 0.50; p95 = quantile recent 0.95 }
+
+let histogram_name h = h.h_name
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+
+let sorted_bindings tbl extract =
+  Hashtbl.fold (fun name m acc -> (name, extract m) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_gauges : (string * float) list;
+  snap_histograms : (string * summary) list;
+}
+
+let snapshot () =
+  (* Take the name lists under the registry lock, then read each metric
+     with its own synchronization — a snapshot is a consistent point per
+     metric, not a global atomic cut. *)
+  let cs, gs, hs =
+    with_registry (fun () ->
+        ( sorted_bindings counters Fun.id,
+          sorted_bindings gauges Fun.id,
+          sorted_bindings histograms Fun.id ))
+  in
+  {
+    snap_counters = List.map (fun (n, c) -> (n, value c)) cs;
+    snap_gauges = List.map (fun (n, g) -> (n, get g)) gs;
+    snap_histograms = List.map (fun (n, h) -> (n, summary h)) hs;
+  }
+
+let reset () =
+  with_registry (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g.level 0.) gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          Mutex.lock h.lock;
+          h.next <- 0;
+          h.filled <- 0;
+          h.count <- 0;
+          h.sum <- 0.;
+          h.min_v <- infinity;
+          h.max_v <- neg_infinity;
+          Mutex.unlock h.lock)
+        histograms)

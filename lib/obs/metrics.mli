@@ -1,0 +1,58 @@
+(** Process-wide metrics registry: atomic counters, gauges, and windowed
+    histograms with p50/p95/max.
+
+    Metrics are registered by name on first use ([counter name] etc. is
+    find-or-create, so call sites in different modules naming the same
+    metric share one cell) and live for the whole process. The update
+    paths are domain-safe: counters and gauges are [Atomic], histograms
+    take a per-histogram mutex. One namespace covers all three kinds —
+    re-registering a name as a different kind raises
+    [Invalid_argument]. *)
+
+type counter
+type gauge
+type histogram
+
+type summary = {
+  count : int;  (** lifetime observations *)
+  sum : float;  (** lifetime sum *)
+  min : float;  (** lifetime minimum (0 when empty) *)
+  max : float;  (** lifetime maximum (0 when empty) *)
+  mean : float;  (** lifetime mean (0 when empty) *)
+  p50 : float;  (** median of the recent window (nearest rank) *)
+  p95 : float;  (** 95th percentile of the recent window *)
+}
+
+val counter : string -> counter
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+val counter_name : counter -> string
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val get : gauge -> float
+val gauge_name : gauge -> string
+
+val histogram : ?window:int -> string -> histogram
+(** [window] (default 1024) bounds the number of recent observations
+    retained for quantiles; [count]/[sum]/[min]/[max]/[mean] remain
+    lifetime aggregates. The window only matters on first registration
+    of [name]. *)
+
+val observe : histogram -> float -> unit
+val summary : histogram -> summary
+val histogram_name : histogram -> string
+
+type snapshot = {
+  snap_counters : (string * int) list;  (** sorted by name *)
+  snap_gauges : (string * float) list;
+  snap_histograms : (string * summary) list;
+}
+
+val snapshot : unit -> snapshot
+(** Read every registered metric. Each metric is read consistently on
+    its own; the snapshot is not a global atomic cut across metrics. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations survive). Test helper —
+    production snapshots are cumulative since process start. *)

@@ -1,0 +1,16 @@
+(** Unified observability layer: a process-wide metrics registry
+    ({!Metrics}), a monotonic clock ({!Clock}), span tracing ({!Trace},
+    re-exported as {!span}), and stable JSON snapshots ({!Export}, with
+    {!Json} as its dependency-free wire format).
+
+    Everything here is passive until read: instrumented code updates
+    atomics and ring buffers; nothing is written anywhere unless a
+    consumer calls {!Export}. *)
+
+module Clock = Clock
+module Metrics = Metrics
+module Trace = Trace
+module Json = Json
+module Export = Export
+
+let span = Trace.span

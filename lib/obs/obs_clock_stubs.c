@@ -1,0 +1,17 @@
+/* Monotonic clock for Obs.Clock.
+
+   The stdlib's Unix module only exposes gettimeofday, which is wall
+   clock: an NTP step mid-run would skew every elapsed-time measurement
+   (watchdog timeouts, bench numbers, span durations). CLOCK_MONOTONIC
+   never steps, so durations computed from it are immune. */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+CAMLprim value obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -1,0 +1,74 @@
+(** Lightweight span tracing (see trace.mli). Completed spans go into a
+    fixed ring buffer; the ring keeps the most recent [capacity] spans
+    and counts what it dropped, so tracing a million-cell campaign costs
+    bounded memory. *)
+
+type span = {
+  name : string;
+  start_s : float;  (** monotonic ({!Clock.now}) start instant *)
+  dur_s : float;
+  depth : int;  (** nesting depth within the recording domain *)
+  domain : int;  (** {!Domain.self} of the recording domain *)
+}
+
+let capacity = 2048
+
+let ring : span option array = Array.make capacity None
+let lock = Mutex.create ()
+let next = ref 0
+let total_ref = ref 0
+
+(* Nesting depth is per domain: spans on different domains interleave in
+   time but each domain's open spans form a proper stack. *)
+let depth_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let record s =
+  Mutex.lock lock;
+  ring.(!next) <- Some s;
+  next := (!next + 1) mod capacity;
+  incr total_ref;
+  Mutex.unlock lock
+
+let span name f =
+  let depth = Domain.DLS.get depth_key in
+  Domain.DLS.set depth_key (depth + 1);
+  let start_s = Clock.now () in
+  let finish () =
+    let dur_s = Clock.now () -. start_s in
+    Domain.DLS.set depth_key depth;
+    record
+      { name; start_s; dur_s; depth; domain = (Domain.self () :> int) }
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let recent () =
+  Mutex.lock lock;
+  let n = !next in
+  let out = ref [] in
+  (* oldest → newest: walk the ring forward from the write position *)
+  for i = 0 to capacity - 1 do
+    match ring.((n + i) mod capacity) with
+    | Some s -> out := s :: !out
+    | None -> ()
+  done;
+  Mutex.unlock lock;
+  List.rev !out
+
+let total () =
+  Mutex.lock lock;
+  let t = !total_ref in
+  Mutex.unlock lock;
+  t
+
+let reset () =
+  Mutex.lock lock;
+  Array.fill ring 0 capacity None;
+  next := 0;
+  total_ref := 0;
+  Mutex.unlock lock

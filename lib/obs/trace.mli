@@ -1,0 +1,32 @@
+(** Lightweight span tracing: [span "phase" f] times [f] on the
+    monotonic clock and records a completed span — name, start, duration,
+    per-domain nesting depth — into a process-wide ring buffer.
+
+    The ring retains the most recent {!capacity} spans; older spans are
+    overwritten (and counted, see {!total}), so instrumenting hot
+    per-cell code is safe. Recording takes one mutex briefly; an
+    exception from [f] still records the span and re-raises. *)
+
+type span = {
+  name : string;
+  start_s : float;  (** monotonic start instant ({!Clock.now} scale) *)
+  dur_s : float;  (** duration, seconds *)
+  depth : int;  (** nesting depth within its domain (0 = outermost) *)
+  domain : int;  (** recording domain's [Domain.self] *)
+}
+
+val capacity : int
+(** Ring size: the number of most-recent spans retained. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] — run [f], record its span, return its result (spans
+    nest: the depth of a span opened while another is running on the
+    same domain is one deeper). *)
+
+val recent : unit -> span list
+(** Retained spans, oldest first. *)
+
+val total : unit -> int
+(** Lifetime count of recorded spans (retained + overwritten). *)
+
+val reset : unit -> unit

@@ -36,6 +36,13 @@ type t = {
           monitors that were never inhibited are omitted *)
 }
 
+(* Report assembly is on the hot path of every classified outcome (nine
+   goals per scenario per window), so its cost is tracked: the counter
+   says how many reports a run assembled, the histogram what each one
+   cost. *)
+let m_reports = Obs.Metrics.counter "rtmon.reports"
+let h_classify = Obs.Metrics.histogram "rtmon.classify_s"
+
 (** [classify ~window ?inhibitions ~goal ~subgoals] classifies every
     violation. [goal = (name, location, intervals)]; each subgoal likewise.
     [inhibitions] lists per-monitor intervals during which the monitor
@@ -43,6 +50,7 @@ type t = {
     entries and counts, distinct from hits/FNs/FPs. *)
 let classify ~window ?(inhibitions = []) ~goal:(gname, gloc, givs)
     ~(subgoals : (string * string * Violation.interval list) list) () : t =
+  let t_classify = Obs.Clock.now () in
   let sub_ivs = List.concat_map (fun (_, _, ivs) -> ivs) subgoals in
   let goal_entries =
     List.map
@@ -86,19 +94,24 @@ let classify ~window ?(inhibitions = []) ~goal:(gname, gloc, givs)
   in
   let entries = goal_entries @ sub_entries @ inhibited_entries in
   let count o = List.length (List.filter (fun e -> e.outcome = o) entries) in
-  {
-    window;
-    entries;
-    hits = List.length (List.filter (fun e -> e.outcome = Hit) goal_entries);
-    false_negatives = count False_negative;
-    false_positives = count False_positive;
-    inhibited = List.length inhibited_entries;
-    inhibitions =
-      List.filter_map
-        (fun (name, _, ivs) ->
-          if ivs = [] then None else Some (name, List.length ivs))
-        inhibitions;
-  }
+  let report =
+    {
+      window;
+      entries;
+      hits = List.length (List.filter (fun e -> e.outcome = Hit) goal_entries);
+      false_negatives = count False_negative;
+      false_positives = count False_positive;
+      inhibited = List.length inhibited_entries;
+      inhibitions =
+        List.filter_map
+          (fun (name, _, ivs) ->
+            if ivs = [] then None else Some (name, List.length ivs))
+          inhibitions;
+    }
+  in
+  Obs.Metrics.incr m_reports;
+  Obs.Metrics.observe h_classify (Obs.Clock.now () -. t_classify);
+  report
 
 type totals = {
   total_hits : int;

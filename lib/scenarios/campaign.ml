@@ -75,6 +75,14 @@ type grid = {
   seed : int;
 }
 
+(* Telemetry: deterministic cell accounting (the timing lives in the
+   spans and in the pool/journal histograms). The per-phase spans —
+   campaign.replay, cell.baseline, cell.injected, cell.classify,
+   campaign.grid — let a snapshot show where a campaign's wall clock
+   went. *)
+let m_cells_executed = Obs.Metrics.counter "campaign.cells_executed"
+let m_cells_replayed = Obs.Metrics.counter "campaign.cells_replayed"
+
 (* ------------------------------------------------------------------ *)
 (* Cell classification                                                 *)
 
@@ -219,10 +227,11 @@ let run ?domains ?use_cache ?(defects = Vehicle.Defects.repaired)
   let journaled =
     match journal with
     | Some path when resume ->
-        let r = (Journal.replay path : cell Journal.replay) in
-        let tbl = Hashtbl.create (List.length r.Journal.entries) in
-        List.iter (fun (k, c) -> Hashtbl.replace tbl k c) r.Journal.entries;
-        tbl
+        Obs.span "campaign.replay" (fun () ->
+            let r = (Journal.replay path : cell Journal.replay) in
+            let tbl = Hashtbl.create (List.length r.Journal.entries) in
+            List.iter (fun (k, c) -> Hashtbl.replace tbl k c) r.Journal.entries;
+            tbl)
     | _ -> Hashtbl.create 0
   in
   let slots =
@@ -230,19 +239,24 @@ let run ?domains ?use_cache ?(defects = Vehicle.Defects.repaired)
   in
   let todo = List.filter (fun (_, _, cached) -> cached = None) slots in
   let simulate (fault, s) =
-    let baseline = Runner.run ?use_cache ~defects ~window s in
-    let injected =
-      Runner.run ?use_cache ~defects
-        ~inject:(Inject.Plan.make ~seed:g.seed [ fault ])
-        ~window s
+    let baseline =
+      Obs.span "cell.baseline" (fun () -> Runner.run ?use_cache ~defects ~window s)
     in
-    classify_cell ~window fault ~baseline injected
+    let injected =
+      Obs.span "cell.injected" (fun () ->
+          Runner.run ?use_cache ~defects
+            ~inject:(Inject.Plan.make ~seed:g.seed [ fault ])
+            ~window s)
+    in
+    Obs.span "cell.classify" (fun () ->
+        classify_cell ~window fault ~baseline injected)
   in
   let reports =
     let execute writer =
       let task (pair, k, _) =
         let cell = simulate pair in
         Option.iter (fun w -> Journal.append w ~key:k cell) writer;
+        Obs.Metrics.incr m_cells_executed;
         cell
       in
       let policy =
@@ -252,12 +266,14 @@ let run ?domains ?use_cache ?(defects = Vehicle.Defects.repaired)
       in
       Exec.Supervise.try_map ?domains ~policy task todo
     in
-    match journal with
-    | None -> execute None
-    | Some path ->
-        Journal.with_writer ~fresh:(not resume) path (fun w ->
-            execute (Some w))
+    Obs.span "campaign.grid" (fun () ->
+        match journal with
+        | None -> execute None
+        | Some path ->
+            Journal.with_writer ~fresh:(not resume) path (fun w ->
+                execute (Some w)))
   in
+  Obs.Metrics.incr ~by:(List.length slots - List.length todo) m_cells_replayed;
   (* Without a retry policy, preserve the historical contract: the first
      cell failure re-raises (with the worker's backtrace) instead of
      silently thinning the matrix. *)

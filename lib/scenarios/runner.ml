@@ -64,11 +64,15 @@ let monitored ~defects ~timing ~dynamics ~inject (s : Defs.t) =
    sim level holds full traces (heavy — bound it tightly); the outcome
    level additionally varies per classification window (lighter per
    entry, so a larger bound keeps window sweeps warm). *)
+(* [~name] mirrors both levels' hit/miss/eviction counters into the obs
+   registry under cache.runner.sim and cache.runner.outcome, so a
+   --metrics snapshot shows how much simulation work the cache
+   absorbed. *)
 let sim_cache : (string, Trace.t * Vehicle.Monitors.result list) Exec.Memo.t =
-  Exec.Memo.create ~size:64 ~capacity:256 ()
+  Exec.Memo.create ~size:64 ~capacity:256 ~name:"runner.sim" ()
 
 let outcome_cache : (string, outcome) Exec.Memo.t =
-  Exec.Memo.create ~size:64 ~capacity:1024 ()
+  Exec.Memo.create ~size:64 ~capacity:1024 ~name:"runner.outcome" ()
 
 let cache_stats () = Exec.Memo.stats outcome_cache
 
@@ -109,10 +113,11 @@ let run ?(use_cache = true) ?(defects = Vehicle.Defects.as_evaluated)
     positionally. *)
 let run_all ?domains ?use_cache ?defects ?timing ?dynamics ?inject ?window
     ?retry () =
-  let f = run ?use_cache ?defects ?timing ?dynamics ?inject ?window in
-  match retry with
-  | None -> Exec.Pool.map ?domains f Defs.all
-  | Some policy -> Exec.Supervise.map ?domains ~policy f Defs.all
+  Obs.span "runner.fleet" (fun () ->
+      let f = run ?use_cache ?defects ?timing ?dynamics ?inject ?window in
+      match retry with
+      | None -> Exec.Pool.map ?domains f Defs.all
+      | Some policy -> Exec.Supervise.map ?domains ~policy f Defs.all)
 
 (* ------------------------------------------------------------------ *)
 (* Cross-process persistence: journaled single-scenario runs.

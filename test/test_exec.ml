@@ -135,6 +135,75 @@ let test_watchdog_parallel_elapsed () =
       | _ -> Alcotest.fail "expected Timed_out")
   | _ -> Alcotest.fail "unexpected batch shape"
 
+let test_wedged_pool_settles () =
+  (* The liveness regression: every worker wedged on an over-limit task,
+     with more tasks still queued. The queued tasks never start, so they
+     never get a per-task start time — before the progress-bound fix the
+     watchdog had nothing to bound them against and the batch blocked for
+     the full 1.2 s sleeps. Now the whole batch must settle within about
+     the limit (plus a poll), with all four slots [Timed_out]. *)
+  let pool = Exec.Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown pool)
+    (fun () ->
+      let results, elapsed =
+        Obs.Clock.elapsed (fun () ->
+            Exec.Pool.try_map_pool ~timeout_s:0.3 pool
+              (fun i ->
+                if i < 2 then Unix.sleepf 1.2;
+                i)
+              [ 0; 1; 2; 3 ])
+      in
+      Alcotest.(check int) "batch complete" 4 (List.length results);
+      List.iteri
+        (fun i r ->
+          match r with
+          | Error e -> (
+              match e.Exec.Pool.exn with
+              | Exec.Pool.Timed_out { limit_s; elapsed_s } ->
+                  Alcotest.(check (float 1e-9))
+                    (Fmt.str "task %d limit" i) 0.3 limit_s;
+                  Alcotest.(check bool)
+                    (Fmt.str "task %d elapsed past limit" i)
+                    true (elapsed_s >= limit_s)
+              | _ -> Alcotest.fail (Fmt.str "task %d: expected Timed_out" i))
+          | Ok _ -> Alcotest.fail (Fmt.str "task %d should have timed out" i))
+        results;
+      (* settled from the watchdog, not from the sleepers returning *)
+      Alcotest.(check bool)
+        (Fmt.str "batch settled in %.2f s, well before the 1.2 s sleeps" elapsed)
+        true (elapsed < 1.0))
+
+let test_deep_queue_not_spuriously_timed_out () =
+  (* The other half of the progress-bound contract: on a healthy pool a
+     task far back in the queue waits longer than the limit in total, but
+     every task start refreshes the progress bound, so waiting alone must
+     never count as an overrun. 8 × 0.15 s tasks on 2 workers ≈ 0.6 s of
+     queue wait for the tail, limit 0.4 s — all must still complete. *)
+  let results =
+    Exec.Pool.try_map ~domains:2 ~timeout_s:0.4
+      (fun i ->
+        Unix.sleepf 0.15;
+        i)
+      (List.init 8 Fun.id)
+  in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> Alcotest.(check int) (Fmt.str "task %d completed" i) i v
+      | Error _ -> Alcotest.fail (Fmt.str "task %d spuriously timed out" i))
+    results
+
+let test_timeout_backtrace_empty () =
+  (* [Timed_out] is published by the watchdog, not raised at a fault
+     site: its backtrace must be empty rather than whatever stale trace
+     the publishing domain last recorded. *)
+  match Exec.Pool.try_map ~domains:2 ~timeout_s:0.05 slow_then [ 0 ] with
+  | [ Error e ] ->
+      Alcotest.(check int) "no stale frames attached" 0
+        (Printexc.raw_backtrace_length e.Exec.Pool.backtrace)
+  | _ -> Alcotest.fail "expected the task to time out"
+
 let test_reentrant_submission () =
   (* A task submitting to its own pool is a guaranteed deadlock; it must
      be refused with [Reentrant_submission] — captured as that task's
@@ -277,6 +346,57 @@ let test_memo_capacity () =
   Alcotest.(check int) "resident key hits" 1 s.Exec.Memo.hits;
   Alcotest.(check int) "second eviction for re-adding 1" 2 s.Exec.Memo.evictions
 
+let test_memo_contention () =
+  (* N domains hammering one bounded memo: the hit/miss split must add up
+     exactly (single-flight turns every concurrent duplicate lookup into
+     a hit, never a duplicated miss), the table must respect its capacity
+     throughout, and each insert beyond capacity must be an eviction. *)
+  let domains = 4 and lookups = 500 and keys = 32 and capacity = 8 in
+  let m : (int, int) Exec.Memo.t = Exec.Memo.create ~capacity () in
+  let worker seed () =
+    let rng = Random.State.make [| seed |] in
+    for _ = 1 to lookups do
+      let k = Random.State.int rng keys in
+      let v = Exec.Memo.find_or_add m k (fun () -> k * 7) in
+      assert (v = k * 7);
+      assert (Exec.Memo.length m <= capacity)
+    done
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join ds;
+  let s = Exec.Memo.stats m in
+  Alcotest.(check int) "every lookup is a hit or a miss"
+    (domains * lookups)
+    (s.Exec.Memo.hits + s.Exec.Memo.misses);
+  Alcotest.(check bool) "misses at least one per resident key" true
+    (s.Exec.Memo.misses >= capacity);
+  Alcotest.(check int) "length bounded by capacity" capacity (Exec.Memo.length m);
+  (* each miss inserts exactly one entry; an eviction removes one *)
+  Alcotest.(check int) "misses = evictions + residents"
+    s.Exec.Memo.misses
+    (s.Exec.Memo.evictions + Exec.Memo.length m)
+
+let test_memo_single_flight () =
+  (* Concurrent cold lookups of the same key: exactly one supplier run;
+     the racers block until it settles and then count as hits. *)
+  let m : (int, int) Exec.Memo.t = Exec.Memo.create () in
+  let runs = Atomic.make 0 in
+  let supply () =
+    Atomic.incr runs;
+    Unix.sleepf 0.05;
+    42
+  in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> Exec.Memo.find_or_add m 0 supply))
+  in
+  let vs = List.map Domain.join ds in
+  Alcotest.(check (list int)) "all racers see the value" [ 42; 42; 42; 42 ] vs;
+  Alcotest.(check int) "supplier ran once" 1 (Atomic.get runs);
+  let s = Exec.Memo.stats m in
+  Alcotest.(check int) "one miss" 1 s.Exec.Memo.misses;
+  Alcotest.(check int) "three hits" 3 s.Exec.Memo.hits
+
 let test_memo_capacity_invalid () =
   Alcotest.check_raises "capacity 0 rejected"
     (Invalid_argument "Memo.create: capacity must be >= 1") (fun () ->
@@ -299,6 +419,12 @@ let () =
             test_watchdog_parallel_elapsed;
           Alcotest.test_case "watchdog: fast batch untouched" `Quick
             test_watchdog_not_triggered;
+          Alcotest.test_case "watchdog: wedged pool still settles" `Quick
+            test_wedged_pool_settles;
+          Alcotest.test_case "watchdog: deep queue is not an overrun" `Quick
+            test_deep_queue_not_spuriously_timed_out;
+          Alcotest.test_case "watchdog: Timed_out backtrace empty" `Quick
+            test_timeout_backtrace_empty;
           Alcotest.test_case "re-entrant submission refused" `Quick
             test_reentrant_submission;
         ] );
@@ -314,6 +440,10 @@ let () =
           Alcotest.test_case "hit is physically equal; counters move" `Slow
             test_cache_hit_and_counters;
           Alcotest.test_case "capacity bound evicts FIFO" `Quick test_memo_capacity;
+          Alcotest.test_case "bounded memo under contention" `Quick
+            test_memo_contention;
+          Alcotest.test_case "single-flight: one supplier run per key" `Quick
+            test_memo_single_flight;
           Alcotest.test_case "capacity must be positive" `Quick
             test_memo_capacity_invalid;
         ] );

@@ -1,0 +1,288 @@
+(** The observability layer: monotonic clock, metrics registry math,
+    span nesting, JSON round-tripping, and the golden obs/1 snapshot
+    schema the CLIs and the bench harness emit. *)
+
+(* Metrics and spans are process-global; reset before each test so suites
+   don't observe each other's counters. *)
+let fresh () =
+  Obs.Metrics.reset ();
+  Obs.Trace.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                                *)
+
+let test_clock_monotonic () =
+  let a = Obs.Clock.now () in
+  Unix.sleepf 0.01;
+  let b = Obs.Clock.now () in
+  Alcotest.(check bool) "time advances" true (b > a);
+  Alcotest.(check bool) "sleep measured" true (b -. a >= 0.009);
+  let rec strictly_ordered n last =
+    n = 0
+    ||
+    let t = Obs.Clock.now_ns () in
+    t >= last && strictly_ordered (n - 1) t
+  in
+  Alcotest.(check bool) "ns clock never steps back" true
+    (strictly_ordered 1000 (Obs.Clock.now_ns ()))
+
+let test_clock_elapsed () =
+  let v, dt = Obs.Clock.elapsed (fun () -> Unix.sleepf 0.02; 7) in
+  Alcotest.(check int) "result threaded" 7 v;
+  Alcotest.(check bool) "duration covers the sleep" true (dt >= 0.019);
+  Alcotest.(check bool) "uptime positive" true (Obs.Clock.uptime () > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                              *)
+
+let test_counter () =
+  fresh ();
+  let c = Obs.Metrics.counter "t.counter" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.Metrics.value c);
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:41 c;
+  Alcotest.(check int) "incr accumulates" 42 (Obs.Metrics.value c);
+  (* find-or-create: the same name is the same cell *)
+  let c' = Obs.Metrics.counter "t.counter" in
+  Obs.Metrics.incr c';
+  Alcotest.(check int) "registry shares by name" 43 (Obs.Metrics.value c);
+  Alcotest.(check string) "name preserved" "t.counter" (Obs.Metrics.counter_name c)
+
+let test_gauge () =
+  fresh ();
+  let g = Obs.Metrics.gauge "t.gauge" in
+  Obs.Metrics.set g 2.5;
+  Alcotest.(check (float 1e-9)) "set/get" 2.5 (Obs.Metrics.get g);
+  Obs.Metrics.set g 1.0;
+  Alcotest.(check (float 1e-9)) "gauge overwrites" 1.0 (Obs.Metrics.get g)
+
+let test_kind_clash () =
+  fresh ();
+  ignore (Obs.Metrics.counter "t.clash");
+  Alcotest.(check bool) "re-registering as another kind raises" true
+    (match Obs.Metrics.gauge "t.clash" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_histogram_math () =
+  fresh ();
+  let h = Obs.Metrics.histogram "t.hist" in
+  for i = 1 to 100 do
+    Obs.Metrics.observe h (float_of_int i)
+  done;
+  let s = Obs.Metrics.summary h in
+  Alcotest.(check int) "count" 100 s.Obs.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sum" 5050. s.Obs.Metrics.sum;
+  Alcotest.(check (float 1e-9)) "min" 1. s.Obs.Metrics.min;
+  Alcotest.(check (float 1e-9)) "max" 100. s.Obs.Metrics.max;
+  Alcotest.(check (float 1e-9)) "mean" 50.5 s.Obs.Metrics.mean;
+  Alcotest.(check (float 1.0)) "p50 near the median" 50. s.Obs.Metrics.p50;
+  Alcotest.(check (float 1.0)) "p95 near the 95th" 95. s.Obs.Metrics.p95
+
+let test_histogram_window () =
+  fresh ();
+  (* window 4: quantiles see only the last 4 observations; the lifetime
+     aggregates still see all of them *)
+  let h = Obs.Metrics.histogram ~window:4 "t.windowed" in
+  List.iter (Obs.Metrics.observe h) [ 1000.; 1.; 2.; 3.; 4. ];
+  let s = Obs.Metrics.summary h in
+  Alcotest.(check int) "lifetime count" 5 s.Obs.Metrics.count;
+  Alcotest.(check (float 1e-9)) "lifetime max" 1000. s.Obs.Metrics.max;
+  Alcotest.(check bool) "median from the window only" true (s.Obs.Metrics.p50 <= 4.)
+
+let test_reset () =
+  fresh ();
+  let c = Obs.Metrics.counter "t.reset" in
+  Obs.Metrics.incr ~by:5 c;
+  Obs.Metrics.reset ();
+  Alcotest.(check int) "reset zeroes the value" 0 (Obs.Metrics.value c);
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check bool) "registration survives reset" true
+    (List.mem_assoc "t.reset" snap.Obs.Metrics.snap_counters)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                                *)
+
+let test_span_nesting () =
+  fresh ();
+  let v =
+    Obs.span "outer" (fun () ->
+        Obs.span "inner" (fun () -> ());
+        5)
+  in
+  Alcotest.(check int) "result threaded" 5 v;
+  match Obs.Trace.recent () with
+  | [ inner; outer ] ->
+      (* inner completes (and records) first *)
+      Alcotest.(check string) "inner name" "inner" inner.Obs.Trace.name;
+      Alcotest.(check int) "inner depth" 1 inner.Obs.Trace.depth;
+      Alcotest.(check string) "outer name" "outer" outer.Obs.Trace.name;
+      Alcotest.(check int) "outer depth" 0 outer.Obs.Trace.depth;
+      Alcotest.(check bool) "outer contains inner" true
+        (outer.Obs.Trace.dur_s >= inner.Obs.Trace.dur_s)
+  | spans -> Alcotest.fail (Fmt.str "expected 2 spans, got %d" (List.length spans))
+
+let test_span_exception () =
+  fresh ();
+  (match Obs.span "failing" (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "expected the exception to propagate"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "span recorded despite the raise" 1 (Obs.Trace.total ())
+
+let test_span_ring_overflow () =
+  fresh ();
+  let n = Obs.Trace.capacity + 10 in
+  for i = 1 to n do
+    Obs.span (Fmt.str "s%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "lifetime total counts overwritten spans" n
+    (Obs.Trace.total ());
+  let recent = Obs.Trace.recent () in
+  Alcotest.(check int) "ring holds exactly capacity" Obs.Trace.capacity
+    (List.length recent);
+  Alcotest.(check string) "oldest retained span is n - capacity + 1"
+    (Fmt.str "s%d" (n - Obs.Trace.capacity + 1))
+    (List.hd recent).Obs.Trace.name
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                 *)
+
+let test_json_roundtrip () =
+  let open Obs.Json in
+  let doc =
+    Obj
+      [
+        ("s", Str "a \"quoted\" line\nwith\ttabs");
+        ("n", Num 1.5);
+        ("i", Num 3.);
+        ("big", Num 1e120);
+        ("t", Bool true);
+        ("z", Null);
+        ("l", List [ Num 1.; Str "x"; Obj [] ]);
+      ]
+  in
+  match of_string (to_string doc) with
+  | Ok doc' -> Alcotest.(check bool) "round-trips structurally" true (doc = doc')
+  | Error e -> Alcotest.fail e
+
+let test_json_rendering () =
+  let open Obs.Json in
+  Alcotest.(check string) "integral floats have no fraction" "42"
+    (to_string (Num 42.));
+  Alcotest.(check string) "non-finite renders null" "null"
+    (to_string (Num Float.nan));
+  Alcotest.(check string) "escapes" {|"a\"b\\c\n"|} (to_string (Str "a\"b\\c\n"))
+
+let test_json_errors () =
+  let open Obs.Json in
+  List.iter
+    (fun s ->
+      match of_string s with
+      | Ok _ -> Alcotest.fail (Fmt.str "parsed invalid input %S" s)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "{} trailing" ]
+
+(* ------------------------------------------------------------------ *)
+(* Golden snapshot schema                                               *)
+
+let test_export_schema_golden () =
+  (* The obs/1 contract CI and external consumers parse: pin the field
+     names and order, not the values. Renaming, reordering or dropping a
+     field is a schema break and must be a conscious version bump. *)
+  Alcotest.(check string) "schema version" "obs/1" Obs.Export.schema_version;
+  Alcotest.(check (list string))
+    "top-level fields, emitted order"
+    [
+      "schema";
+      "name";
+      "created_unix";
+      "uptime_s";
+      "counters";
+      "gauges";
+      "histograms";
+      "spans";
+      "spans_dropped";
+      "bench";
+    ]
+    Obs.Export.top_level_fields;
+  Alcotest.(check (list string))
+    "histogram summary fields, emitted order"
+    [ "count"; "sum"; "min"; "max"; "mean"; "p50"; "p95" ]
+    Obs.Export.histogram_fields
+
+let test_export_validates () =
+  fresh ();
+  (* a populated snapshot — counters, histogram, span, bench — validates *)
+  Obs.Metrics.incr (Obs.Metrics.counter "t.export.counter");
+  Obs.Metrics.set (Obs.Metrics.gauge "t.export.gauge") 3.5;
+  Obs.Metrics.observe (Obs.Metrics.histogram "t.export.hist") 0.25;
+  Obs.span "t.export.span" (fun () -> ());
+  let raw = Obs.Export.to_json ~name:"unit" ~bench:[ ("b1", 123.5) ] () in
+  (match Obs.Export.validate_string raw with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* and the emitted values survive the round trip *)
+  let json = Result.get_ok (Obs.Json.of_string raw) in
+  let counters = Option.get (Obs.Json.member "counters" json) in
+  Alcotest.(check (option (float 1e-9)))
+    "counter value exported" (Some 1.)
+    (Option.bind (Obs.Json.member "t.export.counter" counters) Obs.Json.to_float);
+  Alcotest.(check (option string))
+    "run name exported" (Some "unit")
+    (Option.bind (Obs.Json.member "name" json) Obs.Json.to_str)
+
+let test_export_rejects_corruption () =
+  fresh ();
+  let raw = Obs.Export.to_json () in
+  List.iter
+    (fun (label, broken) ->
+      match Obs.Export.validate_string broken with
+      | Ok () -> Alcotest.fail (Fmt.str "%s passed validation" label)
+      | Error _ -> ())
+    [
+      ("not JSON", "][");
+      ("not an object", "[1,2]");
+      ( "wrong schema tag",
+        Str.replace_first (Str.regexp_string "obs/1") "obs/9" raw );
+      ( "missing field",
+        Str.replace_first (Str.regexp_string "\"spans_dropped\":") "\"zz\":" raw
+      );
+    ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "elapsed" `Quick test_clock_elapsed;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "kind clash refused" `Quick test_kind_clash;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_math;
+          Alcotest.test_case "histogram window" `Quick test_histogram_window;
+          Alcotest.test_case "reset keeps registrations" `Quick test_reset;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting depth and order" `Quick test_span_nesting;
+          Alcotest.test_case "recorded on exception" `Quick test_span_exception;
+          Alcotest.test_case "ring overflow" `Quick test_span_ring_overflow;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rendering" `Quick test_json_rendering;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "golden schema fields" `Quick test_export_schema_golden;
+          Alcotest.test_case "snapshot validates" `Quick test_export_validates;
+          Alcotest.test_case "corruption rejected" `Quick
+            test_export_rejects_corruption;
+        ] );
+    ]
