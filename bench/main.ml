@@ -154,7 +154,7 @@ let pp_estimate name = function
    multi-minute bench run must not corrupt the headline numbers. *)
 let wall = Obs.Clock.elapsed
 
-let fleet_comparison () =
+let fleet_comparison ~shards () =
   let n = max 1 (Domain.recommended_domain_count ()) in
   Fmt.pr "@.full-fleet regeneration (10 scenarios, cache bypassed)@.";
   Fmt.pr "%s@." (String.make 50 '-');
@@ -168,12 +168,25 @@ let fleet_comparison () =
   Fmt.pr "%-34s %10.2f s  (%.2fx)@."
     (Fmt.str "parallel (%d domains)" n)
     t_par (t_seq /. t_par);
+  (* Same fleet through the multi-process backend: [shards] workers of
+     [n / shards] domains each, so the three rows compare one process /
+     one domain, one process / n domains, and shards × domains. *)
+  let s = max 1 shards in
+  let d = max 1 (n / s) in
+  let _, t_shard =
+    wall (fun () ->
+        Scenarios.Runner.run_all ~use_cache:false ~shards:s ~domains:d ())
+  in
+  Fmt.pr "%-34s %10.2f s  (%.2fx)@."
+    (Fmt.str "sharded (%d procs x %d domains)" s d)
+    t_shard (t_seq /. t_shard);
   let _, t_warm = wall (fun () -> Scenarios.Runner.run_all ()) in
   Fmt.pr "%-34s %10.4f s@." "warm cache" t_warm;
   (* whole-run timings as bench entries, normalized to ns like the rest *)
   [
     ("fleet_sequential", t_seq *. 1e9);
     ("fleet_parallel", t_par *. 1e9);
+    ("fleet_sharded", t_shard *. 1e9);
     ("fleet_warm_cache", t_warm *. 1e9);
   ]
 
@@ -193,8 +206,23 @@ let write_snapshot ~name bench =
   Obs.Export.write_file ~name ~bench path;
   Fmt.pr "@.wrote %s (%d estimates)@." path (List.length bench)
 
+(* [--shards N] in [Sys.argv], if present ([None] otherwise). The bench
+   keeps raw argv parsing — two flags don't justify a cmdliner term. *)
+let shards_argv () =
+  let rec go i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--shards" then int_of_string_opt Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
 let () =
+  (* Must precede everything else: when this process is a shard worker
+     (re-executed by a sharded fleet run), it serves its frames and exits
+     here instead of running the benchmarks. *)
+  Exec.Shard.init ();
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let shards = shards_argv () in
   if smoke then begin
     (* CI smoke: one experiment over one pre-warmed scenario, minimal
        samples — proves the perf harness still compiles and runs. *)
@@ -209,7 +237,32 @@ let () =
       | [] -> assert false
     in
     let estimates = run_bench [ smoke_test ] in
-    write_snapshot ~name:"smoke" (("prewarm_scenario_1", t *. 1e9) :: estimates)
+    (* With [--shards N] the smoke run also times the fleet through the
+       multi-process backend against the sequential baseline, so CI gets
+       a sharded snapshot row without the full bench's cost. *)
+    let sharded_rows =
+      match shards with
+      | None -> []
+      | Some s ->
+          Fmt.pr "@.smoke fleet, sequential vs %d shards@." s;
+          let _, t_seq =
+            wall (fun () ->
+                Scenarios.Runner.run_all ~use_cache:false ~domains:1 ())
+          in
+          Fmt.pr "%-34s %10.2f s@." "fleet sequential" t_seq;
+          let _, t_shard =
+            wall (fun () ->
+                Scenarios.Runner.run_all ~use_cache:false ~shards:s ~domains:1 ())
+          in
+          Fmt.pr "%-34s %10.2f s  (%.2fx)@."
+            (Fmt.str "fleet sharded (%d procs)" s)
+            t_shard (t_seq /. t_shard);
+          [
+            ("fleet_sequential", t_seq *. 1e9); ("fleet_sharded", t_shard *. 1e9);
+          ]
+    in
+    write_snapshot ~name:"smoke"
+      ((("prewarm_scenario_1", t *. 1e9) :: sharded_rows) @ estimates)
   end
   else begin
     (* Pre-warm the scenario outcomes — in parallel, through the exec
@@ -219,7 +272,7 @@ let () =
       (max 1 (Domain.recommended_domain_count ()));
     let _, t = wall (fun () -> Core.Experiments.prewarm ()) in
     Fmt.pr "fleet warmed in %.2f s@." t;
-    let fleet = fleet_comparison () in
+    let fleet = fleet_comparison ~shards:(Option.value shards ~default:2) () in
     let estimates = run_bench (micro_tests @ experiment_tests) in
     write_snapshot ~name:"full"
       ((("prewarm_fleet", t *. 1e9) :: fleet) @ estimates)

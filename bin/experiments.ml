@@ -50,6 +50,17 @@ let retry_policy ~seed retries =
     Some (Exec.Supervise.policy ~max_attempts:(retries + 1) ~seed ())
   else None
 
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Shard the campaign grid across $(docv) worker processes \
+           (crash-isolated: a worker SIGKILL is absorbed by respawn and \
+           requeue), each running $(b,--domains) domains. The matrix is \
+           bit-for-bit identical to the single-process run.")
+
 let metrics_arg =
   Arg.(
     value
@@ -158,7 +169,7 @@ let campaign_cmd =
       & info [ "scenarios" ] ~docv:"N,.."
           ~doc:"Scenario numbers forming the grid columns.")
   in
-  let run domains seed faults scenarios journal resume retries metrics =
+  let run domains shards seed faults scenarios journal resume retries metrics =
     if resume && journal = None then begin
       Fmt.epr "--resume requires --journal PATH@.";
       exit 1
@@ -172,16 +183,20 @@ let campaign_cmd =
       }
     in
     Fmt.pr "%a@." Scenarios.Campaign.pp
-      (Scenarios.Campaign.run ?domains ?journal ~resume
+      (Scenarios.Campaign.run ?domains ?shards ?journal ~resume
          ?retry:(retry_policy ~seed retries) grid);
     write_metrics ~name:(Fmt.str "campaign_seed%d" seed) metrics
   in
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
-      const run $ domains_arg $ seed $ faults $ scenarios $ journal_arg
-      $ resume_arg $ retries_arg $ metrics_arg)
+      const run $ domains_arg $ shards_arg $ seed $ faults $ scenarios
+      $ journal_arg $ resume_arg $ retries_arg $ metrics_arg)
 
 let () =
+  (* Must precede everything else: when this process is a shard worker
+     (re-executed by a sharded campaign), it serves its frames and exits
+     here instead of running the CLI. *)
+  Exec.Shard.init ();
   let doc = "Regenerate the tables and figures of the thesis evaluation." in
   exit
     (Cmd.eval

@@ -33,6 +33,17 @@ let write_metrics ~name metrics =
       Fmt.pr "wrote metrics snapshot %s@." path)
     metrics
 
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Shard execution across $(docv) worker processes \
+           (crash-isolated: a worker SIGKILL is absorbed by respawn and \
+           requeue), each running $(b,--domains) domains. Output is \
+           byte-identical to the single-process run.")
+
 let figures_cmd =
   let out_dir =
     Arg.(value & opt string "." & info [ "out-dir"; "o" ] ~doc:"Output directory.")
@@ -44,11 +55,14 @@ let figures_cmd =
       & info [ "domains"; "j" ] ~docv:"N"
           ~doc:"Simulate the fleet on $(docv) domains (1 = sequential).")
   in
-  let run out_dir domains metrics =
+  let run out_dir domains shards metrics =
     ensure_dir out_dir;
     (* Warm the shared outcome cache for the whole fleet in parallel; each
-       figure below then reads its scenario's outcome from the cache. *)
-    ignore (Scenarios.Runner.run_all ?domains ());
+       figure below then reads its scenario's outcome from the cache.
+       (Sharded warm-up still simulates in workers, but classification
+       outcomes return to this process's cache, so the figures below are
+       cache hits either way.) *)
+    ignore (Scenarios.Runner.run_all ?domains ?shards ());
     Obs.span "export.figures" (fun () ->
         List.iter
           (fun (fig : Scenarios.Figures.t) ->
@@ -62,7 +76,7 @@ let figures_cmd =
     write_metrics ~name:"export_figures" metrics
   in
   Cmd.v (Cmd.info "figures" ~doc:"Export every regenerated figure as CSV.")
-    Term.(const run $ out_dir $ domains $ metrics_arg)
+    Term.(const run $ out_dir $ domains $ shards_arg $ metrics_arg)
 
 let scenario_cmd =
   let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"SCENARIO") in
@@ -167,7 +181,8 @@ let campaign_cmd =
              exponential backoff before quarantining it. Default 0: first \
              failure aborts.")
   in
-  let run out_dir seed faults scenarios domains journal resume retries metrics =
+  let run out_dir seed faults scenarios domains shards journal resume retries
+      metrics =
     if resume && journal = None then begin
       Fmt.epr "--resume requires --journal PATH@.";
       exit 1
@@ -186,7 +201,7 @@ let campaign_cmd =
         Some (Exec.Supervise.policy ~max_attempts:(retries + 1) ~seed ())
       else None
     in
-    let c = Scenarios.Campaign.run ?domains ?journal ~resume ?retry grid in
+    let c = Scenarios.Campaign.run ?domains ?shards ?journal ~resume ?retry grid in
     let path = Filename.concat out_dir (Fmt.str "campaign_seed%d.csv" seed) in
     Obs.span "campaign.export" (fun () ->
         Scenarios.Export.write_file path (Scenarios.Export.campaign_csv c));
@@ -204,10 +219,14 @@ let campaign_cmd =
          "Export a fault-injection detection-coverage matrix as CSV, \
           optionally journaled, resumable and retried.")
     Term.(
-      const run $ out_dir $ seed $ faults $ scenarios $ domains $ journal
-      $ resume $ retries $ metrics_arg)
+      const run $ out_dir $ seed $ faults $ scenarios $ domains $ shards_arg
+      $ journal $ resume $ retries $ metrics_arg)
 
 let () =
+  (* Must precede everything else: when this process is a shard worker
+     (re-executed by a sharded campaign), it serves its frames and exits
+     here instead of running the CLI. *)
+  Exec.Shard.init ();
   let doc = "Export traces, figures and violation tables as CSV." in
   exit
     (Cmd.eval

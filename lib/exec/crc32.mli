@@ -1,0 +1,17 @@
+(** CRC-32 checksums for framed binary records.
+
+    This is the IEEE 802.3 reflected CRC-32 (polynomial [0xEDB88320], the
+    variant used by gzip and zlib), computed over whole strings. Both
+    record protocols in the repository use it to guard their payloads:
+    the crash-safe scenario journal ([Scenarios.Journal], magic ["SJL1"])
+    and the multi-process shard pipe ({!Shard}, magic ["SHD1"]). A torn
+    or bit-flipped payload fails its CRC and the record is dropped by the
+    reader instead of being unmarshalled into garbage. *)
+
+val digest : string -> int32
+(** [digest s] is the CRC-32 of the whole of [s].
+
+    The result is returned as a raw [int32] so it can be written to and
+    compared against the little-endian [u32] checksum field of a record
+    header without sign-extension concerns. Deterministic: equal strings
+    have equal digests across processes and architectures. *)

@@ -16,6 +16,9 @@
     including through nested tables, are fine. *)
 
 type ('k, 'v) t
+(** A memo table from keys ['k] to values ['v]. Safe to share across
+    domains; see the module documentation for the locking and
+    single-flight contract. *)
 
 type stats = {
   hits : int;  (** warm lookups: value served from the table *)
@@ -43,7 +46,11 @@ val clear : ('k, 'v) t -> unit
 (** Drop every entry and reset the counters. *)
 
 val length : ('k, 'v) t -> int
+(** Number of live entries (always [<= capacity] when one was given). *)
+
 val stats : ('k, 'v) t -> stats
+(** Cumulative hit/miss/eviction counters since creation (or the last
+    {!clear}). *)
 
 val digest : 'a -> string
 (** Structural digest of an arbitrary value, usable as a memo key.

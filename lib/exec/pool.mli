@@ -11,6 +11,9 @@
     debugging ([~domains:1]). *)
 
 type t
+(** A pool handle: a fixed set of worker domains plus their shared work
+    queue. Values are created by {!create} (or {!default}) and remain
+    usable until {!shutdown}. *)
 
 type error = {
   index : int;  (** position of the failing task in the submitted batch *)
@@ -47,6 +50,8 @@ val create : ?domains:int -> unit -> t
     {!Domain.recommended_domain_count}, clamped to at least 1). *)
 
 val size : t -> int
+(** Number of workers the pool was created with (1 for the inline
+    sequential pool). *)
 
 val shutdown : t -> unit
 (** Drain the queue, stop the workers and join their domains. The pool

@@ -1,0 +1,556 @@
+(** Multi-process sharded batch execution (see shard.mli).
+
+    Coordinator and workers are instances of the same binary: OCaml 5
+    forbids [Unix.fork] once any domain has been spawned (permanently, for
+    the process), so workers are started with [Unix.create_process_env
+    Sys.executable_name] carrying a marker environment variable, and
+    {!init} routes the fresh process into [worker_main] before its own
+    [main] runs. Closures (the task function and the task values) cross
+    the process boundary with [Marshal.Closures], which is sound here
+    because both sides run byte-identical code.
+
+    The coordinator owns every piece of orchestration state — pending
+    queue, in-flight assignments, retry/restart budgets, reports — and
+    multiplexes worker pipes with [Unix.select]. Workers are pure
+    compute: read an assignment frame, run it (on a private domain pool
+    when [domains > 1]), write one result frame per task, repeat until
+    EOF. *)
+
+exception Worker_failure of { printed : string; trace : string }
+exception Worker_crashed of { slot : int }
+
+type havoc = Torn_frame | Corrupt_frame
+
+(* Spawned workers are recognised by this variable; the argv marker is
+   cosmetic but lets tests and operators target workers with pkill. *)
+let worker_env = "COMPOSITE_SAFETY_SHARD_WORKER"
+let argv_marker = "--exec-shard-worker"
+let in_worker () = Sys.getenv_opt worker_env <> None
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec: "SHD1" | len u32le | crc u32le | payload                *)
+
+module Frame = struct
+  let magic = "SHD1"
+  let header_len = 12
+
+  (* Same guard as the journal: a bit-flipped length field must surface
+     as corruption, not as a multi-gigabyte allocation. *)
+  let max_payload = 1 lsl 28
+
+  type buf = { mutable data : Bytes.t; mutable len : int }
+
+  let create () = { data = Bytes.create 65536; len = 0 }
+
+  let feed b src n =
+    if b.len + n > Bytes.length b.data then begin
+      let cap = ref (Bytes.length b.data) in
+      while b.len + n > !cap do
+        cap := !cap * 2
+      done;
+      let data = Bytes.create !cap in
+      Bytes.blit b.data 0 data 0 b.len;
+      b.data <- data
+    end;
+    Bytes.blit src 0 b.data b.len n;
+    b.len <- b.len + n
+
+  let consume b n =
+    Bytes.blit b.data n b.data 0 (b.len - n);
+    b.len <- b.len - n
+
+  let encode v =
+    let payload = Marshal.to_string v [ Marshal.Closures ] in
+    if String.length payload > max_payload then
+      invalid_arg "Shard.Frame.encode: payload too large";
+    let b = Buffer.create (header_len + String.length payload) in
+    Buffer.add_string b magic;
+    Buffer.add_int32_le b (Int32.of_int (String.length payload));
+    Buffer.add_int32_le b (Crc32.digest payload);
+    Buffer.add_string b payload;
+    Buffer.contents b
+
+  let decode b =
+    if b.len < header_len then `Need_more
+    else if Bytes.sub_string b.data 0 4 <> magic then `Corrupt
+    else
+      let len = Int32.to_int (Bytes.get_int32_le b.data 4) in
+      let crc = Bytes.get_int32_le b.data 8 in
+      if len < 0 || len > max_payload then `Corrupt
+      else if b.len < header_len + len then `Need_more
+      else begin
+        let payload = Bytes.sub_string b.data header_len len in
+        consume b (header_len + len);
+        if Crc32.digest payload <> crc then `Corrupt
+        else
+          match Marshal.from_string payload 0 with
+          | v -> `Frame v
+          | exception _ -> `Corrupt
+      end
+
+  let write_all fd s =
+    let b = Bytes.unsafe_of_string s in
+    let n = String.length s in
+    let rec go off =
+      if off < n then
+        match Unix.write fd b off (n - off) with
+        | written -> go (off + written)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    in
+    go 0
+
+  let write fd v = write_all fd (encode v)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Protocol messages. Task inputs/outputs travel as [Obj.t] because one
+   pipe carries a single ('a, 'b) instantiation fixed by the [try_map]
+   call that opened it; the coordinator re-types results with [Obj.obj]
+   at the only place their type is known. *)
+
+type remote_failure = { printed : string; trace : string }
+
+type coordinator_to_worker =
+  | Hello of {
+      slot : int;
+      domains : int;
+      f : Obj.t -> Obj.t;
+      havoc : (slot:int -> seq:int -> havoc option) option;
+    }
+  | Assign of { seq : int; tasks : (int * Obj.t) list }
+
+type worker_to_coordinator =
+  | Result of { index : int; value : (Obj.t, remote_failure) Stdlib.result }
+
+(* ------------------------------------------------------------------ *)
+(* Worker side                                                          *)
+
+(* Blocking frame reader for the worker's single pipe. [None] on EOF or
+   a corrupt stream — either way the worker's only move is to exit. *)
+let rec read_frame buf fd =
+  match Frame.decode buf with
+  | `Frame v -> Some v
+  | `Corrupt -> None
+  | `Need_more -> (
+      let chunk = Bytes.create 65536 in
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> None
+      | n ->
+          Frame.feed buf chunk n;
+          read_frame buf fd
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_frame buf fd)
+
+let run_chunk pool f tasks =
+  let xs = List.map snd tasks in
+  let results =
+    match pool with
+    | Some p -> Pool.try_map_pool p f xs
+    | None ->
+        List.map
+          (fun x ->
+            match f x with
+            | v -> Ok v
+            | exception exn ->
+                Error
+                  { Pool.index = 0; exn; backtrace = Printexc.get_raw_backtrace () })
+          xs
+  in
+  List.map2
+    (fun (index, _) r ->
+      let value =
+        match r with
+        | Ok v -> Ok v
+        | Error (e : Pool.error) ->
+            Error
+              {
+                printed = Printexc.to_string e.Pool.exn;
+                trace = Printexc.raw_backtrace_to_string e.Pool.backtrace;
+              }
+      in
+      Frame.encode (Result { index; value }))
+    tasks results
+
+(* Write the chunk's result frames, honouring the test-only havoc hook:
+   a torn frame is a partial write followed by sudden death, a corrupt
+   frame a payload bit-flip under an unchanged CRC field. *)
+let write_results fd ~injected frames =
+  match injected with
+  | Some Torn_frame -> (
+      match frames with
+      | frame :: _ ->
+          let cut =
+            Frame.header_len + ((String.length frame - Frame.header_len) / 2)
+          in
+          Frame.write_all fd (String.sub frame 0 cut);
+          Unix._exit 66
+      | [] -> ())
+  | Some Corrupt_frame -> (
+      match frames with
+      | frame :: rest ->
+          let b = Bytes.of_string frame in
+          let i = Frame.header_len in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+          Frame.write_all fd (Bytes.to_string b);
+          List.iter (Frame.write_all fd) rest
+      | [] -> ())
+  | None -> List.iter (Frame.write_all fd) frames
+
+let worker_main fd =
+  Printexc.record_backtrace true;
+  let buf = Frame.create () in
+  match read_frame buf fd with
+  | Some (Hello { slot; domains; f; havoc }) ->
+      let pool = if domains > 1 then Some (Pool.create ~domains ()) else None in
+      let rec serve () =
+        match read_frame buf fd with
+        | Some (Assign { seq; tasks }) ->
+            let frames = run_chunk pool f tasks in
+            let injected =
+              match havoc with Some h -> h ~slot ~seq | None -> None
+            in
+            write_results fd ~injected frames;
+            serve ()
+        | Some (Hello _) | None ->
+            (* EOF: the coordinator is done with us (or gone). *)
+            Unix._exit 0
+      in
+      serve ()
+  | Some (Assign _) | None -> Unix._exit 65
+
+let init () =
+  if in_worker () then
+    (* The socketpair end is this process's stdin. [_exit], never [exit]:
+       a worker must not flush channels inherited from the coordinator. *)
+    match worker_main Unix.stdin with
+    | () -> Unix._exit 0
+    | exception _ -> Unix._exit 70
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator side                                                     *)
+
+let g_workers = Obs.Metrics.gauge "shard.workers"
+let m_respawns = Obs.Metrics.counter "shard.respawns"
+let m_frames_sent = Obs.Metrics.counter "shard.frames_sent"
+let m_frames_recv = Obs.Metrics.counter "shard.frames_recv"
+let m_frames_dropped = Obs.Metrics.counter "shard.frames_dropped"
+let m_requeued = Obs.Metrics.counter "shard.cells_requeued"
+let h_roundtrip = Obs.Metrics.histogram "shard.frame_roundtrip_s"
+
+(* Writes to a freshly dead worker must surface as EPIPE (handled as
+   worker death), not kill the coordinator. Process-wide, set once. *)
+let ignore_sigpipe =
+  lazy
+    (if Sys.os_type = "Unix" then
+       Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+
+type worker = {
+  slot : int;
+  mutable pid : int;
+  mutable fd : Unix.file_descr;
+  mutable rbuf : Frame.buf;
+  mutable inflight : (int * float) list;  (** task index, assign instant *)
+  mutable chunk_started : float;
+  mutable restarts_left : int;
+  mutable alive : bool;
+  mutable busy_s : float;
+}
+
+let reap pid =
+  let rec go () =
+    match Unix.waitpid [] pid with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let rec take n = function
+  | [] -> ([], [])
+  | xs when n = 0 -> ([], xs)
+  | x :: xs ->
+      let chunk, rest = take (n - 1) xs in
+      (x :: chunk, rest)
+
+let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2)
+    ?(policy = Supervise.default_policy) ?on_result ?havoc (f : a -> b)
+    (xs : a list) : b Supervise.report list =
+  if in_worker () then
+    invalid_arg "Shard.try_map: nested sharding inside a shard worker";
+  let n = List.length xs in
+  if n = 0 then []
+  else begin
+    Lazy.force ignore_sigpipe;
+    let domains = max 1 domains in
+    let shards =
+      (match shards with
+      | Some s -> max 1 s
+      | None -> max 1 (Domain.recommended_domain_count () / domains))
+      |> min n
+    in
+    let now () = Obs.Clock.now () in
+    let tasks = Array.of_list xs in
+    let reports : b Supervise.report option array = Array.make n None in
+    let dispatches = Array.make n 0 in
+    let failures = Array.make n 0 in
+    let settled = ref 0 in
+    (* (task index, earliest re-dispatch instant); deferred entries carry
+       the retry policy's backoff as a deadline, never as a sleep. *)
+    let pending = ref (List.init n (fun i -> (i, 0.))) in
+    let assign_seq = ref 0 in
+    let spawn_env =
+      Array.append (Unix.environment ()) [| worker_env ^ "=1" |]
+    in
+    let hello_for slot =
+      Hello { slot; domains; f = (Obj.magic f : Obj.t -> Obj.t); havoc }
+    in
+    let workers = ref [] in
+    let live_count () =
+      List.fold_left (fun acc w -> if w.alive then acc + 1 else acc) 0 !workers
+    in
+    let sync_gauge () = Obs.Metrics.set g_workers (float_of_int (live_count ())) in
+    (* Spawn (or respawn) a worker into [w]'s slot. The child's stdin is
+       its end of the socketpair — bidirectional, so results come back on
+       the same descriptor — and its stdout/stderr go to our stderr so
+       worker diagnostics cannot corrupt the coordinator's stdout. *)
+    let spawn w =
+      let ours, theirs =
+        Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+      in
+      let pid =
+        try
+          Unix.create_process_env Sys.executable_name
+            [| Sys.executable_name; argv_marker; string_of_int w.slot |]
+            spawn_env theirs Unix.stderr Unix.stderr
+        with e ->
+          Unix.close ours;
+          Unix.close theirs;
+          raise e
+      in
+      Unix.close theirs;
+      w.pid <- pid;
+      w.fd <- ours;
+      w.rbuf <- Frame.create ();
+      w.inflight <- [];
+      w.alive <- true;
+      (match Frame.write ours (hello_for w.slot) with
+      | () -> Obs.Metrics.incr m_frames_sent
+      | exception Unix.Unix_error _ ->
+          (* Died before the handshake; the select loop's death path will
+             requeue nothing (no in-flight yet) and respawn if budget
+             remains. *)
+          ());
+      sync_gauge ()
+    in
+    let requeue w =
+      List.iter
+        (fun (i, _) ->
+          if reports.(i) = None then begin
+            Obs.Metrics.incr m_requeued;
+            pending := (i, 0.) :: !pending
+          end)
+        w.inflight;
+      w.inflight <- []
+    in
+    (* A worker is dead the moment its pipe reaches EOF, errors, or
+       yields a corrupt frame: reap it, put its in-flight work back on
+       the queue (not charged against the retry policy — crashes are
+       bounded by the restart budget instead, so a single-attempt policy
+       still recovers from SIGKILL), and respawn into the same slot while
+       the budget lasts. *)
+    let on_death w =
+      (try Unix.close w.fd with Unix.Unix_error _ -> ());
+      reap w.pid;
+      requeue w;
+      if w.restarts_left > 0 then begin
+        w.restarts_left <- w.restarts_left - 1;
+        Obs.Metrics.incr m_respawns;
+        spawn w
+      end
+      else begin
+        w.alive <- false;
+        sync_gauge ()
+      end
+    in
+    let quarantine index exn =
+      reports.(index) <-
+        Some
+          {
+            Supervise.status =
+              Supervise.Quarantined
+                { Pool.index; exn; backtrace = Printexc.get_callstack 0 };
+            attempts = max 1 dispatches.(index);
+          };
+      incr settled
+    in
+    let settle w index (value : (Obj.t, remote_failure) Stdlib.result) =
+      Obs.Metrics.incr m_frames_recv;
+      match List.assoc_opt index w.inflight with
+      | None -> () (* stale frame from a superseded assignment *)
+      | Some sent ->
+          w.inflight <- List.remove_assoc index w.inflight;
+          let t = now () in
+          Obs.Metrics.observe h_roundtrip (t -. sent);
+          if w.inflight = [] then w.busy_s <- w.busy_s +. (t -. w.chunk_started);
+          if reports.(index) = None then begin
+            match value with
+            | Ok v ->
+                let v : b = Obj.obj v in
+                reports.(index) <-
+                  Some
+                    {
+                      Supervise.status = Supervise.Done v;
+                      attempts = max 1 dispatches.(index);
+                    };
+                incr settled;
+                Option.iter (fun g -> g index v) on_result
+            | Error { printed; trace } ->
+                failures.(index) <- failures.(index) + 1;
+                let exn = Worker_failure { printed; trace } in
+                if failures.(index) < policy.Supervise.max_attempts
+                   && policy.Supervise.retry_on exn
+                then begin
+                  let delay =
+                    Supervise.backoff_delay policy ~attempt:failures.(index)
+                  in
+                  Obs.Metrics.incr m_requeued;
+                  pending := (index, t +. delay) :: !pending
+                end
+                else quarantine index exn
+          end
+    in
+    let refill w =
+      if w.alive && w.inflight = [] && !pending <> [] then begin
+        let t = now () in
+        let ready, deferred = List.partition (fun (_, nb) -> nb <= t) !pending in
+        let chunk, rest = take domains (List.sort compare ready) in
+        if chunk <> [] then begin
+          pending := rest @ deferred;
+          incr assign_seq;
+          List.iter (fun (i, _) -> dispatches.(i) <- dispatches.(i) + 1) chunk;
+          w.chunk_started <- t;
+          w.inflight <- List.map (fun (i, _) -> (i, t)) chunk;
+          let tasks = List.map (fun (i, _) -> (i, Obj.repr tasks.(i))) chunk in
+          match Frame.write w.fd (Assign { seq = !assign_seq; tasks }) with
+          | () -> Obs.Metrics.incr m_frames_sent
+          | exception
+              Unix.Unix_error
+                ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+              on_death w
+        end
+      end
+    in
+    let drain w =
+      let chunk = Bytes.create 65536 in
+      match Unix.read w.fd chunk 0 (Bytes.length chunk) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ ->
+          Obs.Metrics.incr m_frames_dropped;
+          on_death w
+      | 0 ->
+          (* EOF. Undecoded leftover bytes are a frame torn by the crash. *)
+          if w.rbuf.Frame.len > 0 then Obs.Metrics.incr m_frames_dropped;
+          on_death w
+      | nread ->
+          Frame.feed w.rbuf chunk nread;
+          let rec parse buf =
+            (* Stop at a respawn boundary: [on_death] gave the slot a
+               fresh buffer, so only keep decoding the stream this read
+               belongs to. *)
+            if w.rbuf == buf then
+              match Frame.decode buf with
+              | `Need_more -> ()
+              | `Corrupt ->
+                  (* The stream's framing is gone; nothing after this
+                     point can be trusted, so treat the worker as dead. *)
+                  Obs.Metrics.incr m_frames_dropped;
+                  (try Unix.kill w.pid Sys.sigkill
+                   with Unix.Unix_error _ -> ());
+                  on_death w
+              | `Frame (Result { index; value }) ->
+                  settle w index value;
+                  parse buf
+          in
+          parse w.rbuf
+    in
+    let t_start = now () in
+    workers :=
+      List.init shards (fun slot ->
+          {
+            slot;
+            pid = -1;
+            fd = Unix.stdin;
+            rbuf = Frame.create ();
+            inflight = [];
+            chunk_started = 0.;
+            restarts_left = restarts;
+            alive = false;
+            busy_s = 0.;
+          });
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun w ->
+            if w.alive then begin
+              (try Unix.close w.fd with Unix.Unix_error _ -> ());
+              (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+              reap w.pid;
+              w.alive <- false
+            end)
+          !workers;
+        Obs.Metrics.set g_workers 0.)
+      (fun () ->
+        List.iter spawn !workers;
+        while !settled < n do
+          List.iter refill !workers;
+          let alive = List.filter (fun w -> w.alive) !workers in
+          if alive = [] then begin
+            (* Out of workers and out of restart budget: everything not
+               yet settled is terminally quarantined. *)
+            let slot =
+              match !workers with w :: _ -> w.slot | [] -> -1
+            in
+            Array.iteri
+              (fun i r ->
+                if r = None then quarantine i (Worker_crashed { slot }))
+              reports;
+            pending := []
+          end
+          else begin
+            let t = now () in
+            let next_deadline =
+              List.fold_left
+                (fun acc (_, nb) -> if nb > t then Float.min acc nb else acc)
+                Float.infinity !pending
+            in
+            let timeout =
+              if next_deadline = Float.infinity then 1.0
+              else Float.max 0.005 (Float.min 1.0 (next_deadline -. t))
+            in
+            match
+              Unix.select (List.map (fun w -> w.fd) alive) [] [] timeout
+            with
+            | readable, _, _ ->
+                List.iter
+                  (fun w -> if w.alive && List.mem w.fd readable then drain w)
+                  alive
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          end
+        done;
+        let wall = now () -. t_start in
+        List.iter
+          (fun w ->
+            Obs.Metrics.set
+              (Obs.Metrics.gauge
+                 (Printf.sprintf "shard.worker%d.utilization" w.slot))
+              (if wall > 0. then Float.min 1. (w.busy_s /. wall) else 0.))
+          !workers);
+    Array.to_list (Array.map Option.get reports)
+  end
+
+let map ?shards ?domains ?restarts ?policy f xs =
+  List.map
+    (fun (r : _ Supervise.report) ->
+      match r.Supervise.status with
+      | Supervise.Done v -> v
+      | Supervise.Quarantined e -> raise e.Pool.exn)
+    (try_map ?shards ?domains ?restarts ?policy f xs)

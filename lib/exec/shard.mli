@@ -1,0 +1,176 @@
+(** Multi-process sharded batch execution with crash isolation.
+
+    {!Pool} parallelises a batch across domains of one process, so a
+    single segfault, OOM kill, or runaway C stub still takes down the
+    whole grid. A shard run splits the batch across [N] worker
+    {e processes} instead — independently failing, independently
+    restartable components beneath the supervision/journal layers. The
+    coordinator (the calling process) keeps all orchestration state: it
+    assigns chunks of tasks to workers, collects results, detects worker
+    death, requeues the dead worker's in-flight tasks, and respawns the
+    worker up to a restart budget. Worker processes only ever compute.
+
+    {1 Mechanism}
+
+    OCaml 5 forbids [Unix.fork] once a domain has been spawned (and the
+    restriction is permanent for the process), so workers are started by
+    {e re-executing the current binary} ([Sys.executable_name]) with a
+    marker environment variable set. Host executables must therefore call
+    {!init} first thing in [main]: in the coordinator it is a no-op; in a
+    freshly spawned worker it never returns — the process serves task
+    frames and exits. Because workers run the same binary, closures
+    marshalled with [Marshal.Closures] (the task function, its captured
+    environment, and task values) transfer verbatim.
+
+    Coordinator and worker speak over a [socketpair] using length-prefixed
+    CRC-guarded binary frames (magic ["SHD1"] | length | {!Crc32} |
+    [Marshal] payload — the same record discipline as the scenario
+    journal). A torn frame (worker died mid-write) or corrupt frame (CRC
+    mismatch) is dropped, the worker is declared dead, and its in-flight
+    tasks are requeued; tasks are never lost and never double-settled.
+
+    {1 Determinism}
+
+    Results are reported in submission order, like {!Pool} and
+    {!Supervise}: report [i] always corresponds to input [i], regardless
+    of the number of shards, chunk interleaving, worker crashes, or
+    respawns. A crash costs only recomputation of the in-flight chunk.
+
+    {1 Telemetry}
+
+    A run maintains [shard.workers] (gauge: live workers),
+    [shard.respawns], [shard.frames_sent] / [shard.frames_recv] /
+    [shard.frames_dropped], [shard.cells_requeued] (counters), a
+    [shard.frame_roundtrip_s] histogram (assign sent to result received,
+    per task), and per-worker [shard.worker<slot>.utilization] gauges
+    (busy fraction of the run's wall time, set when the run settles).
+
+    The first shard run in a process sets [SIGPIPE] to ignore, so writes
+    to a just-died worker surface as [EPIPE] (handled as worker death)
+    rather than killing the coordinator. *)
+
+exception Worker_failure of { printed : string; trace : string }
+(** A task raised inside a worker process. Exceptions cannot travel
+    between processes as values (an unmarshalled exception constructor no
+    longer matches its own identity), so the worker ships the printed
+    exception ([Printexc.to_string]) and its backtrace text instead.
+    Carried in {!Supervise.Quarantined} when retry policy is exhausted. *)
+
+exception Worker_crashed of { slot : int }
+(** Terminal status for tasks that could not be settled because every
+    worker died and the restart budget ran out. [slot] is the shard slot
+    that died last holding the task ([-1] when it was never assigned). *)
+
+type havoc = Torn_frame | Corrupt_frame
+(** Test-only frame-fault injection, performed {e inside the worker} on
+    its result frames: [Torn_frame] writes a partial frame then exits
+    (simulating death mid-write); [Corrupt_frame] flips a payload byte so
+    the frame fails its CRC, then keeps running. Both must be recovered
+    from by the coordinator without losing a task. The hook is consulted
+    per assignment as [havoc ~slot ~seq], where [seq] is the
+    {e coordinator-global} assignment sequence number (1-based, across
+    all slots and respawns) — so an injection keyed on one [seq] fires
+    exactly once and the respawned worker replays the work cleanly. *)
+
+(** The frame codec, exposed for direct unit testing. A frame is
+    ["SHD1" | len : u32le | crc : u32le | payload], where [payload] is
+    [Marshal.to_string v [Closures]] and [crc] its {!Crc32.digest}. *)
+module Frame : sig
+  type buf
+  (** A growable reassembly buffer for one pipe's byte stream. *)
+
+  val create : unit -> buf
+  (** A fresh, empty buffer. *)
+
+  val feed : buf -> bytes -> int -> unit
+  (** [feed buf chunk n] appends the first [n] bytes of [chunk] — as read
+      from the pipe — to the buffer. *)
+
+  val encode : 'a -> string
+  (** [encode v] is the complete frame carrying [v]. *)
+
+  val decode : buf -> [ `Frame of 'a | `Need_more | `Corrupt ]
+  (** [decode buf] consumes and returns the first complete frame in the
+      buffer. [`Need_more] means the buffer holds only a frame prefix
+      (more bytes must be fed — or, on EOF, the tail is torn); [`Corrupt]
+      means the stream is unrecoverable at this position (bad magic,
+      absurd length, CRC mismatch, or unmarshalable payload). The type of
+      the decoded value is the caller's claim, exactly as with
+      [Marshal.from_string]. *)
+end
+
+val init : unit -> unit
+(** Worker-mode intercept. Call first thing in [main] of every
+    executable that runs sharded batches (directly or through
+    [Scenarios.Campaign] / [Scenarios.Runner]).
+
+    In an ordinary process this returns immediately. In a process
+    spawned by a shard coordinator (recognised by the marker environment
+    variable) it never returns: the process serves its assigned frames
+    on the inherited socketpair and exits. An executable that skips
+    {!init} still computes correct sharded results — but each "worker"
+    would rerun that executable's [main] instead, typically rerunning
+    the whole program per worker. *)
+
+val in_worker : unit -> bool
+(** Whether this process is a shard worker. Mostly useful for
+    diagnostics; user code never observes it as [true] except from
+    inside a task function. *)
+
+val try_map :
+  ?shards:int ->
+  ?domains:int ->
+  ?restarts:int ->
+  ?policy:Supervise.policy ->
+  ?on_result:(int -> 'b -> unit) ->
+  ?havoc:(slot:int -> seq:int -> havoc option) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b Supervise.report list
+(** [try_map f xs] runs [f] over [xs] across worker processes and
+    reports in submission order (report [i] corresponds to input [i]).
+
+    - [shards] — worker process count (default: recommended domain count
+      divided by [domains], at least 1; capped at [length xs]).
+    - [domains] — domains {e per worker}: each worker builds its own
+      {!Pool} of that size and receives chunks of up to [domains] tasks
+      (default 1, i.e. sequential workers).
+    - [restarts] — how many times each slot may be respawned after a
+      crash (default 2). A slot that exhausts its budget stays down; if
+      every slot is down, unsettled tasks are quarantined with
+      {!Worker_crashed}.
+    - [policy] — {!Supervise} retry policy for {e task} failures
+      (a task that raised in a healthy worker). Failed tasks are requeued
+      after the policy's {!Supervise.backoff_delay} — deferred on the
+      coordinator's clock, never slept — until [max_attempts] is reached,
+      then quarantined carrying {!Worker_failure}. Default:
+      {!Supervise.default_policy}. Worker {e crashes} are not charged
+      against the policy: a requeue after a crash is bounded by
+      [restarts], so a single-attempt policy still recovers from
+      SIGKILL.
+    - [on_result] — called in the coordinator as [on_result i v] the
+      moment input [i] settles as [Done v] (settle order, not submission
+      order). This is the journal hook: results flow back to the
+      coordinator's journal, keeping resume byte-identical.
+    - [havoc] — test-only fault injection, see {!havoc}.
+
+    The report's [attempts] counts dispatches of the task to a worker
+    (so a crash requeue increments it even though the policy is not
+    charged).
+
+    @raise Invalid_argument when called from inside a shard worker
+    (nested sharding would fork-bomb the machine by re-execing workers
+    from workers). *)
+
+val map :
+  ?shards:int ->
+  ?domains:int ->
+  ?restarts:int ->
+  ?policy:Supervise.policy ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** Like {!try_map} but re-raises the first (lowest-index) quarantined
+    task's error after the batch settles — {!Worker_failure} for a task
+    that kept failing, {!Worker_crashed} when workers died without
+    leaving a result. *)

@@ -107,8 +107,14 @@ let supervise p run_batch f xs =
     in
     if failed <> [] then begin
       let delay = backoff_delay p ~attempt in
-      Obs.Metrics.observe h_backoff delay;
-      Unix.sleepf delay;
+      (* Zero-delay fast path: a policy with [base_delay_s = 0.] retries
+         immediately. Skipping the sleep *and* the histogram sample keeps
+         crash-recovery tests free of wall-clock waits without recording
+         sleeps that never happened. *)
+      if delay > 0. then begin
+        Obs.Metrics.observe h_backoff delay;
+        Unix.sleepf delay
+      end;
       go (attempt + 1) failed
     end
   in

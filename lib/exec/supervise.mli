@@ -47,7 +47,13 @@ val backoff_delay : policy -> attempt:int -> float
     attempts (so [~attempt:1] precedes the first retry):
     [base_delay_s * 2^(attempt-1)], capped at [max_delay_s], scaled by the
     jitter factor for that attempt. Pure and deterministic in
-    [(p.seed, attempt)]. *)
+    [(p.seed, attempt)].
+
+    A delay of exactly [0.] (e.g. any policy with [base_delay_s = 0.]) is
+    a fast path: the supervisor neither sleeps nor records a
+    [supervise.backoff_s] histogram sample, so zero-delay retry policies —
+    used by crash-recovery tests and by {!Shard}'s deferred requeues — cost
+    no wall-clock time. *)
 
 type 'a status =
   | Done of 'a  (** completed, possibly after retries *)
@@ -67,6 +73,8 @@ type stats = {
 }
 
 val stats : 'a report list -> stats
+(** [stats reports] folds a settled batch into its retry/quarantine
+    totals — the summary surfaced as campaign "robustness" counts. *)
 
 val try_map_pool :
   ?timeout_s:float ->

@@ -22,6 +22,7 @@ val snapshot :
     (name, estimated ns) pairs under ["bench"] (default: empty). *)
 
 val to_json : ?name:string -> ?bench:(string * float) list -> unit -> string
+(** {!snapshot} rendered as a compact JSON string. *)
 
 val write_file :
   ?name:string -> ?bench:(string * float) list -> string -> unit

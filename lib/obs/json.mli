@@ -28,5 +28,10 @@ val keys : t -> string list
 (** Field names of an [Obj] in order; [[]] otherwise. *)
 
 val to_float : t -> float option
+(** The payload of a [Num]; [None] on any other constructor. *)
+
 val to_str : t -> string option
+(** The payload of a [Str]; [None] on any other constructor. *)
+
 val to_list : t -> t list option
+(** The payload of a [List]; [None] on any other constructor. *)

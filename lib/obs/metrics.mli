@@ -10,8 +10,14 @@
     [Invalid_argument]. *)
 
 type counter
+(** A monotone integer counter (atomic increments). *)
+
 type gauge
+(** A last-write-wins float (atomic stores). *)
+
 type histogram
+(** Lifetime aggregates plus a bounded window of recent observations for
+    quantiles (mutex-guarded). *)
 
 type summary = {
   count : int;  (** lifetime observations *)
@@ -24,14 +30,28 @@ type summary = {
 }
 
 val counter : string -> counter
+(** Find-or-create the counter registered under this name. *)
+
 val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1, must be [>= 0]) to the counter. *)
+
 val value : counter -> int
+(** Current count. *)
+
 val counter_name : counter -> string
+(** The name the counter was registered under. *)
 
 val gauge : string -> gauge
+(** Find-or-create the gauge registered under this name. *)
+
 val set : gauge -> float -> unit
+(** Store a new value, replacing the previous one. *)
+
 val get : gauge -> float
+(** Last stored value (0 before the first {!set}). *)
+
 val gauge_name : gauge -> string
+(** The name the gauge was registered under. *)
 
 val histogram : ?window:int -> string -> histogram
 (** [window] (default 1024) bounds the number of recent observations
@@ -40,8 +60,14 @@ val histogram : ?window:int -> string -> histogram
     of [name]. *)
 
 val observe : histogram -> float -> unit
+(** Record one observation: updates the lifetime aggregates and pushes
+    the value into the quantile window. *)
+
 val summary : histogram -> summary
+(** Current {!summary} (all zeros before the first observation). *)
+
 val histogram_name : histogram -> string
+(** The name the histogram was registered under. *)
 
 type snapshot = {
   snap_counters : (string * int) list;  (** sorted by name *)

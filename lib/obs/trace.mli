@@ -30,3 +30,5 @@ val total : unit -> int
 (** Lifetime count of recorded spans (retained + overwritten). *)
 
 val reset : unit -> unit
+(** Empty the ring and zero {!total}. Test helper — production snapshots
+    retain the full ring. *)

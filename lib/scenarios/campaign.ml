@@ -210,8 +210,15 @@ let cell_key ~seed ~window ~defects (fault : Inject.Fault.t) (s : Defs.t) =
     dropped from the matrix and counted in [robustness.quarantined] —
     instead of aborting the campaign. Without [retry] the historical
     semantics hold: the first cell failure re-raises after the batch
-    settles. *)
-let run ?domains ?use_cache ?(defects = Vehicle.Defects.repaired)
+    settles.
+
+    [shards] switches the grid to multi-process execution on
+    [Exec.Shard]: cells are simulated in [shards] worker processes (each
+    with [domains] domains), while classification results, the journal and
+    the cell counters stay with the coordinator. The matrix and CSV are
+    bit-for-bit identical to the single-process run for any shard count,
+    including across worker crashes. *)
+let run ?domains ?shards ?use_cache ?(defects = Vehicle.Defects.repaired)
     ?(window = Runner.default_window) ?journal ?(resume = false) ?retry
     (g : grid) : t =
   let pairs =
@@ -252,19 +259,34 @@ let run ?domains ?use_cache ?(defects = Vehicle.Defects.repaired)
         classify_cell ~window fault ~baseline injected)
   in
   let reports =
+    let policy =
+      match retry with
+      | Some p -> p
+      | None -> Exec.Supervise.policy ~max_attempts:1 ()
+    in
     let execute writer =
-      let task (pair, k, _) =
-        let cell = simulate pair in
-        Option.iter (fun w -> Journal.append w ~key:k cell) writer;
-        Obs.Metrics.incr m_cells_executed;
-        cell
-      in
-      let policy =
-        match retry with
-        | Some p -> p
-        | None -> Exec.Supervise.policy ~max_attempts:1 ()
-      in
-      Exec.Supervise.try_map ?domains ~policy task todo
+      match shards with
+      | Some s ->
+          (* Multi-process execution: workers only simulate — the journal
+             and the cell counters stay with this coordinator process, fed
+             from [on_result] as each cell's frame arrives, so crash-safe
+             resume works unchanged (a worker SIGKILL costs at most the
+             cells in flight, exactly like a domain crash cannot). *)
+          let keys = Array.of_list (List.map (fun (_, k, _) -> k) todo) in
+          Exec.Shard.try_map ~shards:s ?domains ~policy
+            ~on_result:(fun i cell ->
+              Option.iter (fun w -> Journal.append w ~key:keys.(i) cell) writer;
+              Obs.Metrics.incr m_cells_executed)
+            (fun (pair, _, _) -> simulate pair)
+            todo
+      | None ->
+          let task (pair, k, _) =
+            let cell = simulate pair in
+            Option.iter (fun w -> Journal.append w ~key:k cell) writer;
+            Obs.Metrics.incr m_cells_executed;
+            cell
+          in
+          Exec.Supervise.try_map ?domains ~policy task todo
     in
     Obs.span "campaign.grid" (fun () ->
         match journal with

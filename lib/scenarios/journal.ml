@@ -22,33 +22,9 @@ let header_len = 12
    replay into a multi-gigabyte allocation. *)
 let max_payload = 1 lsl 28
 
-(* ------------------------------------------------------------------ *)
-(* CRC-32 (IEEE 802.3, reflected, as used by gzip/zlib)                 *)
-
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
-         for _ = 0 to 7 do
-           c :=
-             if Int32.logand !c 1l <> 0l then
-               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-             else Int32.shift_right_logical !c 1
-         done;
-         !c))
-
-let crc32 s =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      let i =
-        Int32.to_int
-          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
-      in
-      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
-    s;
-  Int32.logxor !c 0xFFFFFFFFl
+(* The checksum is the shared IEEE CRC-32 used by every framed record
+   protocol in the repo (journal "SJL1" records, shard "SHD1" frames). *)
+let crc32 = Exec.Crc32.digest
 
 (* ------------------------------------------------------------------ *)
 (* Writer                                                               *)

@@ -110,14 +110,29 @@ let run ?(use_cache = true) ?(defects = Vehicle.Defects.as_evaluated)
     re-raises immediately after the batch settles, as before. The fleet
     result always contains every scenario — [run_all] never thins the
     fleet, because its consumers (sweeps, figures, estimates) index it
-    positionally. *)
-let run_all ?domains ?use_cache ?defects ?timing ?dynamics ?inject ?window
-    ?retry () =
+    positionally.
+
+    [shards] fans the fleet out over worker processes instead
+    ([Exec.Shard], [domains] domains per worker); results are identical
+    to the in-process dispatches. Without [retry] the sharded fleet keeps
+    the fail-fast contract (a single-attempt policy), so crashes and task
+    failures re-raise rather than thin the fleet. *)
+let run_all ?domains ?shards ?use_cache ?defects ?timing ?dynamics ?inject
+    ?window ?retry () =
   Obs.span "runner.fleet" (fun () ->
       let f = run ?use_cache ?defects ?timing ?dynamics ?inject ?window in
-      match retry with
-      | None -> Exec.Pool.map ?domains f Defs.all
-      | Some policy -> Exec.Supervise.map ?domains ~policy f Defs.all)
+      match shards with
+      | Some s ->
+          let policy =
+            match retry with
+            | Some p -> p
+            | None -> Exec.Supervise.policy ~max_attempts:1 ()
+          in
+          Exec.Shard.map ~shards:s ?domains ~policy f Defs.all
+      | None -> (
+          match retry with
+          | None -> Exec.Pool.map ?domains f Defs.all
+          | Some policy -> Exec.Supervise.map ?domains ~policy f Defs.all))
 
 (* ------------------------------------------------------------------ *)
 (* Cross-process persistence: journaled single-scenario runs.

@@ -1,0 +1,367 @@
+(** Multi-process sharded execution: frame codec integrity, submission
+    order, crash recovery (SIGKILL, torn and corrupt frames), and the
+    sharded-equals-single-process determinism contract on the pinned
+    seed-42 smoke campaign. *)
+
+(* Workers are re-executions of this very binary: the intercept must run
+   before anything else (in particular before Alcotest takes over), or a
+   "worker" would start running the test suite instead. *)
+let () = Exec.Shard.init ()
+
+let counter name = Obs.Metrics.value (Obs.Metrics.counter name)
+
+let get_done (r : _ Exec.Supervise.report) =
+  match r.Exec.Supervise.status with
+  | Exec.Supervise.Done v -> v
+  | Exec.Supervise.Quarantined e ->
+      Alcotest.failf "unexpected quarantine: %s" (Printexc.to_string e.Exec.Pool.exn)
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec                                                          *)
+
+let feed_string buf s =
+  Exec.Shard.Frame.feed buf (Bytes.of_string s) (String.length s)
+
+let test_frame_roundtrip () =
+  let buf = Exec.Shard.Frame.create () in
+  let frame = Exec.Shard.Frame.encode (42, "payload") in
+  feed_string buf frame;
+  (match Exec.Shard.Frame.decode buf with
+  | `Frame v ->
+      Alcotest.(check (pair int string)) "value survives" (42, "payload") v
+  | `Need_more | `Corrupt -> Alcotest.fail "expected a complete frame");
+  (match Exec.Shard.Frame.decode buf with
+  | `Need_more -> ()
+  | `Frame _ | `Corrupt -> Alcotest.fail "buffer must be empty after decode")
+
+let test_frame_streaming () =
+  (* Two frames fed byte-by-byte: every prefix is `Need_more, and both
+     frames come out intact and in order. *)
+  let buf = Exec.Shard.Frame.create () in
+  let frames = Exec.Shard.Frame.encode "first" ^ Exec.Shard.Frame.encode "second" in
+  let decoded = ref [] in
+  String.iter
+    (fun c ->
+      feed_string buf (String.make 1 c);
+      match Exec.Shard.Frame.decode buf with
+      | `Frame v -> decoded := (v : string) :: !decoded
+      | `Need_more -> ()
+      | `Corrupt -> Alcotest.fail "no prefix of a valid stream is corrupt")
+    frames;
+  Alcotest.(check (list string)) "both frames decoded, in order"
+    [ "first"; "second" ] (List.rev !decoded)
+
+let test_frame_torn_tail () =
+  (* A frame cut anywhere short of its full length never decodes — it
+     stays `Need_more until more bytes arrive (or EOF declares it torn). *)
+  let frame = Exec.Shard.Frame.encode [ 1.5; 2.5 ] in
+  for cut = 0 to String.length frame - 1 do
+    let buf = Exec.Shard.Frame.create () in
+    feed_string buf (String.sub frame 0 cut);
+    match Exec.Shard.Frame.decode buf with
+    | `Need_more -> ()
+    | `Frame _ -> Alcotest.failf "decoded from %d of %d bytes" cut (String.length frame)
+    | `Corrupt -> Alcotest.failf "torn at %d must read as short, not corrupt" cut
+  done
+
+let test_frame_corruption () =
+  let check_corrupt what s =
+    let buf = Exec.Shard.Frame.create () in
+    feed_string buf s;
+    match Exec.Shard.Frame.decode buf with
+    | `Corrupt -> ()
+    | `Frame _ -> Alcotest.failf "%s accepted" what
+    | `Need_more -> Alcotest.failf "%s read as short" what
+  in
+  let frame = Exec.Shard.Frame.encode "precious" in
+  (* Payload bit-flip under an unchanged CRC field. *)
+  let flipped = Bytes.of_string frame in
+  Bytes.set flipped 12 (Char.chr (Char.code (Bytes.get flipped 12) lxor 1));
+  check_corrupt "bit-flipped payload" (Bytes.to_string flipped);
+  (* Wrong magic. *)
+  let bad_magic = Bytes.of_string frame in
+  Bytes.set bad_magic 0 'X';
+  check_corrupt "bad magic" (Bytes.to_string bad_magic);
+  (* Absurd length claim (bit-flip in the length field). *)
+  let bad_len = Bytes.of_string frame in
+  Bytes.set_int32_le bad_len 4 0x7FFFFFFFl;
+  check_corrupt "absurd length" (Bytes.to_string bad_len)
+
+(* ------------------------------------------------------------------ *)
+(* Basic sharded execution                                              *)
+
+let test_try_map_order () =
+  let xs = List.init 25 Fun.id in
+  let reports = Exec.Shard.try_map ~shards:3 ~domains:2 (fun x -> x * x) xs in
+  Alcotest.(check (list int))
+    "results in submission order across 3 workers"
+    (List.map (fun x -> x * x) xs)
+    (List.map get_done reports);
+  List.iter
+    (fun (r : _ Exec.Supervise.report) ->
+      Alcotest.(check int) "one dispatch each" 1 r.Exec.Supervise.attempts)
+    reports
+
+let test_on_result_hook () =
+  let seen = ref [] in
+  let reports =
+    Exec.Shard.try_map ~shards:2
+      ~on_result:(fun i v -> seen := (i, v) :: !seen)
+      (fun x -> x + 100) [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list int)) "reports" [ 101; 102; 103; 104 ]
+    (List.map get_done reports);
+  Alcotest.(check (list (pair int int)))
+    "hook saw every (index, value) exactly once"
+    [ (0, 101); (1, 102); (2, 103); (3, 104) ]
+    (List.sort compare !seen)
+
+let test_task_failure_quarantines () =
+  (* A deterministic task failure crosses the process boundary as
+     Worker_failure carrying the printed exception, and consumes policy
+     attempts (zero-delay policy: no sleeps). *)
+  let policy =
+    Exec.Supervise.policy ~max_attempts:3 ~base_delay_s:0. ~jitter:0. ()
+  in
+  let reports =
+    Exec.Shard.try_map ~shards:2 ~policy
+      (fun x -> if x = 2 then failwith "poisoned cell" else x * 10)
+      [ 1; 2; 3 ]
+  in
+  match reports with
+  | [ a; b; c ] ->
+      Alcotest.(check int) "healthy neighbours keep results" 10 (get_done a);
+      Alcotest.(check int) "healthy neighbours keep results" 30 (get_done c);
+      (match b.Exec.Supervise.status with
+      | Exec.Supervise.Quarantined e -> (
+          match e.Exec.Pool.exn with
+          | Exec.Shard.Worker_failure { printed; _ } ->
+              Alcotest.(check bool) "printed exception preserved" true
+                (String.length printed > 0
+                && String.length (Str.global_replace (Str.regexp_string "poisoned cell") "" printed)
+                   < String.length printed)
+          | _ -> Alcotest.fail "expected Worker_failure")
+      | Exec.Supervise.Done _ -> Alcotest.fail "poisoned cell must quarantine");
+      Alcotest.(check int) "policy attempts consumed" 3 b.Exec.Supervise.attempts
+  | _ -> Alcotest.fail "unexpected batch shape"
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery                                                       *)
+
+let test_torn_frame_recovery () =
+  (* The worker handling the 2nd assignment writes half a result frame
+     and dies. The coordinator must drop the torn frame, respawn, requeue
+     and settle every task with the right value. *)
+  let dropped0 = counter "shard.frames_dropped" in
+  let respawns0 = counter "shard.respawns" in
+  let xs = List.init 12 Fun.id in
+  let reports =
+    Exec.Shard.try_map ~shards:2
+      ~havoc:(fun ~slot:_ ~seq ->
+        if seq = 2 then Some Exec.Shard.Torn_frame else None)
+      (fun x -> x * 7) xs
+  in
+  Alcotest.(check (list int)) "all tasks settle correctly"
+    (List.map (fun x -> x * 7) xs)
+    (List.map get_done reports);
+  Alcotest.(check bool) "torn frame counted as dropped" true
+    (counter "shard.frames_dropped" > dropped0);
+  Alcotest.(check bool) "worker respawned" true
+    (counter "shard.respawns" > respawns0)
+
+let test_corrupt_frame_recovery () =
+  (* A bit-flipped result frame fails its CRC: the stream is condemned,
+     the worker killed and respawned, and the task recomputed — never
+     settled from the corrupt payload. *)
+  let dropped0 = counter "shard.frames_dropped" in
+  let respawns0 = counter "shard.respawns" in
+  let xs = List.init 12 Fun.id in
+  let reports =
+    Exec.Shard.try_map ~shards:2
+      ~havoc:(fun ~slot:_ ~seq ->
+        if seq = 2 then Some Exec.Shard.Corrupt_frame else None)
+      (fun x -> x + 1000) xs
+  in
+  Alcotest.(check (list int)) "all tasks settle correctly"
+    (List.map (fun x -> x + 1000) xs)
+    (List.map get_done reports);
+  Alcotest.(check bool) "corrupt frame dropped" true
+    (counter "shard.frames_dropped" > dropped0);
+  Alcotest.(check bool) "worker respawned" true
+    (counter "shard.respawns" > respawns0)
+
+let test_restart_budget_exhaustion () =
+  (* Every assignment tears: with a finite restart budget the run must
+     still terminate, quarantining unsettled tasks as Worker_crashed
+     rather than hanging or crashing the coordinator. *)
+  let reports =
+    Exec.Shard.try_map ~shards:1 ~restarts:1
+      ~havoc:(fun ~slot:_ ~seq:_ -> Some Exec.Shard.Torn_frame)
+      (fun x -> x) [ 1; 2; 3 ]
+  in
+  Alcotest.(check int) "every task reported" 3 (List.length reports);
+  List.iter
+    (fun (r : _ Exec.Supervise.report) ->
+      match r.Exec.Supervise.status with
+      | Exec.Supervise.Quarantined e -> (
+          match e.Exec.Pool.exn with
+          | Exec.Shard.Worker_crashed _ -> ()
+          | exn ->
+              Alcotest.failf "expected Worker_crashed, got %s"
+                (Printexc.to_string exn))
+      | Exec.Supervise.Done _ ->
+          Alcotest.fail "no task can settle when every frame tears")
+    reports
+
+(* ------------------------------------------------------------------ *)
+(* Sharded campaigns: the determinism contract                          *)
+
+(* The single-process reference for the pinned seed-42 smoke matrix,
+   computed once (the outcome cache makes later comparisons free). *)
+let reference =
+  lazy (Scenarios.Campaign.run ~domains:1 (Scenarios.Campaign.smoke ()))
+
+let check_matches_reference what (c : Scenarios.Campaign.t) =
+  let r = Lazy.force reference in
+  Alcotest.(check bool)
+    (what ^ ": cells bit-for-bit identical") true
+    (c.Scenarios.Campaign.cells = r.Scenarios.Campaign.cells);
+  Alcotest.(check string)
+    (what ^ ": CSV byte-identical")
+    (Scenarios.Export.campaign_csv r)
+    (Scenarios.Export.campaign_csv c);
+  (* The pinned coverage counts of the seed-42 smoke grid (EXPERIMENTS.md). *)
+  Alcotest.(check (list int))
+    (what ^ ": pinned detection counts")
+    [ 3; 4; 1; 4 ]
+    [
+      c.Scenarios.Campaign.detected;
+      c.Scenarios.Campaign.missed;
+      c.Scenarios.Campaign.spurious;
+      c.Scenarios.Campaign.no_effect;
+    ];
+  Alcotest.(check (list int))
+    (what ^ ": pinned classification counts")
+    [ 70; 22; 63; 3 ]
+    [
+      c.Scenarios.Campaign.hits;
+      c.Scenarios.Campaign.false_negatives;
+      c.Scenarios.Campaign.false_positives;
+      c.Scenarios.Campaign.inhibited;
+    ]
+
+let test_sharded_matches_single_process () =
+  ignore (Lazy.force reference);
+  let executed0 = counter "campaign.cells_executed" in
+  let c = Scenarios.Campaign.run ~shards:2 ~domains:1 (Scenarios.Campaign.smoke ()) in
+  check_matches_reference "2 shards" c;
+  Alcotest.(check int) "coordinator counted all 12 cells" 12
+    (counter "campaign.cells_executed" - executed0);
+  Alcotest.(check int) "robustness: 12 executed" 12
+    c.Scenarios.Campaign.robustness.Scenarios.Campaign.executed
+
+(* Find a live shard worker (child of this process, marker in argv) by
+   scanning /proc. ppid is the field after the parenthesised comm in
+   /proc/<pid>/stat; comm can contain anything, so parse after the last
+   ')'. *)
+let find_worker () =
+  let self = Unix.getpid () in
+  let read_file f =
+    try Some (In_channel.with_open_bin f In_channel.input_all)
+    with Sys_error _ -> None
+  in
+  Sys.readdir "/proc" |> Array.to_list
+  |> List.filter_map int_of_string_opt
+  |> List.find_opt (fun pid ->
+         match
+           ( read_file (Printf.sprintf "/proc/%d/stat" pid),
+             read_file (Printf.sprintf "/proc/%d/cmdline" pid) )
+         with
+         | Some stat, Some cmdline -> (
+             match String.rindex_opt stat ')' with
+             | Some i -> (
+                 match
+                   String.split_on_char ' '
+                     (String.sub stat (i + 2) (String.length stat - i - 2))
+                 with
+                 | _state :: ppid :: _ ->
+                     ppid = string_of_int self
+                     && Str.string_match
+                          (Str.regexp ".*exec-shard-worker.*")
+                          (String.map (fun c -> if c = '\000' then ' ' else c) cmdline)
+                          0
+                 | _ -> false)
+             | None -> false)
+         | _ -> None <> None)
+
+let test_sigkill_worker_mid_grid () =
+  (* SIGKILL a real worker while the grid is running; the campaign must
+     absorb the crash (respawn + requeue) and still produce the exact
+     single-process matrix and CSV. The killer runs on its own domain,
+     polling /proc until a worker exists. *)
+  ignore (Lazy.force reference);
+  let respawns0 = counter "shard.respawns" in
+  let killed = Atomic.make 0 in
+  let killer =
+    Domain.spawn (fun () ->
+        let deadline = Unix.gettimeofday () +. 60. in
+        let rec hunt () =
+          if Unix.gettimeofday () < deadline && Atomic.get killed = 0 then (
+            (match find_worker () with
+            | Some pid -> (
+                try
+                  Unix.kill pid Sys.sigkill;
+                  Atomic.set killed pid
+                with Unix.Unix_error _ -> ())
+            | None -> ());
+            if Atomic.get killed = 0 then (
+              Unix.sleepf 0.01;
+              hunt ()))
+        in
+        hunt ())
+  in
+  let c = Scenarios.Campaign.run ~shards:2 ~domains:1 (Scenarios.Campaign.smoke ()) in
+  Domain.join killer;
+  Alcotest.(check bool) "the killer found and killed a worker" true
+    (Atomic.get killed > 0);
+  Alcotest.(check bool) "shard.respawns >= 1" true
+    (counter "shard.respawns" > respawns0);
+  check_matches_reference "after worker SIGKILL" c
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "round-trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "byte-at-a-time streaming" `Quick
+            test_frame_streaming;
+          Alcotest.test_case "torn tail reads as short" `Quick
+            test_frame_torn_tail;
+          Alcotest.test_case "corruption detected" `Quick test_frame_corruption;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "submission order across workers" `Quick
+            test_try_map_order;
+          Alcotest.test_case "on_result hook" `Quick test_on_result_hook;
+          Alcotest.test_case "task failure quarantines" `Quick
+            test_task_failure_quarantines;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "torn frame recovered" `Quick
+            test_torn_frame_recovery;
+          Alcotest.test_case "corrupt frame recovered" `Quick
+            test_corrupt_frame_recovery;
+          Alcotest.test_case "restart budget exhaustion terminates" `Quick
+            test_restart_budget_exhaustion;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "sharded = single-process bit-for-bit" `Slow
+            test_sharded_matches_single_process;
+          Alcotest.test_case "worker SIGKILL mid-grid absorbed" `Slow
+            test_sigkill_worker_mid_grid;
+        ] );
+    ]

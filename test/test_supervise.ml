@@ -172,6 +172,32 @@ let test_backoff_schedule () =
   Alcotest.(check (float 1e-9)) "stays capped" 0.3
     (Exec.Supervise.backoff_delay exact ~attempt:9)
 
+let test_zero_delay_fast_path () =
+  (* A zero-delay policy must neither sleep nor record backoff samples:
+     shard crash-recovery tests lean on this to retry without wall-clock
+     waits. The histogram count is the deterministic witness — a slept
+     delay is always observed, a skipped one never is. *)
+  let h = Obs.Metrics.histogram "supervise.backoff_s" in
+  let count0 = (Obs.Metrics.summary h).Obs.Metrics.count in
+  let policy =
+    Exec.Supervise.policy ~max_attempts:3 ~base_delay_s:0. ~jitter:0. ()
+  in
+  Alcotest.(check (float 0.))
+    "zero base delay means zero backoff" 0.
+    (Exec.Supervise.backoff_delay policy ~attempt:5);
+  let task, attempts_of = flaky_until 2 in
+  let t0 = Obs.Clock.now () in
+  let reports = Exec.Supervise.try_map ~domains:1 ~policy task [ 0 ] in
+  let elapsed = Obs.Clock.now () -. t0 in
+  Alcotest.(check (list int)) "retries still happen" [ 0 ]
+    (List.map get_done reports);
+  Alcotest.(check int) "3 attempts made" 3 (attempts_of 0);
+  Alcotest.(check int) "no backoff samples recorded" count0
+    (Obs.Metrics.summary h).Obs.Metrics.count;
+  (* Generous sanity bound: two skipped sleeps of the 50 ms default would
+     already exceed this on their own. *)
+  Alcotest.(check bool) "no wall-clock sleep" true (elapsed < 0.05)
+
 let test_default_policy_rejects_reentrancy () =
   Alcotest.(check bool) "Reentrant_submission is not retryable" false
     (Exec.Supervise.default_policy.Exec.Supervise.retry_on
@@ -206,6 +232,8 @@ let () =
         [
           Alcotest.test_case "deterministic capped jittered schedule" `Quick
             test_backoff_schedule;
+          Alcotest.test_case "zero-delay fast path skips sleep and sample"
+            `Quick test_zero_delay_fast_path;
           Alcotest.test_case "default policy refuses re-entrancy" `Quick
             test_default_policy_rejects_reentrancy;
           Alcotest.test_case "policy validation" `Quick test_policy_validation;
