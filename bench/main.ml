@@ -154,7 +154,7 @@ let pp_estimate name = function
    multi-minute bench run must not corrupt the headline numbers. *)
 let wall = Obs.Clock.elapsed
 
-let fleet_comparison ~shards () =
+let fleet_comparison ~shards ?batch () =
   let n = max 1 (Domain.recommended_domain_count ()) in
   Fmt.pr "@.full-fleet regeneration (10 scenarios, cache bypassed)@.";
   Fmt.pr "%s@." (String.make 50 '-');
@@ -170,24 +170,30 @@ let fleet_comparison ~shards () =
     t_par (t_seq /. t_par);
   (* Same fleet through the multi-process backend: [shards] workers of
      [n / shards] domains each, so the three rows compare one process /
-     one domain, one process / n domains, and shards × domains. *)
+     one domain, one process / n domains, and shards × domains. The
+     fleet is warmed first so the row times the work, not the spawn. *)
   let s = max 1 shards in
   let d = max 1 (n / s) in
+  Exec.Shard.warm ~shards:s ~domains:d ();
   let _, t_shard =
     wall (fun () ->
-        Scenarios.Runner.run_all ~use_cache:false ~shards:s ~domains:d ())
+        Scenarios.Runner.run_all ~use_cache:false ~shards:s ~domains:d ?batch ())
   in
   Fmt.pr "%-34s %10.2f s  (%.2fx)@."
     (Fmt.str "sharded (%d procs x %d domains)" s d)
     t_shard (t_seq /. t_shard);
   let _, t_warm = wall (fun () -> Scenarios.Runner.run_all ()) in
   Fmt.pr "%-34s %10.4f s@." "warm cache" t_warm;
-  (* whole-run timings as bench entries, normalized to ns like the rest *)
+  let cells = List.length Scenarios.Defs.all in
+  (* whole-run timings as bench entries, normalized to ns like the rest;
+     [per_cell_us] is the sequential per-scenario cost in microseconds —
+     the unit sizing batch and shard decisions. *)
   [
     ("fleet_sequential", t_seq *. 1e9);
     ("fleet_parallel", t_par *. 1e9);
     ("fleet_sharded", t_shard *. 1e9);
     ("fleet_warm_cache", t_warm *. 1e9);
+    ("per_cell_us", t_seq *. 1e6 /. float_of_int (max 1 cells));
   ]
 
 let run_bench tests =
@@ -206,12 +212,12 @@ let write_snapshot ~name bench =
   Obs.Export.write_file ~name ~bench path;
   Fmt.pr "@.wrote %s (%d estimates)@." path (List.length bench)
 
-(* [--shards N] in [Sys.argv], if present ([None] otherwise). The bench
-   keeps raw argv parsing — two flags don't justify a cmdliner term. *)
-let shards_argv () =
+(* [--flag N] in [Sys.argv], if present ([None] otherwise). The bench
+   keeps raw argv parsing — three flags don't justify a cmdliner term. *)
+let int_argv flag =
   let rec go i =
     if i + 1 >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = "--shards" then int_of_string_opt Sys.argv.(i + 1)
+    else if Sys.argv.(i) = flag then int_of_string_opt Sys.argv.(i + 1)
     else go (i + 1)
   in
   go 1
@@ -222,7 +228,8 @@ let () =
      here instead of running the benchmarks. *)
   Exec.Shard.init ();
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
-  let shards = shards_argv () in
+  let shards = int_argv "--shards" in
+  let batch = int_argv "--cells-per-frame" in
   if smoke then begin
     (* CI smoke: one experiment over one pre-warmed scenario, minimal
        samples — proves the perf harness still compiles and runs. *)
@@ -250,15 +257,22 @@ let () =
                 Scenarios.Runner.run_all ~use_cache:false ~domains:1 ())
           in
           Fmt.pr "%-34s %10.2f s@." "fleet sequential" t_seq;
+          (* Warm the fleet first: the row times the sharded work, not
+             the one-off worker spawn the fleet amortizes away. *)
+          Exec.Shard.warm ~shards:s ~domains:1 ();
           let _, t_shard =
             wall (fun () ->
-                Scenarios.Runner.run_all ~use_cache:false ~shards:s ~domains:1 ())
+                Scenarios.Runner.run_all ~use_cache:false ~shards:s ~domains:1
+                  ?batch ())
           in
           Fmt.pr "%-34s %10.2f s  (%.2fx)@."
             (Fmt.str "fleet sharded (%d procs)" s)
             t_shard (t_seq /. t_shard);
+          let cells = List.length Scenarios.Defs.all in
           [
-            ("fleet_sequential", t_seq *. 1e9); ("fleet_sharded", t_shard *. 1e9);
+            ("fleet_sequential", t_seq *. 1e9);
+            ("fleet_sharded", t_shard *. 1e9);
+            ("per_cell_us", t_seq *. 1e6 /. float_of_int (max 1 cells));
           ]
     in
     write_snapshot ~name:"smoke"
@@ -272,7 +286,9 @@ let () =
       (max 1 (Domain.recommended_domain_count ()));
     let _, t = wall (fun () -> Core.Experiments.prewarm ()) in
     Fmt.pr "fleet warmed in %.2f s@." t;
-    let fleet = fleet_comparison ~shards:(Option.value shards ~default:2) () in
+    let fleet =
+      fleet_comparison ~shards:(Option.value shards ~default:2) ?batch ()
+    in
     let estimates = run_bench (micro_tests @ experiment_tests) in
     write_snapshot ~name:"full"
       ((("prewarm_fleet", t *. 1e9) :: fleet) @ estimates)

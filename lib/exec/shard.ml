@@ -104,23 +104,35 @@ end
 
 (* ------------------------------------------------------------------ *)
 (* Protocol messages. Task inputs/outputs travel as [Obj.t] because one
-   pipe carries a single ('a, 'b) instantiation fixed by the [try_map]
-   call that opened it; the coordinator re-types results with [Obj.obj]
-   at the only place their type is known. *)
+   pipe carries a single ('a, 'b) instantiation fixed by the job that is
+   currently bound on it; the coordinator re-types results with [Obj.obj]
+   at the only place their type is known.
+
+   [Hello] is sent once per spawn (a worker keeps its domain pool for its
+   whole life). [Job] re-binds the task function once per [try_map] call
+   per worker incarnation — the only time the closure is marshalled.
+   [Batch] then carries many cells per frame; each cell's value is
+   {e pre-digested} — marshalled once by the coordinator when the task is
+   first dispatched and reused verbatim on requeues — so the per-cell
+   frame cost is a string blit, not a closure graph walk. *)
 
 type remote_failure = { printed : string; trace : string }
 
 type coordinator_to_worker =
-  | Hello of {
-      slot : int;
-      domains : int;
+  | Hello of { slot : int; domains : int }
+  | Job of {
+      job : int;
       f : Obj.t -> Obj.t;
       havoc : (slot:int -> seq:int -> havoc option) option;
     }
-  | Assign of { seq : int; tasks : (int * Obj.t) list }
+  | Batch of { job : int; seq : int; tasks : (int * string) array }
 
 type worker_to_coordinator =
-  | Result of { index : int; value : (Obj.t, remote_failure) Stdlib.result }
+  | Result of {
+      job : int;
+      index : int;
+      value : (Obj.t, remote_failure) Stdlib.result;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Worker side                                                          *)
@@ -140,8 +152,11 @@ let rec read_frame buf fd =
           read_frame buf fd
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_frame buf fd)
 
-let run_chunk pool f tasks =
-  let xs = List.map snd tasks in
+let run_batch pool f job (tasks : (int * string) array) =
+  let xs =
+    Array.to_list
+      (Array.map (fun (_, payload) -> Marshal.from_string payload 0) tasks)
+  in
   let results =
     match pool with
     | Some p -> Pool.try_map_pool p f xs
@@ -167,10 +182,10 @@ let run_chunk pool f tasks =
                 trace = Printexc.raw_backtrace_to_string e.Pool.backtrace;
               }
       in
-      Frame.encode (Result { index; value }))
-    tasks results
+      Frame.encode (Result { job; index; value }))
+    (Array.to_list tasks) results
 
-(* Write the chunk's result frames, honouring the test-only havoc hook:
+(* Write the batch's result frames, honouring the test-only havoc hook:
    a torn frame is a partial write followed by sudden death, a corrupt
    frame a payload bit-flip under an unchanged CRC field. *)
 let write_results fd ~injected frames =
@@ -199,23 +214,36 @@ let worker_main fd =
   Printexc.record_backtrace true;
   let buf = Frame.create () in
   match read_frame buf fd with
-  | Some (Hello { slot; domains; f; havoc }) ->
+  | Some (Hello { slot; domains }) ->
+      (* The domain pool outlives every job bound on this pipe: a warm
+         worker keeps its domains (and any process-lifetime caches its
+         tasks populate) across [try_map] calls. *)
       let pool = if domains > 1 then Some (Pool.create ~domains ()) else None in
+      let bound = ref None in
       let rec serve () =
         match read_frame buf fd with
-        | Some (Assign { seq; tasks }) ->
-            let frames = run_chunk pool f tasks in
-            let injected =
-              match havoc with Some h -> h ~slot ~seq | None -> None
-            in
-            write_results fd ~injected frames;
+        | Some (Job { job; f; havoc }) ->
+            bound := Some (job, f, havoc);
             serve ()
+        | Some (Batch { job; seq; tasks }) -> (
+            match !bound with
+            | Some (bound_job, f, havoc) when bound_job = job ->
+                let frames = run_batch pool f job tasks in
+                let injected =
+                  match havoc with Some h -> h ~slot ~seq | None -> None
+                in
+                write_results fd ~injected frames;
+                serve ()
+            | _ ->
+                (* A batch for a job this incarnation was never bound to:
+                   protocol violation, die loudly. *)
+                Unix._exit 65)
         | Some (Hello _) | None ->
             (* EOF: the coordinator is done with us (or gone). *)
             Unix._exit 0
       in
       serve ()
-  | Some (Assign _) | None -> Unix._exit 65
+  | Some (Job _ | Batch _) | None -> Unix._exit 65
 
 let init () =
   if in_worker () then
@@ -235,13 +263,7 @@ let m_frames_recv = Obs.Metrics.counter "shard.frames_recv"
 let m_frames_dropped = Obs.Metrics.counter "shard.frames_dropped"
 let m_requeued = Obs.Metrics.counter "shard.cells_requeued"
 let h_roundtrip = Obs.Metrics.histogram "shard.frame_roundtrip_s"
-
-(* Writes to a freshly dead worker must surface as EPIPE (handled as
-   worker death), not kill the coordinator. Process-wide, set once. *)
-let ignore_sigpipe =
-  lazy
-    (if Sys.os_type = "Unix" then
-       Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+let h_batch = Obs.Metrics.histogram "shard.batch_size"
 
 type worker = {
   slot : int;
@@ -249,11 +271,26 @@ type worker = {
   mutable fd : Unix.file_descr;
   mutable rbuf : Frame.buf;
   mutable inflight : (int * float) list;  (** task index, assign instant *)
-  mutable chunk_started : float;
+  mutable batch_started : float;
   mutable restarts_left : int;
   mutable alive : bool;
   mutable busy_s : float;
 }
+
+(* A resident fleet: one warm worker process per slot, spawned on first
+   use of its [(shards, domains)] shape and kept across [try_map] calls
+   until {!shutdown_fleets} (or process exit). Worker processes carry
+   their domain pools and any process-lifetime caches with them, so the
+   spawn + handshake cost is paid once per campaign, not once per batch
+   of cells. *)
+type fleet = {
+  f_shards : int;
+  f_domains : int;
+  mutable members : worker list;
+  mutable next_job : int;
+}
+
+let fleets : (int * int, fleet) Hashtbl.t = Hashtbl.create 4
 
 let reap pid =
   let rec go () =
@@ -264,6 +301,117 @@ let reap pid =
   in
   go ()
 
+(* Tear one worker down on every path — close the pipe fd exactly once,
+   then reap the child so no zombie (and no descriptor) outlives the
+   slot. All exits funnel through here: normal shutdown, coordinator
+   exceptions, and restart-budget exhaustion alike. *)
+let dismiss w =
+  if w.alive then begin
+    w.alive <- false;
+    (try Unix.close w.fd with Unix.Unix_error _ -> ());
+    (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+    reap w.pid
+  end
+
+let destroy_fleet fleet =
+  List.iter dismiss fleet.members;
+  Hashtbl.remove fleets (fleet.f_shards, fleet.f_domains);
+  Obs.Metrics.set g_workers 0.
+
+let shutdown_fleets () =
+  let all = Hashtbl.fold (fun _ fleet acc -> fleet :: acc) fleets [] in
+  List.iter destroy_fleet all
+
+(* Writes to a freshly dead worker must surface as EPIPE (handled as
+   worker death), not kill the coordinator; and resident workers must
+   not outlive the coordinator process. Process-wide, set once. *)
+let ensure_process_setup =
+  lazy
+    (if Sys.os_type = "Unix" then
+       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+     at_exit shutdown_fleets)
+
+let spawn_env =
+  lazy (Array.append (Unix.environment ()) [| worker_env ^ "=1" |])
+
+(* Spawn (or respawn) a worker into [w]'s slot. The child's stdin is
+   its end of the socketpair — bidirectional, so results come back on
+   the same descriptor — and its stdout/stderr go to our stderr so
+   worker diagnostics cannot corrupt the coordinator's stdout. *)
+let spawn ~domains w =
+  let ours, theirs =
+    Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  let pid =
+    try
+      Unix.create_process_env Sys.executable_name
+        [| Sys.executable_name; argv_marker; string_of_int w.slot |]
+        (Lazy.force spawn_env) theirs Unix.stderr Unix.stderr
+    with e ->
+      Unix.close ours;
+      Unix.close theirs;
+      raise e
+  in
+  Unix.close theirs;
+  w.pid <- pid;
+  w.fd <- ours;
+  w.rbuf <- Frame.create ();
+  w.inflight <- [];
+  w.alive <- true;
+  match Frame.write ours (Hello { slot = w.slot; domains }) with
+  | () -> Obs.Metrics.incr m_frames_sent
+  | exception Unix.Unix_error _ ->
+      (* Died before the handshake; the first write or read on the pipe
+         will surface the death and the budgeted respawn path takes over. *)
+      ()
+
+(* The fleet for a [(shards, domains)] shape: created and fully spawned
+   on first use; dead slots (budget exhaustion in an earlier job, or a
+   kill between jobs) are respawned here without charging any budget —
+   each job starts with its full complement and a fresh restart budget. *)
+let get_fleet ~shards ~domains =
+  Lazy.force ensure_process_setup;
+  let fleet =
+    match Hashtbl.find_opt fleets (shards, domains) with
+    | Some fleet -> fleet
+    | None ->
+        let fleet =
+          {
+            f_shards = shards;
+            f_domains = domains;
+            members =
+              List.init shards (fun slot ->
+                  {
+                    slot;
+                    pid = -1;
+                    fd = Unix.stdin;
+                    rbuf = Frame.create ();
+                    inflight = [];
+                    batch_started = 0.;
+                    restarts_left = 0;
+                    alive = false;
+                    busy_s = 0.;
+                  });
+            next_job = 0;
+          }
+        in
+        Hashtbl.add fleets (shards, domains) fleet;
+        fleet
+  in
+  List.iter (fun w -> if not w.alive then spawn ~domains w) fleet.members;
+  fleet
+
+let warm ?shards ?(domains = 1) () =
+  if in_worker () then
+    invalid_arg "Shard.warm: nested sharding inside a shard worker";
+  let domains = max 1 domains in
+  let shards =
+    match shards with
+    | Some s -> max 1 s
+    | None -> max 1 (Domain.recommended_domain_count () / domains)
+  in
+  ignore (get_fleet ~shards ~domains)
+
 let rec take n = function
   | [] -> ([], [])
   | xs when n = 0 -> ([], xs)
@@ -271,7 +419,7 @@ let rec take n = function
       let chunk, rest = take (n - 1) xs in
       (x :: chunk, rest)
 
-let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2)
+let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2) ?batch
     ?(policy = Supervise.default_policy) ?on_result ?havoc (f : a -> b)
     (xs : a list) : b Supervise.report list =
   if in_worker () then
@@ -279,16 +427,39 @@ let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2)
   let n = List.length xs in
   if n = 0 then []
   else begin
-    Lazy.force ignore_sigpipe;
     let domains = max 1 domains in
     let shards =
-      (match shards with
+      match shards with
       | Some s -> max 1 s
-      | None -> max 1 (Domain.recommended_domain_count () / domains))
-      |> min n
+      | None -> max 1 (Domain.recommended_domain_count () / domains)
+    in
+    (* Cells per frame: enough waves per worker (4) to load-balance, but
+       never below the worker's own parallelism. *)
+    let batch =
+      match batch with
+      | Some b -> max 1 b
+      | None -> max domains ((n + (shards * 4) - 1) / (shards * 4))
     in
     let now () = Obs.Clock.now () in
+    let fleet = get_fleet ~shards ~domains in
+    let job = fleet.next_job in
+    fleet.next_job <- job + 1;
+    (* The task closure is marshalled once per job; each task value once
+       per job at first dispatch ([payloads] memoizes it, so a requeue
+       after a crash reuses the digested bytes). *)
+    let job_frame =
+      Frame.encode (Job { job; f = (Obj.magic f : Obj.t -> Obj.t); havoc })
+    in
     let tasks = Array.of_list xs in
+    let payloads : string option array = Array.make n None in
+    let payload i =
+      match payloads.(i) with
+      | Some s -> s
+      | None ->
+          let s = Marshal.to_string (Obj.repr tasks.(i)) [ Marshal.Closures ] in
+          payloads.(i) <- Some s;
+          s
+    in
     let reports : b Supervise.report option array = Array.make n None in
     let dispatches = Array.make n 0 in
     let failures = Array.make n 0 in
@@ -296,50 +467,14 @@ let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2)
     (* (task index, earliest re-dispatch instant); deferred entries carry
        the retry policy's backoff as a deadline, never as a sleep. *)
     let pending = ref (List.init n (fun i -> (i, 0.))) in
-    let assign_seq = ref 0 in
-    let spawn_env =
-      Array.append (Unix.environment ()) [| worker_env ^ "=1" |]
-    in
-    let hello_for slot =
-      Hello { slot; domains; f = (Obj.magic f : Obj.t -> Obj.t); havoc }
-    in
-    let workers = ref [] in
+    let batch_seq = ref 0 in
     let live_count () =
-      List.fold_left (fun acc w -> if w.alive then acc + 1 else acc) 0 !workers
+      List.fold_left
+        (fun acc w -> if w.alive then acc + 1 else acc)
+        0 fleet.members
     in
-    let sync_gauge () = Obs.Metrics.set g_workers (float_of_int (live_count ())) in
-    (* Spawn (or respawn) a worker into [w]'s slot. The child's stdin is
-       its end of the socketpair — bidirectional, so results come back on
-       the same descriptor — and its stdout/stderr go to our stderr so
-       worker diagnostics cannot corrupt the coordinator's stdout. *)
-    let spawn w =
-      let ours, theirs =
-        Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
-      in
-      let pid =
-        try
-          Unix.create_process_env Sys.executable_name
-            [| Sys.executable_name; argv_marker; string_of_int w.slot |]
-            spawn_env theirs Unix.stderr Unix.stderr
-        with e ->
-          Unix.close ours;
-          Unix.close theirs;
-          raise e
-      in
-      Unix.close theirs;
-      w.pid <- pid;
-      w.fd <- ours;
-      w.rbuf <- Frame.create ();
-      w.inflight <- [];
-      w.alive <- true;
-      (match Frame.write ours (hello_for w.slot) with
-      | () -> Obs.Metrics.incr m_frames_sent
-      | exception Unix.Unix_error _ ->
-          (* Died before the handshake; the select loop's death path will
-             requeue nothing (no in-flight yet) and respawn if budget
-             remains. *)
-          ());
-      sync_gauge ()
+    let sync_gauge () =
+      Obs.Metrics.set g_workers (float_of_int (live_count ()))
     in
     let requeue w =
       List.iter
@@ -351,25 +486,33 @@ let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2)
         w.inflight;
       w.inflight <- []
     in
+    (* Bind this job on a (fresh or respawned) worker. On a dead pipe the
+       death path below takes over — budgeted, so the recursion with
+       [on_death] terminates. *)
+    let rec send_job w =
+      match Frame.write_all w.fd job_frame with
+      | () -> Obs.Metrics.incr m_frames_sent
+      | exception
+          Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+        ->
+          on_death w
     (* A worker is dead the moment its pipe reaches EOF, errors, or
-       yields a corrupt frame: reap it, put its in-flight work back on
-       the queue (not charged against the retry policy — crashes are
-       bounded by the restart budget instead, so a single-attempt policy
-       still recovers from SIGKILL), and respawn into the same slot while
-       the budget lasts. *)
-    let on_death w =
-      (try Unix.close w.fd with Unix.Unix_error _ -> ());
-      reap w.pid;
+       yields a corrupt frame: close its fd and reap it ({!dismiss} —
+       every death path releases the descriptor), put its in-flight work
+       back on the queue (not charged against the retry policy — crashes
+       are bounded by the restart budget instead, so a single-attempt
+       policy still recovers from SIGKILL), and respawn into the same
+       slot while the budget lasts. *)
+    and on_death w =
+      dismiss w;
       requeue w;
       if w.restarts_left > 0 then begin
         w.restarts_left <- w.restarts_left - 1;
         Obs.Metrics.incr m_respawns;
-        spawn w
-      end
-      else begin
-        w.alive <- false;
-        sync_gauge ()
-      end
+        spawn ~domains w;
+        send_job w
+      end;
+      sync_gauge ()
     in
     let quarantine index exn =
       reports.(index) <-
@@ -382,55 +525,61 @@ let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2)
           };
       incr settled
     in
-    let settle w index (value : (Obj.t, remote_failure) Stdlib.result) =
+    let settle w rjob index (value : (Obj.t, remote_failure) Stdlib.result) =
       Obs.Metrics.incr m_frames_recv;
-      match List.assoc_opt index w.inflight with
-      | None -> () (* stale frame from a superseded assignment *)
-      | Some sent ->
-          w.inflight <- List.remove_assoc index w.inflight;
-          let t = now () in
-          Obs.Metrics.observe h_roundtrip (t -. sent);
-          if w.inflight = [] then w.busy_s <- w.busy_s +. (t -. w.chunk_started);
-          if reports.(index) = None then begin
-            match value with
-            | Ok v ->
-                let v : b = Obj.obj v in
-                reports.(index) <-
-                  Some
-                    {
-                      Supervise.status = Supervise.Done v;
-                      attempts = max 1 dispatches.(index);
-                    };
-                incr settled;
-                Option.iter (fun g -> g index v) on_result
-            | Error { printed; trace } ->
-                failures.(index) <- failures.(index) + 1;
-                let exn = Worker_failure { printed; trace } in
-                if failures.(index) < policy.Supervise.max_attempts
-                   && policy.Supervise.retry_on exn
-                then begin
-                  let delay =
-                    Supervise.backoff_delay policy ~attempt:failures.(index)
-                  in
-                  Obs.Metrics.incr m_requeued;
-                  pending := (index, t +. delay) :: !pending
-                end
-                else quarantine index exn
-          end
+      if rjob = job then
+        match List.assoc_opt index w.inflight with
+        | None -> () (* stale frame from a superseded assignment *)
+        | Some sent ->
+            w.inflight <- List.remove_assoc index w.inflight;
+            let t = now () in
+            Obs.Metrics.observe h_roundtrip (t -. sent);
+            if w.inflight = [] then
+              w.busy_s <- w.busy_s +. (t -. w.batch_started);
+            if reports.(index) = None then begin
+              match value with
+              | Ok v ->
+                  let v : b = Obj.obj v in
+                  reports.(index) <-
+                    Some
+                      {
+                        Supervise.status = Supervise.Done v;
+                        attempts = max 1 dispatches.(index);
+                      };
+                  incr settled;
+                  Option.iter (fun g -> g index v) on_result
+              | Error { printed; trace } ->
+                  failures.(index) <- failures.(index) + 1;
+                  let exn = Worker_failure { printed; trace } in
+                  if
+                    failures.(index) < policy.Supervise.max_attempts
+                    && policy.Supervise.retry_on exn
+                  then begin
+                    let delay =
+                      Supervise.backoff_delay policy ~attempt:failures.(index)
+                    in
+                    Obs.Metrics.incr m_requeued;
+                    pending := (index, t +. delay) :: !pending
+                  end
+                  else quarantine index exn
+            end
     in
     let refill w =
       if w.alive && w.inflight = [] && !pending <> [] then begin
         let t = now () in
         let ready, deferred = List.partition (fun (_, nb) -> nb <= t) !pending in
-        let chunk, rest = take domains (List.sort compare ready) in
+        let chunk, rest = take batch (List.sort compare ready) in
         if chunk <> [] then begin
           pending := rest @ deferred;
-          incr assign_seq;
+          incr batch_seq;
+          Obs.Metrics.observe h_batch (float_of_int (List.length chunk));
           List.iter (fun (i, _) -> dispatches.(i) <- dispatches.(i) + 1) chunk;
-          w.chunk_started <- t;
+          w.batch_started <- t;
           w.inflight <- List.map (fun (i, _) -> (i, t)) chunk;
-          let tasks = List.map (fun (i, _) -> (i, Obj.repr tasks.(i))) chunk in
-          match Frame.write w.fd (Assign { seq = !assign_seq; tasks }) with
+          let tasks =
+            Array.of_list (List.map (fun (i, _) -> (i, payload i)) chunk)
+          in
+          match Frame.write w.fd (Batch { job; seq = !batch_seq; tasks }) with
           | () -> Obs.Metrics.incr m_frames_sent
           | exception
               Unix.Unix_error
@@ -466,91 +615,79 @@ let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2)
                   (try Unix.kill w.pid Sys.sigkill
                    with Unix.Unix_error _ -> ());
                   on_death w
-              | `Frame (Result { index; value }) ->
-                  settle w index value;
+              | `Frame (Result { job = rjob; index; value }) ->
+                  settle w rjob index value;
                   parse buf
           in
           parse w.rbuf
     in
     let t_start = now () in
-    workers :=
-      List.init shards (fun slot ->
-          {
-            slot;
-            pid = -1;
-            fd = Unix.stdin;
-            rbuf = Frame.create ();
-            inflight = [];
-            chunk_started = 0.;
-            restarts_left = restarts;
-            alive = false;
-            busy_s = 0.;
-          });
-    Fun.protect
-      ~finally:(fun () ->
-        List.iter
-          (fun w ->
-            if w.alive then begin
-              (try Unix.close w.fd with Unix.Unix_error _ -> ());
-              (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
-              reap w.pid;
-              w.alive <- false
-            end)
-          !workers;
-        Obs.Metrics.set g_workers 0.)
-      (fun () ->
-        List.iter spawn !workers;
-        while !settled < n do
-          List.iter refill !workers;
-          let alive = List.filter (fun w -> w.alive) !workers in
-          if alive = [] then begin
-            (* Out of workers and out of restart budget: everything not
-               yet settled is terminally quarantined. *)
-            let slot =
-              match !workers with w :: _ -> w.slot | [] -> -1
-            in
-            Array.iteri
-              (fun i r ->
-                if r = None then quarantine i (Worker_crashed { slot }))
-              reports;
-            pending := []
-          end
-          else begin
-            let t = now () in
-            let next_deadline =
-              List.fold_left
-                (fun acc (_, nb) -> if nb > t then Float.min acc nb else acc)
-                Float.infinity !pending
-            in
-            let timeout =
-              if next_deadline = Float.infinity then 1.0
-              else Float.max 0.005 (Float.min 1.0 (next_deadline -. t))
-            in
-            match
-              Unix.select (List.map (fun w -> w.fd) alive) [] [] timeout
-            with
-            | readable, _, _ ->
-                List.iter
-                  (fun w -> if w.alive && List.mem w.fd readable then drain w)
-                  alive
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-          end
-        done;
-        let wall = now () -. t_start in
-        List.iter
-          (fun w ->
-            Obs.Metrics.set
-              (Obs.Metrics.gauge
-                 (Printf.sprintf "shard.worker%d.utilization" w.slot))
-              (if wall > 0. then Float.min 1. (w.busy_s /. wall) else 0.))
-          !workers);
+    (* Every job starts with the full fleet and a fresh restart budget;
+       a worker that exhausts it stays down for the rest of this job
+       only. On any coordinator exception the whole fleet is destroyed —
+       fds closed, children reaped — before the exception escapes. *)
+    List.iter
+      (fun w ->
+        w.restarts_left <- restarts;
+        w.busy_s <- 0.)
+      fleet.members;
+    (try
+       List.iter send_job fleet.members;
+       sync_gauge ();
+       while !settled < n do
+         List.iter refill fleet.members;
+         let alive = List.filter (fun w -> w.alive) fleet.members in
+         if alive = [] then begin
+           (* Out of workers and out of restart budget: everything not
+              yet settled is terminally quarantined. *)
+           let slot =
+             match fleet.members with w :: _ -> w.slot | [] -> -1
+           in
+           Array.iteri
+             (fun i r ->
+               if r = None then quarantine i (Worker_crashed { slot }))
+             reports;
+           pending := []
+         end
+         else begin
+           let t = now () in
+           let next_deadline =
+             List.fold_left
+               (fun acc (_, nb) -> if nb > t then Float.min acc nb else acc)
+               Float.infinity !pending
+           in
+           let timeout =
+             if next_deadline = Float.infinity then 1.0
+             else Float.max 0.005 (Float.min 1.0 (next_deadline -. t))
+           in
+           match
+             Unix.select (List.map (fun w -> w.fd) alive) [] [] timeout
+           with
+           | readable, _, _ ->
+               List.iter
+                 (fun w -> if w.alive && List.mem w.fd readable then drain w)
+                 alive
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         end
+       done
+     with e ->
+       destroy_fleet fleet;
+       raise e);
+    let wall = now () -. t_start in
+    List.iter
+      (fun w ->
+        Obs.Metrics.set
+          (Obs.Metrics.gauge
+             (Printf.sprintf "shard.worker%d.utilization" w.slot))
+          (if wall > 0. then Float.min 1. (w.busy_s /. wall) else 0.))
+      fleet.members;
     Array.to_list (Array.map Option.get reports)
   end
 
-let map ?shards ?domains ?restarts ?policy f xs =
+let map ?shards ?domains ?restarts ?batch ?policy f xs =
   List.map
     (fun (r : _ Supervise.report) ->
       match r.Supervise.status with
       | Supervise.Done v -> v
       | Supervise.Quarantined e -> raise e.Pool.exn)
-    (try_map ?shards ?domains ?restarts ?policy f xs)
+    (try_map ?shards ?domains ?restarts ?batch ?policy f xs)

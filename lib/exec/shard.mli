@@ -22,12 +22,32 @@
     marshalled with [Marshal.Closures] (the task function, its captured
     environment, and task values) transfer verbatim.
 
+    {1 Warm fleets}
+
+    Workers are {e resident}: the first run with a given
+    [(shards, domains)] shape spawns that fleet, and the fleet then stays
+    warm across [try_map] calls until {!shutdown_fleets} or process exit.
+    A worker keeps its domain pool and any process-lifetime caches its
+    tasks populate, so a campaign pays the spawn + handshake cost once,
+    not once per batch of cells. Each call binds a fresh {e job} on the
+    fleet: the task closure is marshalled once per worker per job, each
+    task value once per job (the digested bytes are reused verbatim when
+    a crash requeues the cell), and cells travel many-to-a-frame —
+    [batch] cells per assignment (the [shard.batch_size] histogram
+    records the actual sizes). A slot that exhausted its restart budget
+    in one job is respawned, with a fresh budget, at the start of the
+    next.
+
     Coordinator and worker speak over a [socketpair] using length-prefixed
     CRC-guarded binary frames (magic ["SHD1"] | length | {!Crc32} |
     [Marshal] payload — the same record discipline as the scenario
     journal). A torn frame (worker died mid-write) or corrupt frame (CRC
     mismatch) is dropped, the worker is declared dead, and its in-flight
     tasks are requeued; tasks are never lost and never double-settled.
+    Every death path — crash, corrupt stream, restart-budget exhaustion,
+    a coordinator exception escaping mid-settle — closes the worker's
+    pipe descriptor and reaps the child before anything else happens, so
+    neither descriptors nor zombies accumulate across jobs.
 
     {1 Determinism}
 
@@ -42,12 +62,15 @@
     [shard.respawns], [shard.frames_sent] / [shard.frames_recv] /
     [shard.frames_dropped], [shard.cells_requeued] (counters), a
     [shard.frame_roundtrip_s] histogram (assign sent to result received,
-    per task), and per-worker [shard.worker<slot>.utilization] gauges
-    (busy fraction of the run's wall time, set when the run settles).
+    per batch member), a [shard.batch_size] histogram (cells per
+    assignment frame), and per-worker [shard.worker<slot>.utilization]
+    gauges (busy fraction of the run's wall time, set when the run
+    settles).
 
     The first shard run in a process sets [SIGPIPE] to ignore, so writes
     to a just-died worker surface as [EPIPE] (handled as worker death)
-    rather than killing the coordinator. *)
+    rather than killing the coordinator, and registers an [at_exit] hook
+    that shuts every resident fleet down. *)
 
 exception Worker_failure of { printed : string; trace : string }
 (** A task raised inside a worker process. Exceptions cannot travel
@@ -64,13 +87,15 @@ exception Worker_crashed of { slot : int }
 type havoc = Torn_frame | Corrupt_frame
 (** Test-only frame-fault injection, performed {e inside the worker} on
     its result frames: [Torn_frame] writes a partial frame then exits
-    (simulating death mid-write); [Corrupt_frame] flips a payload byte so
-    the frame fails its CRC, then keeps running. Both must be recovered
-    from by the coordinator without losing a task. The hook is consulted
-    per assignment as [havoc ~slot ~seq], where [seq] is the
-    {e coordinator-global} assignment sequence number (1-based, across
-    all slots and respawns) — so an injection keyed on one [seq] fires
-    exactly once and the respawned worker replays the work cleanly. *)
+    (simulating death mid-write, taking the whole batch's remaining
+    results with it); [Corrupt_frame] flips a payload byte so the frame
+    fails its CRC, then keeps running. Both must be recovered from by
+    the coordinator without losing a task. The hook is consulted per
+    batch assignment as [havoc ~slot ~seq], where [seq] is the
+    {e job-global} batch sequence number (1-based, across all slots and
+    respawns within one [try_map] call) — so an injection keyed on one
+    [seq] fires exactly once and the respawned worker replays the work
+    cleanly. *)
 
 (** The frame codec, exposed for direct unit testing. A frame is
     ["SHD1" | len : u32le | crc : u32le | payload], where [payload] is
@@ -117,28 +142,48 @@ val in_worker : unit -> bool
     diagnostics; user code never observes it as [true] except from
     inside a task function. *)
 
+val warm : ?shards:int -> ?domains:int -> unit -> unit
+(** [warm ~shards ~domains ()] spawns (or completes) the resident fleet
+    for that shape without running any tasks, so a subsequent [try_map]
+    — or a benchmark timing one — pays no spawn cost. Parameter
+    defaults match {!try_map}.
+
+    @raise Invalid_argument when called from inside a shard worker. *)
+
+val shutdown_fleets : unit -> unit
+(** Tear down every resident fleet: close each worker's pipe descriptor,
+    kill and reap the process. Idempotent; also registered [at_exit] by
+    the first shard run. Subsequent runs simply respawn. *)
+
 val try_map :
   ?shards:int ->
   ?domains:int ->
   ?restarts:int ->
+  ?batch:int ->
   ?policy:Supervise.policy ->
   ?on_result:(int -> 'b -> unit) ->
   ?havoc:(slot:int -> seq:int -> havoc option) ->
   ('a -> 'b) ->
   'a list ->
   'b Supervise.report list
-(** [try_map f xs] runs [f] over [xs] across worker processes and
-    reports in submission order (report [i] corresponds to input [i]).
+(** [try_map f xs] runs [f] over [xs] across the resident worker fleet
+    and reports in submission order (report [i] corresponds to input
+    [i]).
 
     - [shards] — worker process count (default: recommended domain count
-      divided by [domains], at least 1; capped at [length xs]).
+      divided by [domains], at least 1).
     - [domains] — domains {e per worker}: each worker builds its own
-      {!Pool} of that size and receives chunks of up to [domains] tasks
-      (default 1, i.e. sequential workers).
+      {!Pool} of that size and runs each batch on it (default 1, i.e.
+      sequential workers).
     - [restarts] — how many times each slot may be respawned after a
-      crash (default 2). A slot that exhausts its budget stays down; if
-      every slot is down, unsettled tasks are quarantined with
-      {!Worker_crashed}.
+      crash (default 2), counted per call. A slot that exhausts its
+      budget stays down for the rest of the call (the next call respawns
+      it with a fresh budget); if every slot is down, unsettled tasks
+      are quarantined with {!Worker_crashed}.
+    - [batch] — cells per assignment frame (default: enough for four
+      waves per worker, [max domains (ceil n / (shards * 4))]). Larger
+      batches amortize frame and scheduling overhead; smaller ones
+      load-balance better and lose less work per crash.
     - [policy] — {!Supervise} retry policy for {e task} failures
       (a task that raised in a healthy worker). Failed tasks are requeued
       after the policy's {!Supervise.backoff_delay} — deferred on the
@@ -166,6 +211,7 @@ val map :
   ?shards:int ->
   ?domains:int ->
   ?restarts:int ->
+  ?batch:int ->
   ?policy:Supervise.policy ->
   ('a -> 'b) ->
   'a list ->

@@ -161,6 +161,168 @@ let step (t : t) (state : State.t) : bool * t =
   done;
   (v.(root), { t with mem = mem' })
 
+(* ------------------------------------------------------------------ *)
+(* Columnar fast path: compile every atom of a formula against one
+   trace's typed columns ({!Tl.Trace.column}), so the per-state loop
+   reads unboxed cells directly instead of materializing a [State.t]
+   map per state and searching it per atom. Compilation refuses (returns
+   [None]) whenever the column types cannot {e prove} the compiled
+   reader equivalent to [Eval.eval_atom] over the materialized state —
+   mixed-type columns, ordered comparisons over non-numeric terms,
+   and (in [strict] mode, used where the slow path would raise
+   [State.Unbound]) partially-present columns. Refusal falls back to
+   the reference per-state path, never to different semantics; the
+   QCheck property tests against {!Tl.Eval} exercise both paths. *)
+
+(* Exact [Value.t] of a column cell — only sound where the cell is
+   present. *)
+let cell col i =
+  match col with
+  | Trace.FCol a -> Value.Float (Float.Array.get a i)
+  | Trace.ICol a -> Value.Int a.(i)
+  | Trace.BCol b -> Value.Bool (Bytes.get b i = '\001')
+  | Trace.SCol { values; ids } -> values.(Char.code (Bytes.get ids i))
+  | Trace.VCol a -> a.(i)
+
+(* A term compiled to a typed per-state reader. [TNum] readers return
+   exactly [Value.to_float (Term.eval state t)]; likewise for the other
+   shapes. *)
+type tterm =
+  | TNum of (int -> float)
+  | TSym of (int -> string)
+  | TBool of (int -> bool)
+
+let rec typed_term ~strict tr (t : Term.t) : tterm option =
+  let num t =
+    match typed_term ~strict tr t with Some (TNum f) -> Some f | _ -> None
+  in
+  let arith op a b =
+    match (num a, num b) with
+    | Some fa, Some fb -> Some (TNum (fun i -> op (fa i) (fb i)))
+    | _ -> None
+  in
+  match t with
+  | Term.Var v -> (
+      match Trace.column tr v with
+      | Some (col, pres) when (not strict) || pres = None -> (
+          match col with
+          | Trace.FCol a -> Some (TNum (fun i -> Float.Array.get a i))
+          | Trace.ICol a -> Some (TNum (fun i -> float_of_int a.(i)))
+          | Trace.BCol b -> Some (TBool (fun i -> Bytes.get b i = '\001'))
+          | Trace.SCol { values; ids } ->
+              let strs =
+                Array.map
+                  (function Value.Sym s -> s | _ -> assert false)
+                  values
+              in
+              Some (TSym (fun i -> strs.(Char.code (Bytes.get ids i))))
+          | Trace.VCol _ -> None)
+      | _ -> None)
+  | Term.Const (Value.Float f) -> Some (TNum (fun _ -> f))
+  | Term.Const (Value.Int n) ->
+      let f = float_of_int n in
+      Some (TNum (fun _ -> f))
+  | Term.Const (Value.Bool b) -> Some (TBool (fun _ -> b))
+  | Term.Const (Value.Sym s) -> Some (TSym (fun _ -> s))
+  | Term.Neg t -> (
+      match num t with Some f -> Some (TNum (fun i -> -.f i)) | None -> None)
+  | Term.Abs t -> (
+      match num t with
+      | Some f -> Some (TNum (fun i -> Float.abs (f i)))
+      | None -> None)
+  | Term.Add (a, b) -> arith ( +. ) a b
+  | Term.Sub (a, b) -> arith ( -. ) a b
+  | Term.Mul (a, b) -> arith ( *. ) a b
+  | Term.Div (a, b) -> arith ( /. ) a b
+  | Term.Min (a, b) -> arith Float.min a b
+  | Term.Max (a, b) -> arith Float.max a b
+
+let compile_atom ~strict tr (a : Formula.atom) : (int -> bool) option =
+  let typed t = typed_term ~strict tr t in
+  (* [Value.equal] has numeric coercion, [String.equal] on symbols,
+     structural equality on booleans, and is [false] across shapes. *)
+  let equality x y =
+    match (typed x, typed y) with
+    | Some (TNum fx), Some (TNum fy) -> Some (fun i -> Float.equal (fx i) (fy i))
+    | Some (TSym fx), Some (TSym fy) -> Some (fun i -> String.equal (fx i) (fy i))
+    | Some (TBool fx), Some (TBool fy) -> Some (fun i -> fx i = fy i)
+    | Some _, Some _ -> Some (fun _ -> false)
+    | _ -> None
+  in
+  (* [Value.compare_num] raises [Type_error] on non-numeric values; only
+     provably numeric terms compile, everything else falls back. *)
+  let ordered op x y =
+    match (typed x, typed y) with
+    | Some (TNum fx), Some (TNum fy) ->
+        Some (fun i -> op (Float.compare (fx i) (fy i)) 0)
+    | _ -> None
+  in
+  match a with
+  | Formula.Bvar v -> (
+      match Trace.column tr v with
+      | Some (Trace.BCol b, pres) when (not strict) || pres = None ->
+          Some (fun i -> Bytes.get b i = '\001')
+      | _ -> None)
+  | Formula.Eq (x, y) -> equality x y
+  | Formula.Ne (x, y) ->
+      Option.map (fun f i -> not (f i)) (equality x y)
+  | Formula.Lt (x, y) -> ordered ( < ) x y
+  | Formula.Le (x, y) -> ordered ( <= ) x y
+  | Formula.Gt (x, y) -> ordered ( > ) x y
+  | Formula.Ge (x, y) -> ordered ( >= ) x y
+
+(* One compiled reader per [OAtom] op; [None] if any atom refuses. *)
+let compile_atoms ~strict tr (c : compiled) : (int -> bool) array option =
+  let n = Array.length c.ops in
+  let afuns = Array.make n (fun _ -> false) in
+  let ok = ref true in
+  Array.iteri
+    (fun k op ->
+      match op with
+      | OAtom a -> (
+          match compile_atom ~strict tr a with
+          | Some f -> afuns.(k) <- f
+          | None -> ok := false)
+      | _ -> ())
+    c.ops;
+  if !ok then Some afuns else None
+
+(* One transition of the op program at state [i], reading column-compiled
+   atoms: the loop body of {!step} with the per-state [v]/[mem'] arrays
+   preallocated by the caller (each memory slot has a unique owner op
+   that writes it on every step, so [mem]/[mem'] swap instead of copy). *)
+let fast_step ops afuns v mem mem' i =
+  let n = Array.length ops in
+  for k = 0 to n - 1 do
+    match ops.(k) with
+    | OTrue -> v.(k) <- true
+    | OFalse -> v.(k) <- false
+    | OAtom _ -> v.(k) <- afuns.(k) i
+    | ONot c -> v.(k) <- not v.(c)
+    | OAnd (a, b) -> v.(k) <- v.(a) && v.(b)
+    | OOr (a, b) -> v.(k) <- v.(a) || v.(b)
+    | OImplies (a, b) -> v.(k) <- (not v.(a)) || v.(b)
+    | OIff (a, b) -> v.(k) <- v.(a) = v.(b)
+    | OPrev (c, s) ->
+        v.(k) <- mem.(s) = 1;
+        mem'.(s) <- (if v.(c) then 1 else 0)
+    | OOnce (c, s) ->
+        v.(k) <- mem.(s) = 1;
+        mem'.(s) <- (if mem.(s) = 1 || v.(c) then 1 else 0)
+    | OHist (c, s) ->
+        v.(k) <- mem.(s) = 1;
+        mem'.(s) <- (if mem.(s) = 1 && v.(c) then 1 else 0)
+    | OPrevFor (c, k', s) ->
+        v.(k) <- mem.(s) >= k';
+        mem'.(s) <- (if v.(c) then min k' (mem.(s) + 1) else 0)
+    | OOnceWithin (c, k', s) ->
+        v.(k) <- mem.(s) <= k' - 1;
+        mem'.(s) <- (if v.(c) then 0 else min k' (mem.(s) + 1))
+    | ORose (c, s) ->
+        v.(k) <- v.(c) && mem.(s) = 0;
+        mem'.(s) <- (if v.(c) then 1 else 0)
+  done
+
 (** [run_trace ~dt f trace] — truth value of [f]'s invariant body at every
     state, computed incrementally. Agrees with
     [Tl.Eval.series trace (invariant_body f)]. *)
@@ -168,14 +330,30 @@ let run_trace f (trace : Trace.t) : bool array =
   let t0 = create ~dt:(Trace.dt trace) f in
   let n = Trace.length trace in
   let out = Array.make n true in
-  let rec go i t =
-    if i < n then begin
-      let ok, t' = step t (Trace.get trace i) in
-      out.(i) <- ok;
-      go (i + 1) t'
-    end
-  in
-  go 0 t0;
+  (* Strict compile: the reference path raises [State.Unbound] on a
+     missing variable, so only fully-present columns may fast-path. *)
+  (match compile_atoms ~strict:true trace t0.c with
+  | Some afuns ->
+      let ops = t0.c.ops in
+      let v = Array.make (Array.length ops) false in
+      let mem = ref (Array.copy t0.c.init_mem) in
+      let mem' = ref (Array.copy t0.c.init_mem) in
+      for i = 0 to n - 1 do
+        fast_step ops afuns v !mem !mem' i;
+        out.(i) <- v.(t0.c.root);
+        let m = !mem in
+        mem := !mem';
+        mem' := m
+      done
+  | None ->
+      let rec go i t =
+        if i < n then begin
+          let ok, t' = step t (Trace.get trace i) in
+          out.(i) <- ok;
+          go (i + 1) t'
+        end
+      in
+      go 0 t0);
   out
 
 (* ------------------------------------------------------------------ *)
@@ -215,37 +393,112 @@ let run_trace_status ?(stale = []) f (trace : Trace.t) : status array =
     List.map (fun (v, bound) -> (v, Trace.duration_to_states ~dt bound)) stale
   in
   let runs = Hashtbl.create 8 in
-  let stale_now state =
-    List.exists
-      (fun (v, k) ->
-        match State.find_opt v state with
-        | None -> false (* missing is the [inhibited] check's business *)
-        | Some x -> (
-            match Hashtbl.find_opt runs v with
-            | Some (prev, len) when Value.equal prev x ->
-                Hashtbl.replace runs v (x, len + 1);
-                len + 1 > k
-            | _ ->
-                Hashtbl.replace runs v (x, 1);
-                false))
-      stale_k
-  in
-  let rec go i t =
-    if i < n then begin
-      let state = Trace.get trace i in
-      let is_stale = stale_now state in
-      if inhibited state vars || is_stale then begin
-        out.(i) <- Inhibited;
-        go (i + 1) t (* memory frozen *)
-      end
-      else begin
-        let ok, t' = step t state in
-        out.(i) <- (if ok then Pass else Fail);
-        go (i + 1) t'
-      end
-    end
-  in
-  go 0 (create ~dt f);
+  let t0 = create ~dt f in
+  (match compile_atoms ~strict:false trace t0.c with
+  | Some afuns ->
+      (* Compiled inhibition check, one closure per monitored variable:
+         missing column is always-inhibited, a presence mask marks
+         per-state absence, and only float-bearing columns can carry a
+         degraded (NaN) cell. Padding cells are never read: [absent]
+         short-circuits first. *)
+      let inh_checks =
+        List.map
+          (fun var ->
+            match Trace.column trace var with
+            | None -> fun _ -> true
+            | Some (col, pres) -> (
+                let absent =
+                  match pres with
+                  | None -> fun _ -> false
+                  | Some p -> fun i -> Bytes.get p i <> '\001'
+                in
+                match col with
+                | Trace.FCol a ->
+                    fun i -> absent i || Float.is_nan (Float.Array.get a i)
+                | Trace.VCol a -> fun i -> absent i || degraded a.(i)
+                | _ -> absent))
+          vars
+      in
+      let inh i = List.exists (fun c -> c i) inh_checks in
+      let stale_reads =
+        List.map
+          (fun (var, k) ->
+            let read =
+              match Trace.column trace var with
+              | None -> fun _ -> None
+              | Some (col, pres) -> (
+                  match pres with
+                  | None -> fun i -> Some (cell col i)
+                  | Some p ->
+                      fun i ->
+                        if Bytes.get p i = '\001' then Some (cell col i)
+                        else None)
+            in
+            (var, k, read))
+          stale_k
+      in
+      let stale_now i =
+        List.exists
+          (fun (var, k, read) ->
+            match read i with
+            | None -> false (* missing is the inhibition check's business *)
+            | Some x -> (
+                match Hashtbl.find_opt runs var with
+                | Some (prev, len) when Value.equal prev x ->
+                    Hashtbl.replace runs var (x, len + 1);
+                    len + 1 > k
+                | _ ->
+                    Hashtbl.replace runs var (x, 1);
+                    false))
+          stale_reads
+      in
+      let ops = t0.c.ops in
+      let v = Array.make (Array.length ops) false in
+      let mem = ref (Array.copy t0.c.init_mem) in
+      let mem' = ref (Array.copy t0.c.init_mem) in
+      for i = 0 to n - 1 do
+        let is_stale = stale_now i in
+        if inh i || is_stale then out.(i) <- Inhibited (* memory frozen *)
+        else begin
+          fast_step ops afuns v !mem !mem' i;
+          out.(i) <- (if v.(t0.c.root) then Pass else Fail);
+          let m = !mem in
+          mem := !mem';
+          mem' := m
+        end
+      done
+  | None ->
+      let stale_now state =
+        List.exists
+          (fun (var, k) ->
+            match State.find_opt var state with
+            | None -> false (* missing is the [inhibited] check's business *)
+            | Some x -> (
+                match Hashtbl.find_opt runs var with
+                | Some (prev, len) when Value.equal prev x ->
+                    Hashtbl.replace runs var (x, len + 1);
+                    len + 1 > k
+                | _ ->
+                    Hashtbl.replace runs var (x, 1);
+                    false))
+          stale_k
+      in
+      let rec go i t =
+        if i < n then begin
+          let state = Trace.get trace i in
+          let is_stale = stale_now state in
+          if inhibited state vars || is_stale then begin
+            out.(i) <- Inhibited;
+            go (i + 1) t (* memory frozen *)
+          end
+          else begin
+            let ok, t' = step t state in
+            out.(i) <- (if ok then Pass else Fail);
+            go (i + 1) t'
+          end
+        end
+      in
+      go 0 t0);
   out
 
 (** Violation intervals of a status series (maximal [Fail] runs). *)

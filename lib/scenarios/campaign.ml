@@ -213,12 +213,14 @@ let cell_key ~seed ~window ~defects (fault : Inject.Fault.t) (s : Defs.t) =
     settles.
 
     [shards] switches the grid to multi-process execution on
-    [Exec.Shard]: cells are simulated in [shards] worker processes (each
-    with [domains] domains), while classification results, the journal and
-    the cell counters stay with the coordinator. The matrix and CSV are
-    bit-for-bit identical to the single-process run for any shard count,
-    including across worker crashes. *)
-let run ?domains ?shards ?use_cache ?(defects = Vehicle.Defects.repaired)
+    [Exec.Shard]: cells are simulated in [shards] resident worker
+    processes (each with [domains] domains, [batch] cells per assignment
+    frame), while classification results, the journal and the cell
+    counters stay with the coordinator. The matrix and CSV are
+    bit-for-bit identical to the single-process run for any shard count
+    and batch size, including across worker crashes. *)
+let run ?domains ?shards ?batch ?use_cache
+    ?(defects = Vehicle.Defects.repaired)
     ?(window = Runner.default_window) ?journal ?(resume = false) ?retry
     (g : grid) : t =
   let pairs =
@@ -273,7 +275,7 @@ let run ?domains ?shards ?use_cache ?(defects = Vehicle.Defects.repaired)
              resume works unchanged (a worker SIGKILL costs at most the
              cells in flight, exactly like a domain crash cannot). *)
           let keys = Array.of_list (List.map (fun (_, k, _) -> k) todo) in
-          Exec.Shard.try_map ~shards:s ?domains ~policy
+          Exec.Shard.try_map ~shards:s ?domains ?batch ~policy
             ~on_result:(fun i cell ->
               Option.iter (fun w -> Journal.append w ~key:keys.(i) cell) writer;
               Obs.Metrics.incr m_cells_executed)

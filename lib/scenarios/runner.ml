@@ -61,23 +61,18 @@ let monitored ~defects ~timing ~dynamics ~inject (s : Defs.t) =
 (* Both levels are capacity-bounded (FIFO eviction, counted in
    [stats.evictions]): a week-long campaign sweeping thousands of faults
    must not accumulate every 20 k-state trace it ever simulated. The
-   sim level holds full traces (heavy — bound it tightly); the outcome
-   level additionally varies per classification window (lighter per
-   entry, so a larger bound keeps window sweeps warm). *)
-(* [~name] mirrors both levels' hit/miss/eviction counters into the obs
-   registry under cache.runner.sim and cache.runner.outcome, so a
-   --metrics snapshot shows how much simulation work the cache
-   absorbed. *)
-let sim_cache : (string, Trace.t * Vehicle.Monitors.result list) Exec.Memo.t =
-  Exec.Memo.create ~size:64 ~capacity:256 ~name:"runner.sim" ()
-
+   sim level is {!Trace_store} — the shared-trace store, holding full
+   traces (heavy — bound tightly, with [trace_store.*] telemetry); the
+   outcome level additionally varies per classification window (lighter
+   per entry, so a larger bound keeps window sweeps warm, mirrored as
+   cache.runner.outcome). *)
 let outcome_cache : (string, outcome) Exec.Memo.t =
   Exec.Memo.create ~size:64 ~capacity:1024 ~name:"runner.outcome" ()
 
 let cache_stats () = Exec.Memo.stats outcome_cache
 
 let clear_cache () =
-  Exec.Memo.clear sim_cache;
+  Trace_store.clear ();
   Exec.Memo.clear outcome_cache
 
 let run ?(use_cache = true) ?(defects = Vehicle.Defects.as_evaluated)
@@ -99,7 +94,7 @@ let run ?(use_cache = true) ?(defects = Vehicle.Defects.as_evaluated)
       (Exec.Memo.digest (sim_key, window))
       (fun () ->
         let trace, results =
-          Exec.Memo.find_or_add sim_cache sim_key (fun () ->
+          Trace_store.find_or_simulate sim_key (fun () ->
               monitored ~defects ~timing ~dynamics ~inject s)
         in
         classify ~window s trace results)
@@ -112,13 +107,14 @@ let run ?(use_cache = true) ?(defects = Vehicle.Defects.as_evaluated)
     fleet, because its consumers (sweeps, figures, estimates) index it
     positionally.
 
-    [shards] fans the fleet out over worker processes instead
-    ([Exec.Shard], [domains] domains per worker); results are identical
-    to the in-process dispatches. Without [retry] the sharded fleet keeps
-    the fail-fast contract (a single-attempt policy), so crashes and task
-    failures re-raise rather than thin the fleet. *)
-let run_all ?domains ?shards ?use_cache ?defects ?timing ?dynamics ?inject
-    ?window ?retry () =
+    [shards] fans the fleet out over the resident worker fleet instead
+    ([Exec.Shard], [domains] domains per worker, [batch] scenarios per
+    assignment frame); results are identical to the in-process
+    dispatches. Without [retry] the sharded fleet keeps the fail-fast
+    contract (a single-attempt policy), so crashes and task failures
+    re-raise rather than thin the fleet. *)
+let run_all ?domains ?shards ?batch ?use_cache ?defects ?timing ?dynamics
+    ?inject ?window ?retry () =
   Obs.span "runner.fleet" (fun () ->
       let f = run ?use_cache ?defects ?timing ?dynamics ?inject ?window in
       match shards with
@@ -128,7 +124,7 @@ let run_all ?domains ?shards ?use_cache ?defects ?timing ?dynamics ?inject
             | Some p -> p
             | None -> Exec.Supervise.policy ~max_attempts:1 ()
           in
-          Exec.Shard.map ~shards:s ?domains ~policy f Defs.all
+          Exec.Shard.map ~shards:s ?domains ?batch ~policy f Defs.all
       | None -> (
           match retry with
           | None -> Exec.Pool.map ?domains f Defs.all

@@ -1,0 +1,31 @@
+(** Shared-trace store (see trace_store.mli). *)
+
+open Tl
+
+let m_hits = Obs.Metrics.counter "trace_store.hits"
+let m_misses = Obs.Metrics.counter "trace_store.misses"
+let m_bytes = Obs.Metrics.counter "trace_store.bytes"
+
+(* The underlying memo table: single-flight, FIFO-bounded. Traces are
+   heavy (a 20 s run is ~13 k states of ~60 columns), so the capacity is
+   tight; the store's own [trace_store.*] counters are maintained here
+   rather than via [Memo]'s [~name] mirror because a byte count must ride
+   along with each miss. *)
+let store : (string, Trace.t * Vehicle.Monitors.result list) Exec.Memo.t =
+  Exec.Memo.create ~size:64 ~capacity:256 ()
+
+let find_or_simulate key supply =
+  let ran = ref false in
+  let v =
+    Exec.Memo.find_or_add store key (fun () ->
+        ran := true;
+        let ((trace, _) as v) = supply () in
+        Obs.Metrics.incr ~by:(Trace.approx_bytes trace) m_bytes;
+        v)
+  in
+  Obs.Metrics.incr (if !ran then m_misses else m_hits);
+  v
+
+let length () = Exec.Memo.length store
+let stats () = Exec.Memo.stats store
+let clear () = Exec.Memo.clear store

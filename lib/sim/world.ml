@@ -59,7 +59,10 @@ let step world now prev =
     an output yet). *)
 let run ?stop ?transform ~until world : Trace.t =
   let n_max = int_of_float (Float.ceil (until /. world.dt)) in
-  let buf = ref [ world.initial ] in
+  (* Snapshots stream straight into typed trace columns: the run never
+     retains one [State.t] map per tick. *)
+  let buf = Trace.Builder.create ~hint:(n_max + 1) ~dt:world.dt () in
+  Trace.Builder.add buf world.initial;
   let apply now next =
     match transform with None -> next | Some f -> f ~now next
   in
@@ -68,10 +71,10 @@ let run ?stop ?transform ~until world : Trace.t =
     else
       let now = float_of_int i *. world.dt in
       let next = apply now (step world now prev) in
-      buf := next :: !buf;
+      Trace.Builder.add buf next;
       match stop with
       | Some f when f next -> ()
       | _ -> go (i + 1) next
   in
   go 1 world.initial;
-  Trace.make ~dt:world.dt (List.rev !buf)
+  Trace.Builder.finish buf

@@ -22,6 +22,7 @@ let get (s : t) name =
 let find_opt name (s : t) = M.find_opt name s
 let mem name (s : t) = M.mem name s
 let vars (s : t) = List.map fst (M.bindings s)
+let iter f (s : t) = M.iter f s
 
 (* Convenience typed accessors used pervasively by components and monitors. *)
 let bool s name = Value.to_bool (get s name)

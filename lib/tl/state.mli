@@ -24,6 +24,11 @@ val find_opt : string -> t -> Value.t option
 val mem : string -> t -> bool
 val vars : t -> string list
 
+val iter : (string -> Value.t -> unit) -> t -> unit
+(** [iter f s] applies [f] to every binding in ascending name order,
+    without building an intermediate list (the allocation-free form of
+    [to_list] used by the trace builder's hot path). *)
+
 val bool : t -> string -> bool
 (** Typed accessor. @raise Value.Type_error / @raise Unbound as applicable. *)
 

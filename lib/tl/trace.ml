@@ -2,26 +2,90 @@
 
     The thesis's simulation states are 1 ms apart ("the time interval of one
     state"); [dt] carries that period so bounded-duration operators can
-    convert seconds into numbers of states. *)
+    convert seconds into numbers of states.
 
-type t = { dt : float; states : State.t array }
+    Storage is columnar: one typed column per state variable (unboxed
+    [floatarray] for numeric signals, packed bytes for booleans, interned
+    ids for symbols), rather than one [State.t] map per tick. A 20-second
+    vehicle run is then a handful of flat, pointer-free blobs — the GC never
+    traverses it, [Marshal] is effectively a memcpy, and monitors can read
+    one signal across all states without a single map lookup. [get] and the
+    iterators materialize classic [State.t] rows on demand, so every
+    consumer of the old row-oriented representation behaves identically. *)
 
-let make ~dt states =
-  if dt <= 0. then invalid_arg "Trace.make: dt must be positive";
-  { dt; states = Array.of_list states }
+(* A column's cells, one per state. The constructor is chosen canonically
+   from the cell values alone (see [Builder]), so structurally equal traces
+   have structurally equal — and therefore Marshal-equal — columns:
+   - [FCol]  : every present cell is [Value.Float] (NaN included);
+   - [ICol]  : every present cell is [Value.Int];
+   - [BCol]  : every present cell is [Value.Bool], packed as 0/1 bytes;
+   - [SCol]  : every present cell is [Value.Sym] with at most 256 distinct
+               symbols; [values] is the intern table in first-occurrence
+               order and [ids] one table index per state;
+   - [VCol]  : anything else (mixed-type signals), stored exactly. *)
+type col =
+  | FCol of floatarray
+  | ICol of int array
+  | BCol of Bytes.t
+  | SCol of { values : Value.t array; ids : Bytes.t }
+  | VCol of Value.t array
 
-let of_array ~dt states =
-  if dt <= 0. then invalid_arg "Trace.of_array: dt must be positive";
-  { dt; states }
+type column = {
+  name : string;
+  col : col;
+  presence : Bytes.t option;
+      (** [None] = the variable is bound in every state; [Some p] = bound
+          exactly where [p] has byte 1 (cells elsewhere are padding). *)
+}
 
-(** [init ~dt n f] builds a trace of [n] states where state [i] is [f i]. *)
-let init ~dt n f =
-  if dt <= 0. then invalid_arg "Trace.init: dt must be positive";
-  { dt; states = Array.init n f }
+type t = { dt : float; len : int; cols : column array (* sorted by name *) }
 
-let length tr = Array.length tr.states
+let length tr = tr.len
 let dt tr = tr.dt
-let get tr i = tr.states.(i)
+
+(* Shared immediate-ish values so packed-column reads allocate nothing for
+   booleans. *)
+let vtrue = Value.Bool true
+let vfalse = Value.Bool false
+
+let cell_value col i =
+  match col with
+  | FCol a -> Value.Float (Float.Array.get a i)
+  | ICol a -> Value.Int a.(i)
+  | BCol b -> if Bytes.get b i = '\001' then vtrue else vfalse
+  | SCol { values; ids } -> values.(Char.code (Bytes.get ids i))
+  | VCol a -> a.(i)
+
+let present c i =
+  match c.presence with None -> true | Some p -> Bytes.get p i = '\001'
+
+(* Binary search over the name-sorted column array. *)
+let find_column tr name =
+  let cols = tr.cols in
+  let rec go lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let c = String.compare name cols.(mid).name in
+      if c = 0 then Some cols.(mid)
+      else if c < 0 then go lo mid
+      else go (mid + 1) hi
+  in
+  go 0 (Array.length cols)
+
+let column tr name =
+  match find_column tr name with
+  | Some c -> Some (c.col, c.presence)
+  | None -> None
+
+let get tr i =
+  if i < 0 || i >= tr.len then invalid_arg "index out of bounds";
+  let bindings = ref [] in
+  for k = Array.length tr.cols - 1 downto 0 do
+    let c = tr.cols.(k) in
+    if present c i then bindings := (c.name, cell_value c.col i) :: !bindings
+  done;
+  State.of_list !bindings
 
 (** Wall-clock time of state [i] (state 0 is at time 0). *)
 let time tr i = float_of_int i *. tr.dt
@@ -31,15 +95,311 @@ let time tr i = float_of_int i *. tr.dt
 let duration_to_states ~dt d =
   if d <= 0. then 1 else max 1 (int_of_float (Float.ceil ((d /. dt) -. 1e-9)))
 
+(* ------------------------------------------------------------------ *)
+(* Builder                                                              *)
+
+module Builder = struct
+  (* Growable typed stores. A column starts in the narrowest store its
+     first value fits and is promoted to [GV] (exact [Value.t] cells) on
+     the first type conflict, so [finish] emits the canonical column kind
+     for the cells actually seen. *)
+  type store =
+    | GF of floatarray
+    | GI of int array
+    | GB of Bytes.t
+    | GS of {
+        mutable values : Value.t array;  (* Sym intern table *)
+        mutable nvalues : int;
+        tbl : (string, int) Hashtbl.t;
+        ids : Bytes.t;
+      }
+    | GV of Value.t array
+
+  type bcolumn = {
+    cname : string;
+    mutable store : store;
+    mutable pres : Bytes.t;  (* 0/1 per row, sized like the stores *)
+    mutable last : int;  (* last row this column was written at *)
+  }
+
+  type b = {
+    bdt : float;
+    mutable rows : int;
+    mutable cap : int;
+    mutable bcols : bcolumn list;  (* creation order; sorted at finish *)
+    index : (string, bcolumn) Hashtbl.t;
+  }
+
+  let create ?(hint = 1024) ~dt () =
+    if dt <= 0. then invalid_arg "Trace.Builder.create: dt must be positive";
+    {
+      bdt = dt;
+      rows = 0;
+      cap = max 16 hint;
+      bcols = [];
+      index = Hashtbl.create 64;
+    }
+
+  let length b = b.rows
+
+  let grow_store cap = function
+    | GF a ->
+        let a' = Float.Array.make cap 0. in
+        Float.Array.blit a 0 a' 0 (Float.Array.length a);
+        GF a'
+    | GI a ->
+        let a' = Array.make cap 0 in
+        Array.blit a 0 a' 0 (Array.length a);
+        GI a'
+    | GB s ->
+        let s' = Bytes.make cap '\000' in
+        Bytes.blit s 0 s' 0 (Bytes.length s);
+        GB s'
+    | GS g ->
+        let ids = Bytes.make cap '\000' in
+        Bytes.blit g.ids 0 ids 0 (Bytes.length g.ids);
+        GS { g with ids }
+    | GV a ->
+        let a' = Array.make cap vfalse in
+        Array.blit a 0 a' 0 (Array.length a);
+        GV a'
+
+  let ensure b c =
+    match c.store with
+    | GF a when Float.Array.length a < b.cap -> c.store <- grow_store b.cap c.store
+    | GI a when Array.length a < b.cap -> c.store <- grow_store b.cap c.store
+    | GB s when Bytes.length s < b.cap -> c.store <- grow_store b.cap c.store
+    | GS { ids; _ } when Bytes.length ids < b.cap ->
+        c.store <- grow_store b.cap c.store
+    | GV a when Array.length a < b.cap -> c.store <- grow_store b.cap c.store
+    | _ -> ()
+
+  let ensure_pres b c =
+    if Bytes.length c.pres < b.cap then begin
+      let p = Bytes.make b.cap '\000' in
+      Bytes.blit c.pres 0 p 0 (Bytes.length c.pres);
+      c.pres <- p
+    end
+
+  (* Rebuild the first [n] cells of a store as exact values — the promotion
+     path when a column stops being monomorphic. Only present cells are ever
+     read back, so reconstructing padding cells as typed zeros is sound. *)
+  let promote cap n = function
+    | GF a -> Array.init cap (fun i -> if i < n then Value.Float (Float.Array.get a i) else vfalse)
+    | GI a -> Array.init cap (fun i -> if i < n then Value.Int a.(i) else vfalse)
+    | GB s ->
+        Array.init cap (fun i ->
+            if i < n then if Bytes.get s i = '\001' then vtrue else vfalse
+            else vfalse)
+    | GS { values; ids; _ } ->
+        Array.init cap (fun i ->
+            if i < n then values.(Char.code (Bytes.get ids i)) else vfalse)
+    | GV a -> Array.init cap (fun i -> if i < Array.length a && i < n then a.(i) else vfalse)
+
+  let fresh_store cap (v : Value.t) =
+    match v with
+    | Value.Float f ->
+        let a = Float.Array.make cap 0. in
+        Float.Array.set a 0 f;
+        GF a
+    | Value.Int i ->
+        let a = Array.make cap 0 in
+        a.(0) <- i;
+        GI a
+    | Value.Bool bv ->
+        let s = Bytes.make cap '\000' in
+        if bv then Bytes.set s 0 '\001';
+        GB s
+    | Value.Sym s ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.add tbl s 0;
+        GS { values = Array.make 8 (Value.Sym s); nvalues = 1; tbl; ids = Bytes.make cap '\000' }
+
+  (* The fresh store writes row 0; shift the first value to [row] when the
+     column first appears later in the trace. *)
+  let fresh_store_at cap row v =
+    let s = fresh_store cap v in
+    if row > 0 then begin
+      (match (s, v) with
+      | GF a, Value.Float f ->
+          Float.Array.set a 0 0.;
+          Float.Array.set a row f
+      | GI a, Value.Int i ->
+          a.(0) <- 0;
+          a.(row) <- i
+      | GB b, Value.Bool bv ->
+          Bytes.set b 0 '\000';
+          if bv then Bytes.set b row '\001'
+      | GS g, Value.Sym _ -> Bytes.set g.ids row '\000'
+      | _ -> assert false);
+      ()
+    end;
+    s
+
+  let write b c row (v : Value.t) =
+    ensure b c;
+    ensure_pres b c;
+    (match (c.store, v) with
+    | GF a, Value.Float f -> Float.Array.set a row f
+    | GI a, Value.Int i -> a.(row) <- i
+    | GB s, Value.Bool bv -> Bytes.set s row (if bv then '\001' else '\000')
+    | GS g, Value.Sym s -> (
+        match Hashtbl.find_opt g.tbl s with
+        | Some id -> Bytes.set g.ids row (Char.chr id)
+        | None when g.nvalues < 256 ->
+            let id = g.nvalues in
+            if id >= Array.length g.values then begin
+              let values = Array.make (2 * Array.length g.values) v in
+              Array.blit g.values 0 values 0 g.nvalues;
+              g.values <- values
+            end;
+            g.values.(id) <- v;
+            g.nvalues <- id + 1;
+            Hashtbl.add g.tbl s id;
+            Bytes.set g.ids row (Char.chr id)
+        | None ->
+            (* intern table overflow: fall back to exact storage *)
+            let a = promote b.cap row c.store in
+            a.(row) <- v;
+            c.store <- GV a)
+    | GV a, v -> a.(row) <- v
+    | store, v ->
+        let a = promote b.cap row store in
+        a.(row) <- v;
+        c.store <- GV a);
+    Bytes.set c.pres row '\001';
+    c.last <- row
+
+  let add b (st : State.t) =
+    let row = b.rows in
+    if row >= b.cap then b.cap <- b.cap * 2;
+    State.iter
+      (fun name v ->
+        match Hashtbl.find_opt b.index name with
+        | Some c -> write b c row v
+        | None ->
+            let c =
+              {
+                cname = name;
+                store = fresh_store_at b.cap row v;
+                pres = Bytes.make b.cap '\000';
+                last = row;
+              }
+            in
+            Bytes.set c.pres row '\001';
+            Hashtbl.add b.index name c;
+            b.bcols <- c :: b.bcols)
+      st;
+    (* Columns absent from this state keep pad cells; their presence byte
+       stays 0 (the pres array is grown lazily on the next write, and
+       [finish] treats missing tail bytes as absent). *)
+    b.rows <- row + 1
+
+  let finish b : t =
+    let len = b.rows in
+    (* Columns that stopped being written early may hold stores shorter
+       than the trace; grow every store to at least [len] so trimming is
+       total (the grown tail is padding under absent presence bytes). *)
+    b.cap <- max b.cap len;
+    List.iter (fun c -> ensure b c) b.bcols;
+    let trim_pres c =
+      (* All-present columns collapse to [None]; otherwise emit the first
+         [len] presence bytes (absent tail bytes included). *)
+      let p = Bytes.make len '\000' in
+      let have = min len (Bytes.length c.pres) in
+      Bytes.blit c.pres 0 p 0 have;
+      let all = ref true in
+      for i = 0 to len - 1 do
+        if Bytes.get p i <> '\001' then all := false
+      done;
+      if !all then None else Some p
+    in
+    let trim_col c =
+      match c.store with
+      | GF a -> FCol (Float.Array.sub a 0 len)
+      | GI a -> ICol (Array.sub a 0 len)
+      | GB s -> BCol (Bytes.sub s 0 len)
+      | GS g ->
+          SCol { values = Array.sub g.values 0 g.nvalues; ids = Bytes.sub g.ids 0 len }
+      | GV a -> VCol (Array.sub a 0 len)
+    in
+    let cols =
+      List.map (fun c -> { name = c.cname; col = trim_col c; presence = trim_pres c }) b.bcols
+      |> List.sort (fun a b -> String.compare a.name b.name)
+      |> Array.of_list
+    in
+    { dt = b.bdt; len; cols }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Row-oriented constructors, over the builder                          *)
+
+let of_seq ~dt ~hint states =
+  let b = Builder.create ~hint ~dt () in
+  Seq.iter (Builder.add b) states;
+  Builder.finish b
+
+let make ~dt states =
+  if dt <= 0. then invalid_arg "Trace.make: dt must be positive";
+  of_seq ~dt ~hint:(List.length states) (List.to_seq states)
+
+let of_array ~dt states =
+  if dt <= 0. then invalid_arg "Trace.of_array: dt must be positive";
+  of_seq ~dt ~hint:(Array.length states) (Array.to_seq states)
+
+(** [init ~dt n f] builds a trace of [n] states where state [i] is [f i]. *)
+let init ~dt n f =
+  if dt <= 0. then invalid_arg "Trace.init: dt must be positive";
+  of_seq ~dt ~hint:n (Seq.init n f)
+
+(* ------------------------------------------------------------------ *)
+(* Signals and iteration                                                *)
+
 (** Extract a signal as a float series, [(time, value)] pairs. *)
 let signal tr name =
-  Array.to_list
-    (Array.mapi (fun i s -> (time tr i, Value.to_float (State.get s name))) tr.states)
+  match find_column tr name with
+  | None -> raise (State.Unbound name)
+  | Some c ->
+      List.init tr.len (fun i ->
+          if present c i then (time tr i, Value.to_float (cell_value c.col i))
+          else raise (State.Unbound name))
 
 (** Extract a boolean signal as a [(time, bool)] series. *)
 let bool_signal tr name =
-  Array.to_list
-    (Array.mapi (fun i s -> (time tr i, Value.to_bool (State.get s name))) tr.states)
+  match find_column tr name with
+  | None -> raise (State.Unbound name)
+  | Some c ->
+      List.init tr.len (fun i ->
+          if present c i then (time tr i, Value.to_bool (cell_value c.col i))
+          else raise (State.Unbound name))
 
-let fold f acc tr = Array.fold_left f acc tr.states
-let iteri f tr = Array.iteri f tr.states
+let fold f acc tr =
+  let acc = ref acc in
+  for i = 0 to tr.len - 1 do
+    acc := f !acc (get tr i)
+  done;
+  !acc
+
+let iteri f tr =
+  for i = 0 to tr.len - 1 do
+    f i (get tr i)
+  done
+
+(* ------------------------------------------------------------------ *)
+
+(** Rough in-memory footprint of the packed representation, in bytes —
+    the accounting behind the [trace_store.bytes] counter. *)
+let approx_bytes tr =
+  Array.fold_left
+    (fun acc c ->
+      let cells =
+        match c.col with
+        | FCol a -> 8 * Float.Array.length a
+        | ICol a -> 8 * Array.length a
+        | BCol s -> Bytes.length s
+        | SCol { values; ids } -> Bytes.length ids + (32 * Array.length values)
+        | VCol a -> 24 * Array.length a
+      in
+      acc + cells + String.length c.name + 16
+      + (match c.presence with None -> 0 | Some p -> Bytes.length p))
+    64 tr.cols

@@ -376,6 +376,54 @@ let test_window_ablation () =
   in
   Alcotest.(check bool) "FN non-increasing in window" true (non_increasing fns)
 
+(* ------------------------------------------------------------------ *)
+(* Shared-trace store (one simulation, many evaluations)                *)
+
+let store_counter name = Obs.Metrics.value (Obs.Metrics.counter name)
+
+let test_trace_store_bit_for_bit () =
+  (* Every cell of the pinned seed-42 smoke grid, evaluated through the
+     shared-trace store, must be bit-for-bit identical to a fresh
+     per-cell re-simulation that bypasses every cache; and a second
+     window against the same cell must reuse the stored trace (same
+     physical array) rather than re-simulating. *)
+  Scenarios.Runner.clear_cache ();
+  let g = Scenarios.Campaign.smoke () in
+  let hits0 = store_counter "trace_store.hits" in
+  let misses0 = store_counter "trace_store.misses" in
+  let cells = ref 0 in
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun s ->
+          incr cells;
+          let inject = Inject.Plan.make ~seed:g.Scenarios.Campaign.seed [ fault ] in
+          let cached = Scenarios.Runner.run ~use_cache:true ~inject s in
+          let fresh = Scenarios.Runner.run ~use_cache:false ~inject s in
+          let fingerprint (o : Scenarios.Runner.outcome) =
+            Exec.Memo.digest
+              ( o.Scenarios.Runner.trace,
+                o.Scenarios.Runner.results,
+                o.Scenarios.Runner.reports,
+                o.Scenarios.Runner.collided,
+                o.Scenarios.Runner.end_time )
+          in
+          Alcotest.(check string)
+            (Fmt.str "scenario %d / %a: stored = re-simulated, bit-for-bit"
+               s.Scenarios.Defs.number Inject.Fault.pp fault)
+            (fingerprint fresh) (fingerprint cached);
+          let swept =
+            Scenarios.Runner.run ~use_cache:true ~inject ~window:0.1 s
+          in
+          Alcotest.(check bool) "window sweep reuses the stored trace" true
+            (swept.Scenarios.Runner.trace == cached.Scenarios.Runner.trace))
+        g.Scenarios.Campaign.grid_scenarios)
+    g.Scenarios.Campaign.faults;
+  Alcotest.(check int) "one simulation per grid cell" !cells
+    (store_counter "trace_store.misses" - misses0);
+  Alcotest.(check int) "one store hit per window sweep" !cells
+    (store_counter "trace_store.hits" - hits0)
+
 let () =
   Alcotest.run "scenarios"
     [
@@ -411,5 +459,10 @@ let () =
           Alcotest.test_case "attribution latch" `Slow test_latch_ablation;
           Alcotest.test_case "plant damping" `Slow test_damping_ablation;
           Alcotest.test_case "classification window" `Slow test_window_ablation;
+        ] );
+      ( "trace-store",
+        [
+          Alcotest.test_case "stored = re-simulated bit-for-bit" `Slow
+            test_trace_store_bit_for_bit;
         ] );
     ]

@@ -87,6 +87,26 @@ let test_frame_corruption () =
   Bytes.set_int32_le bad_len 4 0x7FFFFFFFl;
   check_corrupt "absurd length" (Bytes.to_string bad_len)
 
+let test_frame_batch_roundtrip () =
+  (* An assignment batch — (job, seq, per-cell marshalled payloads) —
+     survives the codec with every member payload intact. *)
+  let tasks = Array.init 5 (fun i -> (i, Marshal.to_string (i * i) [])) in
+  let buf = Exec.Shard.Frame.create () in
+  feed_string buf (Exec.Shard.Frame.encode (7, 2, tasks));
+  match Exec.Shard.Frame.decode buf with
+  | `Frame ((job : int), (seq : int), (tasks' : (int * string) array)) ->
+      Alcotest.(check int) "job survives" 7 job;
+      Alcotest.(check int) "seq survives" 2 seq;
+      Alcotest.(check int) "all members survive" 5 (Array.length tasks');
+      Array.iteri
+        (fun i (idx, payload) ->
+          Alcotest.(check int) "member index" i idx;
+          Alcotest.(check int) "member payload"
+            (i * i)
+            (Marshal.from_string payload 0))
+        tasks'
+  | `Need_more | `Corrupt -> Alcotest.fail "expected a complete batch frame"
+
 (* ------------------------------------------------------------------ *)
 (* Basic sharded execution                                              *)
 
@@ -145,6 +165,75 @@ let test_task_failure_quarantines () =
       Alcotest.(check int) "policy attempts consumed" 3 b.Exec.Supervise.attempts
   | _ -> Alcotest.fail "unexpected batch shape"
 
+let test_batched_execution () =
+  (* 12 tasks in explicit batches of 3: results stay in submission order
+     and the batch-size histogram records exactly the 4 assignment
+     frames. *)
+  let h = Obs.Metrics.histogram "shard.batch_size" in
+  let count0 = (Obs.Metrics.summary h).Obs.Metrics.count in
+  let xs = List.init 12 Fun.id in
+  let reports = Exec.Shard.try_map ~shards:2 ~batch:3 (fun x -> x * 3) xs in
+  Alcotest.(check (list int)) "results in submission order"
+    (List.map (fun x -> x * 3) xs)
+    (List.map get_done reports);
+  Alcotest.(check int) "4 assignment frames of 3 cells" 4
+    ((Obs.Metrics.summary h).Obs.Metrics.count - count0)
+
+(* Every live shard worker spawned by this process (marker in argv,
+   parent = us), by scanning /proc. ppid is the field after the
+   parenthesised comm in /proc/<pid>/stat; comm can contain anything, so
+   parse after the last ')'. *)
+let find_workers () =
+  let self = Unix.getpid () in
+  let read_file f =
+    try Some (In_channel.with_open_bin f In_channel.input_all)
+    with Sys_error _ -> None
+  in
+  Sys.readdir "/proc" |> Array.to_list
+  |> List.filter_map int_of_string_opt
+  |> List.filter (fun pid ->
+         match
+           ( read_file (Printf.sprintf "/proc/%d/stat" pid),
+             read_file (Printf.sprintf "/proc/%d/cmdline" pid) )
+         with
+         | Some stat, Some cmdline -> (
+             match String.rindex_opt stat ')' with
+             | Some i -> (
+                 match
+                   String.split_on_char ' '
+                     (String.sub stat (i + 2) (String.length stat - i - 2))
+                 with
+                 | _state :: ppid :: _ ->
+                     ppid = string_of_int self
+                     && Str.string_match
+                          (Str.regexp ".*exec-shard-worker.*")
+                          (String.map (fun c -> if c = '\000' then ' ' else c) cmdline)
+                          0
+                 | _ -> false)
+             | None -> false)
+         | _ -> false)
+
+let test_fleet_persists_across_jobs () =
+  (* The fleet is resident: two consecutive jobs on the same (shards,
+     domains) shape must be served by the same worker processes, with no
+     spawns in between. *)
+  let xs = List.init 8 Fun.id in
+  let r1 = Exec.Shard.try_map ~shards:2 (fun x -> x * 2) xs in
+  let pids1 = List.sort compare (find_workers ()) in
+  let respawns0 = counter "shard.respawns" in
+  let r2 = Exec.Shard.try_map ~shards:2 (fun x -> x * 11) xs in
+  let pids2 = List.sort compare (find_workers ()) in
+  Alcotest.(check (list int)) "first job correct"
+    (List.map (fun x -> x * 2) xs)
+    (List.map get_done r1);
+  Alcotest.(check (list int)) "second job correct"
+    (List.map (fun x -> x * 11) xs)
+    (List.map get_done r2);
+  Alcotest.(check bool) "workers are resident between jobs" true (pids1 <> []);
+  Alcotest.(check (list int)) "same processes served both jobs" pids1 pids2;
+  Alcotest.(check int) "no respawns between jobs" 0
+    (counter "shard.respawns" - respawns0)
+
 (* ------------------------------------------------------------------ *)
 (* Crash recovery                                                       *)
 
@@ -190,6 +279,24 @@ let test_corrupt_frame_recovery () =
   Alcotest.(check bool) "worker respawned" true
     (counter "shard.respawns" > respawns0)
 
+let test_torn_batch_requeues_members_once () =
+  (* A worker dying mid-batch loses the whole assignment: every member
+     cell of the torn batch — and nothing else — is requeued, exactly
+     once, and settles with the right value after the respawn. *)
+  let requeued0 = counter "shard.cells_requeued" in
+  let xs = List.init 12 Fun.id in
+  let reports =
+    Exec.Shard.try_map ~shards:2 ~batch:4
+      ~havoc:(fun ~slot:_ ~seq ->
+        if seq = 2 then Some Exec.Shard.Torn_frame else None)
+      (fun x -> x + 5) xs
+  in
+  Alcotest.(check (list int)) "all tasks settle correctly"
+    (List.map (fun x -> x + 5) xs)
+    (List.map get_done reports);
+  Alcotest.(check int) "the 4 members of the torn batch requeued once" 4
+    (counter "shard.cells_requeued" - requeued0)
+
 let test_restart_budget_exhaustion () =
   (* Every assignment tears: with a finite restart budget the run must
      still terminate, quarantining unsettled tasks as Worker_crashed
@@ -212,6 +319,27 @@ let test_restart_budget_exhaustion () =
       | Exec.Supervise.Done _ ->
           Alcotest.fail "no task can settle when every frame tears")
     reports
+
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_no_fd_leak_on_death_paths () =
+  (* Every coordinator death path must close its end of the worker's
+     socket and reap the child. Starting from an empty fleet, a run that
+     kills its worker repeatedly (budget exhaustion) followed by a fleet
+     shutdown must restore the exact fd census, with no child left to
+     wait on. *)
+  Exec.Shard.shutdown_fleets ();
+  let fds0 = count_fds () in
+  ignore
+    (Exec.Shard.try_map ~shards:2 ~restarts:1
+       ~havoc:(fun ~slot:_ ~seq:_ -> Some Exec.Shard.Torn_frame)
+       (fun x -> x) [ 1; 2; 3; 4 ]);
+  Exec.Shard.shutdown_fleets ();
+  Alcotest.(check int) "fd census unchanged" fds0 (count_fds ());
+  match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  | 0, _ -> Alcotest.fail "an unreaped live child remains"
+  | pid, _ -> Alcotest.failf "unreaped zombie %d collected by the test" pid
 
 (* ------------------------------------------------------------------ *)
 (* Sharded campaigns: the determinism contract                          *)
@@ -260,39 +388,8 @@ let test_sharded_matches_single_process () =
   Alcotest.(check int) "robustness: 12 executed" 12
     c.Scenarios.Campaign.robustness.Scenarios.Campaign.executed
 
-(* Find a live shard worker (child of this process, marker in argv) by
-   scanning /proc. ppid is the field after the parenthesised comm in
-   /proc/<pid>/stat; comm can contain anything, so parse after the last
-   ')'. *)
 let find_worker () =
-  let self = Unix.getpid () in
-  let read_file f =
-    try Some (In_channel.with_open_bin f In_channel.input_all)
-    with Sys_error _ -> None
-  in
-  Sys.readdir "/proc" |> Array.to_list
-  |> List.filter_map int_of_string_opt
-  |> List.find_opt (fun pid ->
-         match
-           ( read_file (Printf.sprintf "/proc/%d/stat" pid),
-             read_file (Printf.sprintf "/proc/%d/cmdline" pid) )
-         with
-         | Some stat, Some cmdline -> (
-             match String.rindex_opt stat ')' with
-             | Some i -> (
-                 match
-                   String.split_on_char ' '
-                     (String.sub stat (i + 2) (String.length stat - i - 2))
-                 with
-                 | _state :: ppid :: _ ->
-                     ppid = string_of_int self
-                     && Str.string_match
-                          (Str.regexp ".*exec-shard-worker.*")
-                          (String.map (fun c -> if c = '\000' then ' ' else c) cmdline)
-                          0
-                 | _ -> false)
-             | None -> false)
-         | _ -> None <> None)
+  match find_workers () with [] -> None | pid :: _ -> Some pid
 
 let test_sigkill_worker_mid_grid () =
   (* SIGKILL a real worker while the grid is running; the campaign must
@@ -339,6 +436,8 @@ let () =
           Alcotest.test_case "torn tail reads as short" `Quick
             test_frame_torn_tail;
           Alcotest.test_case "corruption detected" `Quick test_frame_corruption;
+          Alcotest.test_case "batched assignment round-trip" `Quick
+            test_frame_batch_roundtrip;
         ] );
       ( "exec",
         [
@@ -347,6 +446,10 @@ let () =
           Alcotest.test_case "on_result hook" `Quick test_on_result_hook;
           Alcotest.test_case "task failure quarantines" `Quick
             test_task_failure_quarantines;
+          Alcotest.test_case "batched frames settle in order" `Quick
+            test_batched_execution;
+          Alcotest.test_case "fleet persists across jobs" `Quick
+            test_fleet_persists_across_jobs;
         ] );
       ( "crash",
         [
@@ -354,8 +457,12 @@ let () =
             test_torn_frame_recovery;
           Alcotest.test_case "corrupt frame recovered" `Quick
             test_corrupt_frame_recovery;
+          Alcotest.test_case "torn batch requeues its members once" `Quick
+            test_torn_batch_requeues_members_once;
           Alcotest.test_case "restart budget exhaustion terminates" `Quick
             test_restart_budget_exhaustion;
+          Alcotest.test_case "no fd leak across death paths" `Quick
+            test_no_fd_leak_on_death_paths;
         ] );
       ( "campaign",
         [

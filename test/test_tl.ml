@@ -213,8 +213,8 @@ let arb_trace =
   QCheck.make
     ~print:(fun tr ->
       String.concat ";"
-        (List.map (fun s -> Fmt.str "%a" State.pp s)
-           (Array.to_list tr.Trace.states)))
+        (List.rev
+           (Trace.fold (fun acc s -> Fmt.str "%a" State.pp s :: acc) [] tr)))
     gen_trace
 
 let prop_negation_duality =
