@@ -181,8 +181,40 @@ let campaign_cmd =
              exponential backoff before quarantining it. Default 0: first \
              failure aborts.")
   in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            ("Inject a deterministic infrastructure-fault plan into the \
+              campaign's own execution stack (workers, frames, journal, \
+              spawns), seeded by $(b,--seed). Every fault is recoverable: \
+              the CSV is byte-identical to the chaos-free run. "
+            ^ Exec.Chaos.conv_doc))
+  in
+  let hang_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hang-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Declare a sharded worker hung — SIGKILL it and requeue its \
+             cells — after $(docv) seconds without results or heartbeats \
+             (default 30).")
+  in
+  let batch_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "batch-deadline" ] ~docv:"SECS"
+          ~doc:
+            "Hard bound on one sharded batch's in-flight time: a worker \
+             exceeding it is killed and its cells requeued, even if it is \
+             still heartbeating. Off by default.")
+  in
   let run out_dir seed faults scenarios domains shards journal resume retries
-      metrics =
+      chaos hang_timeout deadline metrics =
     if resume && journal = None then begin
       Fmt.epr "--resume requires --journal PATH@.";
       exit 1
@@ -201,15 +233,29 @@ let campaign_cmd =
         Some (Exec.Supervise.policy ~max_attempts:(retries + 1) ~seed ())
       else None
     in
-    let c = Scenarios.Campaign.run ?domains ?shards ?journal ~resume ?retry grid in
+    let chaos =
+      match chaos with
+      | None -> None
+      | Some spec -> (
+          match Exec.Chaos.parse ~seed spec with
+          | Ok plan -> Some plan
+          | Error e ->
+              Fmt.epr "--chaos: %s@." e;
+              exit 1)
+    in
+    let c =
+      Scenarios.Campaign.run ?domains ?shards ?journal ~resume ?retry ?chaos
+        ?hang_timeout_s:hang_timeout ?deadline_s:deadline grid
+    in
     let path = Filename.concat out_dir (Fmt.str "campaign_seed%d.csv" seed) in
     Obs.span "campaign.export" (fun () ->
         Scenarios.Export.write_file path (Scenarios.Export.campaign_csv c));
     let r = c.Scenarios.Campaign.robustness in
-    Fmt.pr "cells: executed=%d replayed=%d retried=%d retries=%d quarantined=%d@."
+    Fmt.pr "cells: executed=%d replayed=%d retried=%d retries=%d quarantined=%d%s@."
       r.Scenarios.Campaign.executed r.Scenarios.Campaign.replayed
       r.Scenarios.Campaign.retried r.Scenarios.Campaign.retries
-      r.Scenarios.Campaign.quarantined;
+      r.Scenarios.Campaign.quarantined
+      (if r.Scenarios.Campaign.degraded then " degraded=true" else "");
     Fmt.pr "wrote %s@." path;
     write_metrics ~name:(Fmt.str "export_campaign_seed%d" seed) metrics
   in
@@ -217,10 +263,11 @@ let campaign_cmd =
     (Cmd.info "campaign"
        ~doc:
          "Export a fault-injection detection-coverage matrix as CSV, \
-          optionally journaled, resumable and retried.")
+          optionally journaled, resumable, retried and chaos-tested.")
     Term.(
       const run $ out_dir $ seed $ faults $ scenarios $ domains $ shards_arg
-      $ journal $ resume $ retries $ metrics_arg)
+      $ journal $ resume $ retries $ chaos $ hang_timeout $ batch_deadline
+      $ metrics_arg)
 
 let () =
   (* Must precede everything else: when this process is a shard worker

@@ -40,18 +40,46 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* [NAME=VALUE] pins a counter exactly; [NAME>=VALUE] sets a floor — the
+   form chaos assertions use, where "the hang was detected" means "at
+   least once", never an exact count. ">=" must be tried first: its
+   second character is the "=" the exact form would otherwise split on. *)
 let parse_expect s =
-  match String.index_opt s '=' with
-  | None -> Error (`Msg "expected NAME=VALUE")
-  | Some i -> (
-      let name = String.sub s 0 i in
-      let v = String.sub s (i + 1) (String.length s - i - 1) in
+  let split op =
+    let oplen = String.length op in
+    let rec find i =
+      if i + oplen > String.length s then None
+      else if String.sub s i oplen = op then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some i ->
+        Some
+          ( String.sub s 0 i,
+            String.sub s (i + oplen) (String.length s - i - oplen) )
+  in
+  let parsed =
+    match split ">=" with
+    | Some (name, v) -> Some (name, `Ge, v)
+    | None -> (
+        match split "=" with
+        | Some (name, v) -> Some (name, `Eq, v)
+        | None -> None)
+  in
+  match parsed with
+  | None -> Error (`Msg "expected NAME=VALUE or NAME>=VALUE")
+  | Some (name, op, v) -> (
       match int_of_string_opt v with
-      | Some v when name <> "" -> Ok (name, v)
-      | _ -> Error (`Msg "expected NAME=VALUE with an integer VALUE"))
+      | Some v when name <> "" -> Ok (name, op, v)
+      | _ ->
+          Error (`Msg "expected NAME=VALUE or NAME>=VALUE with an integer VALUE"))
 
 let expect_conv =
-  Arg.conv (parse_expect, fun ppf (n, v) -> Fmt.pf ppf "%s=%d" n v)
+  Arg.conv
+    ( parse_expect,
+      fun ppf (n, op, v) ->
+        Fmt.pf ppf "%s%s%d" n (match op with `Eq -> "=" | `Ge -> ">=") v )
 
 let parse_faster s =
   match String.index_opt s '<' with
@@ -238,11 +266,17 @@ let check path expects summary compare tolerance fasters baseline_out
       in
       let expects_ok =
         List.for_all
-          (fun (name, want) ->
+          (fun (name, op, want) ->
             match counter_value json name with
-            | Some got when Float.to_int got = want -> true
+            | Some got
+              when match op with
+                   | `Eq -> Float.to_int got = want
+                   | `Ge -> Float.to_int got >= want ->
+                true
             | Some got ->
-                Fmt.epr "%s: counter %s = %.0f, expected %d@." path name got want;
+                Fmt.epr "%s: counter %s = %.0f, expected %s%d@." path name got
+                  (match op with `Eq -> "" | `Ge -> ">= ")
+                  want;
                 false
             | None ->
                 Fmt.epr "%s: counter %s missing@." path name;
@@ -292,8 +326,9 @@ let () =
       & opt_all expect_conv []
       & info [ "expect-counter" ] ~docv:"NAME=VALUE"
           ~doc:
-            "Fail unless counter $(i,NAME) has exactly $(i,VALUE). \
-             Repeatable.")
+            "Fail unless counter $(i,NAME) has exactly $(i,VALUE) \
+             ($(i,NAME)=$(i,VALUE)) or at least $(i,VALUE) \
+             ($(i,NAME)>=$(i,VALUE)). Repeatable.")
   in
   let summary =
     Arg.(

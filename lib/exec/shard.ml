@@ -19,7 +19,20 @@
 exception Worker_failure of { printed : string; trace : string }
 exception Worker_crashed of { slot : int }
 
-type havoc = Torn_frame | Corrupt_frame
+type havoc = Chaos.fault =
+  | Torn_frame
+  | Corrupt_frame
+  | Hang
+  | Crash
+  | Slow of float
+
+(* Worker liveness: a worker heartbeats this often while it holds a
+   batch, and the coordinator declares a worker hung when a batch is in
+   flight and nothing — result or heartbeat — has arrived for
+   [hang_timeout_s] (default below). The interval is far below any sane
+   timeout, so a healthy-but-slow worker is never killed. *)
+let heartbeat_interval_s = 0.2
+let default_hang_timeout_s = 30.
 
 (* Spawned workers are recognised by this variable; the argv marker is
    cosmetic but lets tests and operators target workers with pkill. *)
@@ -133,6 +146,10 @@ type worker_to_coordinator =
       index : int;
       value : (Obj.t, remote_failure) Stdlib.result;
     }
+  | Heartbeat of { job : int; slot : int }
+      (** sent by a worker's heartbeat domain while it holds a batch;
+          proves process liveness, so the coordinator only kills workers
+          that are wedged, not merely slow *)
 
 (* ------------------------------------------------------------------ *)
 (* Worker side                                                          *)
@@ -185,30 +202,39 @@ let run_batch pool f job (tasks : (int * string) array) =
       Frame.encode (Result { job; index; value }))
     (Array.to_list tasks) results
 
-(* Write the batch's result frames, honouring the test-only havoc hook:
-   a torn frame is a partial write followed by sudden death, a corrupt
-   frame a payload bit-flip under an unchanged CRC field. *)
-let write_results fd ~injected frames =
-  match injected with
-  | Some Torn_frame -> (
-      match frames with
-      | frame :: _ ->
-          let cut =
-            Frame.header_len + ((String.length frame - Frame.header_len) / 2)
-          in
-          Frame.write_all fd (String.sub frame 0 cut);
-          Unix._exit 66
-      | [] -> ())
-  | Some Corrupt_frame -> (
-      match frames with
-      | frame :: rest ->
-          let b = Bytes.of_string frame in
-          let i = Frame.header_len in
-          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
-          Frame.write_all fd (Bytes.to_string b);
-          List.iter (Frame.write_all fd) rest
-      | [] -> ())
-  | None -> List.iter (Frame.write_all fd) frames
+(* Write the batch's result frames, honouring the frame-level havoc
+   cases: a torn frame is a partial write followed by sudden death, a
+   corrupt frame a payload bit-flip under an unchanged CRC field. The
+   lock serializes against the heartbeat domain so injected heartbeats
+   never interleave mid-frame. *)
+let write_results fd ~lock ~injected frames =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      match injected with
+      | Some Torn_frame -> (
+          match frames with
+          | frame :: _ ->
+              let cut =
+                Frame.header_len + ((String.length frame - Frame.header_len) / 2)
+              in
+              Frame.write_all fd (String.sub frame 0 cut);
+              Unix._exit 66
+          | [] -> ())
+      | Some Corrupt_frame -> (
+          match frames with
+          | frame :: rest ->
+              let b = Bytes.of_string frame in
+              let i = Frame.header_len in
+              Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+              Frame.write_all fd (Bytes.to_string b);
+              List.iter (Frame.write_all fd) rest
+          | [] -> ())
+      | Some (Hang | Crash | Slow _) | None ->
+          (* Hang/Crash/Slow are handled before this point; by the time
+             frames reach the pipe they are written verbatim. *)
+          List.iter (Frame.write_all fd) frames)
 
 let worker_main fd =
   Printexc.record_backtrace true;
@@ -220,6 +246,37 @@ let worker_main fd =
          tasks populate) across [try_map] calls. *)
       let pool = if domains > 1 then Some (Pool.create ~domains ()) else None in
       let bound = ref None in
+      (* Liveness: while a batch is in progress ([hb_job] >= 0) a
+         dedicated domain writes one heartbeat frame per interval, under
+         the write lock so heartbeats and result frames never interleave
+         mid-frame. A worker wedged wholesale (SIGSTOP, deadlock in a C
+         stub) stops heartbeating — OCaml tasks that merely compute for
+         a long time do not, because the heartbeat domain is a separate
+         OS thread. *)
+      let wlock = Mutex.create () in
+      let hb_job = Atomic.make (-1) in
+      let (_ : unit Domain.t) =
+        Domain.spawn (fun () ->
+            let rec beat () =
+              Unix.sleepf heartbeat_interval_s;
+              let job = Atomic.get hb_job in
+              if job >= 0 then begin
+                match
+                  Mutex.lock wlock;
+                  Fun.protect
+                    ~finally:(fun () -> Mutex.unlock wlock)
+                    (fun () -> Frame.write fd (Heartbeat { job; slot }))
+                with
+                | () -> beat ()
+                | exception _ ->
+                    (* The pipe is gone: the serve loop will see EOF and
+                       exit; nothing left to prove alive to. *)
+                    ()
+              end
+              else beat ()
+            in
+            beat ())
+      in
       let rec serve () =
         match read_frame buf fd with
         | Some (Job { job; f; havoc }) ->
@@ -227,13 +284,39 @@ let worker_main fd =
             serve ()
         | Some (Batch { job; seq; tasks }) -> (
             match !bound with
-            | Some (bound_job, f, havoc) when bound_job = job ->
+            | Some (bound_job, f, havoc) when bound_job = job -> (
+                Atomic.set hb_job job;
                 let frames = run_batch pool f job tasks in
                 let injected =
                   match havoc with Some h -> h ~slot ~seq | None -> None
                 in
-                write_results fd ~injected frames;
-                serve ()
+                match injected with
+                | Some Hang ->
+                    (* The injected open-pipe hang: stop heartbeating,
+                       keep the descriptor open, never respond. Only the
+                       coordinator's hang deadline can recover this. *)
+                    Atomic.set hb_job (-1);
+                    let rec wedge () =
+                      Unix.sleepf 3600.;
+                      wedge ()
+                    in
+                    wedge ()
+                | Some Crash ->
+                    (* Sudden death at the N-th frame, nothing written:
+                       the coordinator sees EOF and requeues. *)
+                    Unix._exit 67
+                | Some (Slow delay) ->
+                    (* Slow but healthy: keep heartbeating through the
+                       delay, then deliver intact results. Must never be
+                       killed by hang detection. *)
+                    Unix.sleepf delay;
+                    write_results fd ~lock:wlock ~injected:None frames;
+                    Atomic.set hb_job (-1);
+                    serve ()
+                | (Some (Torn_frame | Corrupt_frame) | None) as injected ->
+                    write_results fd ~lock:wlock ~injected frames;
+                    Atomic.set hb_job (-1);
+                    serve ())
             | _ ->
                 (* A batch for a job this incarnation was never bound to:
                    protocol violation, die loudly. *)
@@ -262,6 +345,10 @@ let m_frames_sent = Obs.Metrics.counter "shard.frames_sent"
 let m_frames_recv = Obs.Metrics.counter "shard.frames_recv"
 let m_frames_dropped = Obs.Metrics.counter "shard.frames_dropped"
 let m_requeued = Obs.Metrics.counter "shard.cells_requeued"
+let m_hangs = Obs.Metrics.counter "shard.hangs_detected"
+let m_heartbeats = Obs.Metrics.counter "shard.heartbeats"
+let m_spawn_failures = Obs.Metrics.counter "shard.spawn_failures"
+let m_fallbacks = Obs.Metrics.counter "shard.fallbacks"
 let h_roundtrip = Obs.Metrics.histogram "shard.frame_roundtrip_s"
 let h_batch = Obs.Metrics.histogram "shard.batch_size"
 
@@ -272,6 +359,9 @@ type worker = {
   mutable rbuf : Frame.buf;
   mutable inflight : (int * float) list;  (** task index, assign instant *)
   mutable batch_started : float;
+  mutable last_heard : float;
+      (** instant of the last byte read from this worker (result or
+          heartbeat), or of the dispatch that started the silence *)
   mutable restarts_left : int;
   mutable alive : bool;
   mutable busy_s : float;
@@ -357,6 +447,7 @@ let spawn ~domains w =
   w.fd <- ours;
   w.rbuf <- Frame.create ();
   w.inflight <- [];
+  w.last_heard <- Obs.Clock.now ();
   w.alive <- true;
   match Frame.write ours (Hello { slot = w.slot; domains }) with
   | () -> Obs.Metrics.incr m_frames_sent
@@ -365,11 +456,33 @@ let spawn ~domains w =
          will surface the death and the budgeted respawn path takes over. *)
       ()
 
-(* The fleet for a [(shards, domains)] shape: created and fully spawned
-   on first use; dead slots (budget exhaustion in an earlier job, or a
-   kill between jobs) are respawned here without charging any budget —
-   each job starts with its full complement and a fresh restart budget. *)
-let get_fleet ~shards ~domains =
+(* Guarded spawn: injected ([fault]) and genuine spawn failures alike
+   become a dead slot plus a counter, never an exception — the caller
+   decides whether the remaining workers (or the in-process fallback)
+   carry the job. [attempts] numbers every spawn attempt of one sharded
+   run, so an injected [spawn@N] plan is deterministic. *)
+let spawn_guarded ~domains ?fault ~attempts w =
+  incr attempts;
+  let injected =
+    match fault with Some h -> h ~attempt:!attempts | None -> false
+  in
+  if injected then begin
+    Obs.Metrics.incr m_spawn_failures;
+    false
+  end
+  else
+    match spawn ~domains w with
+    | () -> true
+    | exception _ ->
+        Obs.Metrics.incr m_spawn_failures;
+        false
+
+(* The fleet for a [(shards, domains)] shape: created on first use; dead
+   slots (budget exhaustion in an earlier job, a kill between jobs, or a
+   spawn failure) are respawned here via [spawn_one] without charging any
+   budget — each job starts with as full a complement as spawning allows
+   and a fresh restart budget. *)
+let get_fleet ~shards ~domains ~spawn_one =
   Lazy.force ensure_process_setup;
   let fleet =
     match Hashtbl.find_opt fleets (shards, domains) with
@@ -388,6 +501,7 @@ let get_fleet ~shards ~domains =
                     rbuf = Frame.create ();
                     inflight = [];
                     batch_started = 0.;
+                    last_heard = 0.;
                     restarts_left = 0;
                     alive = false;
                     busy_s = 0.;
@@ -398,7 +512,9 @@ let get_fleet ~shards ~domains =
         Hashtbl.add fleets (shards, domains) fleet;
         fleet
   in
-  List.iter (fun w -> if not w.alive then spawn ~domains w) fleet.members;
+  List.iter
+    (fun w -> if not w.alive then ignore (spawn_one w : bool))
+    fleet.members;
   fleet
 
 let warm ?shards ?(domains = 1) () =
@@ -410,7 +526,8 @@ let warm ?shards ?(domains = 1) () =
     | Some s -> max 1 s
     | None -> max 1 (Domain.recommended_domain_count () / domains)
   in
-  ignore (get_fleet ~shards ~domains)
+  let attempts = ref 0 in
+  ignore (get_fleet ~shards ~domains ~spawn_one:(spawn_guarded ~domains ~attempts))
 
 let rec take n = function
   | [] -> ([], [])
@@ -420,7 +537,8 @@ let rec take n = function
       (x :: chunk, rest)
 
 let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2) ?batch
-    ?(policy = Supervise.default_policy) ?on_result ?havoc (f : a -> b)
+    ?(policy = Supervise.default_policy) ?on_result ?havoc ?spawn_fault
+    ?(hang_timeout_s = default_hang_timeout_s) ?deadline_s (f : a -> b)
     (xs : a list) : b Supervise.report list =
   if in_worker () then
     invalid_arg "Shard.try_map: nested sharding inside a shard worker";
@@ -441,253 +559,337 @@ let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2) ?batch
       | None -> max domains ((n + (shards * 4) - 1) / (shards * 4))
     in
     let now () = Obs.Clock.now () in
-    let fleet = get_fleet ~shards ~domains in
-    let job = fleet.next_job in
-    fleet.next_job <- job + 1;
-    (* The task closure is marshalled once per job; each task value once
-       per job at first dispatch ([payloads] memoizes it, so a requeue
-       after a crash reuses the digested bytes). *)
-    let job_frame =
-      Frame.encode (Job { job; f = (Obj.magic f : Obj.t -> Obj.t); havoc })
-    in
-    let tasks = Array.of_list xs in
-    let payloads : string option array = Array.make n None in
-    let payload i =
-      match payloads.(i) with
-      | Some s -> s
-      | None ->
-          let s = Marshal.to_string (Obj.repr tasks.(i)) [ Marshal.Closures ] in
-          payloads.(i) <- Some s;
-          s
-    in
-    let reports : b Supervise.report option array = Array.make n None in
-    let dispatches = Array.make n 0 in
-    let failures = Array.make n 0 in
-    let settled = ref 0 in
-    (* (task index, earliest re-dispatch instant); deferred entries carry
-       the retry policy's backoff as a deadline, never as a sleep. *)
-    let pending = ref (List.init n (fun i -> (i, 0.))) in
-    let batch_seq = ref 0 in
-    let live_count () =
-      List.fold_left
-        (fun acc w -> if w.alive then acc + 1 else acc)
-        0 fleet.members
-    in
-    let sync_gauge () =
-      Obs.Metrics.set g_workers (float_of_int (live_count ()))
-    in
-    let requeue w =
-      List.iter
-        (fun (i, _) ->
-          if reports.(i) = None then begin
-            Obs.Metrics.incr m_requeued;
-            pending := (i, 0.) :: !pending
-          end)
-        w.inflight;
-      w.inflight <- []
-    in
-    (* Bind this job on a (fresh or respawned) worker. On a dead pipe the
-       death path below takes over — budgeted, so the recursion with
-       [on_death] terminates. *)
-    let rec send_job w =
-      match Frame.write_all w.fd job_frame with
-      | () -> Obs.Metrics.incr m_frames_sent
-      | exception
-          Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
-        ->
-          on_death w
-    (* A worker is dead the moment its pipe reaches EOF, errors, or
-       yields a corrupt frame: close its fd and reap it ({!dismiss} —
-       every death path releases the descriptor), put its in-flight work
-       back on the queue (not charged against the retry policy — crashes
-       are bounded by the restart budget instead, so a single-attempt
-       policy still recovers from SIGKILL), and respawn into the same
-       slot while the budget lasts. *)
-    and on_death w =
-      dismiss w;
-      requeue w;
-      if w.restarts_left > 0 then begin
-        w.restarts_left <- w.restarts_left - 1;
-        Obs.Metrics.incr m_respawns;
-        spawn ~domains w;
-        send_job w
-      end;
-      sync_gauge ()
-    in
-    let quarantine index exn =
-      reports.(index) <-
-        Some
-          {
-            Supervise.status =
-              Supervise.Quarantined
-                { Pool.index; exn; backtrace = Printexc.get_callstack 0 };
-            attempts = max 1 dispatches.(index);
-          };
-      incr settled
-    in
-    let settle w rjob index (value : (Obj.t, remote_failure) Stdlib.result) =
-      Obs.Metrics.incr m_frames_recv;
-      if rjob = job then
-        match List.assoc_opt index w.inflight with
-        | None -> () (* stale frame from a superseded assignment *)
-        | Some sent ->
-            w.inflight <- List.remove_assoc index w.inflight;
-            let t = now () in
-            Obs.Metrics.observe h_roundtrip (t -. sent);
-            if w.inflight = [] then
-              w.busy_s <- w.busy_s +. (t -. w.batch_started);
-            if reports.(index) = None then begin
-              match value with
-              | Ok v ->
-                  let v : b = Obj.obj v in
-                  reports.(index) <-
-                    Some
-                      {
-                        Supervise.status = Supervise.Done v;
-                        attempts = max 1 dispatches.(index);
-                      };
-                  incr settled;
-                  Option.iter (fun g -> g index v) on_result
-              | Error { printed; trace } ->
-                  failures.(index) <- failures.(index) + 1;
-                  let exn = Worker_failure { printed; trace } in
-                  if
-                    failures.(index) < policy.Supervise.max_attempts
-                    && policy.Supervise.retry_on exn
-                  then begin
-                    let delay =
-                      Supervise.backoff_delay policy ~attempt:failures.(index)
-                    in
-                    Obs.Metrics.incr m_requeued;
-                    pending := (index, t +. delay) :: !pending
-                  end
-                  else quarantine index exn
-            end
-    in
-    let refill w =
-      if w.alive && w.inflight = [] && !pending <> [] then begin
-        let t = now () in
-        let ready, deferred = List.partition (fun (_, nb) -> nb <= t) !pending in
-        let chunk, rest = take batch (List.sort compare ready) in
-        if chunk <> [] then begin
-          pending := rest @ deferred;
-          incr batch_seq;
-          Obs.Metrics.observe h_batch (float_of_int (List.length chunk));
-          List.iter (fun (i, _) -> dispatches.(i) <- dispatches.(i) + 1) chunk;
-          w.batch_started <- t;
-          w.inflight <- List.map (fun (i, _) -> (i, t)) chunk;
-          let tasks =
-            Array.of_list (List.map (fun (i, _) -> (i, payload i)) chunk)
-          in
-          match Frame.write w.fd (Batch { job; seq = !batch_seq; tasks }) with
+    let attempts = ref 0 in
+    let spawn_one = spawn_guarded ~domains ?fault:spawn_fault ~attempts in
+    let fleet = get_fleet ~shards ~domains ~spawn_one in
+    if not (List.exists (fun w -> w.alive) fleet.members) then begin
+      (* Graceful degradation: not one worker could be spawned, so the
+         batch runs in-process on a domain pool instead of dying — same
+         retry policy, same settle hook, bit-for-bit the same reports. *)
+      Obs.Metrics.incr m_fallbacks;
+      Supervise.try_map
+        ~domains:(max 1 (shards * domains))
+        ~policy ?on_result f xs
+    end
+    else begin
+      let job = fleet.next_job in
+      fleet.next_job <- job + 1;
+      (* The task closure is marshalled once per job; each task value once
+         per job at first dispatch ([payloads] memoizes it, so a requeue
+         after a crash reuses the digested bytes). *)
+      let job_frame =
+        Frame.encode (Job { job; f = (Obj.magic f : Obj.t -> Obj.t); havoc })
+      in
+      let tasks = Array.of_list xs in
+      let payloads : string option array = Array.make n None in
+      let payload i =
+        match payloads.(i) with
+        | Some s -> s
+        | None ->
+            let s = Marshal.to_string (Obj.repr tasks.(i)) [ Marshal.Closures ] in
+            payloads.(i) <- Some s;
+            s
+      in
+      let reports : b Supervise.report option array = Array.make n None in
+      let dispatches = Array.make n 0 in
+      let failures = Array.make n 0 in
+      let settled = ref 0 in
+      (* (task index, earliest re-dispatch instant); deferred entries carry
+         the retry policy's backoff as a deadline, never as a sleep. *)
+      let pending = ref (List.init n (fun i -> (i, 0.))) in
+      let batch_seq = ref 0 in
+      let live_count () =
+        List.fold_left
+          (fun acc w -> if w.alive then acc + 1 else acc)
+          0 fleet.members
+      in
+      let sync_gauge () =
+        Obs.Metrics.set g_workers (float_of_int (live_count ()))
+      in
+      let requeue w =
+        List.iter
+          (fun (i, _) ->
+            if reports.(i) = None then begin
+              Obs.Metrics.incr m_requeued;
+              pending := (i, 0.) :: !pending
+            end)
+          w.inflight;
+        w.inflight <- []
+      in
+      (* Bind this job on a (fresh or respawned) worker. Dead slots —
+         spawn failed at job start — are simply skipped; on a dead pipe
+         the death path below takes over — budgeted, so the recursion with
+         [on_death] terminates. *)
+      let rec send_job w =
+        if w.alive then
+          match Frame.write_all w.fd job_frame with
           | () -> Obs.Metrics.incr m_frames_sent
           | exception
-              Unix.Unix_error
-                ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+              Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+            ->
               on_death w
+      (* A worker is dead the moment its pipe reaches EOF, errors, yields
+         a corrupt frame, or misses its liveness deadline: close its fd
+         and reap it ({!dismiss} — every death path releases the
+         descriptor), put its in-flight work back on the queue (not
+         charged against the retry policy — crashes are bounded by the
+         restart budget instead, so a single-attempt policy still recovers
+         from SIGKILL), and respawn into the same slot while the budget
+         lasts. A respawn that itself fails leaves the slot down; its
+         budget is spent all the same. *)
+      and on_death w =
+        dismiss w;
+        requeue w;
+        if w.restarts_left > 0 then begin
+          w.restarts_left <- w.restarts_left - 1;
+          if spawn_one w then begin
+            Obs.Metrics.incr m_respawns;
+            send_job w
+          end
+        end;
+        sync_gauge ()
+      in
+      let quarantine index exn =
+        reports.(index) <-
+          Some
+            {
+              Supervise.status =
+                Supervise.Quarantined
+                  { Pool.index; exn; backtrace = Printexc.get_callstack 0 };
+              attempts = max 1 dispatches.(index);
+            };
+        incr settled
+      in
+      let settle w rjob index (value : (Obj.t, remote_failure) Stdlib.result) =
+        Obs.Metrics.incr m_frames_recv;
+        if rjob = job then
+          match List.assoc_opt index w.inflight with
+          | None -> () (* stale frame from a superseded assignment *)
+          | Some sent ->
+              w.inflight <- List.remove_assoc index w.inflight;
+              let t = now () in
+              Obs.Metrics.observe h_roundtrip (t -. sent);
+              if w.inflight = [] then
+                w.busy_s <- w.busy_s +. (t -. w.batch_started);
+              if reports.(index) = None then begin
+                match value with
+                | Ok v ->
+                    let v : b = Obj.obj v in
+                    reports.(index) <-
+                      Some
+                        {
+                          Supervise.status = Supervise.Done v;
+                          attempts = max 1 dispatches.(index);
+                        };
+                    incr settled;
+                    Option.iter (fun g -> g index v) on_result
+                | Error { printed; trace } ->
+                    failures.(index) <- failures.(index) + 1;
+                    let exn = Worker_failure { printed; trace } in
+                    if
+                      failures.(index) < policy.Supervise.max_attempts
+                      && policy.Supervise.retry_on exn
+                    then begin
+                      let delay =
+                        Supervise.backoff_delay policy ~attempt:failures.(index)
+                      in
+                      Obs.Metrics.incr m_requeued;
+                      pending := (index, t +. delay) :: !pending
+                    end
+                    else quarantine index exn
+              end
+      in
+      let refill w =
+        if w.alive && w.inflight = [] && !pending <> [] then begin
+          let t = now () in
+          let ready, deferred = List.partition (fun (_, nb) -> nb <= t) !pending in
+          let chunk, rest = take batch (List.sort compare ready) in
+          if chunk <> [] then begin
+            pending := rest @ deferred;
+            incr batch_seq;
+            Obs.Metrics.observe h_batch (float_of_int (List.length chunk));
+            List.iter (fun (i, _) -> dispatches.(i) <- dispatches.(i) + 1) chunk;
+            w.batch_started <- t;
+            w.last_heard <- t;
+            w.inflight <- List.map (fun (i, _) -> (i, t)) chunk;
+            let tasks =
+              Array.of_list (List.map (fun (i, _) -> (i, payload i)) chunk)
+            in
+            match Frame.write w.fd (Batch { job; seq = !batch_seq; tasks }) with
+            | () -> Obs.Metrics.incr m_frames_sent
+            | exception
+                Unix.Unix_error
+                  ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+                on_death w
+          end
         end
-      end
-    in
-    let drain w =
-      let chunk = Bytes.create 65536 in
-      match Unix.read w.fd chunk 0 (Bytes.length chunk) with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | exception Unix.Unix_error _ ->
-          Obs.Metrics.incr m_frames_dropped;
-          on_death w
-      | 0 ->
-          (* EOF. Undecoded leftover bytes are a frame torn by the crash. *)
-          if w.rbuf.Frame.len > 0 then Obs.Metrics.incr m_frames_dropped;
-          on_death w
-      | nread ->
-          Frame.feed w.rbuf chunk nread;
-          let rec parse buf =
-            (* Stop at a respawn boundary: [on_death] gave the slot a
-               fresh buffer, so only keep decoding the stream this read
-               belongs to. *)
-            if w.rbuf == buf then
-              match Frame.decode buf with
-              | `Need_more -> ()
-              | `Corrupt ->
-                  (* The stream's framing is gone; nothing after this
-                     point can be trusted, so treat the worker as dead. *)
-                  Obs.Metrics.incr m_frames_dropped;
-                  (try Unix.kill w.pid Sys.sigkill
-                   with Unix.Unix_error _ -> ());
-                  on_death w
-              | `Frame (Result { job = rjob; index; value }) ->
-                  settle w rjob index value;
-                  parse buf
-          in
-          parse w.rbuf
-    in
-    let t_start = now () in
-    (* Every job starts with the full fleet and a fresh restart budget;
-       a worker that exhausts it stays down for the rest of this job
-       only. On any coordinator exception the whole fleet is destroyed —
-       fds closed, children reaped — before the exception escapes. *)
-    List.iter
-      (fun w ->
-        w.restarts_left <- restarts;
-        w.busy_s <- 0.)
-      fleet.members;
-    (try
-       List.iter send_job fleet.members;
-       sync_gauge ();
-       while !settled < n do
-         List.iter refill fleet.members;
-         let alive = List.filter (fun w -> w.alive) fleet.members in
-         if alive = [] then begin
-           (* Out of workers and out of restart budget: everything not
-              yet settled is terminally quarantined. *)
-           let slot =
-             match fleet.members with w :: _ -> w.slot | [] -> -1
-           in
-           Array.iteri
-             (fun i r ->
-               if r = None then quarantine i (Worker_crashed { slot }))
-             reports;
-           pending := []
-         end
-         else begin
-           let t = now () in
-           let next_deadline =
-             List.fold_left
-               (fun acc (_, nb) -> if nb > t then Float.min acc nb else acc)
-               Float.infinity !pending
-           in
-           let timeout =
-             if next_deadline = Float.infinity then 1.0
-             else Float.max 0.005 (Float.min 1.0 (next_deadline -. t))
-           in
-           match
-             Unix.select (List.map (fun w -> w.fd) alive) [] [] timeout
-           with
-           | readable, _, _ ->
-               List.iter
-                 (fun w -> if w.alive && List.mem w.fd readable then drain w)
-                 alive
-           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-         end
-       done
-     with e ->
-       destroy_fleet fleet;
-       raise e);
-    let wall = now () -. t_start in
-    List.iter
-      (fun w ->
-        Obs.Metrics.set
-          (Obs.Metrics.gauge
-             (Printf.sprintf "shard.worker%d.utilization" w.slot))
-          (if wall > 0. then Float.min 1. (w.busy_s /. wall) else 0.))
-      fleet.members;
-    Array.to_list (Array.map Option.get reports)
+      in
+      let drain w =
+        let chunk = Bytes.create 65536 in
+        match Unix.read w.fd chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ ->
+            Obs.Metrics.incr m_frames_dropped;
+            on_death w
+        | 0 ->
+            (* EOF. Undecoded leftover bytes are a frame torn by the crash. *)
+            if w.rbuf.Frame.len > 0 then Obs.Metrics.incr m_frames_dropped;
+            on_death w
+        | nread ->
+            (* Any bytes at all prove the process is scheduled: liveness
+               resets on results and heartbeats alike. *)
+            w.last_heard <- now ();
+            Frame.feed w.rbuf chunk nread;
+            let rec parse buf =
+              (* Stop at a respawn boundary: [on_death] gave the slot a
+                 fresh buffer, so only keep decoding the stream this read
+                 belongs to. *)
+              if w.rbuf == buf then
+                match Frame.decode buf with
+                | `Need_more -> ()
+                | `Corrupt ->
+                    (* The stream's framing is gone; nothing after this
+                       point can be trusted, so treat the worker as dead. *)
+                    Obs.Metrics.incr m_frames_dropped;
+                    (try Unix.kill w.pid Sys.sigkill
+                     with Unix.Unix_error _ -> ());
+                    on_death w
+                | `Frame (Result { job = rjob; index; value }) ->
+                    settle w rjob index value;
+                    parse buf
+                | `Frame (Heartbeat _) ->
+                    Obs.Metrics.incr m_heartbeats;
+                    parse buf
+            in
+            parse w.rbuf
+      in
+      let t_start = now () in
+      (* Every job starts with the full fleet and a fresh restart budget;
+         a worker that exhausts it stays down for the rest of this job
+         only. On any coordinator exception the whole fleet is destroyed —
+         fds closed, children reaped — before the exception escapes. *)
+      List.iter
+        (fun w ->
+          w.restarts_left <- restarts;
+          w.busy_s <- 0.)
+        fleet.members;
+      (try
+         List.iter send_job fleet.members;
+         sync_gauge ();
+         while !settled < n do
+           List.iter refill fleet.members;
+           let alive = List.filter (fun w -> w.alive) fleet.members in
+           if alive = [] then begin
+             (* Out of workers and out of restart budget: everything not
+                yet settled is terminally quarantined. *)
+             let slot =
+               match fleet.members with w :: _ -> w.slot | [] -> -1
+             in
+             Array.iteri
+               (fun i r ->
+                 if r = None then quarantine i (Worker_crashed { slot }))
+               reports;
+             pending := []
+           end
+           else begin
+             let t = now () in
+             (* Hang sweep: a worker holding a batch that has been silent
+                past [hang_timeout_s] (no results, no heartbeats — the
+                process is wedged: SIGSTOP, open-pipe hang, C-stub
+                deadlock) or past the optional per-batch [deadline_s]
+                (heartbeating but never finishing — a busy-looping task)
+                is killed and its cells requeued under the restart budget.
+                A merely slow worker heartbeats and is never swept. *)
+             List.iter
+               (fun w ->
+                 if w.alive && w.inflight <> [] then begin
+                   let silent = t -. w.last_heard > hang_timeout_s in
+                   let overran =
+                     match deadline_s with
+                     | Some d -> t -. w.batch_started > d
+                     | None -> false
+                   in
+                   if silent || overran then begin
+                     Obs.Metrics.incr m_hangs;
+                     on_death w
+                   end
+                 end)
+               alive;
+             let alive = List.filter (fun w -> w.alive) fleet.members in
+             if alive <> [] then begin
+               (* Wake for whichever comes first: a deferred retry's
+                  backoff deadline or a busy worker's liveness deadline. *)
+               let next_deadline =
+                 List.fold_left
+                   (fun acc (_, nb) -> if nb > t then Float.min acc nb else acc)
+                   Float.infinity !pending
+               in
+               let next_liveness =
+                 List.fold_left
+                   (fun acc w ->
+                     if w.inflight = [] then acc
+                     else
+                       let h = w.last_heard +. hang_timeout_s in
+                       let h =
+                         match deadline_s with
+                         | Some d -> Float.min h (w.batch_started +. d)
+                         | None -> h
+                       in
+                       Float.min acc h)
+                   Float.infinity alive
+               in
+               let wake = Float.min next_deadline next_liveness in
+               let timeout =
+                 if wake = Float.infinity then 1.0
+                 else Float.max 0.005 (Float.min 1.0 (wake -. t))
+               in
+               match
+                 Unix.select (List.map (fun w -> w.fd) alive) [] [] timeout
+               with
+               | readable, _, _ ->
+                   List.iter
+                     (fun w -> if w.alive && List.mem w.fd readable then drain w)
+                     alive
+               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+             end
+           end
+         done
+       with e ->
+         destroy_fleet fleet;
+         raise e);
+      let wall = now () -. t_start in
+      List.iter
+        (fun w ->
+          Obs.Metrics.set
+            (Obs.Metrics.gauge
+               (Printf.sprintf "shard.worker%d.utilization" w.slot))
+            (if wall > 0. then Float.min 1. (w.busy_s /. wall) else 0.))
+        fleet.members;
+      (* The loop's postcondition — every cell settled — deserves a real
+         error, not [Invalid_argument "option is None"]: name the holes. *)
+      let unsettled = ref [] in
+      Array.iteri
+        (fun i r -> if r = None then unsettled := i :: !unsettled)
+        reports;
+      if !unsettled <> [] then
+        failwith
+          (Printf.sprintf
+             "Shard.try_map: coordination loop exited with %d unsettled \
+              cell(s) out of %d: indices [%s]"
+             (List.length !unsettled) n
+             (String.concat "; "
+                (List.map string_of_int (List.rev !unsettled))));
+      Array.to_list
+        (Array.map (function Some r -> r | None -> assert false) reports)
+    end
   end
 
-let map ?shards ?domains ?restarts ?batch ?policy f xs =
+let map ?shards ?domains ?restarts ?batch ?policy ?havoc ?spawn_fault
+    ?hang_timeout_s ?deadline_s f xs =
   List.map
     (fun (r : _ Supervise.report) ->
       match r.Supervise.status with
       | Supervise.Done v -> v
       | Supervise.Quarantined e -> raise e.Pool.exn)
-    (try_map ?shards ?domains ?restarts ?batch ?policy f xs)
+    (try_map ?shards ?domains ?restarts ?batch ?policy ?havoc ?spawn_fault
+       ?hang_timeout_s ?deadline_s f xs)

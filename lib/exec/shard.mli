@@ -49,6 +49,34 @@
     pipe descriptor and reaps the child before anything else happens, so
     neither descriptors nor zombies accumulate across jobs.
 
+    {1 Liveness}
+
+    A dead worker announces itself (EOF on its pipe), but a {e wedged}
+    one — SIGSTOP, an open-pipe hang, a deadlocked C stub — does not,
+    and before heartbeats it would stall the coordinator's [select]
+    forever. While a worker holds a batch, a dedicated heartbeat domain
+    inside it writes one [Heartbeat] frame per interval (0.2 s), sharing
+    a write lock with result frames so the two never interleave. The
+    coordinator tracks the instant it last heard from each busy worker
+    (any bytes: results or heartbeats) and declares it hung when the
+    silence exceeds [hang_timeout_s]; an optional per-batch [deadline_s]
+    additionally bounds total batch duration, catching a task that
+    busy-loops while its process stays healthy enough to heartbeat. A
+    hung worker is SIGKILLed and treated exactly like a crash: cells
+    requeued, respawn under the restart budget, [shard.hangs_detected]
+    incremented. A merely slow worker keeps heartbeating and is never
+    killed by [hang_timeout_s].
+
+    {1 Graceful degradation}
+
+    A spawn failure (the injected [spawn] fault, or a genuine
+    [create_process] error) never aborts the run: the slot stays down
+    and is counted in [shard.spawn_failures], and the remaining workers
+    absorb the batch. If {e no} worker at all comes up at job start, the
+    run falls back to an in-process {!Supervise.try_map} on a domain
+    pool — same retry policy, same [on_result] settle hook, bit-for-bit
+    the same reports — and counts [shard.fallbacks].
+
     {1 Determinism}
 
     Results are reported in submission order, like {!Pool} and
@@ -60,7 +88,10 @@
 
     A run maintains [shard.workers] (gauge: live workers),
     [shard.respawns], [shard.frames_sent] / [shard.frames_recv] /
-    [shard.frames_dropped], [shard.cells_requeued] (counters), a
+    [shard.frames_dropped], [shard.cells_requeued],
+    [shard.hangs_detected] (workers killed by the liveness sweep),
+    [shard.heartbeats] (heartbeat frames received),
+    [shard.spawn_failures], [shard.fallbacks] (counters), a
     [shard.frame_roundtrip_s] histogram (assign sent to result received,
     per batch member), a [shard.batch_size] histogram (cells per
     assignment frame), and per-worker [shard.worker<slot>.utilization]
@@ -84,18 +115,30 @@ exception Worker_crashed of { slot : int }
     worker died and the restart budget ran out. [slot] is the shard slot
     that died last holding the task ([-1] when it was never assigned). *)
 
-type havoc = Torn_frame | Corrupt_frame
-(** Test-only frame-fault injection, performed {e inside the worker} on
-    its result frames: [Torn_frame] writes a partial frame then exits
-    (simulating death mid-write, taking the whole batch's remaining
-    results with it); [Corrupt_frame] flips a payload byte so the frame
-    fails its CRC, then keeps running. Both must be recovered from by
-    the coordinator without losing a task. The hook is consulted per
-    batch assignment as [havoc ~slot ~seq], where [seq] is the
-    {e job-global} batch sequence number (1-based, across all slots and
-    respawns within one [try_map] call) — so an injection keyed on one
-    [seq] fires exactly once and the respawned worker replays the work
-    cleanly. *)
+type havoc = Chaos.fault =
+  | Torn_frame
+  | Corrupt_frame
+  | Hang
+  | Crash
+  | Slow of float
+      (** Test/CI-only worker-fault injection (= {!Chaos.fault}),
+          performed {e inside the worker} once its batch has computed:
+          [Torn_frame] writes a partial frame then exits (death
+          mid-write, taking the batch's remaining results with it);
+          [Corrupt_frame] flips a payload byte so the frame fails its
+          CRC, then keeps running; [Hang] stops heartbeating and holds
+          the pipe open forever (recoverable only through the hang
+          deadline); [Crash] exits without writing anything; [Slow d]
+          sleeps [d] seconds {e while heartbeating}, then delivers
+          intact results — the fault that must {e not} trip hang
+          detection. All must be recovered from by the coordinator
+          without losing a task. The hook is consulted per batch
+          assignment as [havoc ~slot ~seq], where [seq] is the
+          {e job-global} batch sequence number (1-based, across all
+          slots and respawns within one [try_map] call) — so an
+          injection keyed on one [seq] fires exactly once and the
+          respawned worker replays the work cleanly. Derive the hook
+          from a seeded plan with {!Chaos.worker_fault}. *)
 
 (** The frame codec, exposed for direct unit testing. A frame is
     ["SHD1" | len : u32le | crc : u32le | payload], where [payload] is
@@ -163,6 +206,9 @@ val try_map :
   ?policy:Supervise.policy ->
   ?on_result:(int -> 'b -> unit) ->
   ?havoc:(slot:int -> seq:int -> havoc option) ->
+  ?spawn_fault:(attempt:int -> bool) ->
+  ?hang_timeout_s:float ->
+  ?deadline_s:float ->
   ('a -> 'b) ->
   'a list ->
   'b Supervise.report list
@@ -197,7 +243,19 @@ val try_map :
       moment input [i] settles as [Done v] (settle order, not submission
       order). This is the journal hook: results flow back to the
       coordinator's journal, keeping resume byte-identical.
-    - [havoc] — test-only fault injection, see {!havoc}.
+    - [havoc] — test/CI-only worker-fault injection, see {!havoc}.
+    - [spawn_fault] — test/CI-only spawn-failure injection, consulted
+      once per spawn attempt (1-based across the call, initial fleet
+      completion and respawns alike); [true] makes that attempt fail.
+      Derive from a plan with {!Chaos.spawn_fault}. Genuine spawn
+      errors take the same degradation path.
+    - [hang_timeout_s] — declare a busy worker hung after this much
+      silence (default 30 s; heartbeats every 0.2 s keep a healthy
+      worker far inside it). See {e Liveness} above.
+    - [deadline_s] — optional hard bound on one batch's in-flight time,
+      catching busy-looping tasks that keep heartbeating. Off by
+      default: a deadline kills {e slow but correct} batches, so pick
+      one only when an upper bound on batch duration is really known.
 
     The report's [attempts] counts dispatches of the task to a worker
     (so a crash requeue increments it even though the policy is not
@@ -213,6 +271,10 @@ val map :
   ?restarts:int ->
   ?batch:int ->
   ?policy:Supervise.policy ->
+  ?havoc:(slot:int -> seq:int -> havoc option) ->
+  ?spawn_fault:(attempt:int -> bool) ->
+  ?hang_timeout_s:float ->
+  ?deadline_s:float ->
   ('a -> 'b) ->
   'a list ->
   'b list

@@ -74,8 +74,11 @@ let stats reports =
     Each round runs the still-pending tasks as a single batch; failures the
     policy deems retryable survive to the next round, everything else
     settles. [Pool.error.index] is rewritten from the round-local position
-    back to the task's position in the original batch. *)
-let supervise p run_batch f xs =
+    back to the task's position in the original batch. [on_result] fires
+    once per task that settles [Done], with its original batch index — the
+    hook {!Shard}'s coordinator exposes for journaling, available here so
+    an in-process fallback run journals identically. *)
+let supervise ?on_result p run_batch f xs =
   let n = List.length xs in
   let reports = Array.make n None in
   let rec go attempt pending =
@@ -89,6 +92,7 @@ let supervise p run_batch f xs =
              match r with
              | Ok v ->
                  reports.(i) <- Some { status = Done v; attempts = attempt };
+                 Option.iter (fun g -> g i v) on_result;
                  []
              | Error (e : Pool.error) ->
                  if attempt < p.max_attempts && p.retry_on e.Pool.exn then
@@ -121,17 +125,17 @@ let supervise p run_batch f xs =
   if n > 0 then go 1 (List.mapi (fun i x -> (i, x)) xs);
   Array.to_list (Array.map Option.get reports)
 
-let try_map_pool ?timeout_s ?(policy = default_policy) pool f xs =
-  supervise policy (Pool.try_map_pool ?timeout_s pool) f xs
+let try_map_pool ?timeout_s ?(policy = default_policy) ?on_result pool f xs =
+  supervise ?on_result policy (Pool.try_map_pool ?timeout_s pool) f xs
 
-let try_map ?domains ?timeout_s ?(policy = default_policy) f xs =
+let try_map ?domains ?timeout_s ?(policy = default_policy) ?on_result f xs =
   match domains with
   | Some n when n > 1 ->
       (* One transient pool for the whole supervised run — not one per
          retry round, which would re-spawn domains on every backoff. *)
       Pool.with_transient ~domains:n (fun pool ->
-          try_map_pool ?timeout_s ~policy pool f xs)
-  | _ -> supervise policy (Pool.try_map ?domains ?timeout_s) f xs
+          try_map_pool ?timeout_s ~policy ?on_result pool f xs)
+  | _ -> supervise ?on_result policy (Pool.try_map ?domains ?timeout_s) f xs
 
 let map ?domains ?timeout_s ?policy f xs =
   List.map

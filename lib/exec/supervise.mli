@@ -79,23 +79,32 @@ val stats : 'a report list -> stats
 val try_map_pool :
   ?timeout_s:float ->
   ?policy:policy ->
+  ?on_result:(int -> 'b -> unit) ->
   Pool.t ->
   ('a -> 'b) ->
   'a list ->
   'b report list
 (** {!Pool.try_map_pool} under supervision: report [i] corresponds to
     input [i] (submission order). Each retry round re-submits only the
-    still-failing tasks, as one batch, after a single backoff sleep. *)
+    still-failing tasks, as one batch, after a single backoff sleep.
+    [on_result i v] fires once per task that settles [Done v], with the
+    task's position in the original batch — the same settle hook
+    {!Shard.try_map} exposes, so callers that stream results somewhere
+    durable (the campaign journal) behave identically whether a batch
+    runs sharded or falls back in-process. It is {e not} called for
+    quarantined tasks. *)
 
 val try_map :
   ?domains:int ->
   ?timeout_s:float ->
   ?policy:policy ->
+  ?on_result:(int -> 'b -> unit) ->
   ('a -> 'b) ->
   'a list ->
   'b report list
 (** Same dispatch as {!Pool.try_map} ([~domains:1] sequential, [~domains:n]
-    transient pool, default shared pool), supervised. *)
+    transient pool, default shared pool), supervised. [on_result] as in
+    {!try_map_pool}. *)
 
 val map :
   ?domains:int ->

@@ -51,6 +51,10 @@ type robustness = {
   retried : int;  (** executed cells that needed more than one attempt *)
   retries : int;  (** total extra attempts across the grid *)
   quarantined : int;  (** cells abandoned after exhausting their attempts *)
+  degraded : bool;
+      (** the journal hit a device error mid-campaign and switched to
+          memory-only mode: results are complete but not durable, and a
+          resume will re-execute the cells appended after the failure *)
 }
 
 type t = {
@@ -218,11 +222,22 @@ let cell_key ~seed ~window ~defects (fault : Inject.Fault.t) (s : Defs.t) =
     frame), while classification results, the journal and the cell
     counters stay with the coordinator. The matrix and CSV are
     bit-for-bit identical to the single-process run for any shard count
-    and batch size, including across worker crashes. *)
+    and batch size, including across worker crashes.
+
+    The journal degrades instead of aborting: a device error (ENOSPC,
+    EIO) mid-campaign switches the writer to memory-only mode — the grid
+    completes, [robustness.degraded] is raised, and only durability is
+    lost. [chaos] injects a deterministic infrastructure-fault plan
+    ({!Exec.Chaos}): worker faults and spawn failures apply to the
+    sharded branch, journal faults to any journaled run. Every fault in
+    the catalogue is recoverable, so the matrix under any chaos plan is
+    bit-for-bit the chaos-free one. [hang_timeout_s] / [deadline_s]
+    configure the sharded coordinator's liveness sweep
+    ({!Exec.Shard.try_map}). *)
 let run ?domains ?shards ?batch ?use_cache
     ?(defects = Vehicle.Defects.repaired)
     ?(window = Runner.default_window) ?journal ?(resume = false) ?retry
-    (g : grid) : t =
+    ?chaos ?hang_timeout_s ?deadline_s (g : grid) : t =
   let pairs =
     List.concat_map
       (fun f -> List.map (fun s -> (f, s)) g.grid_scenarios)
@@ -260,6 +275,7 @@ let run ?domains ?shards ?batch ?use_cache
     Obs.span "cell.classify" (fun () ->
         classify_cell ~window fault ~baseline injected)
   in
+  let journal_degraded = ref false in
   let reports =
     let policy =
       match retry with
@@ -276,6 +292,9 @@ let run ?domains ?shards ?batch ?use_cache
              cells in flight, exactly like a domain crash cannot). *)
           let keys = Array.of_list (List.map (fun (_, k, _) -> k) todo) in
           Exec.Shard.try_map ~shards:s ?domains ?batch ~policy
+            ?havoc:(Option.bind chaos Exec.Chaos.worker_fault)
+            ?spawn_fault:(Option.bind chaos Exec.Chaos.spawn_fault)
+            ?hang_timeout_s ?deadline_s
             ~on_result:(fun i cell ->
               Option.iter (fun w -> Journal.append w ~key:keys.(i) cell) writer;
               Obs.Metrics.incr m_cells_executed)
@@ -294,8 +313,16 @@ let run ?domains ?shards ?batch ?use_cache
         match journal with
         | None -> execute None
         | Some path ->
-            Journal.with_writer ~fresh:(not resume) path (fun w ->
-                execute (Some w)))
+            (* [`Degrade]: a campaign survives losing its journal device —
+               results keep flowing in memory, the robustness summary
+               carries the [degraded] flag, and only durability is lost. *)
+            Journal.with_writer ~fresh:(not resume) ~on_error:`Degrade
+              ?fault:(Option.bind chaos Exec.Chaos.journal_fault)
+              path
+              (fun w ->
+                let r = execute (Some w) in
+                journal_degraded := Journal.degraded w;
+                r))
   in
   Obs.Metrics.incr ~by:(List.length slots - List.length todo) m_cells_replayed;
   (* Without a retry policy, preserve the historical contract: the first
@@ -348,6 +375,7 @@ let run ?domains ?shards ?batch ?use_cache
         retried = sstats.Exec.Supervise.retried;
         retries = sstats.Exec.Supervise.retries;
         quarantined = sstats.Exec.Supervise.quarantined;
+        degraded = !journal_degraded;
       };
   }
 
@@ -434,7 +462,8 @@ let pp ppf (t : t) =
   Fmt.pf ppf
     "@,detected=%d missed=%d spurious=%d no_effect=%d@,\
      hits=%d false negatives=%d false positives=%d inhibited=%d@,\
-     cells: executed=%d replayed=%d retried=%d retries=%d quarantined=%d@]"
+     cells: executed=%d replayed=%d retried=%d retries=%d quarantined=%d%s@]"
     t.detected t.missed t.spurious t.no_effect t.hits t.false_negatives
     t.false_positives t.inhibited t.robustness.executed t.robustness.replayed
     t.robustness.retried t.robustness.retries t.robustness.quarantined
+    (if t.robustness.degraded then " degraded=true" else "")

@@ -29,26 +29,48 @@ let crc32 = Exec.Crc32.digest
 (* ------------------------------------------------------------------ *)
 (* Writer                                                               *)
 
+exception Io_error of { path : string; op : string; error : string }
+
 type 'a writer = {
   oc : out_channel;
+  path : string;
   lock : Mutex.t;  (** appends may come from pool worker domains *)
+  on_error : [ `Raise | `Degrade ];
+  fault : ([ `Write | `Fsync ] -> bool) option;
+      (** chaos hook ({!Exec.Chaos.journal_fault}): consulted once per
+          append for [`Write] (fail mid-record) and once for [`Fsync] *)
   mutable closed : bool;
+  mutable degraded : bool;
 }
 
 (* Telemetry: append/byte volume and the cost of durability. fsync
    dominates the journal's overhead, so its latency gets a histogram of
-   its own — p95 here is the honest per-cell price of crash safety. *)
+   its own — p95 here is the honest per-cell price of crash safety.
+   write_errors counts appends that failed at the device (injected or
+   real); appends_dropped the appends skipped after a writer degraded. *)
 let m_appends = Obs.Metrics.counter "journal.appends"
 let m_bytes = Obs.Metrics.counter "journal.bytes"
 let m_replays = Obs.Metrics.counter "journal.replays"
+let m_write_errors = Obs.Metrics.counter "journal.write_errors"
+let m_dropped = Obs.Metrics.counter "journal.appends_dropped"
 let h_fsync = Obs.Metrics.histogram "journal.fsync_s"
 
-let create ?(fresh = false) path =
+let create ?(fresh = false) ?(on_error = `Raise) ?fault path =
   let flags =
     [ Open_wronly; Open_creat; Open_binary ]
     @ if fresh then [ Open_trunc ] else [ Open_append ]
   in
-  { oc = open_out_gen flags 0o644 path; lock = Mutex.create (); closed = false }
+  {
+    oc = open_out_gen flags 0o644 path;
+    path;
+    lock = Mutex.create ();
+    on_error;
+    fault;
+    closed = false;
+    degraded = false;
+  }
+
+let degraded w = w.degraded
 
 let append w ~key v =
   let payload = Marshal.to_string (key, v) [ Marshal.Closures ] in
@@ -64,17 +86,55 @@ let append w ~key v =
     ~finally:(fun () -> Mutex.unlock w.lock)
     (fun () ->
       if w.closed then invalid_arg "Journal.append: writer is closed";
-      Buffer.output_buffer w.oc buf;
-      flush w.oc;
-      (* The record is only durable once the kernel has it on disk: a
-         flushed-but-unsynced append can still vanish with the page cache
-         on power loss, breaking the resume-equals-uninterrupted
-         contract. *)
-      let t0 = Obs.Clock.now () in
-      Unix.fsync (Unix.descr_of_out_channel w.oc);
-      Obs.Metrics.observe h_fsync (Obs.Clock.now () -. t0);
-      Obs.Metrics.incr m_appends;
-      Obs.Metrics.incr ~by:(Buffer.length buf) m_bytes)
+      if w.degraded then
+        (* Degradation is terminal for the file, not just the append:
+           replay stops at the first invalid record, so once an append
+           tore mid-file no later record would ever be replayed — writing
+           more would only fake durability the resume path cannot see. *)
+        Obs.Metrics.incr m_dropped
+      else
+        let fault op = match w.fault with Some h -> h op | None -> false in
+        match
+          if fault `Write then begin
+            (* Injected torn write: half the record reaches the file,
+               then the device errors — the on-disk shape of a crash
+               mid-append combined with EIO. *)
+            let s = Buffer.contents buf in
+            output_string w.oc (String.sub s 0 (String.length s / 2));
+            flush w.oc;
+            raise (Unix.Unix_error (Unix.EIO, "write", w.path))
+          end;
+          Buffer.output_buffer w.oc buf;
+          flush w.oc;
+          (* The record is only durable once the kernel has it on disk: a
+             flushed-but-unsynced append can still vanish with the page
+             cache on power loss, breaking the resume-equals-uninterrupted
+             contract. *)
+          let t0 = Obs.Clock.now () in
+          if fault `Fsync then
+            raise (Unix.Unix_error (Unix.ENOSPC, "fsync", w.path));
+          Unix.fsync (Unix.descr_of_out_channel w.oc);
+          Obs.Metrics.observe h_fsync (Obs.Clock.now () -. t0)
+        with
+        | () ->
+            Obs.Metrics.incr m_appends;
+            Obs.Metrics.incr ~by:(Buffer.length buf) m_bytes
+        | exception (Unix.Unix_error _ | Sys_error _ as e) ->
+            Obs.Metrics.incr m_write_errors;
+            (* Raw device errors never escape as themselves: callers and
+               the degradation path below match on the typed error. *)
+            let err =
+              match e with
+              | Unix.Unix_error (code, op, _) ->
+                  Io_error
+                    { path = w.path; op; error = Unix.error_message code }
+              | Sys_error msg ->
+                  Io_error { path = w.path; op = "write"; error = msg }
+              | _ -> assert false
+            in
+            (match w.on_error with
+            | `Raise -> raise err
+            | `Degrade -> w.degraded <- true))
 
 let close w =
   Mutex.lock w.lock;
@@ -83,11 +143,14 @@ let close w =
     (fun () ->
       if not w.closed then begin
         w.closed <- true;
-        close_out w.oc
+        match close_out w.oc with
+        | () -> ()
+        | exception Sys_error msg ->
+            raise (Io_error { path = w.path; op = "close"; error = msg })
       end)
 
-let with_writer ?fresh path f =
-  let w = create ?fresh path in
+let with_writer ?fresh ?on_error ?fault path f =
+  let w = create ?fresh ?on_error ?fault path in
   Fun.protect ~finally:(fun () -> close w) (fun () -> f w)
 
 (* ------------------------------------------------------------------ *)

@@ -23,20 +23,64 @@
     internally and are safe to share across domains; concurrent writers in
     {e separate processes} are not supported. *)
 
+exception Io_error of { path : string; op : string; error : string }
+(** A device-level failure (ENOSPC, EIO, a [Sys_error]) in a journal
+    operation: which file, which operation ([op] is the syscall name —
+    ["write"], ["fsync"], ["close"]), and the errno message. Raw
+    [Unix.Unix_error] / [Sys_error] never escape {!append}; callers — and
+    the [`Degrade] policy below — match on this instead. *)
+
 type 'a writer
 
-val create : ?fresh:bool -> string -> 'a writer
+val create :
+  ?fresh:bool ->
+  ?on_error:[ `Raise | `Degrade ] ->
+  ?fault:([ `Write | `Fsync ] -> bool) ->
+  string ->
+  'a writer
 (** [create ?fresh path] opens [path] for appending, creating it if
     absent. [~fresh:true] (default [false]) truncates an existing file
-    first — a new run rather than a resumed one. *)
+    first — a new run rather than a resumed one.
+
+    [on_error] is the degradation policy for device failures inside
+    {!append}: [`Raise] (default) raises the typed {!Io_error};
+    [`Degrade] marks the writer {!degraded} and keeps going — the
+    campaign keeps running, just without durability. Degradation is
+    {e terminal} for the writer: replay stops at the first invalid
+    record, so after one torn append no later record could ever be
+    replayed anyway; every subsequent append is skipped and counted in
+    [journal.appends_dropped], while the failed append itself counts in
+    [journal.write_errors].
+
+    [fault] is the chaos hook (derive from a plan with
+    {!Exec.Chaos.journal_fault}): each append consults it once with
+    [`Write] — [true] tears the record (half the bytes reach the file)
+    and fails with EIO — and once with [`Fsync] — [true] fails the
+    append with ENOSPC after the full record was flushed. Test/CI only. *)
 
 val append : 'a writer -> key:string -> 'a -> unit
 (** Append one record and fsync it to disk before returning.
-    Domain-safe. *)
+    Domain-safe.
+
+    @raise Io_error on a device failure under the [`Raise] policy. Under
+    [`Degrade] the error is absorbed (see {!create}); use {!degraded} to
+    observe it. *)
+
+val degraded : 'a writer -> bool
+(** Whether a device failure has switched this writer to degraded
+    (memory-only) mode — results are no longer journaled, and a resume
+    will re-execute the cells appended after the failure. Surfaced as the
+    campaign robustness [degraded] flag. *)
 
 val close : 'a writer -> unit
 
-val with_writer : ?fresh:bool -> string -> ('a writer -> 'b) -> 'b
+val with_writer :
+  ?fresh:bool ->
+  ?on_error:[ `Raise | `Degrade ] ->
+  ?fault:([ `Write | `Fsync ] -> bool) ->
+  string ->
+  ('a writer -> 'b) ->
+  'b
 (** [create], run, then [close] (also on exception). *)
 
 type 'a replay = {

@@ -112,9 +112,13 @@ let run ?(use_cache = true) ?(defects = Vehicle.Defects.as_evaluated)
     assignment frame); results are identical to the in-process
     dispatches. Without [retry] the sharded fleet keeps the fail-fast
     contract (a single-attempt policy), so crashes and task failures
-    re-raise rather than thin the fleet. *)
+    re-raise rather than thin the fleet. [chaos] injects the plan's
+    worker and spawn faults into the sharded dispatch ([Exec.Chaos] —
+    all recoverable, results unchanged); [hang_timeout_s] / [deadline_s]
+    configure the coordinator's liveness sweep. All three are ignored by
+    the in-process dispatches. *)
 let run_all ?domains ?shards ?batch ?use_cache ?defects ?timing ?dynamics
-    ?inject ?window ?retry () =
+    ?inject ?window ?retry ?chaos ?hang_timeout_s ?deadline_s () =
   Obs.span "runner.fleet" (fun () ->
       let f = run ?use_cache ?defects ?timing ?dynamics ?inject ?window in
       match shards with
@@ -124,7 +128,10 @@ let run_all ?domains ?shards ?batch ?use_cache ?defects ?timing ?dynamics
             | Some p -> p
             | None -> Exec.Supervise.policy ~max_attempts:1 ()
           in
-          Exec.Shard.map ~shards:s ?domains ?batch ~policy f Defs.all
+          Exec.Shard.map ~shards:s ?domains ?batch ~policy
+            ?havoc:(Option.bind chaos Exec.Chaos.worker_fault)
+            ?spawn_fault:(Option.bind chaos Exec.Chaos.spawn_fault)
+            ?hang_timeout_s ?deadline_s f Defs.all
       | None -> (
           match retry with
           | None -> Exec.Pool.map ?domains f Defs.all

@@ -1,0 +1,158 @@
+(** Chaos plans: the [--chaos] grammar, trigger determinism, and the
+    hook derivations the execution layers consult at their injection
+    points. The end-to-end behaviour of the injected faults lives in
+    [test_shard] (worker and spawn faults) and [test_journal] (journal
+    faults); this suite pins the plan algebra itself. *)
+
+let plan spec =
+  match Exec.Chaos.parse ~seed:7 spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse %S: %s" spec e
+
+let test_parse_canonical_round_trip () =
+  List.iter
+    (fun spec ->
+      let p = plan spec in
+      Alcotest.(check string) (spec ^ ": canonical form") spec
+        (Exec.Chaos.to_string p);
+      match Exec.Chaos.parse ~seed:7 (Exec.Chaos.to_string p) with
+      | Ok q ->
+          Alcotest.(check bool) (spec ^ ": to_string round-trips") true (p = q)
+      | Error e -> Alcotest.failf "re-parse %S: %s" spec e)
+    [
+      "hang@2";
+      "crash@4,torn@6,corrupt@8";
+      "slow@3:0.5";
+      "hang~0.25,slow~0.1:2";
+      "jwrite@3,jfsync@5,spawn@1";
+      "hang@2,hang@9";
+    ]
+
+let test_parse_tolerates_whitespace () =
+  Alcotest.(check bool) "terms are trimmed" true
+    (plan " hang@2 , crash@4 " = plan "hang@2,crash@4")
+
+let test_parse_errors () =
+  List.iter
+    (fun (spec, needle) ->
+      match Exec.Chaos.parse spec with
+      | Ok _ -> Alcotest.failf "%S must not parse" spec
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S error mentions %S (got %S)" spec needle e)
+            true
+            (Str.string_match (Str.regexp (".*" ^ Str.quote needle)) e 0))
+    [
+      ("", "empty");
+      ("hang", "KIND@N");
+      ("hang@0", "positive");
+      ("hang~1.5", "[0, 1]");
+      ("bogus@1", "unknown");
+      ("hang@1:3", "slow");
+      ("slow@1", "SECS");
+      ("jwrite@1,jwrite@2", "duplicate");
+      ("hang@1~0.5", "at most one");
+    ]
+
+let test_fires_determinism () =
+  (* [At n] fires on exactly the n-th opportunity. *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) "At fires on its index" true
+        (Exec.Chaos.fires ~seed:1 ~salt:3 ~n (Exec.Chaos.At n));
+      Alcotest.(check bool) "At silent elsewhere" false
+        (Exec.Chaos.fires ~seed:1 ~salt:3 ~n:(n + 1) (Exec.Chaos.At n)))
+    [ 1; 2; 5; 100 ];
+  (* [Rate p] is a pure function of (seed, salt, n): same inputs, same
+     draw — never a function of how many draws came before. *)
+  let draw seed salt n =
+    Exec.Chaos.fires ~seed ~salt ~n (Exec.Chaos.Rate 0.5)
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) "Rate deterministic" (draw 42 1 n) (draw 42 1 n))
+    (List.init 20 (fun i -> i + 1));
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) "Rate 0. never fires" false
+        (Exec.Chaos.fires ~seed:42 ~salt:1 ~n (Exec.Chaos.Rate 0.));
+      Alcotest.(check bool) "Rate 1. always fires" true
+        (Exec.Chaos.fires ~seed:42 ~salt:1 ~n (Exec.Chaos.Rate 1.)))
+    (List.init 10 (fun i -> i + 1));
+  (* Different seeds decorrelate: at least one of 64 draws differs. *)
+  Alcotest.(check bool) "seed changes the draws" true
+    (List.exists
+       (fun n -> draw 1 1 n <> draw 2 1 n)
+       (List.init 64 (fun i -> i + 1)));
+  (* Different salts decorrelate two kinds sharing a seed. *)
+  Alcotest.(check bool) "salt changes the draws" true
+    (List.exists
+       (fun n -> draw 42 1 n <> draw 42 2 n)
+       (List.init 64 (fun i -> i + 1)))
+
+let test_is_empty () =
+  Alcotest.(check bool) "none is empty" true
+    (Exec.Chaos.is_empty Exec.Chaos.none);
+  Alcotest.(check bool) "seed alone keeps a plan empty" true
+    (Exec.Chaos.is_empty { Exec.Chaos.none with Exec.Chaos.seed = 9 });
+  Alcotest.(check bool) "a worker fault makes it non-empty" false
+    (Exec.Chaos.is_empty (plan "hang@1"));
+  Alcotest.(check bool) "a journal fault makes it non-empty" false
+    (Exec.Chaos.is_empty (plan "jwrite@1"))
+
+let test_worker_fault_hook () =
+  Alcotest.(check bool) "empty plan derives no hook" true
+    (Exec.Chaos.worker_fault Exec.Chaos.none = None);
+  let hook = Option.get (Exec.Chaos.worker_fault (plan "hang@2,crash@2,torn@5")) in
+  Alcotest.(check bool) "quiet opportunity injects nothing" true
+    (hook ~slot:0 ~seq:1 = None);
+  Alcotest.(check bool) "first firing entry wins" true
+    (hook ~slot:0 ~seq:2 = Some Exec.Chaos.Hang);
+  Alcotest.(check bool) "later entries fire on their own index" true
+    (hook ~slot:1 ~seq:5 = Some Exec.Chaos.Torn_frame)
+
+let test_spawn_and_journal_hooks () =
+  Alcotest.(check bool) "no spawn term, no hook" true
+    (Exec.Chaos.spawn_fault (plan "hang@1") = None);
+  let p = plan "spawn@1,jwrite@2,jfsync@3" in
+  let spawn = Option.get (Exec.Chaos.spawn_fault p) in
+  Alcotest.(check bool) "spawn fires on its attempt" true (spawn ~attempt:1);
+  Alcotest.(check bool) "spawn silent afterwards" false (spawn ~attempt:2);
+  (* The journal hook is stateful: [`Write] advances the append index,
+     [`Fsync] reads the same index — one hook per writer. *)
+  let j = Option.get (Exec.Chaos.journal_fault p) in
+  Alcotest.(check bool) "append 1: write clean" false (j `Write);
+  Alcotest.(check bool) "append 1: fsync clean" false (j `Fsync);
+  Alcotest.(check bool) "append 2: write fails" true (j `Write);
+  Alcotest.(check bool) "append 2: fsync clean" false (j `Fsync);
+  Alcotest.(check bool) "append 3: write clean" false (j `Write);
+  Alcotest.(check bool) "append 3: fsync fails" true (j `Fsync);
+  (* A freshly derived hook starts its append count over. *)
+  Alcotest.(check bool) "fresh derivation restarts the count" false
+    (Option.get (Exec.Chaos.journal_fault p) `Write)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "parse / to_string round-trip" `Quick
+            test_parse_canonical_round_trip;
+          Alcotest.test_case "whitespace tolerated" `Quick
+            test_parse_tolerates_whitespace;
+          Alcotest.test_case "malformed specs rejected" `Quick test_parse_errors;
+          Alcotest.test_case "is_empty" `Quick test_is_empty;
+        ] );
+      ( "triggers",
+        [
+          Alcotest.test_case "At exact, Rate seeded and pure" `Quick
+            test_fires_determinism;
+        ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "worker fault derivation" `Quick
+            test_worker_fault_hook;
+          Alcotest.test_case "spawn and journal derivations" `Quick
+            test_spawn_and_journal_hooks;
+        ] );
+    ]

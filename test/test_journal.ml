@@ -117,6 +117,92 @@ let test_crc32_vector () =
   Alcotest.(check int32) "empty string" 0l (Journal_access.crc32 "")
 
 (* ------------------------------------------------------------------ *)
+(* Device failures: typed errors and degraded mode                      *)
+
+let counter name = Obs.Metrics.value (Obs.Metrics.counter name)
+
+(* A chaos hook failing the [n]-th append's write (1-based). *)
+let write_fails_at n =
+  let appends = ref 0 in
+  function
+  | `Write ->
+      incr appends;
+      !appends = n
+  | `Fsync -> false
+
+let test_write_fault_raises_typed_io_error () =
+  with_path "wfault_raise" @@ fun path ->
+  (* Under the default `Raise policy a device failure surfaces as the
+     typed Io_error carrying the path and the failing syscall — never as
+     a raw Unix_error or Sys_error. *)
+  let w = Journal_access.create ~fault:(write_fails_at 2) path in
+  Fun.protect
+    ~finally:(fun () -> Journal_access.close w)
+    (fun () ->
+      Journal_access.append w ~key:"a" (1, "one");
+      match Journal_access.append w ~key:"b" (2, "two") with
+      | () -> Alcotest.fail "the faulted append must raise"
+      | exception Journal_access.Io_error { path = p; op; error } ->
+          Alcotest.(check string) "path carried" path p;
+          Alcotest.(check string) "op is the failing syscall" "write" op;
+          Alcotest.(check bool) "errno message present" true
+            (String.length error > 0);
+          Alcotest.(check bool) "writer not degraded under `Raise" false
+            (Journal_access.degraded w))
+
+let test_write_fault_degrades_and_replay_keeps_prefix () =
+  with_path "wfault_degrade" @@ fun path ->
+  let errors0 = counter "journal.write_errors" in
+  let dropped0 = counter "journal.appends_dropped" in
+  Journal_access.with_writer ~on_error:`Degrade ~fault:(write_fails_at 2) path
+    (fun w ->
+      Journal_access.append w ~key:"a" (1, "one");
+      Alcotest.(check bool) "healthy so far" false (Journal_access.degraded w);
+      (* The faulted append tears the record on disk and is absorbed. *)
+      Journal_access.append w ~key:"b" (2, "two");
+      Alcotest.(check bool) "degraded after the device failure" true
+        (Journal_access.degraded w);
+      (* Degradation is terminal: later appends are skipped, not
+         written after the torn record (replay would never reach them). *)
+      Journal_access.append w ~key:"c" (3, "three"));
+  Alcotest.(check int) "one write error counted" 1
+    (counter "journal.write_errors" - errors0);
+  Alcotest.(check int) "one post-failure append dropped" 1
+    (counter "journal.appends_dropped" - dropped0);
+  (* Replay integrity: the intact prefix survives, the torn record is
+     rejected, and nothing after it ever reached the file. *)
+  let r = Journal_access.replay path in
+  Alcotest.check entries_t "only the pre-fault prefix replays"
+    [ ("a", (1, "one")) ]
+    r.Journal_access.entries;
+  Alcotest.(check bool) "the torn record's bytes counted as dropped" true
+    (r.Journal_access.dropped_bytes > 0)
+
+let test_fsync_fault_degrades () =
+  with_path "ffault" @@ fun path ->
+  (* An fsync failure (ENOSPC) after a fully flushed record: the record
+     is on disk, but durability is gone — the writer degrades all the
+     same, and the flushed record still replays. *)
+  let fault = function `Write -> false | `Fsync -> true in
+  Journal_access.with_writer ~on_error:`Degrade ~fault path (fun w ->
+      Journal_access.append w ~key:"a" (1, "one");
+      Alcotest.(check bool) "degraded by the fsync failure" true
+        (Journal_access.degraded w));
+  let r = Journal_access.replay path in
+  Alcotest.check entries_t "the flushed record replays"
+    [ ("a", (1, "one")) ]
+    r.Journal_access.entries
+
+let test_closed_writer_rejected () =
+  with_path "closed" @@ fun path ->
+  let w = Journal_access.create path in
+  Journal_access.append w ~key:"a" (1, "one");
+  Journal_access.close w;
+  Alcotest.check_raises "append after close rejected"
+    (Invalid_argument "Journal.append: writer is closed") (fun () ->
+      Journal_access.append w ~key:"b" (2, "two"))
+
+(* ------------------------------------------------------------------ *)
 (* Campaign resume contract                                             *)
 
 let grid seed =
@@ -203,6 +289,37 @@ let test_campaign_journal_corrupt_tail_recovers () =
   Alcotest.(check int) "torn cell re-executed" 1 r.Scenarios.Campaign.executed;
   Alcotest.(check int) "intact cells replayed" 3 r.Scenarios.Campaign.replayed
 
+let test_campaign_survives_journal_write_fault () =
+  with_path "chaosjnl" @@ fun path ->
+  let g = grid 42 in
+  let baseline = Scenarios.Campaign.run ~domains:1 g in
+  (* A journal device failure mid-campaign (3rd append's write fails):
+     the campaign must finish with a bit-for-bit identical matrix,
+     flagged degraded, and a resume from the truncated journal must
+     re-execute exactly the cells lost to the failure. *)
+  let chaos =
+    match Exec.Chaos.parse ~seed:42 "jwrite@3" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let chaotic = Scenarios.Campaign.run ~domains:1 ~journal:path ~chaos g in
+  Alcotest.(check string) "degraded run = plain run (CSV)"
+    (strip_robustness baseline) (strip_robustness chaotic);
+  Alcotest.(check bool) "robustness reports the degradation" true
+    chaotic.Scenarios.Campaign.robustness.Scenarios.Campaign.degraded;
+  (* Only appends 1–2 reached the file; the resume re-runs cells 3–4. *)
+  Scenarios.Runner.clear_cache ();
+  let resumed = Scenarios.Campaign.run ~domains:1 ~journal:path ~resume:true g in
+  Alcotest.(check string) "resumed CSV still identical"
+    (strip_robustness baseline) (strip_robustness resumed);
+  let r = resumed.Scenarios.Campaign.robustness in
+  Alcotest.(check int) "the 2 unjournaled cells re-executed" 2
+    r.Scenarios.Campaign.executed;
+  Alcotest.(check int) "the 2 durable cells replayed" 2
+    r.Scenarios.Campaign.replayed;
+  Alcotest.(check bool) "resume with a healthy device is not degraded" false
+    r.Scenarios.Campaign.degraded
+
 let () =
   Alcotest.run "journal"
     [
@@ -218,6 +335,17 @@ let () =
             test_fresh_truncates_append_extends;
           Alcotest.test_case "crc32 check vector" `Quick test_crc32_vector;
         ] );
+      ( "device failures",
+        [
+          Alcotest.test_case "write fault raises typed Io_error" `Quick
+            test_write_fault_raises_typed_io_error;
+          Alcotest.test_case "write fault degrades; replay keeps the prefix"
+            `Quick test_write_fault_degrades_and_replay_keeps_prefix;
+          Alcotest.test_case "fsync fault degrades" `Quick
+            test_fsync_fault_degrades;
+          Alcotest.test_case "append after close rejected" `Quick
+            test_closed_writer_rejected;
+        ] );
       ( "campaign",
         [
           Alcotest.test_case "journal + full replay" `Slow
@@ -226,5 +354,7 @@ let () =
             test_campaign_partial_resume;
           Alcotest.test_case "torn tail re-executes only the torn cell" `Slow
             test_campaign_journal_corrupt_tail_recovers;
+          Alcotest.test_case "journal write fault degrades, matrix unchanged"
+            `Slow test_campaign_survives_journal_write_fault;
         ] );
     ]

@@ -342,6 +342,191 @@ let test_no_fd_leak_on_death_paths () =
   | pid, _ -> Alcotest.failf "unreaped zombie %d collected by the test" pid
 
 (* ------------------------------------------------------------------ *)
+(* Liveness: heartbeats, hang detection, graceful degradation           *)
+
+let test_hang_detected_and_requeued () =
+  (* The worker serving the 2nd assignment wedges with its pipe open —
+     the hang that EOF-based death detection can never see. The liveness
+     sweep must notice the silence within [hang_timeout_s], SIGKILL the
+     worker, requeue exactly the hung batch's cells under the restart
+     budget, and settle everything correctly. *)
+  let hangs0 = counter "shard.hangs_detected" in
+  let requeued0 = counter "shard.cells_requeued" in
+  let respawns0 = counter "shard.respawns" in
+  let xs = List.init 8 Fun.id in
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    Exec.Shard.try_map ~shards:2 ~batch:2 ~hang_timeout_s:1.0
+      ~havoc:(fun ~slot:_ ~seq ->
+        if seq = 2 then Some Exec.Shard.Hang else None)
+      (fun x -> x * 9) xs
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check (list int)) "all tasks settle correctly"
+    (List.map (fun x -> x * 9) xs)
+    (List.map get_done reports);
+  Alcotest.(check bool) "hang detected" true
+    (counter "shard.hangs_detected" > hangs0);
+  Alcotest.(check int) "the hung batch's 2 cells requeued" 2
+    (counter "shard.cells_requeued" - requeued0);
+  Alcotest.(check bool) "hung worker replaced under the restart budget" true
+    (counter "shard.respawns" > respawns0);
+  (* Detection is deadline-driven, not luck: a 1 s timeout must resolve
+     the whole job well inside this generous bound. *)
+  Alcotest.(check bool) "recovered promptly" true (elapsed < 20.)
+
+let test_sigstopped_worker_recovered () =
+  (* SIGSTOP freezes the worker wholesale — heartbeat domain included —
+     without closing its pipe: from the coordinator's seat this is
+     exactly the open-pipe hang. The stopped worker must be declared
+     hung, SIGKILLed (SIGKILL penetrates a stopped process), and its
+     cells requeued. The stopper runs on its own domain, polling /proc
+     until a worker exists. *)
+  Exec.Shard.shutdown_fleets ();
+  let hangs0 = counter "shard.hangs_detected" in
+  let stopped = Atomic.make 0 in
+  let stopper =
+    Domain.spawn (fun () ->
+        let deadline = Unix.gettimeofday () +. 60. in
+        let rec hunt () =
+          if Unix.gettimeofday () < deadline && Atomic.get stopped = 0 then (
+            (match find_workers () with
+            | pid :: _ -> (
+                try
+                  Unix.kill pid Sys.sigstop;
+                  Atomic.set stopped pid
+                with Unix.Unix_error _ -> ())
+            | [] -> ());
+            if Atomic.get stopped = 0 then (
+              Unix.sleepf 0.005;
+              hunt ()))
+        in
+        hunt ())
+  in
+  let xs = List.init 10 Fun.id in
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    Exec.Shard.try_map ~shards:1 ~batch:2 ~hang_timeout_s:1.0
+      (fun x ->
+        Unix.sleepf 0.15;
+        x * 3)
+      xs
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Domain.join stopper;
+  Alcotest.(check bool) "the stopper found and froze a worker" true
+    (Atomic.get stopped > 0);
+  Alcotest.(check (list int)) "all tasks settle correctly"
+    (List.map (fun x -> x * 3) xs)
+    (List.map get_done reports);
+  Alcotest.(check bool) "frozen worker detected as hung" true
+    (counter "shard.hangs_detected" > hangs0);
+  Alcotest.(check bool) "recovered within the liveness deadline (+ slack)"
+    true (elapsed < 30.)
+
+let test_busy_loop_caught_by_deadline () =
+  (* A task stuck in an OCaml busy-loop keeps the worker's heartbeat
+     domain beating, so the silence sweep never fires; only the explicit
+     per-batch deadline can catch it. First dispatch spins (flag file
+     absent); the requeued dispatch sees the flag and returns. *)
+  let flag = Filename.temp_file "shard_busy" ".flag" in
+  Sys.remove flag;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists flag then Sys.remove flag)
+  @@ fun () ->
+  let hangs0 = counter "shard.hangs_detected" in
+  let task x =
+    if x = 2 && not (Sys.file_exists flag) then begin
+      Out_channel.with_open_bin flag (fun oc ->
+          Out_channel.output_string oc "spinning");
+      (* Bounded spin: if deadline detection ever regresses this poisons
+         the result instead of hanging the suite. *)
+      let t0 = Unix.gettimeofday () in
+      while Unix.gettimeofday () -. t0 < 30. do
+        ignore (Sys.opaque_identity 0)
+      done;
+      -1
+    end
+    else x * 4
+  in
+  let reports =
+    Exec.Shard.try_map ~shards:1 ~batch:1 ~deadline_s:1.0 task [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "spinner killed, requeued and settled"
+    [ 0; 4; 8; 12 ]
+    (List.map get_done reports);
+  Alcotest.(check bool) "busy-loop caught by the batch deadline" true
+    (counter "shard.hangs_detected" > hangs0)
+
+let test_slow_worker_not_killed () =
+  (* Slow-but-healthy: the worker delays its results past the hang
+     timeout while heartbeating throughout. Liveness must keep its hands
+     off — no kill, no respawn, no hang counted. *)
+  let hangs0 = counter "shard.hangs_detected" in
+  let beats0 = counter "shard.heartbeats" in
+  let respawns0 = counter "shard.respawns" in
+  let reports =
+    Exec.Shard.try_map ~shards:1 ~hang_timeout_s:0.6
+      ~havoc:(fun ~slot:_ ~seq ->
+        if seq = 1 then Some (Exec.Shard.Slow 1.2) else None)
+      (fun x -> x * 6) [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list int)) "all tasks settle correctly" [ 6; 12; 18; 24 ]
+    (List.map get_done reports);
+  Alcotest.(check int) "no hang detected" 0
+    (counter "shard.hangs_detected" - hangs0);
+  Alcotest.(check int) "no respawn" 0 (counter "shard.respawns" - respawns0);
+  Alcotest.(check bool) "heartbeats kept the worker alive" true
+    (counter "shard.heartbeats" > beats0)
+
+let test_total_spawn_failure_falls_back () =
+  (* Every spawn fails, so the job starts with zero live workers: the
+     run must fall back to the in-process supervised pool — same
+     results, same hooks — instead of dying or hanging. *)
+  Exec.Shard.shutdown_fleets ();
+  let fallbacks0 = counter "shard.fallbacks" in
+  let spawn_failures0 = counter "shard.spawn_failures" in
+  let seen = ref [] in
+  let reports =
+    Exec.Shard.try_map ~shards:2
+      ~spawn_fault:(fun ~attempt:_ -> true)
+      ~on_result:(fun i v -> seen := (i, v) :: !seen)
+      (fun x -> x + 7) [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "fallback results correct" [ 8; 9; 10 ]
+    (List.map get_done reports);
+  Alcotest.(check int) "fallback counted once" 1
+    (counter "shard.fallbacks" - fallbacks0);
+  Alcotest.(check bool) "spawn failures counted" true
+    (counter "shard.spawn_failures" - spawn_failures0 >= 2);
+  Alcotest.(check (list (pair int int))) "on_result fired in-process"
+    [ (0, 8); (1, 9); (2, 10) ]
+    (List.sort compare !seen);
+  Exec.Shard.shutdown_fleets ()
+
+let test_partial_spawn_failure_stays_sharded () =
+  (* One slot's spawn fails, the other's succeeds: the job must run
+     sharded on the degraded fleet — no fallback — and still settle
+     every cell. *)
+  Exec.Shard.shutdown_fleets ();
+  let fallbacks0 = counter "shard.fallbacks" in
+  let spawn_failures0 = counter "shard.spawn_failures" in
+  let xs = List.init 10 Fun.id in
+  let reports =
+    Exec.Shard.try_map ~shards:2
+      ~spawn_fault:(fun ~attempt -> attempt = 1)
+      (fun x -> x * 13) xs
+  in
+  Alcotest.(check (list int)) "degraded fleet settles everything"
+    (List.map (fun x -> x * 13) xs)
+    (List.map get_done reports);
+  Alcotest.(check int) "no fallback: one worker survived" 0
+    (counter "shard.fallbacks" - fallbacks0);
+  Alcotest.(check int) "the failed spawn counted" 1
+    (counter "shard.spawn_failures" - spawn_failures0);
+  Exec.Shard.shutdown_fleets ()
+
+(* ------------------------------------------------------------------ *)
 (* Sharded campaigns: the determinism contract                          *)
 
 (* The single-process reference for the pinned seed-42 smoke matrix,
@@ -425,6 +610,27 @@ let test_sigkill_worker_mid_grid () =
     (counter "shard.respawns" > respawns0);
   check_matches_reference "after worker SIGKILL" c
 
+let test_campaign_under_chaos_plan () =
+  (* The flagship chaos contract: a pinned-seed sharded campaign under a
+     plan injecting a hang, a crash, a torn frame and a corrupt frame
+     still produces the exact single-process matrix and CSV. With 2
+     slots at the default restart budget the plan's 4 deaths can never
+     exhaust both slots, so every cell settles. *)
+  ignore (Lazy.force reference);
+  let hangs0 = counter "shard.hangs_detected" in
+  let chaos =
+    match Exec.Chaos.parse ~seed:42 "hang@2,crash@4,torn@6,corrupt@8" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let c =
+    Scenarios.Campaign.run ~shards:2 ~domains:1 ~batch:1 ~chaos
+      ~hang_timeout_s:1.5 (Scenarios.Campaign.smoke ())
+  in
+  check_matches_reference "campaign under chaos" c;
+  Alcotest.(check bool) "the injected hang was detected" true
+    (counter "shard.hangs_detected" > hangs0)
+
 let () =
   Alcotest.run "shard"
     [
@@ -464,11 +670,28 @@ let () =
           Alcotest.test_case "no fd leak across death paths" `Quick
             test_no_fd_leak_on_death_paths;
         ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "open-pipe hang detected and requeued" `Quick
+            test_hang_detected_and_requeued;
+          Alcotest.test_case "SIGSTOPped worker recovered" `Quick
+            test_sigstopped_worker_recovered;
+          Alcotest.test_case "busy-loop caught by batch deadline" `Quick
+            test_busy_loop_caught_by_deadline;
+          Alcotest.test_case "slow-but-heartbeating worker spared" `Quick
+            test_slow_worker_not_killed;
+          Alcotest.test_case "total spawn failure falls back in-process"
+            `Quick test_total_spawn_failure_falls_back;
+          Alcotest.test_case "partial spawn failure stays sharded" `Quick
+            test_partial_spawn_failure_stays_sharded;
+        ] );
       ( "campaign",
         [
           Alcotest.test_case "sharded = single-process bit-for-bit" `Slow
             test_sharded_matches_single_process;
           Alcotest.test_case "worker SIGKILL mid-grid absorbed" `Slow
             test_sigkill_worker_mid_grid;
+          Alcotest.test_case "chaos plan: matrix bit-for-bit identical" `Slow
+            test_campaign_under_chaos_plan;
         ] );
     ]

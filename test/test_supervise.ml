@@ -198,6 +198,27 @@ let test_zero_delay_fast_path () =
      already exceed this on their own. *)
   Alcotest.(check bool) "no wall-clock sleep" true (elapsed < 0.05)
 
+let test_on_result_hook () =
+  (* The settle hook fires exactly once per Done task with the original
+     batch index — including retried tasks — and never for quarantined
+     ones. *)
+  let seen = ref [] in
+  let task, _ = flaky_until 1 in
+  let mixed i = if i = 2 then raise Fatal else task i in
+  let policy =
+    fast ~max_attempts:2 ~retry_on:(function Flaky _ -> true | _ -> false) ()
+  in
+  let reports =
+    Exec.Supervise.try_map ~domains:2 ~policy
+      ~on_result:(fun i v -> seen := (i, v) :: !seen)
+      mixed [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check int) "4 reports" 4 (List.length reports);
+  Alcotest.(check (list (pair int int)))
+    "hook saw each Done task once, quarantined task never"
+    [ (0, 0); (1, 10); (3, 30) ]
+    (List.sort compare !seen)
+
 let test_default_policy_rejects_reentrancy () =
   Alcotest.(check bool) "Reentrant_submission is not retryable" false
     (Exec.Supervise.default_policy.Exec.Supervise.retry_on
@@ -227,6 +248,8 @@ let () =
             test_map_reraises_quarantined;
           Alcotest.test_case "parallel supervision keeps order" `Quick
             test_parallel_supervision;
+          Alcotest.test_case "on_result fires once per Done task" `Quick
+            test_on_result_hook;
         ] );
       ( "backoff",
         [
