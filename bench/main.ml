@@ -147,12 +147,68 @@ let pp_estimate name = function
       Fmt.pr "%-34s %10.2f %s/run@." name t unit_
   | None -> Fmt.pr "%-34s (no estimate)@." name
 
-(* ------------------------------------------------------------------ *)
-(* Full-fleet regeneration: the hot path the exec engine parallelizes.  *)
-
 (* Monotonic ([Obs.Clock]), not [Unix.gettimeofday]: an NTP step during a
    multi-minute bench run must not corrupt the headline numbers. *)
 let wall = Obs.Clock.elapsed
+
+(* ------------------------------------------------------------------ *)
+(* Campaign-service round-trip: the daemon's overhead per request.      *)
+
+(* An in-process daemon (own Domain, temp socket): the first submission
+   runs a one-cell campaign and lands in the result store; the timed
+   loop then measures the full client round-trip of a store hit —
+   connect, hello, submit, digest lookup, CSV reply — i.e. the service
+   overhead a warm request pays on top of the campaign work itself. *)
+let serve_roundtrip_row () =
+  let dir = Filename.temp_dir "bench-serve" "" in
+  let cfg =
+    Serve.Server.default_config
+      ~socket:(Filename.concat dir "d.sock")
+      ~state_dir:(Filename.concat dir "state")
+  in
+  let daemon = Domain.spawn (fun () -> Serve.Server.run cfg) in
+  let socket = cfg.Serve.Server.socket in
+  let rec wait_ready n =
+    match Serve.Client.stats ~socket with
+    | Ok _ -> ()
+    | Error _ ->
+        if n = 0 then failwith "bench: serve daemon never came up";
+        Unix.sleepf 0.05;
+        wait_ready (n - 1)
+  in
+  wait_ready 100;
+  let spec =
+    {
+      Serve.Wire.seed = 42;
+      faults = [ "stuck=3:ca_accel_req" ];
+      scenarios = [ 1 ];
+      window = None;
+      retries = 0;
+    }
+  in
+  let submit () =
+    match Serve.Client.submit_and_wait ~socket spec with
+    | Ok r -> r
+    | Error e -> failwith ("bench: serve submit failed: " ^ e)
+  in
+  ignore (submit ());
+  let rounds = 50 in
+  let _, t =
+    wall (fun () ->
+        for _ = 1 to rounds do
+          ignore (submit ())
+        done)
+  in
+  (match Serve.Client.drain ~socket with
+  | Ok _ -> ()
+  | Error e -> failwith ("bench: serve drain failed: " ^ e));
+  Domain.join daemon;
+  let ns = t *. 1e9 /. float_of_int rounds in
+  pp_estimate "serve_roundtrip (store hit)" (Some ns);
+  ("serve_roundtrip", ns)
+
+(* ------------------------------------------------------------------ *)
+(* Full-fleet regeneration: the hot path the exec engine parallelizes.  *)
 
 let fleet_comparison ~shards ?batch () =
   let n = max 1 (Domain.recommended_domain_count ()) in
@@ -275,8 +331,10 @@ let () =
             ("per_cell_us", t_seq *. 1e6 /. float_of_int (max 1 cells));
           ]
     in
+    let serve_row = serve_roundtrip_row () in
     write_snapshot ~name:"smoke"
-      ((("prewarm_scenario_1", t *. 1e9) :: sharded_rows) @ estimates)
+      ((("prewarm_scenario_1", t *. 1e9) :: serve_row :: sharded_rows)
+      @ estimates)
   end
   else begin
     (* Pre-warm the scenario outcomes — in parallel, through the exec
@@ -289,7 +347,8 @@ let () =
     let fleet =
       fleet_comparison ~shards:(Option.value shards ~default:2) ?batch ()
     in
+    let serve_row = serve_roundtrip_row () in
     let estimates = run_bench (micro_tests @ experiment_tests) in
     write_snapshot ~name:"full"
-      ((("prewarm_fleet", t *. 1e9) :: fleet) @ estimates)
+      ((("prewarm_fleet", t *. 1e9) :: serve_row :: fleet) @ estimates)
   end

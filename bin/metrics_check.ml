@@ -3,6 +3,7 @@
     {v
     metrics_check BENCH_smoke.json                 # schema validation only
     metrics_check m.json --expect-counter pool.tasks_completed=12
+    metrics_check m.json --expect-gauge 'serve.queue_depth<=0'
     metrics_check m.json --summary                 # deterministic digest
     metrics_check BENCH_smoke.json \
       --compare bench/baselines/BENCH_smoke.baseline.json --tolerance 25 \
@@ -81,6 +82,51 @@ let expect_conv =
       fun ppf (n, op, v) ->
         Fmt.pf ppf "%s%s%d" n (match op with `Eq -> "=" | `Ge -> ">=") v )
 
+(* Gauge assertions compare floats and add the upper-bound form: a
+   drained server must show [serve.queue_depth<=0] — "nothing left" is a
+   ceiling, not a floor. "<=" and ">=" before "=", as above. *)
+let parse_gauge_expect s =
+  let split op =
+    match String.index_opt s (String.get op 0) with
+    | Some i
+      when i + String.length op <= String.length s
+           && String.sub s i (String.length op) = op ->
+        Some
+          ( String.sub s 0 i,
+            String.sub s
+              (i + String.length op)
+              (String.length s - i - String.length op) )
+    | _ -> None
+  in
+  let parsed =
+    match split "<=" with
+    | Some (name, v) -> Some (name, `Le, v)
+    | None -> (
+        match split ">=" with
+        | Some (name, v) -> Some (name, `Ge, v)
+        | None -> (
+            match split "=" with
+            | Some (name, v) -> Some (name, `Eq, v)
+            | None -> None))
+  in
+  match parsed with
+  | None -> Error (`Msg "expected NAME=VALUE, NAME<=VALUE or NAME>=VALUE")
+  | Some (name, op, v) -> (
+      match float_of_string_opt v with
+      | Some v when name <> "" -> Ok (name, op, v)
+      | _ ->
+          Error
+            (`Msg
+              "expected NAME=VALUE, NAME<=VALUE or NAME>=VALUE with a \
+               numeric VALUE"))
+
+let gauge_op_str = function `Eq -> "=" | `Le -> "<=" | `Ge -> ">="
+
+let gauge_expect_conv =
+  Arg.conv
+    ( parse_gauge_expect,
+      fun ppf (n, op, v) -> Fmt.pf ppf "%s%s%g" n (gauge_op_str op) v )
+
 let parse_faster s =
   match String.index_opt s '<' with
   | None -> Error (`Msg "expected FAST<SLOW (bench entry names)")
@@ -99,6 +145,7 @@ let member_value section json name =
   | None -> None
 
 let counter_value = member_value "counters"
+let gauge_value = member_value "gauges"
 
 (* A snapshot's [bench] is a list of [{name; time_ns}] records; a
    baseline's is a plain [{name: ns}] object. Accept both. *)
@@ -228,7 +275,7 @@ let check_faster path json (fast, slow) =
 (* A baseline is a pruned snapshot: the bench timings, plus only the
    explicitly named counters. Written as plain JSON (schema
    "obs/1-baseline"), deterministic key order. *)
-let write_baseline path json counters_to_pin out =
+let write_baseline path json counters_to_pin provenance out =
   let pick read names =
     Obs.Json.Obj
       (List.filter_map
@@ -238,12 +285,15 @@ let write_baseline path json counters_to_pin out =
   in
   let baseline =
     Obs.Json.Obj
-      [
-        ("schema", Obs.Json.Str "obs/1-baseline");
-        ("source", Obs.Json.Str (Filename.basename path));
-        ("counters", pick counter_value (List.sort compare counters_to_pin));
-        ("bench", pick bench_value (List.sort compare (bench_names json)));
-      ]
+      ([ ("schema", Obs.Json.Str "obs/1-baseline") ]
+      @ (match provenance with
+        | None -> []
+        | Some p -> [ ("provenance", Obs.Json.Str p) ])
+      @ [
+          ("source", Obs.Json.Str (Filename.basename path));
+          ("counters", pick counter_value (List.sort compare counters_to_pin));
+          ("bench", pick bench_value (List.sort compare (bench_names json)));
+        ])
   in
   let oc = open_out_bin out in
   Fun.protect
@@ -253,8 +303,8 @@ let write_baseline path json counters_to_pin out =
       output_char oc '\n');
   Fmt.pr "wrote baseline %s@." out
 
-let check path expects summary compare tolerance fasters baseline_out
-    baseline_counters =
+let check path expects gauge_expects summary compare tolerance fasters
+    baseline_out baseline_counters provenance =
   let raw = read_file path in
   match Obs.Export.validate_string raw with
   | Error e ->
@@ -283,30 +333,51 @@ let check path expects summary compare tolerance fasters baseline_out
                 false)
           expects
       in
+      let gauges_ok =
+        List.for_all
+          (fun (name, op, want) ->
+            match gauge_value json name with
+            | Some got
+              when match op with
+                   | `Eq -> got = want
+                   | `Le -> got <= want
+                   | `Ge -> got >= want ->
+                true
+            | Some got ->
+                Fmt.epr "%s: gauge %s = %g, expected %s %g@." path name got
+                  (gauge_op_str op) want;
+                false
+            | None ->
+                Fmt.epr "%s: gauge %s missing@." path name;
+                false)
+          gauge_expects
+      in
       let compare_ok =
         match compare with
         | None -> true
         | Some baseline -> compare_against ~tolerance path json baseline
       in
       let faster_ok = List.for_all (check_faster path json) fasters in
-      let ok = expects_ok && compare_ok && faster_ok in
+      let ok = expects_ok && gauges_ok && compare_ok && faster_ok in
       if ok then begin
-        Option.iter (write_baseline path json baseline_counters) baseline_out;
+        Option.iter
+          (write_baseline path json baseline_counters provenance)
+          baseline_out;
         if summary then print_summary json
         else if compare = None && fasters = [] then
           Fmt.pr "%s: valid obs/1 snapshot@." path
       end;
       ok
 
-let run paths expects summary compare tolerance fasters baseline_out
-    baseline_counters =
+let run paths expects gauge_expects summary compare tolerance fasters
+    baseline_out baseline_counters provenance =
   let ok =
     List.fold_left
       (fun acc path ->
         let this =
           try
-            check path expects summary compare tolerance fasters baseline_out
-              baseline_counters
+            check path expects gauge_expects summary compare tolerance fasters
+              baseline_out baseline_counters provenance
           with Sys_error e ->
             Fmt.epr "%s@." e;
             false
@@ -329,6 +400,18 @@ let () =
             "Fail unless counter $(i,NAME) has exactly $(i,VALUE) \
              ($(i,NAME)=$(i,VALUE)) or at least $(i,VALUE) \
              ($(i,NAME)>=$(i,VALUE)). Repeatable.")
+  in
+  let gauge_expects =
+    Arg.(
+      value
+      & opt_all gauge_expect_conv []
+      & info [ "expect-gauge" ] ~docv:"NAME<=VALUE"
+          ~doc:
+            "Fail unless gauge $(i,NAME) is exactly ($(i,NAME)=$(i,VALUE)), \
+             at most ($(i,NAME)<=$(i,VALUE)) or at least \
+             ($(i,NAME)>=$(i,VALUE)) the numeric $(i,VALUE) — e.g. \
+             $(b,'serve.queue_depth<=0') asserts a drained server left no \
+             queued work behind. Repeatable.")
   in
   let summary =
     Arg.(
@@ -387,10 +470,22 @@ let () =
              $(b,--write-baseline). Only pin counters that are \
              deterministic for the workload. Repeatable.")
   in
+  let provenance =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "provenance" ] ~docv:"NOTE"
+          ~doc:
+            "Record where the $(b,--write-baseline) numbers came from \
+             (machine, date, commit) in the baseline's $(i,provenance) \
+             field, so a reader can judge whether the tolerance band is \
+             anchored to comparable hardware.")
+  in
   let doc = "Validate obs/1 telemetry snapshots and gate perf regressions." in
   exit
     (Cmd.eval'
        (Cmd.v (Cmd.info "metrics_check" ~doc)
           Term.(
-            const run $ paths $ expects $ summary $ compare $ tolerance
-            $ fasters $ baseline_out $ baseline_counters)))
+            const run $ paths $ expects $ gauge_expects $ summary $ compare
+            $ tolerance $ fasters $ baseline_out $ baseline_counters
+            $ provenance)))

@@ -23,6 +23,9 @@ type t = {
   journal_write : trigger option;
   journal_fsync : trigger option;
   spawn : trigger option;
+  accept : trigger option;
+  srv_read : trigger option;
+  srv_write : trigger option;
 }
 
 let none =
@@ -32,11 +35,15 @@ let none =
     journal_write = None;
     journal_fsync = None;
     spawn = None;
+    accept = None;
+    srv_read = None;
+    srv_write = None;
   }
 
 let is_empty t =
   t.worker = [] && t.journal_write = None && t.journal_fsync = None
-  && t.spawn = None
+  && t.spawn = None && t.accept = None && t.srv_read = None
+  && t.srv_write = None
 
 (* Every fault kind draws from its own child generator, and every
    opportunity from a grandchild: firing is a pure function of
@@ -59,6 +66,9 @@ let salt_of_fault = function
 let salt_jwrite = 6
 let salt_jfsync = 7
 let salt_spawn = 8
+let salt_accept = 9
+let salt_sread = 10
+let salt_swrite = 11
 
 let worker_fault t =
   if t.worker = [] then None
@@ -97,6 +107,28 @@ let journal_fault t =
             | Some tr -> fires ~seed:t.seed ~salt:salt_jfsync ~n:!appends tr
             | None -> false))
 
+let server_fault t =
+  match (t.accept, t.srv_read, t.srv_write) with
+  | None, None, None -> None
+  | accept, sread, swrite ->
+      (* One stateful hook per derivation (i.e. per server instance):
+         each fault point advances its own opportunity counter, so an
+         [accept@2] plan drops exactly the second connection no matter
+         how many reads and writes happen in between. *)
+      let accepts = ref 0 and reads = ref 0 and writes = ref 0 in
+      let check field salt counter =
+        match field with
+        | None -> false
+        | Some tr ->
+            incr counter;
+            fires ~seed:t.seed ~salt ~n:!counter tr
+      in
+      Some
+        (function
+        | `Accept -> check accept salt_accept accepts
+        | `Read -> check sread salt_sread reads
+        | `Write -> check swrite salt_swrite writes)
+
 (* ------------------------------------------------------------------ *)
 (* Spec syntax                                                          *)
 
@@ -109,8 +141,12 @@ let conv_doc =
    mid-frame), corrupt (bit-flip a frame), slow@N:SECS / slow~P:SECS \
    (delay the results). Journal kinds (opportunity = append): jwrite \
    (the append's write fails mid-record), jfsync (the fsync fails). \
-   spawn (opportunity = worker spawn attempt): the spawn fails. \
-   Example: 'hang@2,crash@4,torn@6,jwrite@3'."
+   spawn (opportunity = worker spawn attempt): the spawn fails. Server \
+   kinds (campaign service fault points): accept (the accepted \
+   connection is dropped immediately), sread (the connection is dropped \
+   at the next request read), swrite (the connection is dropped instead \
+   of writing the next response). Example: \
+   'hang@2,crash@4,torn@6,jwrite@3'."
 
 let trigger_to_string = function
   | At n -> Printf.sprintf "@%d" n
@@ -133,7 +169,10 @@ let to_string t =
     (List.map worker_term t.worker
     @ opt "jwrite" t.journal_write
     @ opt "jfsync" t.journal_fsync
-    @ opt "spawn" t.spawn)
+    @ opt "spawn" t.spawn
+    @ opt "accept" t.accept
+    @ opt "sread" t.srv_read
+    @ opt "swrite" t.srv_write)
 
 let parse_trigger ~term how s =
   match how with
@@ -203,6 +242,14 @@ let parse ?(seed = 0) spec =
             Ok { t with journal_fsync = Some trigger })
     | "spawn" ->
         once "spawn" t.spawn (fun () -> Ok { t with spawn = Some trigger })
+    | "accept" ->
+        once "accept" t.accept (fun () -> Ok { t with accept = Some trigger })
+    | "sread" ->
+        once "sread" t.srv_read (fun () ->
+            Ok { t with srv_read = Some trigger })
+    | "swrite" ->
+        once "swrite" t.srv_write (fun () ->
+            Ok { t with srv_write = Some trigger })
     | _ -> Error (Printf.sprintf "%s: unknown fault kind %S" term kind)
   in
   match String.trim spec with

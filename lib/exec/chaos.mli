@@ -56,6 +56,15 @@ type t = {
   spawn : trigger option;
       (** the worker spawn fails; opportunity = spawn attempt index
           within one sharded run *)
+  accept : trigger option;
+      (** the campaign server drops a client connection right after
+          accepting it; opportunity = accept index within one server *)
+  srv_read : trigger option;
+      (** the server drops a client connection at a request read;
+          opportunity = server read index *)
+  srv_write : trigger option;
+      (** the server drops a client connection instead of writing a
+          response; opportunity = server write index *)
 }
 
 val none : t
@@ -82,13 +91,23 @@ val journal_fault : t -> ([ `Write | `Fsync ] -> bool) option
     consults [`Write] once (advancing the hook's append counter) and
     [`Fsync] once. Stateful — derive one hook per writer. *)
 
+val server_fault : t -> ([ `Accept | `Read | `Write ] -> bool) option
+(** The connection-fault hook for the campaign server ([Serve.Server]):
+    consulted at each accept, request read and response write; [true]
+    means the server must drop that client's connection at that point
+    (the client recovers by reconnecting and resubmitting — results
+    already journaled are replayed, so the retry converges). Each fault
+    point keeps its own opportunity counter. Stateful — derive one hook
+    per server instance. *)
+
 val parse : ?seed:int -> string -> (t, string) result
 (** [parse ~seed spec] — the [--chaos SPEC] grammar: comma-separated
     terms, each [KIND@N] (fire on the [N]-th opportunity) or [KIND~P]
     (fire with probability [P] per opportunity). Kinds: [hang], [crash],
     [torn], [corrupt], [slow@N:SECS] / [slow~P:SECS] (the suffix is the
-    delay), [jwrite], [jfsync], [spawn]. [jwrite]/[jfsync]/[spawn] may
-    appear at most once; worker kinds may repeat. *)
+    delay), [jwrite], [jfsync], [spawn], [accept], [sread], [swrite].
+    Worker kinds may repeat; every other kind may appear at most
+    once. *)
 
 val to_string : t -> string
 (** Canonical spec string of the plan (the seed is carried separately,

@@ -18,6 +18,8 @@ exception Timed_out of { limit_s : float; elapsed_s : float }
 
 exception Reentrant_submission
 
+exception Aborted
+
 type t = {
   size : int;
   queue : (unit -> unit) Queue.t;
@@ -92,6 +94,7 @@ let m_submitted = Obs.Metrics.counter "pool.tasks_submitted"
 let m_completed = Obs.Metrics.counter "pool.tasks_completed"
 let m_failed = Obs.Metrics.counter "pool.tasks_failed"
 let m_timed_out = Obs.Metrics.counter "pool.tasks_timed_out"
+let m_aborted = Obs.Metrics.counter "pool.tasks_aborted"
 let m_batches = Obs.Metrics.counter "pool.batches"
 let g_queue_depth = Obs.Metrics.gauge "pool.queue_depth"
 let g_workers = Obs.Metrics.gauge "pool.workers"
@@ -109,6 +112,11 @@ let guarded f x ~index =
   | v -> Ok v
   | exception exn -> Error { index; exn; backtrace = Printexc.get_raw_backtrace () }
 
+(* Like [timed_out] below, the abort is published from outside the task
+   (it never started), so the backtrace is deliberately empty. *)
+let aborted_error ~index =
+  Error { index; exn = Aborted; backtrace = Printexc.get_callstack 0 }
+
 let timed_out ~index ~elapsed_s limit =
   Error
     {
@@ -125,20 +133,27 @@ let timed_out ~index ~elapsed_s limit =
     here is post-hoc: a task that overran the limit completes, but its
     result is replaced by [Timed_out] for parity with the pooled path; the
     payload's [elapsed_s] is the task's full measured duration. *)
-let guarded_seq ?timeout_s f x ~index =
+let guarded_seq ?timeout_s ?abort f x ~index =
   Obs.Metrics.incr m_submitted;
-  Obs.Metrics.observe h_wait 0.;
-  let t0 = Obs.Clock.now () in
-  let r = guarded f x ~index in
-  let elapsed_s = Obs.Clock.now () -. t0 in
-  Obs.Metrics.observe h_run elapsed_s;
-  match timeout_s with
-  | Some limit when elapsed_s > limit ->
-      Obs.Metrics.incr m_timed_out;
-      timed_out ~index ~elapsed_s limit
-  | _ ->
+  match abort with
+  | Some stop when stop () ->
+      Obs.Metrics.incr m_aborted;
+      let r = aborted_error ~index in
       count_published r;
       r
+  | _ -> (
+      Obs.Metrics.observe h_wait 0.;
+      let t0 = Obs.Clock.now () in
+      let r = guarded f x ~index in
+      let elapsed_s = Obs.Clock.now () -. t0 in
+      Obs.Metrics.observe h_run elapsed_s;
+      match timeout_s with
+      | Some limit when elapsed_s > limit ->
+          Obs.Metrics.incr m_timed_out;
+          timed_out ~index ~elapsed_s limit
+      | _ ->
+          count_published r;
+          r)
 
 (** A worker asking its own pool to run a batch would deadlock (every
     worker may end up blocked on an inner batch no free worker can ever
@@ -152,7 +167,7 @@ let check_reentrancy pool =
   Mutex.unlock pool.lock;
   if reentrant then raise Reentrant_submission
 
-let try_map_pool ?timeout_s pool f xs =
+let try_map_pool ?timeout_s ?abort pool f xs =
   check_reentrancy pool;
   Obs.Metrics.incr m_batches;
   Obs.Metrics.set g_workers (float_of_int pool.size);
@@ -160,7 +175,9 @@ let try_map_pool ?timeout_s pool f xs =
   let results = Array.make n None in
   (if pool.workers = [] then
      (* size-1 pool: sequential fallback on the calling domain *)
-     List.iteri (fun i x -> results.(i) <- Some (guarded_seq ?timeout_s f x ~index:i)) xs
+     List.iteri
+       (fun i x -> results.(i) <- Some (guarded_seq ?timeout_s ?abort f x ~index:i))
+       xs
    else begin
      let remaining = ref n in
      let submitted = Obs.Clock.now () in
@@ -181,6 +198,25 @@ let try_map_pool ?timeout_s pool f xs =
          let job () =
            Mutex.lock pool.lock;
            let abandoned = results.(i) <> None in
+           (* Cooperative cancellation: a task a worker has not yet
+              started is published as [Aborted] instead of being run. The
+              [abort] probe must be fast and non-blocking (it is called
+              under the pool lock) — an [Atomic.get] in practice. Tasks
+              already running are never preempted. *)
+           let aborting =
+             (not abandoned)
+             && (match abort with Some stop -> stop () | None -> false)
+           in
+           if aborting then begin
+             let r = aborted_error ~index:i in
+             results.(i) <- Some r;
+             last_progress := Obs.Clock.now ();
+             Obs.Metrics.incr m_aborted;
+             count_published r;
+             decr remaining;
+             if !remaining = 0 then Condition.broadcast pool.batch_done
+           end;
+           let abandoned = abandoned || aborting in
            if not abandoned then begin
              let t = Obs.Clock.now () in
              started.(i) <- t;
@@ -268,7 +304,8 @@ let reraise_first results =
       | Error e -> Printexc.raise_with_backtrace e.exn e.backtrace)
     results
 
-let map_pool ?timeout_s pool f xs = reraise_first (try_map_pool ?timeout_s pool f xs)
+let map_pool ?timeout_s pool f xs =
+  reraise_first (try_map_pool ?timeout_s pool f xs)
 
 (* ------------------------------------------------------------------ *)
 
@@ -292,14 +329,15 @@ let with_transient ~domains f =
   let pool = create ~domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-let try_map ?domains ?timeout_s f xs =
+let try_map ?domains ?timeout_s ?abort f xs =
   match domains with
-  | None -> try_map_pool ?timeout_s (default ()) f xs
+  | None -> try_map_pool ?timeout_s ?abort (default ()) f xs
   | Some n when n <= 1 ->
       Obs.Metrics.incr m_batches;
       Obs.Metrics.set g_workers 1.;
-      List.mapi (fun i x -> guarded_seq ?timeout_s f x ~index:i) xs
+      List.mapi (fun i x -> guarded_seq ?timeout_s ?abort f x ~index:i) xs
   | Some n ->
-      with_transient ~domains:n (fun pool -> try_map_pool ?timeout_s pool f xs)
+      with_transient ~domains:n (fun pool ->
+          try_map_pool ?timeout_s ?abort pool f xs)
 
 let map ?domains ?timeout_s f xs = reraise_first (try_map ?domains ?timeout_s f xs)

@@ -45,6 +45,15 @@ exception Reentrant_submission
     convenience wrappers when they resolve to the same pool) when called
     from one of the pool's own worker domains. *)
 
+exception Aborted
+(** The batch's [?abort] probe answered [true] before this task was
+    started, so the task was never run; appears as the [exn] of an
+    {!error} with a deliberately empty backtrace. Tasks already running
+    when the probe flips are never preempted — they complete and publish
+    normally — so an aborted batch settles as a mix of [Ok]/[Error]
+    results for the work that ran and [Aborted] errors for the work that
+    did not. *)
+
 val create : ?domains:int -> unit -> t
 (** [create ?domains ()] spawns a pool of [domains] workers (default
     {!Domain.recommended_domain_count}, clamped to at least 1). *)
@@ -58,7 +67,12 @@ val shutdown : t -> unit
     must not be used afterwards. *)
 
 val try_map_pool :
-  ?timeout_s:float -> t -> ('a -> 'b) -> 'a list -> ('b, error) result list
+  ?timeout_s:float ->
+  ?abort:(unit -> bool) ->
+  t ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, error) result list
 (** Run [f] over every element on the pool; blocks until all tasks are
     done. Result [i] corresponds to input [i] (submission order). Tasks
     must not themselves submit work to the same pool: such a submission
@@ -80,7 +94,15 @@ val try_map_pool :
     worker eventually pops it. On the sequential paths (size-1 pool,
     [~domains:1]) nothing can run concurrently with a task, so the
     watchdog degrades to post-hoc detection: the task completes, then its
-    result is replaced by [Timed_out] if it overran. *)
+    result is replaced by [Timed_out] if it overran.
+
+    [abort] (default: none) is a cooperative-cancellation probe, polled
+    when a worker picks a task up (and, on the sequential paths, before
+    each task runs): once it answers [true], every not-yet-started task
+    settles as [Error {exn = Aborted; _}] instead of running, while tasks
+    already in flight complete normally. The probe must be fast and
+    non-blocking — it is called under the pool lock; an [Atomic.get] is
+    the intended shape. *)
 
 val map_pool : ?timeout_s:float -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** Like {!try_map_pool} but re-raises the first (lowest-index) task
@@ -99,13 +121,14 @@ val with_transient : domains:int -> (t -> 'a) -> 'a
 val try_map :
   ?domains:int ->
   ?timeout_s:float ->
+  ?abort:(unit -> bool) ->
   ('a -> 'b) ->
   'a list ->
   ('b, error) result list
 (** Convenience front-end: [~domains:1] runs inline sequentially;
     [~domains:n] runs on a transient pool of [n] workers that is shut
     down before returning; omitting [domains] uses the shared
-    {!default} pool. [timeout_s] as in {!try_map_pool}. *)
+    {!default} pool. [timeout_s] and [abort] as in {!try_map_pool}. *)
 
 val map : ?domains:int -> ?timeout_s:float -> ('a -> 'b) -> 'a list -> 'b list
 (** Same dispatch as {!try_map}, re-raising the first task failure. *)

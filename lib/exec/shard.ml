@@ -537,7 +537,7 @@ let rec take n = function
       (x :: chunk, rest)
 
 let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2) ?batch
-    ?(policy = Supervise.default_policy) ?on_result ?havoc ?spawn_fault
+    ?(policy = Supervise.default_policy) ?on_result ?abort ?havoc ?spawn_fault
     ?(hang_timeout_s = default_hang_timeout_s) ?deadline_s (f : a -> b)
     (xs : a list) : b Supervise.report list =
   if in_worker () then
@@ -569,7 +569,7 @@ let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2) ?batch
       Obs.Metrics.incr m_fallbacks;
       Supervise.try_map
         ~domains:(max 1 (shards * domains))
-        ~policy ?on_result f xs
+        ?abort ~policy ?on_result f xs
     end
     else begin
       let job = fleet.next_job in
@@ -773,84 +773,107 @@ let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2) ?batch
           w.restarts_left <- restarts;
           w.busy_s <- 0.)
         fleet.members;
+      let aborting () = match abort with Some stop -> stop () | None -> false in
       (try
          List.iter send_job fleet.members;
          sync_gauge ();
          while !settled < n do
-           List.iter refill fleet.members;
-           let alive = List.filter (fun w -> w.alive) fleet.members in
-           if alive = [] then begin
-             (* Out of workers and out of restart budget: everything not
-                yet settled is terminally quarantined. *)
-             let slot =
-               match fleet.members with w :: _ -> w.slot | [] -> -1
-             in
+           if aborting () then begin
+             (* Cooperative cancellation: the caller withdrew the batch.
+                Workers holding cells are killed — their in-flight compute
+                is abandoned work, and the slot respawns at the next job's
+                [get_fleet] — and everything unsettled quarantines as
+                [Pool.Aborted], never retried (see {!Supervise}). *)
+             List.iter
+               (fun w -> if w.alive && w.inflight <> [] then dismiss w)
+               fleet.members;
+             sync_gauge ();
+             pending := [];
              Array.iteri
-               (fun i r ->
-                 if r = None then quarantine i (Worker_crashed { slot }))
-               reports;
-             pending := []
+               (fun i r -> if r = None then quarantine i Pool.Aborted)
+               reports
            end
            else begin
-             let t = now () in
-             (* Hang sweep: a worker holding a batch that has been silent
-                past [hang_timeout_s] (no results, no heartbeats — the
-                process is wedged: SIGSTOP, open-pipe hang, C-stub
-                deadlock) or past the optional per-batch [deadline_s]
-                (heartbeating but never finishing — a busy-looping task)
-                is killed and its cells requeued under the restart budget.
-                A merely slow worker heartbeats and is never swept. *)
-             List.iter
-               (fun w ->
-                 if w.alive && w.inflight <> [] then begin
-                   let silent = t -. w.last_heard > hang_timeout_s in
-                   let overran =
-                     match deadline_s with
-                     | Some d -> t -. w.batch_started > d
-                     | None -> false
-                   in
-                   if silent || overran then begin
-                     Obs.Metrics.incr m_hangs;
-                     on_death w
-                   end
-                 end)
-               alive;
+             List.iter refill fleet.members;
              let alive = List.filter (fun w -> w.alive) fleet.members in
-             if alive <> [] then begin
-               (* Wake for whichever comes first: a deferred retry's
-                  backoff deadline or a busy worker's liveness deadline. *)
-               let next_deadline =
-                 List.fold_left
-                   (fun acc (_, nb) -> if nb > t then Float.min acc nb else acc)
-                   Float.infinity !pending
+             if alive = [] then begin
+               (* Out of workers and out of restart budget: everything not
+                  yet settled is terminally quarantined. *)
+               let slot =
+                 match fleet.members with w :: _ -> w.slot | [] -> -1
                in
-               let next_liveness =
-                 List.fold_left
-                   (fun acc w ->
-                     if w.inflight = [] then acc
-                     else
-                       let h = w.last_heard +. hang_timeout_s in
-                       let h =
-                         match deadline_s with
-                         | Some d -> Float.min h (w.batch_started +. d)
-                         | None -> h
-                       in
-                       Float.min acc h)
-                   Float.infinity alive
-               in
-               let wake = Float.min next_deadline next_liveness in
-               let timeout =
-                 if wake = Float.infinity then 1.0
-                 else Float.max 0.005 (Float.min 1.0 (wake -. t))
-               in
-               match
-                 Unix.select (List.map (fun w -> w.fd) alive) [] [] timeout
-               with
-               | readable, _, _ ->
-                   List.iter
-                     (fun w -> if w.alive && List.mem w.fd readable then drain w)
-                     alive
-               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+               Array.iteri
+                 (fun i r ->
+                   if r = None then quarantine i (Worker_crashed { slot }))
+                 reports;
+               pending := []
+             end
+             else begin
+               let t = now () in
+               (* Hang sweep: a worker holding a batch that has been silent
+                  past [hang_timeout_s] (no results, no heartbeats — the
+                  process is wedged: SIGSTOP, open-pipe hang, C-stub
+                  deadlock) or past the optional per-batch [deadline_s]
+                  (heartbeating but never finishing — a busy-looping task)
+                  is killed and its cells requeued under the restart budget.
+                  A merely slow worker heartbeats and is never swept. *)
+               List.iter
+                 (fun w ->
+                   if w.alive && w.inflight <> [] then begin
+                     let silent = t -. w.last_heard > hang_timeout_s in
+                     let overran =
+                       match deadline_s with
+                       | Some d -> t -. w.batch_started > d
+                       | None -> false
+                     in
+                     if silent || overran then begin
+                       Obs.Metrics.incr m_hangs;
+                       on_death w
+                     end
+                   end)
+                 alive;
+               let alive = List.filter (fun w -> w.alive) fleet.members in
+               if alive <> [] then begin
+                 (* Wake for whichever comes first: a deferred retry's
+                    backoff deadline or a busy worker's liveness deadline.
+                    The timeout is also the abort-probe latency bound, so
+                    an idle coordinator still notices a cancellation
+                    within a second. *)
+                 let next_deadline =
+                   List.fold_left
+                     (fun acc (_, nb) ->
+                       if nb > t then Float.min acc nb else acc)
+                     Float.infinity !pending
+                 in
+                 let next_liveness =
+                   List.fold_left
+                     (fun acc w ->
+                       if w.inflight = [] then acc
+                       else
+                         let h = w.last_heard +. hang_timeout_s in
+                         let h =
+                           match deadline_s with
+                           | Some d -> Float.min h (w.batch_started +. d)
+                           | None -> h
+                         in
+                         Float.min acc h)
+                     Float.infinity alive
+                 in
+                 let wake = Float.min next_deadline next_liveness in
+                 let timeout =
+                   if wake = Float.infinity then 1.0
+                   else Float.max 0.005 (Float.min 1.0 (wake -. t))
+                 in
+                 match
+                   Unix.select (List.map (fun w -> w.fd) alive) [] [] timeout
+                 with
+                 | readable, _, _ ->
+                     List.iter
+                       (fun w ->
+                         if w.alive && List.mem w.fd readable then drain w)
+                       alive
+                 | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+               end
              end
            end
          done

@@ -205,6 +205,7 @@ val try_map :
   ?batch:int ->
   ?policy:Supervise.policy ->
   ?on_result:(int -> 'b -> unit) ->
+  ?abort:(unit -> bool) ->
   ?havoc:(slot:int -> seq:int -> havoc option) ->
   ?spawn_fault:(attempt:int -> bool) ->
   ?hang_timeout_s:float ->
@@ -243,6 +244,13 @@ val try_map :
       moment input [i] settles as [Done v] (settle order, not submission
       order). This is the journal hook: results flow back to the
       coordinator's journal, keeping resume byte-identical.
+    - [abort] — cooperative-cancellation probe, polled once per
+      coordinator loop turn (so within about a second even when idle).
+      Once it answers [true], workers holding cells are killed (their
+      in-flight compute is abandoned; slots respawn at the next call) and
+      every unsettled task quarantines as {!Pool.Aborted} — already
+      settled results are kept, and [on_result] has already fired for
+      them, so a journaled campaign resumes exactly past the abort point.
     - [havoc] — test/CI-only worker-fault injection, see {!havoc}.
     - [spawn_fault] — test/CI-only spawn-failure injection, consulted
       once per spawn attempt (1-based across the call, initial fleet

@@ -95,7 +95,15 @@ let supervise ?on_result p run_batch f xs =
                  Option.iter (fun g -> g i v) on_result;
                  []
              | Error (e : Pool.error) ->
-                 if attempt < p.max_attempts && p.retry_on e.Pool.exn then
+                 (* [Aborted] is the caller cancelling the batch — a retry
+                    would resurrect work the caller just asked to stop, so
+                    it quarantines regardless of the policy. *)
+                 let retryable =
+                   match e.Pool.exn with
+                   | Pool.Aborted -> false
+                   | exn -> p.retry_on exn
+                 in
+                 if attempt < p.max_attempts && retryable then
                    [ (i, x) ]
                  else begin
                    Obs.Metrics.incr m_quarantined;
@@ -125,17 +133,21 @@ let supervise ?on_result p run_batch f xs =
   if n > 0 then go 1 (List.mapi (fun i x -> (i, x)) xs);
   Array.to_list (Array.map Option.get reports)
 
-let try_map_pool ?timeout_s ?(policy = default_policy) ?on_result pool f xs =
-  supervise ?on_result policy (Pool.try_map_pool ?timeout_s pool) f xs
+let try_map_pool ?timeout_s ?abort ?(policy = default_policy) ?on_result pool
+    f xs =
+  supervise ?on_result policy (Pool.try_map_pool ?timeout_s ?abort pool) f xs
 
-let try_map ?domains ?timeout_s ?(policy = default_policy) ?on_result f xs =
+let try_map ?domains ?timeout_s ?abort ?(policy = default_policy) ?on_result f
+    xs =
   match domains with
   | Some n when n > 1 ->
       (* One transient pool for the whole supervised run — not one per
          retry round, which would re-spawn domains on every backoff. *)
       Pool.with_transient ~domains:n (fun pool ->
-          try_map_pool ?timeout_s ~policy ?on_result pool f xs)
-  | _ -> supervise ?on_result policy (Pool.try_map ?domains ?timeout_s) f xs
+          try_map_pool ?timeout_s ?abort ~policy ?on_result pool f xs)
+  | _ ->
+      supervise ?on_result policy (Pool.try_map ?domains ?timeout_s ?abort) f
+        xs
 
 let map ?domains ?timeout_s ?policy f xs =
   List.map

@@ -78,6 +78,7 @@ val stats : 'a report list -> stats
 
 val try_map_pool :
   ?timeout_s:float ->
+  ?abort:(unit -> bool) ->
   ?policy:policy ->
   ?on_result:(int -> 'b -> unit) ->
   Pool.t ->
@@ -92,11 +93,17 @@ val try_map_pool :
     {!Shard.try_map} exposes, so callers that stream results somewhere
     durable (the campaign journal) behave identically whether a batch
     runs sharded or falls back in-process. It is {e not} called for
-    quarantined tasks. *)
+    quarantined tasks.
+
+    [abort] as in {!Pool.try_map_pool}, with one supervision-specific
+    rule: a task settled as {!Pool.Aborted} is never retried — it
+    quarantines immediately regardless of [policy.retry_on], because the
+    abort is the caller cancelling the batch, not a transient fault. *)
 
 val try_map :
   ?domains:int ->
   ?timeout_s:float ->
+  ?abort:(unit -> bool) ->
   ?policy:policy ->
   ?on_result:(int -> 'b -> unit) ->
   ('a -> 'b) ->

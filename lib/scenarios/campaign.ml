@@ -233,11 +233,23 @@ let cell_key ~seed ~window ~defects (fault : Inject.Fault.t) (s : Defs.t) =
     the catalogue is recoverable, so the matrix under any chaos plan is
     bit-for-bit the chaos-free one. [hang_timeout_s] / [deadline_s]
     configure the sharded coordinator's liveness sweep
-    ({!Exec.Shard.try_map}). *)
+    ({!Exec.Shard.try_map}).
+
+    [on_cell] is a progress hook, called once per cell as it settles —
+    replayed cells right after the journal replay, executed cells as
+    their results arrive. It runs on whichever thread settles the cell
+    (the coordinator for sharded runs, a pool domain otherwise), so it
+    must be thread-safe and fast: an [Atomic.incr] feeding a progress
+    gauge is the intended shape. [abort] is the campaign-service
+    cancellation probe, threaded to {!Exec.Shard.try_map} /
+    {!Exec.Supervise.try_map}: once it answers [true], unstarted cells
+    stop executing and the run raises {!Exec.Pool.Aborted} (regardless
+    of [retry]) — completed cells are already journaled, so a resumed
+    run continues exactly past the abort point. *)
 let run ?domains ?shards ?batch ?use_cache
     ?(defects = Vehicle.Defects.repaired)
     ?(window = Runner.default_window) ?journal ?(resume = false) ?retry
-    ?chaos ?hang_timeout_s ?deadline_s (g : grid) : t =
+    ?on_cell ?abort ?chaos ?hang_timeout_s ?deadline_s (g : grid) : t =
   let pairs =
     List.concat_map
       (fun f -> List.map (fun s -> (f, s)) g.grid_scenarios)
@@ -262,6 +274,8 @@ let run ?domains ?shards ?batch ?use_cache
     List.map (fun (pair, k) -> (pair, k, Hashtbl.find_opt journaled k)) keyed
   in
   let todo = List.filter (fun (_, _, cached) -> cached = None) slots in
+  let cell_done () = Option.iter (fun h -> h ()) on_cell in
+  List.iter (fun (_, _, cached) -> if cached <> None then cell_done ()) slots;
   let simulate (fault, s) =
     let baseline =
       Obs.span "cell.baseline" (fun () -> Runner.run ?use_cache ~defects ~window s)
@@ -291,13 +305,14 @@ let run ?domains ?shards ?batch ?use_cache
              resume works unchanged (a worker SIGKILL costs at most the
              cells in flight, exactly like a domain crash cannot). *)
           let keys = Array.of_list (List.map (fun (_, k, _) -> k) todo) in
-          Exec.Shard.try_map ~shards:s ?domains ?batch ~policy
+          Exec.Shard.try_map ~shards:s ?domains ?batch ~policy ?abort
             ?havoc:(Option.bind chaos Exec.Chaos.worker_fault)
             ?spawn_fault:(Option.bind chaos Exec.Chaos.spawn_fault)
             ?hang_timeout_s ?deadline_s
             ~on_result:(fun i cell ->
               Option.iter (fun w -> Journal.append w ~key:keys.(i) cell) writer;
-              Obs.Metrics.incr m_cells_executed)
+              Obs.Metrics.incr m_cells_executed;
+              cell_done ())
             (fun (pair, _, _) -> simulate pair)
             todo
       | None ->
@@ -305,9 +320,10 @@ let run ?domains ?shards ?batch ?use_cache
             let cell = simulate pair in
             Option.iter (fun w -> Journal.append w ~key:k cell) writer;
             Obs.Metrics.incr m_cells_executed;
+            cell_done ();
             cell
           in
-          Exec.Supervise.try_map ?domains ~policy task todo
+          Exec.Supervise.try_map ?domains ~policy ?abort task todo
     in
     Obs.span "campaign.grid" (fun () ->
         match journal with
@@ -325,6 +341,17 @@ let run ?domains ?shards ?batch ?use_cache
                 r))
   in
   Obs.Metrics.incr ~by:(List.length slots - List.length todo) m_cells_replayed;
+  (* A cancelled campaign surfaces as [Exec.Pool.Aborted] no matter the
+     retry policy — the caller asked for it, so it must see it. The
+     journal writer has already closed cleanly above: every completed
+     cell is durable and a resumed run continues past the abort point. *)
+  List.iter
+    (fun (r : cell Exec.Supervise.report) ->
+      match r.Exec.Supervise.status with
+      | Exec.Supervise.Quarantined { Exec.Pool.exn = Exec.Pool.Aborted; _ } ->
+          raise Exec.Pool.Aborted
+      | _ -> ())
+    reports;
   (* Without a retry policy, preserve the historical contract: the first
      cell failure re-raises (with the worker's backtrace) instead of
      silently thinning the matrix. *)

@@ -1,0 +1,126 @@
+(** Client side of the campaign service (see client.mli). *)
+
+type result = { ticket : int; csv : string; durable : bool }
+
+(* A transport-level failure: the connection died, the stream corrupted,
+   or the server answered something a fresh submission can fix. Raising
+   it unwinds to the retry loop, which reconnects and resubmits — safe
+   because submission is idempotent by digest. *)
+exception Retry of string
+
+(* A server-side chaos drop (or plain crash) between our write and its
+   read turns into EPIPE on this end; as a signal it would kill the
+   process before the retry loop ever saw the failure. *)
+let ignore_sigpipe =
+  lazy (Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+
+let connect socket =
+  Lazy.force ignore_sigpipe;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let recv fd buf =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Wire.Frame.decode buf with
+    | `Frame v -> v
+    | `Corrupt -> raise (Retry "corrupt frame from server")
+    | `Need_more -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> raise (Retry "server closed the connection")
+        | n ->
+            Wire.Frame.feed buf chunk n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+(* Open a session (connect + hello/welcome) and run [k fd buf] on it,
+   mapping every [Unix_error] into [Retry] so the caller's retry loop
+   sees one failure currency. *)
+let with_session ~socket k =
+  match
+    let fd = connect socket in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let buf = Wire.Frame.create () in
+        Wire.Frame.write fd
+          (Wire.Hello { proto = Wire.proto_version; client = "serve_client" });
+        match recv fd buf with
+        | Wire.Welcome _ -> k fd buf
+        | _ -> raise (Retry "unexpected greeting"))
+  with
+  | r -> r
+  | exception Unix.Unix_error (e, _, _) -> raise (Retry (Unix.error_message e))
+
+let submit_and_wait ?(attempts = 10) ?(patience_s = 600.) ?deadline_s ?progress
+    ~socket spec =
+  let give_up_at = Obs.Clock.now () +. patience_s in
+  let attempt () =
+    with_session ~socket (fun fd buf ->
+        Wire.Frame.write fd (Wire.Submit { spec; deadline_s });
+        let rec wait () =
+          match recv fd buf with
+          | Wire.Accepted _ -> wait ()
+          | Wire.Progress { completed; total; _ } ->
+              Option.iter (fun h -> h ~completed ~total) progress;
+              wait ()
+          | Wire.Result { ticket; csv; durable } -> Ok { ticket; csv; durable }
+          | Wire.Failed { reason; _ } -> Error reason
+          | Wire.Rejected
+              { reason = Wire.Queue_full | Wire.Over_quota; retry_after_s } ->
+              (* Backpressure is advice, not failure: sleep the server's
+                 hint and resubmit. Deliberately outside the [attempts]
+                 budget — a busy server is healthy, only [patience_s]
+                 bounds how long we defer to it. *)
+              Unix.sleepf (Float.max 0.05 retry_after_s);
+              raise (Retry "backpressure")
+          | Wire.Rejected { reason = Wire.Draining; _ } ->
+              Error "server is draining"
+          | Wire.Rejected { reason = Wire.Bad_spec e; _ } -> Error e
+          | Wire.Welcome _ | Wire.Stats_reply _ | Wire.Draining_ack _ ->
+              raise (Retry "unexpected response")
+        in
+        wait ())
+  in
+  let rec go budget =
+    if Obs.Clock.now () > give_up_at then
+      Error (Fmt.str "gave up after %.0fs of patience" patience_s)
+    else
+      match attempt () with
+      | r -> r
+      | exception Retry reason ->
+          let budget =
+            if reason = "backpressure" then budget else budget - 1
+          in
+          if budget <= 0 then Error ("gave up: " ^ reason)
+          else begin
+            if reason <> "backpressure" then Unix.sleepf 0.5;
+            go budget
+          end
+  in
+  go attempts
+
+let one_shot ~socket rq handle =
+  match
+    with_session ~socket (fun fd buf ->
+        Wire.Frame.write fd rq;
+        handle (recv fd buf))
+  with
+  | r -> r
+  | exception Retry reason -> Error reason
+
+let stats ~socket =
+  one_shot ~socket Wire.Stats (function
+    | Wire.Stats_reply { json } -> Ok json
+    | _ -> Error "unexpected response to stats")
+
+let drain ~socket =
+  one_shot ~socket Wire.Drain (function
+    | Wire.Draining_ack { settled; checkpointed } -> Ok (settled, checkpointed)
+    | _ -> Error "unexpected response to drain")

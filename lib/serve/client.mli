@@ -1,0 +1,42 @@
+(** Client side of the campaign service: connect, submit, survive.
+
+    The client owns the resilience the protocol asks of it: submission
+    is idempotent (the server keys work by spec digest), so every
+    transport failure — refused connection while the daemon restarts, a
+    connection dropped by a chaos fault, a corrupt frame — is absorbed
+    by reconnecting and resubmitting. Backpressure ([Rejected] with
+    [Queue_full] / [Over_quota]) is obeyed by sleeping the server's
+    [retry_after_s] hint and retrying without burning the reconnect
+    budget. Only server-side verdicts — [Failed], [Bad_spec],
+    [Draining] — are terminal. *)
+
+type result = { ticket : int; csv : string; durable : bool }
+(** [csv] is byte-identical to the batch CLI's campaign export;
+    [durable = false] flags that the server journal was degraded and the
+    result is not crash-safe on the server side. *)
+
+val submit_and_wait :
+  ?attempts:int ->
+  ?patience_s:float ->
+  ?deadline_s:float ->
+  ?progress:(completed:int -> total:int -> unit) ->
+  socket:string ->
+  Wire.spec ->
+  (result, string) Stdlib.result
+(** Submit [spec] and block until a terminal answer.
+
+    [attempts] (default 10) bounds reconnect-and-resubmit cycles after
+    transport failures; [patience_s] (default 600) bounds the total wall
+    clock including backpressure sleeps. [deadline_s] is forwarded to
+    the server as the request deadline. [progress] fires on each
+    [Progress] frame. [Error] carries the server's reason (or the
+    exhausted-budget message) — the CLI maps it to a non-zero exit. *)
+
+val stats : socket:string -> (string, string) Stdlib.result
+(** Fetch a live obs/1 telemetry snapshot (JSON string). One shot — no
+    retry loop; a dead server is an [Error]. *)
+
+val drain :
+  socket:string -> (int * int, string) Stdlib.result
+(** Ask the server to drain and exit; returns (settled, checkpointed)
+    from the [Draining_ack]. One shot. *)

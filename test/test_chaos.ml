@@ -25,6 +25,8 @@ let test_parse_canonical_round_trip () =
       "slow@3:0.5";
       "hang~0.25,slow~0.1:2";
       "jwrite@3,jfsync@5,spawn@1";
+      "accept@1,sread@2,swrite@3";
+      "sread~0.25";
       "hang@2,hang@9";
     ]
 
@@ -51,6 +53,7 @@ let test_parse_errors () =
       ("hang@1:3", "slow");
       ("slow@1", "SECS");
       ("jwrite@1,jwrite@2", "duplicate");
+      ("accept@1,accept@2", "duplicate");
       ("hang@1~0.5", "at most one");
     ]
 
@@ -131,6 +134,23 @@ let test_spawn_and_journal_hooks () =
   Alcotest.(check bool) "fresh derivation restarts the count" false
     (Option.get (Exec.Chaos.journal_fault p) `Write)
 
+let test_server_fault_hook () =
+  Alcotest.(check bool) "worker-only plan derives no server hook" true
+    (Exec.Chaos.server_fault (plan "hang@1") = None);
+  let hook = Option.get (Exec.Chaos.server_fault (plan "accept@2,swrite@1")) in
+  (* Each fault point keeps its own opportunity counter: interleaved
+     reads and writes must not advance the accept count. *)
+  Alcotest.(check bool) "accept 1 survives" false (hook `Accept);
+  Alcotest.(check bool) "reads never fault without a sread term" false
+    (hook `Read);
+  Alcotest.(check bool) "first write drops" true (hook `Write);
+  Alcotest.(check bool) "accept 2 drops" true (hook `Accept);
+  Alcotest.(check bool) "accept 3 survives" false (hook `Accept);
+  (* A fresh derivation (a restarted server) starts its counters over. *)
+  let fresh = Option.get (Exec.Chaos.server_fault (plan "accept@2,swrite@1")) in
+  Alcotest.(check bool) "fresh derivation restarts the counters" false
+    (fresh `Accept)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -154,5 +174,7 @@ let () =
             test_worker_fault_hook;
           Alcotest.test_case "spawn and journal derivations" `Quick
             test_spawn_and_journal_hooks;
+          Alcotest.test_case "server fault derivation" `Quick
+            test_server_fault_hook;
         ] );
     ]
