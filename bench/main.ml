@@ -207,6 +207,99 @@ let serve_roundtrip_row () =
   pp_estimate "serve_roundtrip (store hit)" (Some ns);
   ("serve_roundtrip", ns)
 
+(* Fleet-share contention: a long grid occupies the daemon when a
+   1-cell store-miss request arrives. With one executor lane the probe
+   head-of-line blocks behind the whole grid; with two lanes it runs
+   immediately on the free lane. The perf gate asserts
+   [serve_concurrent < serve_roundtrip_blocked] — the daemon's reason
+   to exist past one campaign at a time, measured. *)
+let serve_contention_row ~concurrent ~name =
+  let dir = Filename.temp_dir "bench-serve" "" in
+  let cfg =
+    {
+      (Serve.Server.default_config
+         ~socket:(Filename.concat dir "d.sock")
+         ~state_dir:(Filename.concat dir "state"))
+      with
+      Serve.Server.concurrent;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Serve.Server.run cfg) in
+  let socket = cfg.Serve.Server.socket in
+  let rec wait_ready n =
+    match Serve.Client.stats ~socket with
+    | Ok _ -> ()
+    | Error _ ->
+        if n = 0 then failwith "bench: serve daemon never came up";
+        Unix.sleepf 0.05;
+        wait_ready (n - 1)
+  in
+  wait_ready 100;
+  (* Occupy a lane: submit the long grid on a raw session that stays
+     open (an orphaned request would be cancelled, not block). *)
+  let long =
+    {
+      Serve.Wire.seed = 43;
+      faults = [ "stuck=3:ca_accel_req"; "delay=150:accel_cmd" ];
+      scenarios = [ 1; 2; 3 ];
+      window = None;
+      retries = 0;
+    }
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let buf = Serve.Wire.Frame.create () in
+  let recv () =
+    let chunk = Bytes.create 65536 in
+    let rec go () =
+      match Serve.Wire.Frame.decode buf with
+      | `Frame (v : Serve.Wire.response) -> v
+      | `Corrupt -> failwith "bench: corrupt frame from serve daemon"
+      | `Need_more -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> failwith "bench: serve daemon closed the connection"
+          | n ->
+              Serve.Wire.Frame.feed buf chunk n;
+              go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+    in
+    go ()
+  in
+  Serve.Wire.Frame.write fd
+    (Serve.Wire.Hello { proto = Serve.Wire.proto_version; client = "bench" });
+  (match recv () with
+  | Serve.Wire.Welcome _ -> ()
+  | _ -> failwith "bench: expected Welcome");
+  Serve.Wire.Frame.write fd (Serve.Wire.Submit { spec = long; deadline_s = None });
+  (match recv () with
+  | Serve.Wire.Accepted _ -> ()
+  | _ -> failwith "bench: long grid not admitted");
+  (* Let the grid actually start on its lane before the probe. *)
+  Unix.sleepf 0.5;
+  let quick =
+    {
+      Serve.Wire.seed = 42;
+      faults = [ "stuck=3:ca_accel_req" ];
+      scenarios = [ 1 ];
+      window = None;
+      retries = 0;
+    }
+  in
+  let _, t =
+    wall (fun () ->
+        match Serve.Client.submit_and_wait ~socket quick with
+        | Ok _ -> ()
+        | Error e -> failwith ("bench: contention probe failed: " ^ e))
+  in
+  (match Serve.Client.drain ~socket with
+  | Ok _ -> ()
+  | Error e -> failwith ("bench: serve drain failed: " ^ e));
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Domain.join daemon;
+  let ns = t *. 1e9 in
+  pp_estimate name (Some ns);
+  (name, ns)
+
 (* ------------------------------------------------------------------ *)
 (* Full-fleet regeneration: the hot path the exec engine parallelizes.  *)
 
@@ -332,8 +425,15 @@ let () =
           ]
     in
     let serve_row = serve_roundtrip_row () in
+    let blocked_row =
+      serve_contention_row ~concurrent:1 ~name:"serve_roundtrip_blocked"
+    in
+    let concurrent_row =
+      serve_contention_row ~concurrent:2 ~name:"serve_concurrent"
+    in
     write_snapshot ~name:"smoke"
-      ((("prewarm_scenario_1", t *. 1e9) :: serve_row :: sharded_rows)
+      ((("prewarm_scenario_1", t *. 1e9)
+       :: serve_row :: blocked_row :: concurrent_row :: sharded_rows)
       @ estimates)
   end
   else begin
@@ -348,7 +448,15 @@ let () =
       fleet_comparison ~shards:(Option.value shards ~default:2) ?batch ()
     in
     let serve_row = serve_roundtrip_row () in
+    let blocked_row =
+      serve_contention_row ~concurrent:1 ~name:"serve_roundtrip_blocked"
+    in
+    let concurrent_row =
+      serve_contention_row ~concurrent:2 ~name:"serve_concurrent"
+    in
     let estimates = run_bench (micro_tests @ experiment_tests) in
     write_snapshot ~name:"full"
-      ((("prewarm_fleet", t *. 1e9) :: serve_row :: fleet) @ estimates)
+      ((("prewarm_fleet", t *. 1e9)
+       :: serve_row :: blocked_row :: concurrent_row :: fleet)
+      @ estimates)
   end

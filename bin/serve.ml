@@ -3,6 +3,7 @@
     {v
     serve --socket /tmp/campaignd.sock --state-dir /var/tmp/campaignd
     serve --queue 4 --quota 2 --deadline 120 --shards 2 -j 2
+    serve --concurrent 2 --shards 4   # two lanes, two workers each
     serve --chaos accept@3,sread~0.05 --seed 42   # chaos-hardened run
     v}
 
@@ -29,8 +30,8 @@ let state_dir_arg =
            and the result store. Reusing a previous run's directory \
            resumes its unfinished work.")
 
-let run socket state_dir tcp_port queue quota deadline stall retry_after domains
-    shards seed chaos metrics =
+let run socket state_dir tcp_port queue quota concurrent store_budget deadline
+    stall retry_after domains shards seed chaos metrics =
   let chaos =
     match chaos with
     | None -> None
@@ -47,6 +48,8 @@ let run socket state_dir tcp_port queue quota deadline stall retry_after domains
       Serve.Server.tcp_port;
       queue_bound = max 1 queue;
       quota = max 1 quota;
+      concurrent = max 1 concurrent;
+      store_budget_bytes = max 0 store_budget * 1024 * 1024;
       default_deadline_s = deadline;
       stall_timeout_s = stall;
       retry_after_s = retry_after;
@@ -82,6 +85,27 @@ let cmd =
       value & opt int 4
       & info [ "quota" ] ~docv:"N"
           ~doc:"Per-client concurrent-request quota.")
+  in
+  let concurrent =
+    Arg.(
+      value & opt int 1
+      & info [ "concurrent" ] ~docv:"K"
+          ~doc:
+            "Run up to $(docv) admitted campaigns at once, each on a 1/$(docv) \
+             share of the worker fleet (fleet-share scheduling). A free lane \
+             picks the smallest queued grid first, so short requests are \
+             never head-of-line blocked behind a long one. Results stay \
+             byte-identical to the batch CLI for any $(docv).")
+  in
+  let store_budget =
+    Arg.(
+      value & opt int 64
+      & info [ "store-budget" ] ~docv:"MB"
+          ~doc:
+            "Result-store size budget in MiB; past it the least-recently-used \
+             results are evicted (0 = unbounded). An evicted digest simply \
+             re-executes — incrementally, via its cell journal — on the next \
+             submission.")
   in
   let deadline =
     Arg.(
@@ -155,8 +179,8 @@ let cmd =
           backpressure, deadlines, durability and graceful drain.")
     Term.(
       const run $ socket_arg $ state_dir_arg $ tcp_port $ queue $ quota
-      $ deadline $ stall $ retry_after $ domains $ shards $ seed $ chaos
-      $ metrics)
+      $ concurrent $ store_budget $ deadline $ stall $ retry_after $ domains
+      $ shards $ seed $ chaos $ metrics)
 
 let () =
   (* Must precede everything else: when this process is a shard worker

@@ -22,7 +22,12 @@ exception Aborted
 
 type t = {
   size : int;
-  queue : (unit -> unit) Queue.t;
+  mutable leases : (unit -> unit) Queue.t list;
+      (** round-robin ring of per-batch job queues: each concurrent
+          [try_map_pool] call holds its own lease, and workers take one
+          job from the head lease then rotate it to the back — so two
+          batches sharing the pool interleave at task granularity
+          instead of the second queuing behind the whole first *)
   lock : Mutex.t;
   pending : Condition.t;  (** work enqueued, or shutdown requested *)
   batch_done : Condition.t;  (** a batch counter reached zero *)
@@ -30,16 +35,37 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
+(* Next job under fair-share: pop from the head lease, then rotate it to
+   the tail (unless it emptied, in which case it leaves the ring — its
+   batch waiter keeps its own completion state). Called with the pool
+   lock held. *)
+let rec take_job pool =
+  match pool.leases with
+  | [] -> None
+  | q :: rest -> (
+      match Queue.take_opt q with
+      | None ->
+          pool.leases <- rest;
+          take_job pool
+      | Some job ->
+          pool.leases <- (if Queue.is_empty q then rest else rest @ [ q ]);
+          Some job)
+
+let depth pool =
+  List.fold_left (fun acc q -> acc + Queue.length q) 0 pool.leases
+
 let worker pool =
   Printexc.record_backtrace true;
   let rec loop () =
     Mutex.lock pool.lock;
     let rec next () =
-      if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
-      else if pool.closed then None
-      else (
-        Condition.wait pool.pending pool.lock;
-        next ())
+      match take_job pool with
+      | Some _ as job -> job
+      | None ->
+          if pool.closed then None
+          else (
+            Condition.wait pool.pending pool.lock;
+            next ())
     in
     match next () with
     | None -> Mutex.unlock pool.lock
@@ -59,7 +85,7 @@ let create ?domains () =
   let pool =
     {
       size;
-      queue = Queue.create ();
+      leases = [];
       lock = Mutex.create ();
       pending = Condition.create ();
       batch_done = Condition.create ();
@@ -193,6 +219,10 @@ let try_map_pool ?timeout_s ?abort pool f xs =
         task the watchdog clock runs from its start, not from batch
         submission. *)
      let started = Array.make n Float.nan in
+     (* This batch's lease: all its jobs queue here, and the lease joins
+        the pool's round-robin ring in one step below — a batch is never
+        half-visible, and concurrent batches interleave fairly. *)
+     let lease = Queue.create () in
      List.iteri
        (fun i x ->
          let job () =
@@ -223,7 +253,7 @@ let try_map_pool ?timeout_s ?abort pool f xs =
              last_progress := t;
              Obs.Metrics.observe h_wait (t -. submitted)
            end;
-           Obs.Metrics.set g_queue_depth (float_of_int (Queue.length pool.queue));
+           Obs.Metrics.set g_queue_depth (float_of_int (depth pool));
            Mutex.unlock pool.lock;
            if not abandoned then begin
              let t_run = Obs.Clock.now () in
@@ -245,12 +275,13 @@ let try_map_pool ?timeout_s ?abort pool f xs =
            end
          in
          Obs.Metrics.incr m_submitted;
-         Mutex.lock pool.lock;
-         Queue.push job pool.queue;
-         Obs.Metrics.set g_queue_depth (float_of_int (Queue.length pool.queue));
-         Condition.signal pool.pending;
-         Mutex.unlock pool.lock)
+         Queue.push job lease)
        xs;
+     Mutex.lock pool.lock;
+     pool.leases <- pool.leases @ [ lease ];
+     Obs.Metrics.set g_queue_depth (float_of_int (depth pool));
+     Condition.broadcast pool.pending;
+     Mutex.unlock pool.lock;
      match timeout_s with
      | None ->
          Mutex.lock pool.lock;

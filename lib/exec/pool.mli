@@ -1,10 +1,20 @@
-(** A fixed-size pool of OCaml 5 domains with a shared work queue.
+(** A fixed-size pool of OCaml 5 domains with fair-share batch
+    scheduling.
 
     Tasks are submitted in batches ([map] / [try_map]); results are always
     returned in submission order, regardless of the order in which the
     domains complete them, so parallel execution is observationally
     deterministic for pure tasks. An exception raised by one task is
     captured per task and cannot take down the pool or the other tasks.
+
+    Each batch holds its own {e lease} — a private job queue on a
+    round-robin ring — so concurrent batches sharing one pool (e.g. two
+    campaigns in the serve daemon) interleave at {e task} granularity: a
+    worker takes one job from the head lease and rotates it to the back.
+    A one-cell batch submitted while a hundred-cell batch is in flight
+    runs at the next free worker instead of queuing behind the entire
+    earlier batch. Per-batch [?abort] probes stay with their lease: one
+    batch's cancellation never touches another's jobs.
 
     A pool of size 1 spawns no domains at all and executes every task
     inline on the caller — the sequential fallback for reproducibility

@@ -368,19 +368,34 @@ type worker = {
 }
 
 (* A resident fleet: one warm worker process per slot, spawned on first
-   use of its [(shards, domains)] shape and kept across [try_map] calls
-   until {!shutdown_fleets} (or process exit). Worker processes carry
-   their domain pools and any process-lifetime caches with them, so the
-   spawn + handshake cost is paid once per campaign, not once per batch
-   of cells. *)
+   use of its [(label, shards, domains)] shape and kept across [try_map]
+   calls until {!shutdown_fleets} (or process exit). Worker processes
+   carry their domain pools and any process-lifetime caches with them,
+   so the spawn + handshake cost is paid once per campaign, not once per
+   batch of cells.
+
+   The label partitions the warm pool of workers into independent
+   fleets: concurrent coordinators (the serve daemon's executor lanes)
+   each lease their own labeled fleet, because a worker serves exactly
+   one bound job at a time — two jobs multiplexed onto one fleet would
+   clobber each other's binding. The registry itself is the only state
+   shared across those coordinator domains, so it is mutex-guarded;
+   everything inside a fleet is owned by the one coordinator running a
+   job on it. *)
 type fleet = {
+  f_label : string;
   f_shards : int;
   f_domains : int;
   mutable members : worker list;
   mutable next_job : int;
 }
 
-let fleets : (int * int, fleet) Hashtbl.t = Hashtbl.create 4
+let fleets : (string * int * int, fleet) Hashtbl.t = Hashtbl.create 4
+let fleets_lock = Mutex.create ()
+
+let with_fleets_lock f =
+  Mutex.lock fleets_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock fleets_lock) f
 
 let reap pid =
   let rec go () =
@@ -405,11 +420,15 @@ let dismiss w =
 
 let destroy_fleet fleet =
   List.iter dismiss fleet.members;
-  Hashtbl.remove fleets (fleet.f_shards, fleet.f_domains);
+  with_fleets_lock (fun () ->
+      Hashtbl.remove fleets (fleet.f_label, fleet.f_shards, fleet.f_domains));
   Obs.Metrics.set g_workers 0.
 
 let shutdown_fleets () =
-  let all = Hashtbl.fold (fun _ fleet acc -> fleet :: acc) fleets [] in
+  let all =
+    with_fleets_lock (fun () ->
+        Hashtbl.fold (fun _ fleet acc -> fleet :: acc) fleets [])
+  in
   List.iter destroy_fleet all
 
 (* Writes to a freshly dead worker must surface as EPIPE (handled as
@@ -477,47 +496,56 @@ let spawn_guarded ~domains ?fault ~attempts w =
         Obs.Metrics.incr m_spawn_failures;
         false
 
-(* The fleet for a [(shards, domains)] shape: created on first use; dead
-   slots (budget exhaustion in an earlier job, a kill between jobs, or a
-   spawn failure) are respawned here via [spawn_one] without charging any
-   budget — each job starts with as full a complement as spawning allows
-   and a fresh restart budget. *)
-let get_fleet ~shards ~domains ~spawn_one =
-  Lazy.force ensure_process_setup;
+(* The fleet for a [(label, shards, domains)] shape: created on first
+   use; dead slots (budget exhaustion in an earlier job, a kill between
+   jobs, or a spawn failure) are respawned here via [spawn_one] without
+   charging any budget — each job starts with as full a complement as
+   spawning allows and a fresh restart budget.
+
+   The registry lookup (and the one-time process setup) runs under the
+   registry lock: concurrent coordinators resolving different labels
+   must not race the Hashtbl, and the lazies must be forced exactly once
+   before any unlocked re-read. Respawning the fleet's members happens
+   outside the lock — the fleet is owned by its coordinator. *)
+let get_fleet ~label ~shards ~domains ~spawn_one =
   let fleet =
-    match Hashtbl.find_opt fleets (shards, domains) with
-    | Some fleet -> fleet
-    | None ->
-        let fleet =
-          {
-            f_shards = shards;
-            f_domains = domains;
-            members =
-              List.init shards (fun slot ->
-                  {
-                    slot;
-                    pid = -1;
-                    fd = Unix.stdin;
-                    rbuf = Frame.create ();
-                    inflight = [];
-                    batch_started = 0.;
-                    last_heard = 0.;
-                    restarts_left = 0;
-                    alive = false;
-                    busy_s = 0.;
-                  });
-            next_job = 0;
-          }
-        in
-        Hashtbl.add fleets (shards, domains) fleet;
-        fleet
+    with_fleets_lock (fun () ->
+        Lazy.force ensure_process_setup;
+        ignore (Lazy.force spawn_env : string array);
+        match Hashtbl.find_opt fleets (label, shards, domains) with
+        | Some fleet -> fleet
+        | None ->
+            let fleet =
+              {
+                f_label = label;
+                f_shards = shards;
+                f_domains = domains;
+                members =
+                  List.init shards (fun slot ->
+                      {
+                        slot;
+                        pid = -1;
+                        fd = Unix.stdin;
+                        rbuf = Frame.create ();
+                        inflight = [];
+                        batch_started = 0.;
+                        last_heard = 0.;
+                        restarts_left = 0;
+                        alive = false;
+                        busy_s = 0.;
+                      });
+                next_job = 0;
+              }
+            in
+            Hashtbl.add fleets (label, shards, domains) fleet;
+            fleet)
   in
   List.iter
     (fun w -> if not w.alive then ignore (spawn_one w : bool))
     fleet.members;
   fleet
 
-let warm ?shards ?(domains = 1) () =
+let warm ?(fleet = "") ?shards ?(domains = 1) () =
   if in_worker () then
     invalid_arg "Shard.warm: nested sharding inside a shard worker";
   let domains = max 1 domains in
@@ -527,7 +555,9 @@ let warm ?shards ?(domains = 1) () =
     | None -> max 1 (Domain.recommended_domain_count () / domains)
   in
   let attempts = ref 0 in
-  ignore (get_fleet ~shards ~domains ~spawn_one:(spawn_guarded ~domains ~attempts))
+  ignore
+    (get_fleet ~label:fleet ~shards ~domains
+       ~spawn_one:(spawn_guarded ~domains ~attempts))
 
 let rec take n = function
   | [] -> ([], [])
@@ -536,10 +566,10 @@ let rec take n = function
       let chunk, rest = take (n - 1) xs in
       (x :: chunk, rest)
 
-let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2) ?batch
-    ?(policy = Supervise.default_policy) ?on_result ?abort ?havoc ?spawn_fault
-    ?(hang_timeout_s = default_hang_timeout_s) ?deadline_s (f : a -> b)
-    (xs : a list) : b Supervise.report list =
+let try_map (type a b) ?(fleet = "") ?shards ?(domains = 1) ?(restarts = 2)
+    ?batch ?(policy = Supervise.default_policy) ?on_result ?abort ?havoc
+    ?spawn_fault ?(hang_timeout_s = default_hang_timeout_s) ?deadline_s
+    (f : a -> b) (xs : a list) : b Supervise.report list =
   if in_worker () then
     invalid_arg "Shard.try_map: nested sharding inside a shard worker";
   let n = List.length xs in
@@ -561,7 +591,7 @@ let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2) ?batch
     let now () = Obs.Clock.now () in
     let attempts = ref 0 in
     let spawn_one = spawn_guarded ~domains ?fault:spawn_fault ~attempts in
-    let fleet = get_fleet ~shards ~domains ~spawn_one in
+    let fleet = get_fleet ~label:fleet ~shards ~domains ~spawn_one in
     if not (List.exists (fun w -> w.alive) fleet.members) then begin
       (* Graceful degradation: not one worker could be spawned, so the
          batch runs in-process on a domain pool instead of dying — same
@@ -885,7 +915,11 @@ let try_map (type a b) ?shards ?(domains = 1) ?(restarts = 2) ?batch
         (fun w ->
           Obs.Metrics.set
             (Obs.Metrics.gauge
-               (Printf.sprintf "shard.worker%d.utilization" w.slot))
+               (if fleet.f_label = "" then
+                  Printf.sprintf "shard.worker%d.utilization" w.slot
+                else
+                  Printf.sprintf "shard.%s.worker%d.utilization" fleet.f_label
+                    w.slot))
             (if wall > 0. then Float.min 1. (w.busy_s /. wall) else 0.))
         fleet.members;
       (* The loop's postcondition — every cell settled — deserves a real

@@ -233,7 +233,11 @@ let cell_key ~seed ~window ~defects (fault : Inject.Fault.t) (s : Defs.t) =
     the catalogue is recoverable, so the matrix under any chaos plan is
     bit-for-bit the chaos-free one. [hang_timeout_s] / [deadline_s]
     configure the sharded coordinator's liveness sweep
-    ({!Exec.Shard.try_map}).
+    ({!Exec.Shard.try_map}). [fleet] names the resident worker fleet the
+    sharded branch uses (default: the anonymous fleet); concurrent
+    campaigns driven from separate coordinator domains — the serve
+    daemon's executor lanes — must pass distinct labels so each gets its
+    own disjoint worker processes.
 
     [on_cell] is a progress hook, called once per cell as it settles —
     replayed cells right after the journal replay, executed cells as
@@ -246,7 +250,7 @@ let cell_key ~seed ~window ~defects (fault : Inject.Fault.t) (s : Defs.t) =
     stop executing and the run raises {!Exec.Pool.Aborted} (regardless
     of [retry]) — completed cells are already journaled, so a resumed
     run continues exactly past the abort point. *)
-let run ?domains ?shards ?batch ?use_cache
+let run ?fleet ?domains ?shards ?batch ?use_cache
     ?(defects = Vehicle.Defects.repaired)
     ?(window = Runner.default_window) ?journal ?(resume = false) ?retry
     ?on_cell ?abort ?chaos ?hang_timeout_s ?deadline_s (g : grid) : t =
@@ -305,7 +309,7 @@ let run ?domains ?shards ?batch ?use_cache
              resume works unchanged (a worker SIGKILL costs at most the
              cells in flight, exactly like a domain crash cannot). *)
           let keys = Array.of_list (List.map (fun (_, k, _) -> k) todo) in
-          Exec.Shard.try_map ~shards:s ?domains ?batch ~policy ?abort
+          Exec.Shard.try_map ?fleet ~shards:s ?domains ?batch ~policy ?abort
             ?havoc:(Option.bind chaos Exec.Chaos.worker_fault)
             ?spawn_fault:(Option.bind chaos Exec.Chaos.spawn_fault)
             ?hang_timeout_s ?deadline_s

@@ -2,11 +2,17 @@
 
 type result = { ticket : int; csv : string; durable : bool }
 
-(* A transport-level failure: the connection died, the stream corrupted,
-   or the server answered something a fresh submission can fix. Raising
-   it unwinds to the retry loop, which reconnects and resubmits — safe
-   because submission is idempotent by digest. *)
-exception Retry of string
+(* Why an attempt must be retried. [Backpressure] is the server's typed
+   [retryable] rejection — healthy saturation, resubmit after its hint,
+   never charged against the attempt budget. [Transport] is a dead or
+   corrupt connection (or an answer a fresh submission can fix); it
+   costs an attempt and a fixed pause. The discriminant is carried as a
+   variant end to end — no string comparison anywhere. *)
+type retry_cause = Backpressure | Transport of string
+
+(* Raising [Retry] unwinds to the retry loop, which reconnects and
+   resubmits — safe because submission is idempotent by digest. *)
+exception Retry of retry_cause
 
 (* A server-side chaos drop (or plain crash) between our write and its
    read turns into EPIPE on this end; as a signal it would kill the
@@ -28,10 +34,10 @@ let recv fd buf =
   let rec go () =
     match Wire.Frame.decode buf with
     | `Frame v -> v
-    | `Corrupt -> raise (Retry "corrupt frame from server")
+    | `Corrupt -> raise (Retry (Transport "corrupt frame from server"))
     | `Need_more -> (
         match Unix.read fd chunk 0 (Bytes.length chunk) with
-        | 0 -> raise (Retry "server closed the connection")
+        | 0 -> raise (Retry (Transport "server closed the connection"))
         | n ->
             Wire.Frame.feed buf chunk n;
             go ()
@@ -53,10 +59,11 @@ let with_session ~socket k =
           (Wire.Hello { proto = Wire.proto_version; client = "serve_client" });
         match recv fd buf with
         | Wire.Welcome _ -> k fd buf
-        | _ -> raise (Retry "unexpected greeting"))
+        | _ -> raise (Retry (Transport "unexpected greeting")))
   with
   | r -> r
-  | exception Unix.Unix_error (e, _, _) -> raise (Retry (Unix.error_message e))
+  | exception Unix.Unix_error (e, _, _) ->
+      raise (Retry (Transport (Unix.error_message e)))
 
 let submit_and_wait ?(attempts = 10) ?(patience_s = 600.) ?deadline_s ?progress
     ~socket spec =
@@ -72,19 +79,22 @@ let submit_and_wait ?(attempts = 10) ?(patience_s = 600.) ?deadline_s ?progress
               wait ()
           | Wire.Result { ticket; csv; durable } -> Ok { ticket; csv; durable }
           | Wire.Failed { reason; _ } -> Error reason
-          | Wire.Rejected
-              { reason = Wire.Queue_full | Wire.Over_quota; retry_after_s } ->
+          | Wire.Rejected { retryable = true; retry_after_s; _ } ->
               (* Backpressure is advice, not failure: sleep the server's
-                 hint and resubmit. Deliberately outside the [attempts]
-                 budget — a busy server is healthy, only [patience_s]
-                 bounds how long we defer to it. *)
+                 load-scaled hint and resubmit. Deliberately outside the
+                 [attempts] budget — a busy server is healthy, only
+                 [patience_s] bounds how long we defer to it. *)
               Unix.sleepf (Float.max 0.05 retry_after_s);
-              raise (Retry "backpressure")
-          | Wire.Rejected { reason = Wire.Draining; _ } ->
-              Error "server is draining"
-          | Wire.Rejected { reason = Wire.Bad_spec e; _ } -> Error e
+              raise (Retry Backpressure)
+          | Wire.Rejected { retryable = false; reason; _ } ->
+              Error
+                (match reason with
+                | Wire.Draining -> "server is draining"
+                | Wire.Bad_spec e -> e
+                | Wire.Queue_full -> "rejected: queue full"
+                | Wire.Over_quota -> "rejected: over quota")
           | Wire.Welcome _ | Wire.Stats_reply _ | Wire.Draining_ack _ ->
-              raise (Retry "unexpected response")
+              raise (Retry (Transport "unexpected response"))
         in
         wait ())
   in
@@ -94,14 +104,12 @@ let submit_and_wait ?(attempts = 10) ?(patience_s = 600.) ?deadline_s ?progress
     else
       match attempt () with
       | r -> r
-      | exception Retry reason ->
-          let budget =
-            if reason = "backpressure" then budget else budget - 1
-          in
-          if budget <= 0 then Error ("gave up: " ^ reason)
+      | exception Retry Backpressure -> go budget
+      | exception Retry (Transport reason) ->
+          if budget - 1 <= 0 then Error ("gave up: " ^ reason)
           else begin
-            if reason <> "backpressure" then Unix.sleepf 0.5;
-            go budget
+            Unix.sleepf 0.5;
+            go (budget - 1)
           end
   in
   go attempts
@@ -113,7 +121,8 @@ let one_shot ~socket rq handle =
         handle (recv fd buf))
   with
   | r -> r
-  | exception Retry reason -> Error reason
+  | exception Retry Backpressure -> Error "rejected: server saturated"
+  | exception Retry (Transport reason) -> Error reason
 
 let stats ~socket =
   one_shot ~socket Wire.Stats (function

@@ -4,11 +4,13 @@
     is idempotent (the server keys work by spec digest), so every
     transport failure — refused connection while the daemon restarts, a
     connection dropped by a chaos fault, a corrupt frame — is absorbed
-    by reconnecting and resubmitting. Backpressure ([Rejected] with
-    [Queue_full] / [Over_quota]) is obeyed by sleeping the server's
-    [retry_after_s] hint and retrying without burning the reconnect
-    budget. Only server-side verdicts — [Failed], [Bad_spec],
-    [Draining] — are terminal. *)
+    by reconnecting and resubmitting. Backpressure — a [Rejected] whose
+    typed [retryable] flag is set — is obeyed by sleeping the server's
+    load-scaled [retry_after_s] hint and retrying without burning the
+    reconnect budget; the discriminant is the wire field, never a match
+    on rendered reason text. Only server-side verdicts — [Failed] and
+    non-retryable rejections ([Bad_spec], [Draining]) — are
+    terminal. *)
 
 type result = { ticket : int; csv : string; durable : bool }
 (** [csv] is byte-identical to the batch CLI's campaign export;

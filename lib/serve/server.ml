@@ -2,13 +2,17 @@
     model).
 
     Concurrency shape: the main thread owns every socket and every piece
-    of request state, multiplexed through one [Unix.select] loop; a
-    single executor domain runs campaigns one at a time, warm fleet and
-    outcome cache resident between them. The two meet through three
-    structures guarded by one mutex — the work queue, the done queue and
-    the [running] slot — plus per-request atomics ([abort], [progress])
-    that the campaign machinery reads without any lock. The executor
-    never touches a socket; the main loop never simulates. *)
+    of request state, multiplexed through one [Unix.select] loop;
+    [concurrent] executor {e lanes} (domains) each run one campaign at a
+    time, warm per-lane fleet and shared outcome cache resident between
+    them. Lanes and main loop meet through three structures guarded by
+    one mutex — the backlog, the done queue and the [running] list —
+    plus per-request atomics ([abort], [progress]) that the campaign
+    machinery reads without any lock. A lane picks the {e smallest}
+    queued grid first (ties by ticket), so a 1-cell campaign submitted
+    behind a hundred-cell one starts on the next free lane instead of
+    head-of-line blocking. Executors never touch a socket; the main
+    loop never simulates. *)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry                                                           *)
@@ -29,9 +33,13 @@ let m_cancelled = Obs.Metrics.counter "serve.cancelled"
 let m_orphaned = Obs.Metrics.counter "serve.orphaned"
 let m_recovered = Obs.Metrics.counter "serve.recovered"
 let m_store_hits = Obs.Metrics.counter "serve.store_hits"
+let m_store_evictions = Obs.Metrics.counter "serve.store_evictions"
+let m_slot_leases = Obs.Metrics.counter "serve.slot_leases"
 let m_chaos_drops = Obs.Metrics.counter "serve.chaos_drops"
 let m_stalled = Obs.Metrics.counter "serve.stalled_clients"
 let g_queue_depth = Obs.Metrics.gauge "serve.queue_depth"
+let g_concurrent = Obs.Metrics.gauge "serve.concurrent"
+let g_store_bytes = Obs.Metrics.gauge "serve.store_bytes"
 let g_active_clients = Obs.Metrics.gauge "serve.active_clients"
 let g_degraded = Obs.Metrics.gauge "serve.degraded"
 let g_draining = Obs.Metrics.gauge "serve.draining"
@@ -48,6 +56,8 @@ type config = {
   state_dir : string;
   queue_bound : int;
   quota : int;
+  concurrent : int;
+  store_budget_bytes : int;
   default_deadline_s : float option;
   stall_timeout_s : float;
   retry_after_s : float;
@@ -64,6 +74,8 @@ let default_config ~socket ~state_dir =
     state_dir;
     queue_bound = 8;
     quota = 4;
+    concurrent = 1;
+    store_budget_bytes = 64 * 1024 * 1024;
     default_deadline_s = None;
     stall_timeout_s = 10.;
     retry_after_s = 1.;
@@ -116,7 +128,8 @@ type t = {
   cfg : config;
   m : Mutex.t;
   work_c : Condition.t;
-  work_q : req Queue.t;
+  mutable backlog : req list;
+      (** admitted, not yet running; lanes pick smallest-grid-first *)
   done_q : (req * outcome) Queue.t;
   stop : bool Atomic.t;  (** executor shutdown + global abort probe *)
   drain_rq : bool Atomic.t;  (** set by the SIGTERM/SIGINT handler *)
@@ -125,7 +138,7 @@ type t = {
   live : (string, req) Hashtbl.t;  (** digest -> unsettled request *)
   mutable draining : bool;
   mutable degraded : bool;
-  mutable running : req option;
+  mutable running : req list;  (** one entry per busy executor lane *)
   mutable clients : client list;
   mutable next_ticket : int;
   mutable settled : int;
@@ -203,9 +216,11 @@ let digest_of ~(spec : Wire.spec) (grid : Scenarios.Campaign.grid) =
 (* State helpers (all called with [s.m] held)                          *)
 
 let queued_depth s =
-  Queue.fold (fun n (r : req) -> if r.state = `Queued then n + 1 else n) 0 s.work_q
+  List.fold_left
+    (fun n (r : req) -> if r.state = `Queued then n + 1 else n)
+    0 s.backlog
 
-let in_flight s = queued_depth s + match s.running with Some _ -> 1 | None -> 0
+let in_flight s = queued_depth s + List.length s.running
 
 let sync_gauges s =
   Obs.Metrics.set g_queue_depth (float_of_int (in_flight s));
@@ -370,7 +385,21 @@ let reject s c reason =
   | Wire.Over_quota -> Obs.Metrics.incr m_rej_quota
   | Wire.Draining -> Obs.Metrics.incr m_rej_drain
   | Wire.Bad_spec _ -> Obs.Metrics.incr m_rej_spec);
-  send s c (Wire.Rejected { reason; retry_after_s = s.cfg.retry_after_s })
+  let retryable =
+    match reason with
+    | Wire.Queue_full | Wire.Over_quota -> true
+    | Wire.Draining | Wire.Bad_spec _ -> false
+  in
+  (* The hint scales with load: an empty daemon says the configured
+     base, one at its queue bound says double it, so a saturated daemon
+     spreads its herd of retriers instead of synchronizing them. *)
+  let retry_after_s =
+    s.cfg.retry_after_s
+    *. (1.
+       +. (float_of_int (in_flight s) /. float_of_int (max 1 s.cfg.queue_bound))
+       )
+  in
+  send s c (Wire.Rejected { reason; retryable; retry_after_s })
 
 let make_req s ~spec ~grid ~digest ~deadline_s =
   let ticket = s.next_ticket in
@@ -412,12 +441,27 @@ let admit s c (spec : Wire.spec) deadline_s =
     | Error e -> reject s c (Wire.Bad_spec e)
     | Ok grid -> (
         let digest = digest_of ~spec grid in
-        if Sys.file_exists (result_path s.cfg digest) then begin
-          Obs.Metrics.incr m_store_hits;
-          let csv = read_file (result_path s.cfg digest) in
-          send s c (Wire.Result { ticket = 0; csv; durable = true })
-        end
-        else
+        (* The store is GC'd concurrently (size budget, executor side),
+           so the existence check and the read can race an eviction:
+           a failed read falls through to re-execution — the journal
+           makes that incremental — instead of crashing the daemon. *)
+        let stored =
+          let path = result_path s.cfg digest in
+          if Sys.file_exists path then
+            match read_file path with
+            | csv ->
+                (* LRU touch: a hit refreshes the file's mtime so the
+                   eviction order tracks use, not just creation. *)
+                (try Unix.utimes path 0. 0. with Unix.Unix_error _ -> ());
+                Some csv
+            | exception (Sys_error _ | End_of_file) -> None
+          else None
+        in
+        match stored with
+        | Some csv ->
+            Obs.Metrics.incr m_store_hits;
+            send s c (Wire.Result { ticket = 0; csv; durable = true })
+        | None -> (
           let attachable (r : req) =
             r.state <> `Settled && r.kill = None && not (Atomic.get r.abort)
           in
@@ -449,13 +493,13 @@ let admit s c (spec : Wire.spec) deadline_s =
                   Hashtbl.replace s.live digest r;
                   attach c r;
                   let position = in_flight s in
-                  Queue.push r s.work_q;
+                  s.backlog <- s.backlog @ [ r ];
                   Condition.signal s.work_c;
                   Obs.Metrics.incr m_submitted;
                   sync_gauges s;
                   send s c
                     (Wire.Accepted { ticket = r.ticket; position; cells = r.total })
-                end)
+                end))
 
 (* ------------------------------------------------------------------ *)
 (* Executor domain                                                     *)
@@ -470,7 +514,48 @@ let store_result s digest csv =
     true
   with Sys_error _ -> false
 
-let run_request s (r : req) =
+(* Size-budgeted store GC: a long-lived daemon must not grow its result
+   store without bound. Evict least-recently-used first (mtime — store
+   hits refresh it) until the directory fits [store_budget_bytes]
+   (0 = unbounded). Evicting a digest is safe: the admissions check
+   falls through to re-execution, and the cell journal makes the re-run
+   incremental. Runs on executor lanes after each store and once at
+   startup; concurrent sweeps can race each other's [Sys.remove], so
+   every removal is try-wrapped. *)
+let gc_store s =
+  let dir = results_dir s.cfg in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      let files =
+        Array.to_list names
+        |> List.filter_map (fun name ->
+               let path = Filename.concat dir name in
+               match Unix.stat path with
+               | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+                   Some (path, st_size, st_mtime)
+               | _ -> None
+               | exception Unix.Unix_error _ -> None)
+      in
+      let total = List.fold_left (fun a (_, sz, _) -> a + sz) 0 files in
+      Obs.Metrics.set g_store_bytes (float_of_int total);
+      let budget = s.cfg.store_budget_bytes in
+      if budget > 0 && total > budget then begin
+        let by_age = List.sort (fun (_, _, a) (_, _, b) -> compare a b) files in
+        let remaining = ref total in
+        List.iter
+          (fun (path, sz, _) ->
+            if !remaining > budget then
+              match Sys.remove path with
+              | () ->
+                  remaining := !remaining - sz;
+                  Obs.Metrics.incr m_store_evictions
+              | exception Sys_error _ -> ())
+          by_age;
+        Obs.Metrics.set g_store_bytes (float_of_int !remaining)
+      end
+
+let run_request s ~lane (r : req) =
   let t0 = Obs.Clock.now () in
   let retry =
     if r.spec.Wire.retries > 0 then
@@ -484,9 +569,20 @@ let run_request s (r : req) =
      cancel, orphaning) with the global drain stop; either aborts the
      campaign at the next cell boundary. *)
   let abort () = Atomic.get r.abort || Atomic.get s.stop in
+  (* Fleet-share scheduling: with [concurrent = k] lanes, each lane
+     leases a 1/k share of the configured worker fleet under its own
+     label — disjoint resident worker processes per lane, so one
+     campaign's crash/abort recovery never touches a neighbour's
+     workers. With one lane the anonymous full-size fleet is used, so
+     [concurrent = 1] is byte- and fleet-identical to the old daemon. *)
+  let k = max 1 s.cfg.concurrent in
+  let fleet = if k > 1 then Some (Printf.sprintf "lane%d" lane) else None in
+  let share n = max 1 (n / k) in
+  let shards = Option.map share s.cfg.shards in
+  let domains = if k > 1 then Option.map share s.cfg.domains else s.cfg.domains in
+  Obs.Metrics.incr m_slot_leases;
   match
-    Scenarios.Campaign.run ?domains:s.cfg.domains ?shards:s.cfg.shards
-      ?window:r.spec.Wire.window
+    Scenarios.Campaign.run ?fleet ?domains ?shards ?window:r.spec.Wire.window
       ~journal:(cells_path s.cfg r.digest)
       ~resume:true ?retry
       ~on_cell:(fun () -> Atomic.incr r.progress)
@@ -495,6 +591,7 @@ let run_request s (r : req) =
   | c ->
       let csv = Scenarios.Export.campaign_csv c in
       let stored = store_result s r.digest csv in
+      if stored then gc_store s;
       Obs.Metrics.observe h_run (Obs.Clock.now () -. t0);
       let durable =
         stored && not c.Scenarios.Campaign.robustness.Scenarios.Campaign.degraded
@@ -503,33 +600,51 @@ let run_request s (r : req) =
   | exception Exec.Pool.Aborted -> Checkpointed
   | exception e -> Crashed (Printexc.to_string e)
 
-let executor s =
+(* One executor lane. Picks the smallest queued grid first (total cells,
+   ties broken by ticket, i.e. FIFO among equals): size-aware admission
+   to the lanes, so a 1-cell probe submitted behind a long grid runs on
+   the next free lane immediately — the head-of-line block the
+   concurrent daemon exists to remove. Entries settled while queued
+   (kill, drain) are pruned on the way. *)
+let executor s ~lane =
   let rec next () =
     Mutex.lock s.m;
     let rec pick () =
       if Atomic.get s.stop then None
-      else
-        match Queue.take_opt s.work_q with
-        | Some r when r.state = `Queued -> Some r
-        | Some _ -> pick () (* settled while queued (kill, drain): skip *)
-        | None ->
+      else begin
+        s.backlog <- List.filter (fun (r : req) -> r.state = `Queued) s.backlog;
+        match s.backlog with
+        | [] ->
             Condition.wait s.work_c s.m;
             pick ()
+        | first :: rest ->
+            let best =
+              List.fold_left
+                (fun (best : req) (r : req) ->
+                  if (r.total, r.ticket) < (best.total, best.ticket) then r
+                  else best)
+                first rest
+            in
+            s.backlog <- List.filter (fun r -> r != best) s.backlog;
+            Some best
+      end
     in
     let r = pick () in
     (match r with
     | Some r ->
         r.state <- `Running;
-        s.running <- Some r
+        s.running <- r :: s.running;
+        Obs.Metrics.set g_concurrent (float_of_int (List.length s.running))
     | None -> ());
     Mutex.unlock s.m;
     match r with
     | None -> ()
     | Some r ->
         Obs.Metrics.observe h_queue_wait (Obs.Clock.now () -. r.submitted_at);
-        let outcome = run_request s r in
+        let outcome = run_request s ~lane r in
         Mutex.lock s.m;
-        s.running <- None;
+        s.running <- List.filter (fun r' -> r' != r) s.running;
+        Obs.Metrics.set g_concurrent (float_of_int (List.length s.running));
         Queue.push (r, outcome) s.done_q;
         Mutex.unlock s.m;
         next ()
@@ -565,7 +680,7 @@ let recover s =
             | Ok grid ->
                 let r = make_req s ~spec ~grid ~digest ~deadline_s:None in
                 Hashtbl.replace s.live digest r;
-                Queue.push r s.work_q;
+                s.backlog <- s.backlog @ [ r ];
                 Obs.Metrics.incr m_recovered))
     replay.Scenarios.Journal.entries;
   if Scenarios.Journal.degraded s.admissions then degrade s
@@ -576,20 +691,19 @@ let begin_drain s ~drainer =
     s.drain_t0 <- Obs.Clock.now ();
     Obs.Metrics.set g_draining 1.;
     (* Queued work checkpoints instantly: its [Pending] record IS the
-       checkpoint. The running campaign aborts at a cell boundary, so
-       the drain costs at most one cell of wall clock plus the flush. *)
-    Queue.iter (fun r -> if r.state = `Queued then settle s r Checkpointed) s.work_q;
-    (match s.running with
-    | Some r -> Atomic.set r.abort true
-    | None -> ());
+       checkpoint. Each running campaign aborts at a cell boundary, so
+       the drain costs at most one cell of wall clock per lane plus the
+       flush. *)
+    List.iter
+      (fun (r : req) -> if r.state = `Queued then settle s r Checkpointed)
+      s.backlog;
+    List.iter (fun (r : req) -> Atomic.set r.abort true) s.running;
     Atomic.set s.stop true;
     Condition.broadcast s.work_c
   end;
   match drainer with
   | Some c ->
-      let checkpointed =
-        s.checkpointed + match s.running with Some _ -> 1 | None -> 0
-      in
+      let checkpointed = s.checkpointed + List.length s.running in
       send s c (Wire.Draining_ack { settled = s.settled; checkpointed })
   | None -> ()
 
@@ -713,9 +827,8 @@ let sweep_deadlines s =
   List.iter (fun r -> kill_req s r ~kill:`Deadline) expired
 
 let push_progress s =
-  match s.running with
-  | None -> ()
-  | Some r ->
+  List.iter
+    (fun (r : req) ->
       let p = Atomic.get r.progress in
       if p <> r.sent_progress then begin
         r.sent_progress <- p;
@@ -724,7 +837,8 @@ let push_progress s =
             send s c
               (Wire.Progress { ticket = r.ticket; completed = p; total = r.total }))
           r.waiters
-      end
+      end)
+    s.running
 
 (* Slowloris guard: a client that stops reading jams its out-queue; once
    the queue has made no progress for [stall_timeout_s] the connection
@@ -776,7 +890,7 @@ let rec main_loop s listeners =
   sweep_deadlines s;
   push_progress s;
   sweep_stalls s;
-  let finished = s.draining && s.running = None && Queue.is_empty s.done_q in
+  let finished = s.draining && s.running = [] && Queue.is_empty s.done_q in
   Mutex.unlock s.m;
   if not finished then begin
     let rfds = listeners @ List.map (fun c -> c.cfd) s.clients in
@@ -845,7 +959,7 @@ let run cfg =
       cfg;
       m = Mutex.create ();
       work_c = Condition.create ();
-      work_q = Queue.create ();
+      backlog = [];
       done_q = Queue.create ();
       stop = Atomic.make false;
       drain_rq = Atomic.make false;
@@ -854,7 +968,7 @@ let run cfg =
       live = Hashtbl.create 64;
       draining = false;
       degraded = false;
-      running = None;
+      running = [];
       clients = [];
       next_ticket = 1;
       settled = 0;
@@ -863,6 +977,7 @@ let run cfg =
     }
   in
   recover s;
+  gc_store s;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let on_term _ = Atomic.set s.drain_rq true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_term);
@@ -870,10 +985,13 @@ let run cfg =
   let lunix = listen_unix cfg.socket in
   let ltcp = Option.map listen_tcp cfg.tcp_port in
   let listeners = lunix :: Option.to_list ltcp in
-  let exec_d = Domain.spawn (fun () -> executor s) in
+  let lanes =
+    List.init (max 1 cfg.concurrent) (fun lane ->
+        Domain.spawn (fun () -> executor s ~lane))
+  in
   main_loop s listeners;
   final_flush s;
-  Domain.join exec_d;
+  List.iter Domain.join lanes;
   Obs.Metrics.observe h_drain (Obs.Clock.now () -. s.drain_t0);
   Mutex.lock s.m;
   sync_gauges s;

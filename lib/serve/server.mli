@@ -10,9 +10,23 @@
     {1 Robustness model}
 
     - {e Admission control}: the queue is bounded. Past the bound the
-      server answers [Rejected {retry_after_s}] instead of buffering
-      without limit — explicit backpressure, never an unbounded heap.
-      Per-client concurrency quotas bound what any one client can hold.
+      server answers [Rejected {retryable = true; retry_after_s}]
+      instead of buffering without limit — explicit backpressure, never
+      an unbounded heap. The [retry_after_s] hint scales with current
+      load (an empty daemon says the configured base, one at its bound
+      says double), so saturated-server retries spread instead of
+      synchronizing into a thundering herd. Per-client concurrency
+      quotas bound what any one client can hold.
+    - {e Fleet-share scheduling}: [concurrent] executor lanes (domains)
+      run admitted campaigns in parallel, each leasing a [1/concurrent]
+      share of the configured shard fleet under its own label —
+      disjoint resident worker processes per lane
+      ([serve.concurrent] gauge, [serve.slot_leases] counter). A free
+      lane picks the {e smallest} queued grid first (FIFO among
+      equals), so a 1-cell probe submitted behind a long grid completes
+      first instead of head-of-line blocking. Results stay
+      byte-identical to the batch CLI for any lane count or
+      interleaving.
     - {e Deadlines}: a request past its deadline is cancelled wherever
       it is — dropped from the queue, or cooperatively aborted mid-run
       with its remaining cells reclaimed ({!Exec.Pool.Aborted}).
@@ -26,6 +40,12 @@
       journal — the eventual CSV is byte-identical to an uninterrupted
       run. Completed results live in an on-disk store keyed by the
       request digest, so resubmitting a finished spec is a store hit.
+      The store is size-budgeted ([store_budget_bytes]): past the
+      budget the least-recently-used results (mtime; a hit refreshes
+      it) are evicted ([serve.store_bytes] gauge,
+      [serve.store_evictions] counter), and an evicted digest simply
+      re-executes — incrementally, through its cell journal — on the
+      next submission.
     - {e Graceful drain}: SIGTERM (or a [Drain] request) stops
       admission, checkpoints the queue (journaled [Pending] survives to
       the next incarnation), cooperatively aborts the running campaign
@@ -52,12 +72,19 @@ type config = {
       (** admission journal, per-request cell journals, result store *)
   queue_bound : int;  (** admission queue bound (>= 1) *)
   quota : int;  (** per-client concurrent-request quota (>= 1) *)
+  concurrent : int;
+      (** executor lanes: campaigns run at once, each on a [1/concurrent]
+          fleet share (>= 1; 1 = the sequential daemon) *)
+  store_budget_bytes : int;
+      (** result-store size budget; LRU eviction past it (0 = unbounded) *)
   default_deadline_s : float option;
       (** deadline applied to requests that do not carry their own *)
   stall_timeout_s : float;
       (** drop a client whose response buffer has made no progress for
           this long (the slowloris bound) *)
-  retry_after_s : float;  (** backpressure hint in [Rejected] replies *)
+  retry_after_s : float;
+      (** base backpressure hint in [Rejected] replies; the wire value
+          is this base scaled up with current queue depth *)
   domains : int option;  (** domains for campaign execution *)
   shards : int option;  (** shard the campaigns across worker processes *)
   chaos : Exec.Chaos.t option;
@@ -68,8 +95,9 @@ type config = {
 }
 
 val default_config : socket:string -> state_dir:string -> config
-(** Queue bound 8, quota 4, no default deadline, 10 s stall timeout,
-    1 s retry-after, defaults elsewhere ([None]). *)
+(** Queue bound 8, quota 4, one executor lane, 64 MiB store budget, no
+    default deadline, 10 s stall timeout, 1 s base retry-after,
+    defaults elsewhere ([None]). *)
 
 val run : config -> unit
 (** Run the daemon until a drain completes (SIGTERM, SIGINT or a [Drain]

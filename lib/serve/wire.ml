@@ -1,6 +1,6 @@
 (** SRV1 wire protocol: message set and frame codec (see wire.mli). *)
 
-let proto_version = 1
+let proto_version = 2
 
 type spec = {
   seed : int;
@@ -26,7 +26,11 @@ type request =
 type response =
   | Welcome of { proto : int; server : string }
   | Accepted of { ticket : int; position : int; cells : int }
-  | Rejected of { reason : reject_reason; retry_after_s : float }
+  | Rejected of {
+      reason : reject_reason;
+      retryable : bool;
+      retry_after_s : float;
+    }
   | Progress of { ticket : int; completed : int; total : int }
   | Result of { ticket : int; csv : string; durable : bool }
   | Failed of { ticket : int; reason : string }

@@ -54,9 +54,22 @@ type response =
   | Accepted of { ticket : int; position : int; cells : int }
       (** admitted: [position] in the queue at admission (0 = next),
           [cells] the grid size used for progress reporting *)
-  | Rejected of { reason : reject_reason; retry_after_s : float }
-      (** backpressure instead of unbounded buffering; [retry_after_s]
-          is the server's resubmission hint *)
+  | Rejected of {
+      reason : reject_reason;
+      retryable : bool;
+          (** the typed retry discriminant: [true] for transient
+              saturation ([Queue_full] / [Over_quota]) — resubmit the
+              same spec after [retry_after_s]; [false] for terminal
+              rejections ([Draining] / [Bad_spec]) — resubmitting the
+              same spec cannot succeed. Clients branch on this field,
+              never on rendered reason text. *)
+      retry_after_s : float;
+          (** the server's resubmission hint, scaled with its current
+              load (deeper queue ⇒ longer hint) so a saturated daemon
+              spreads retries instead of synchronizing a thundering
+              herd *)
+    }
+      (** backpressure instead of unbounded buffering *)
   | Progress of { ticket : int; completed : int; total : int }
   | Result of { ticket : int; csv : string; durable : bool }
       (** the campaign CSV, byte-identical to the batch CLI's;

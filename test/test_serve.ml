@@ -41,6 +41,13 @@ let () =
           Serve.Server.queue_bound =
             (match get "queue" with Some v -> int_of_string v | None -> 8);
           quota = (match get "quota" with Some v -> int_of_string v | None -> 4);
+          concurrent =
+            (match get "concurrent" with Some v -> int_of_string v | None -> 1);
+          store_budget_bytes =
+            (match get "store_budget" with
+            | Some v -> int_of_string v
+            | None -> cfg.Serve.Server.store_budget_bytes);
+          shards = Option.map int_of_string (get "shards");
           default_deadline_s = Option.map float_of_string (get "deadline");
           stall_timeout_s =
             (match get "stall" with Some v -> float_of_string v | None -> 10.);
@@ -313,8 +320,10 @@ let test_backpressure_queue_full () =
   expect_welcome s2;
   submit s2 quick_spec;
   (match recv s2 with
-  | Serve.Wire.Rejected { reason = Serve.Wire.Queue_full; retry_after_s } ->
-      Alcotest.(check bool) "retry-after hint present" true (retry_after_s > 0.)
+  | Serve.Wire.Rejected
+      { reason = Serve.Wire.Queue_full; retryable; retry_after_s } ->
+      Alcotest.(check bool) "retry-after hint present" true (retry_after_s > 0.);
+      Alcotest.(check bool) "queue-full is typed retryable" true retryable
   | r ->
       Alcotest.failf "expected Queue_full, got %s"
         (match r with
@@ -495,6 +504,174 @@ let test_sigterm_drain_under_load () =
   | Error _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Concurrent lanes                                                     *)
+
+(* Distinct 1-cell and 3-cell specs for interleaving tests; distinct
+   seeds/faults keep the digests (and so the executions) separate. *)
+let quick2_spec =
+  {
+    Serve.Wire.seed = 46;
+    faults = [ "delay=150:accel_cmd" ];
+    scenarios = [ 3 ];
+    window = None;
+    retries = 0;
+  }
+
+let medium_spec =
+  {
+    Serve.Wire.seed = 44;
+    faults = [ "stuck=3:ca_accel_req" ];
+    scenarios = [ 1; 2; 3 ];
+    window = None;
+    retries = 0;
+  }
+
+let rec wait_progress ?(at_least = 1) s =
+  match recv s with
+  | Serve.Wire.Progress { completed; _ } when completed >= at_least -> ()
+  | Serve.Wire.Progress _ | Serve.Wire.Accepted _ -> wait_progress ~at_least s
+  | Serve.Wire.Result _ -> Alcotest.fail "campaign finished too fast"
+  | _ -> Alcotest.fail "unexpected frame while waiting for progress"
+
+let rec wait_result s =
+  match recv s with
+  | Serve.Wire.Result { csv; _ } -> csv
+  | Serve.Wire.Progress _ | Serve.Wire.Accepted _ -> wait_result s
+  | Serve.Wire.Failed { reason; _ } -> Alcotest.failf "campaign failed: %s" reason
+  | _ -> Alcotest.fail "unexpected frame while waiting for the result"
+
+let expect_accept s =
+  match recv s with
+  | Serve.Wire.Accepted _ -> ()
+  | _ -> Alcotest.fail "submission must be admitted"
+
+(* The acceptance criterion: with two lanes, a 1-cell probe submitted
+   behind a long-running grid completes while the long grid is still
+   mid-flight — no head-of-line blocking — and both CSVs stay
+   byte-identical to their batch equivalents. *)
+let test_small_jumps_large () =
+  let d = start_daemon ~args:[ "concurrent=2" ] () in
+  Fun.protect ~finally:(fun () -> stop_daemon d) @@ fun () ->
+  let s = connect d in
+  Fun.protect ~finally:(fun () -> disconnect s) @@ fun () ->
+  expect_welcome s;
+  submit s slow_spec;
+  expect_accept s;
+  (* Ensure the long grid actually occupies its lane before the probe
+     arrives. *)
+  wait_progress s;
+  (match Serve.Client.submit_and_wait ~socket:d.socket quick_spec with
+  | Ok { Serve.Client.csv; _ } ->
+      Alcotest.(check string) "probe CSV byte-identical" (batch_csv quick_spec)
+        csv
+  | Error e -> Alcotest.failf "probe submit: %s" e);
+  Alcotest.(check int) "probe completed while the long grid still runs" 1
+    (stats_counter d "serve.requests_completed");
+  Alcotest.(check string) "long CSV byte-identical" (batch_csv slow_spec)
+    (wait_result s)
+
+let test_interleaved_identical () =
+  let d = start_daemon ~args:[ "concurrent=2" ] () in
+  Fun.protect ~finally:(fun () -> stop_daemon d) @@ fun () ->
+  let s1 = connect d in
+  Fun.protect ~finally:(fun () -> disconnect s1) @@ fun () ->
+  let s2 = connect d in
+  Fun.protect ~finally:(fun () -> disconnect s2) @@ fun () ->
+  expect_welcome s1;
+  expect_welcome s2;
+  submit s1 quick_spec;
+  submit s2 quick2_spec;
+  expect_accept s1;
+  expect_accept s2;
+  Alcotest.(check string) "first interleaved CSV byte-identical"
+    (batch_csv quick_spec) (wait_result s1);
+  Alcotest.(check string) "second interleaved CSV byte-identical"
+    (batch_csv quick2_spec) (wait_result s2)
+
+(* Aborting one concurrent request (here: by orphaning — its only
+   client disconnects) must leave the neighbour lane's fleet lease
+   untouched: the survivor completes byte-identical. [shards=2] with
+   two lanes exercises the labelled per-lane fleet split (one worker
+   process each). *)
+let test_abort_leaves_other () =
+  let d = start_daemon ~args:[ "concurrent=2"; "shards=2" ] () in
+  Fun.protect ~finally:(fun () -> stop_daemon d) @@ fun () ->
+  let s1 = connect d in
+  expect_welcome s1;
+  submit s1 slow_spec;
+  expect_accept s1;
+  wait_progress s1;
+  let s2 = connect d in
+  Fun.protect ~finally:(fun () -> disconnect s2) @@ fun () ->
+  expect_welcome s2;
+  submit s2 medium_spec;
+  expect_accept s2;
+  (* Orphan-kill the long grid mid-run; the survivor's workers belong
+     to the other lane's fleet and must not notice. *)
+  disconnect s1;
+  Alcotest.(check string) "survivor CSV byte-identical"
+    (batch_csv medium_spec) (wait_result s2);
+  Alcotest.(check bool) "orphaning counted" true
+    (stats_counter d "serve.orphaned" >= 1)
+
+(* SIGKILL with two campaigns mid-flight: restart recovers BOTH from
+   the admission journal, resumes each from its cell journal, and the
+   resubmitted results stay byte-identical. *)
+let test_sigkill_restart_resumes_both () =
+  let d = start_daemon ~args:[ "concurrent=2" ] () in
+  let s1 = connect d in
+  expect_welcome s1;
+  submit s1 slow_spec;
+  expect_accept s1;
+  let s2 = connect d in
+  expect_welcome s2;
+  let other = { slow_spec with Serve.Wire.seed = 45; scenarios = [ 1; 2; 3 ] } in
+  submit s2 other;
+  expect_accept s2;
+  wait_progress ~at_least:2 s1;
+  wait_progress ~at_least:2 s2;
+  Unix.kill d.pid Sys.sigkill;
+  ignore (Unix.waitpid [] d.pid);
+  disconnect s1;
+  disconnect s2;
+  let d = restart_daemon ~args:[ "concurrent=2" ] d in
+  Fun.protect ~finally:(fun () -> stop_daemon d) @@ fun () ->
+  (match Serve.Client.submit_and_wait ~socket:d.socket slow_spec with
+  | Ok { Serve.Client.csv; _ } ->
+      Alcotest.(check string) "first resumed CSV byte-identical"
+        (batch_csv slow_spec) csv
+  | Error e -> Alcotest.failf "first resubmit after restart: %s" e);
+  (match Serve.Client.submit_and_wait ~socket:d.socket other with
+  | Ok { Serve.Client.csv; _ } ->
+      Alcotest.(check string) "second resumed CSV byte-identical"
+        (batch_csv other) csv
+  | Error e -> Alcotest.failf "second resubmit after restart: %s" e);
+  Alcotest.(check bool) "both recoveries counted" true
+    (stats_counter d "serve.recovered" >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Result-store GC                                                      *)
+
+(* A one-byte budget evicts every stored result immediately; an evicted
+   digest must fall back to re-execution (incremental, via its cell
+   journal) and still serve the same bytes. *)
+let test_store_eviction () =
+  let d = start_daemon ~args:[ "store_budget=1" ] () in
+  Fun.protect ~finally:(fun () -> stop_daemon d) @@ fun () ->
+  let expected = batch_csv quick_spec in
+  (match Serve.Client.submit_and_wait ~socket:d.socket quick_spec with
+  | Ok { Serve.Client.csv; _ } ->
+      Alcotest.(check string) "first run byte-identical" expected csv
+  | Error e -> Alcotest.failf "first submit: %s" e);
+  Alcotest.(check bool) "eviction counted" true
+    (stats_counter d "serve.store_evictions" >= 1);
+  match Serve.Client.submit_and_wait ~socket:d.socket quick_spec with
+  | Ok { Serve.Client.csv; _ } ->
+      Alcotest.(check string) "evicted digest re-executes to the same bytes"
+        expected csv
+  | Error e -> Alcotest.failf "post-eviction submit: %s" e
+
+(* ------------------------------------------------------------------ *)
 (* Chaos server fault points                                            *)
 
 let test_chaos_server_faults_absorbed () =
@@ -551,6 +728,22 @@ let () =
         [
           Alcotest.test_case "SIGTERM drain under load exits 0" `Slow
             test_sigterm_drain_under_load;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "small grid jumps a long one" `Slow
+            test_small_jumps_large;
+          Alcotest.test_case "interleaved campaigns byte-identical" `Slow
+            test_interleaved_identical;
+          Alcotest.test_case "abort of one lane leaves the other's fleet"
+            `Slow test_abort_leaves_other;
+          Alcotest.test_case "SIGKILL, restart resumes both campaigns" `Slow
+            test_sigkill_restart_resumes_both;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "size budget evicts; evicted digests re-execute"
+            `Slow test_store_eviction;
         ] );
       ( "chaos",
         [
