@@ -1,0 +1,107 @@
+(** The streaming journal miner (see analyze.mli). *)
+
+type t = {
+  lock : Mutex.t;
+  cascade_t : Cascade.t;
+  trajectory_t : Trajectory.t;
+  residual_t : Residual.t;
+  mutable records : int;
+  mutable skipped : int;
+  mutable journals : int;
+}
+
+(* Stream-volume counters tick as cells flow (so a long ingest is
+   observable in flight); the result-level numbers are gauges, published
+   once the tables are read ({!publish}). *)
+let m_records = Obs.Metrics.counter "analytics.records"
+let m_skipped = Obs.Metrics.counter "analytics.records_skipped"
+let m_journals = Obs.Metrics.counter "analytics.journals"
+let g_cascades = Obs.Metrics.gauge "analytics.cascades"
+let g_groups = Obs.Metrics.gauge "analytics.cascade_groups"
+let g_points = Obs.Metrics.gauge "analytics.trajectory_points"
+let g_flips = Obs.Metrics.gauge "analytics.goal_flips"
+let g_residual = Obs.Metrics.gauge "analytics.residual_fraction"
+let g_footprint = Obs.Metrics.gauge "analytics.footprint"
+
+let create () =
+  {
+    lock = Mutex.create ();
+    cascade_t = Cascade.create ();
+    trajectory_t = Trajectory.create ();
+    residual_t = Residual.create ();
+    records = 0;
+    skipped = 0;
+    journals = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let observe_record t r =
+  locked t (fun () ->
+      t.records <- t.records + 1;
+      Obs.Metrics.incr m_records;
+      Cascade.observe t.cascade_t r;
+      Trajectory.observe t.trajectory_t r;
+      Residual.observe t.residual_t r)
+
+let observe t cell = observe_record t (Record.of_cell cell)
+
+let skip t =
+  locked t (fun () ->
+      t.skipped <- t.skipped + 1;
+      Obs.Metrics.incr m_skipped)
+
+let ingest t path =
+  Obs.span "analytics.ingest" (fun () ->
+      let (), stats =
+        Scenarios.Journal.fold path ~init:()
+          ~f:(fun () _key (cell : Scenarios.Campaign.cell) ->
+            match Record.validate (Record.of_cell cell) with
+            | Ok r -> observe_record t r
+            | Error _ -> skip t)
+      in
+      (* A torn tail is one record the producer started and never
+         finished — surface it as a skip, not silence: CI asserts the
+         chaos journal's tear was actually seen. *)
+      if stats.Scenarios.Journal.fold_dropped_bytes > 0 then skip t;
+      locked t (fun () ->
+          t.journals <- t.journals + 1;
+          Obs.Metrics.incr m_journals))
+
+let records t = locked t (fun () -> t.records)
+let skipped t = locked t (fun () -> t.skipped)
+let journals t = locked t (fun () -> t.journals)
+let cascade t = locked t (fun () -> Cascade.rows t.cascade_t)
+let trajectory t = locked t (fun () -> Trajectory.rows t.trajectory_t)
+let residual t = locked t (fun () -> Residual.rows t.residual_t)
+let residual_fraction t = locked t (fun () -> Residual.fraction t.residual_t)
+let goal_cells t = locked t (fun () -> Residual.goal_cells t.residual_t)
+let missed_cells t = locked t (fun () -> Residual.missed_cells t.residual_t)
+let cascade_csv t = locked t (fun () -> Cascade.to_csv t.cascade_t)
+let trajectory_csv t = locked t (fun () -> Trajectory.to_csv t.trajectory_t)
+let residual_csv t = locked t (fun () -> Residual.to_csv t.residual_t)
+
+let footprint t =
+  locked t (fun () ->
+      Cascade.footprint t.cascade_t
+      + Trajectory.footprint t.trajectory_t
+      + Residual.footprint t.residual_t)
+
+let publish t =
+  locked t (fun () ->
+      let rows = Cascade.rows t.cascade_t in
+      Obs.Metrics.set g_cascades
+        (float_of_int (List.length (List.filter (fun r -> r.Cascade.cascade) rows)));
+      Obs.Metrics.set g_groups (float_of_int (List.length rows));
+      Obs.Metrics.set g_points (float_of_int (Trajectory.points t.trajectory_t));
+      Obs.Metrics.set g_flips
+        (float_of_int
+           (List.fold_left (fun acc r -> acc + r.Cascade.flips) 0 rows));
+      Obs.Metrics.set g_residual (Residual.fraction t.residual_t);
+      Obs.Metrics.set g_footprint
+        (float_of_int
+           (Cascade.footprint t.cascade_t
+           + Trajectory.footprint t.trajectory_t
+           + Residual.footprint t.residual_t)))

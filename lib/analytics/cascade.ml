@@ -1,0 +1,162 @@
+(** Cascade detection across a campaign-cell stream (see cascade.mli). *)
+
+type group = {
+  mutable cells : int;
+  mutable detected : int;
+  mutable missed : int;
+  mutable spurious : int;
+  mutable no_effect : int;
+  scenarios : (int, unit) Hashtbl.t;
+  windows : (float, unit) Hashtbl.t;
+  monitors : (string, int * Sketch.Moments.t) Hashtbl.t;
+      (** goal monitor id → (flip count, first-flip-time moments) *)
+  mutable lead : Sketch.Moments.t;
+  leads : Sketch.Reservoir.t;
+}
+
+type t = { groups : (string * int, group) Hashtbl.t }
+
+let create () = { groups = Hashtbl.create 16 }
+
+let group t key =
+  match Hashtbl.find_opt t.groups key with
+  | Some g -> g
+  | None ->
+      let g =
+        {
+          cells = 0;
+          detected = 0;
+          missed = 0;
+          spurious = 0;
+          no_effect = 0;
+          scenarios = Hashtbl.create 8;
+          windows = Hashtbl.create 4;
+          monitors = Hashtbl.create 8;
+          lead = Sketch.Moments.empty;
+          leads = Sketch.Reservoir.create ();
+        }
+      in
+      Hashtbl.replace t.groups key g;
+      g
+
+let observe t (r : Record.t) =
+  let g = group t (r.Record.fault, r.Record.seed) in
+  g.cells <- g.cells + 1;
+  Hashtbl.replace g.scenarios r.Record.scenario ();
+  Hashtbl.replace g.windows r.Record.window ();
+  (match r.Record.detection with
+  | Scenarios.Campaign.Detected lead ->
+      g.detected <- g.detected + 1;
+      g.lead <- Sketch.Moments.add g.lead lead;
+      Sketch.Reservoir.add g.leads ~tag:(Record.key r) lead
+  | Scenarios.Campaign.Missed -> g.missed <- g.missed + 1
+  | Scenarios.Campaign.Spurious -> g.spurious <- g.spurious + 1
+  | Scenarios.Campaign.No_effect -> g.no_effect <- g.no_effect + 1);
+  List.iter
+    (fun (id, first_t) ->
+      let count, m =
+        match Hashtbl.find_opt g.monitors id with
+        | Some (c, m) -> (c, m)
+        | None -> (0, Sketch.Moments.empty)
+      in
+      Hashtbl.replace g.monitors id (count + 1, Sketch.Moments.add m first_t))
+    r.Record.goal_flips
+
+type row = {
+  fault : string;
+  seed : int;
+  cascade : bool;
+  cells : int;
+  scenarios : int;
+  windows : int;
+  monitors : string list;
+  flips : int;
+  detected : int;
+  missed : int;
+  spurious : int;
+  no_effect : int;
+  lead_count : int;
+  lead_min : float;
+  lead_mean : float;
+  lead_p50 : float;
+  lead_p95 : float;
+  lead_max : float;
+  first_flip_min : float;
+  first_flip_max : float;
+}
+
+let rows t =
+  Hashtbl.fold
+    (fun (fault, seed) (g : group) acc ->
+      let monitors =
+        List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) g.monitors [])
+      in
+      let flips = Hashtbl.fold (fun _ (c, _) acc -> acc + c) g.monitors 0 in
+      let first_flip_min, first_flip_max =
+        Hashtbl.fold
+          (fun _ (_, m) (lo, hi) ->
+            ( Float.min lo (Sketch.Moments.minimum m),
+              Float.max hi (Sketch.Moments.maximum m) ))
+          g.monitors (infinity, neg_infinity)
+      in
+      let have_flips = monitors <> [] in
+      {
+        fault;
+        seed;
+        cascade = List.length monitors >= 2;
+        cells = g.cells;
+        scenarios = Hashtbl.length g.scenarios;
+        windows = Hashtbl.length g.windows;
+        monitors;
+        flips;
+        detected = g.detected;
+        missed = g.missed;
+        spurious = g.spurious;
+        no_effect = g.no_effect;
+        lead_count = Sketch.Moments.count g.lead;
+        lead_min = Sketch.Moments.minimum g.lead;
+        lead_mean = Sketch.Moments.mean g.lead;
+        lead_p50 = Sketch.Reservoir.percentile g.leads 50.;
+        lead_p95 = Sketch.Reservoir.percentile g.leads 95.;
+        lead_max = Sketch.Moments.maximum g.lead;
+        first_flip_min = (if have_flips then first_flip_min else 0.);
+        first_flip_max = (if have_flips then first_flip_max else 0.);
+      }
+      :: acc)
+    t.groups []
+  |> List.sort (fun a b -> compare (a.fault, a.seed) (b.fault, b.seed))
+
+let cascades t = List.length (List.filter (fun r -> r.cascade) (rows t))
+
+let footprint t =
+  Hashtbl.fold
+    (fun _ (g : group) acc ->
+      acc + 1
+      + Hashtbl.length g.scenarios
+      + Hashtbl.length g.windows
+      + Hashtbl.length g.monitors
+      + Sketch.Reservoir.size g.leads)
+    t.groups 0
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "fault,seed,cascade,cells,scenarios,windows,goal_monitors,goal_flips,detected,\
+     missed,spurious,no_effect,lead_min_s,lead_mean_s,lead_p50_s,lead_p95_s,\
+     lead_max_s,first_flip_min_s,first_flip_max_s\n";
+  List.iter
+    (fun r ->
+      let lead fmt v = if r.lead_count = 0 then "" else Fmt.str fmt v in
+      let flip v = if r.flips = 0 then "" else Fmt.str "%g" v in
+      Buffer.add_string buf
+        (Fmt.str "%s,%d,%d,%d,%d,%d,%s,%d,%d,%d,%d,%d,%s,%s,%s,%s,%s,%s,%s\n"
+           (Scenarios.Export.escape r.fault)
+           r.seed
+           (if r.cascade then 1 else 0)
+           r.cells r.scenarios r.windows
+           (String.concat ";" r.monitors)
+           r.flips r.detected r.missed r.spurious r.no_effect (lead "%g" r.lead_min)
+           (lead "%g" r.lead_mean) (lead "%g" r.lead_p50) (lead "%g" r.lead_p95)
+           (lead "%g" r.lead_max) (flip r.first_flip_min) (flip r.first_flip_max)))
+    (rows t);
+  Buffer.contents buf

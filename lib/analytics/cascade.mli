@@ -1,0 +1,70 @@
+(** Cascade detection: faults whose injection flips more than one goal
+    monitor.
+
+    The thesis's central claim is that safety violations are system-level
+    phenomena: one component fault propagates through feedback until
+    {e several} independent goal monitors trip, even though every
+    component behaved correctly given its inputs. Per-cell
+    classification cannot see this — each cell knows only its own
+    scenario. This analyzer groups the stream by (fault, seed) and
+    accumulates, per group, the {e set} of goal monitors the fault ever
+    flipped across scenarios and windows; a group whose set has two or
+    more distinct monitors (a fault-induced collision counts as the
+    ["collision"] pseudo-monitor) is flagged as a cascade.
+
+    State is bounded by the campaign grid's diversity — distinct
+    (fault, seed) groups × the ≤ 10 goal monitors — never by the number
+    of records streamed; lead-time percentiles come from a bounded
+    order-independent bottom-k sample ({!Sketch.Reservoir}). *)
+
+type t
+(** Accumulator over a record stream. Not thread-safe on its own; the
+    {!Analyze} driver serializes access. *)
+
+val create : unit -> t
+
+val observe : t -> Record.t -> unit
+(** Fold one record into the grouping. Order-independent: any
+    permutation of the same records yields the same {!rows}. *)
+
+type row = {
+  fault : string;
+  seed : int;
+  cascade : bool;  (** ≥ 2 distinct goal monitors flipped *)
+  cells : int;  (** records in this (fault, seed) group *)
+  scenarios : int;  (** distinct scenarios the group covered *)
+  windows : int;  (** distinct classification windows *)
+  monitors : string list;  (** distinct goal monitors flipped, sorted *)
+  flips : int;  (** total goal-monitor flips across all cells *)
+  detected : int;
+  missed : int;
+  spurious : int;
+  no_effect : int;  (** cell verdicts, as in the campaign summary *)
+  lead_count : int;  (** detected cells contributing lead times *)
+  lead_min : float;
+  lead_mean : float;
+  lead_p50 : float;
+  lead_p95 : float;
+  lead_max : float;  (** anticipation lead-time spread, seconds *)
+  first_flip_min : float;
+  first_flip_max : float;
+      (** earliest and latest first-flip instants across the group's goal
+          monitors — the cascade's temporal footprint *)
+}
+
+val rows : t -> row list
+(** Every (fault, seed) group — cascades and non-cascades alike, so the
+    table doubles as the fault-level trend surface — sorted by
+    (fault, seed). *)
+
+val cascades : t -> int
+(** Groups currently flagged as cascades. *)
+
+val footprint : t -> int
+(** Live keyed entries plus retained sample elements — the analyzer's
+    bounded-state measure, asserted flat under journal growth by
+    [test/test_analytics.ml]. *)
+
+val to_csv : t -> string
+(** Deterministic CSV of {!rows} (header included; empty lead columns
+    for groups with no detected cell). *)

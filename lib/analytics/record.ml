@@ -1,0 +1,81 @@
+(** The analytics view of one campaign cell (see record.mli). *)
+
+type t = {
+  scenario : int;
+  fault : string;
+  seed : int;
+  window : float;
+  detection : Scenarios.Campaign.detection;
+  hits : int;
+  false_negatives : int;
+  false_positives : int;
+  inhibited : int;
+  goal_flips : (string * float) list;
+  sub_flips : (string * int * float) list;
+  per_goal : Scenarios.Campaign.goal_counts list;
+}
+
+let of_cell (c : Scenarios.Campaign.cell) : t =
+  {
+    scenario = c.Scenarios.Campaign.scenario;
+    fault = Inject.Fault.to_string c.Scenarios.Campaign.fault;
+    seed = c.Scenarios.Campaign.seed;
+    window = c.Scenarios.Campaign.window;
+    detection = c.Scenarios.Campaign.detection;
+    hits = c.Scenarios.Campaign.hits;
+    false_negatives = c.Scenarios.Campaign.false_negatives;
+    false_positives = c.Scenarios.Campaign.false_positives;
+    inhibited = c.Scenarios.Campaign.inhibited;
+    goal_flips = c.Scenarios.Campaign.goal_flips;
+    sub_flips = c.Scenarios.Campaign.sub_flips;
+    per_goal = c.Scenarios.Campaign.per_goal;
+  }
+
+let validate (r : t) : (t, string) result =
+  let finite f = Float.is_finite f in
+  if r.scenario < 0 then Error "negative scenario number"
+  else if r.fault = "" then Error "empty fault spec"
+  else if not (finite r.window && r.window >= 0.) then Error "bad window"
+  else if r.hits < 0 || r.false_negatives < 0 || r.false_positives < 0
+          || r.inhibited < 0
+  then Error "negative classification counter"
+  else if not (List.for_all (fun (_, t) -> finite t) r.goal_flips) then
+    Error "non-finite goal-flip time"
+  else if not (List.for_all (fun (_, _, t) -> finite t) r.sub_flips) then
+    Error "non-finite subgoal-flip time"
+  else if
+    not
+      (List.for_all
+         (fun (g : Scenarios.Campaign.goal_counts) ->
+           g.Scenarios.Campaign.goal >= 1
+           && g.Scenarios.Campaign.goal <= 9
+           && g.Scenarios.Campaign.goal_hits >= 0
+           && g.Scenarios.Campaign.goal_false_negatives >= 0
+           && g.Scenarios.Campaign.goal_false_positives >= 0
+           && g.Scenarios.Campaign.goal_inhibited >= 0)
+         r.per_goal)
+  then Error "per-goal counters out of range"
+  else Ok r
+
+let key r = Fmt.str "%s|%d|%d|%.17g" r.fault r.scenario r.seed r.window
+
+let goal_lead (r : t) id =
+  match List.assoc_opt id r.goal_flips with
+  | None -> None
+  | Some goal_t ->
+      let eligible parent =
+        match int_of_string_opt id with
+        | Some g -> parent = g
+        | None -> true (* "collision": any subgoal monitor counts *)
+      in
+      let sub_first =
+        List.fold_left
+          (fun acc (_, parent, t) ->
+            if eligible parent then
+              Some (match acc with None -> t | Some a -> Float.min a t)
+            else acc)
+          None r.sub_flips
+      in
+      (match sub_first with
+      | Some s when s <= goal_t +. r.window -> Some (Float.max 0. (goal_t -. s))
+      | _ -> None)

@@ -1,0 +1,54 @@
+(** The analytics view of one campaign cell.
+
+    A journal record or a live [?on_cell] callback both carry a
+    {!Scenarios.Campaign.cell}; this module flattens it into the
+    self-describing observation the streaming analyzers consume: the
+    fault is rendered to its stable spec string (the grouping key), and
+    the cell's seed, window, per-monitor flip times and per-goal
+    counters ride along so a record needs no out-of-band context — a
+    single analyzer can mingle journals from different campaigns, seeds
+    and window sweeps. *)
+
+type t = {
+  scenario : int;  (** scenario number (grid column) *)
+  fault : string;  (** [Inject.Fault.to_string] — the [--inject] SPEC *)
+  seed : int;  (** campaign seed the cell ran under *)
+  window : float;  (** classification window, seconds *)
+  detection : Scenarios.Campaign.detection;  (** the cell's own verdict *)
+  hits : int;
+  false_negatives : int;
+  false_positives : int;
+  inhibited : int;  (** inhibition intervals across all monitors *)
+  goal_flips : (string * float) list;
+      (** goal monitors the fault flipped — id (["1"]..["9"] or
+          ["collision"]) with first new-violation time, sorted by id *)
+  sub_flips : (string * int * float) list;
+      (** subgoal monitors with new violations — (id, parent goal, first
+          new-violation time), sorted by id *)
+  per_goal : Scenarios.Campaign.goal_counts list;
+      (** per-parent-goal classification counters, goals 1–9 *)
+}
+
+val of_cell : Scenarios.Campaign.cell -> t
+(** Flatten one campaign cell. Pure; never raises on a well-typed cell. *)
+
+val validate : t -> (t, string) result
+(** Structural sanity check on a record decoded from disk: counters
+    non-negative, window positive and finite, flip times finite, goals
+    in range. Journals are [Marshal]-framed, so a record that decodes at
+    the wrong type can be arbitrary garbage — this rejects the shapes
+    that can be rejected cheaply (the CRC frame already catches
+    corruption; see {!Scenarios.Journal}). *)
+
+val key : t -> string
+(** The record's stable identity, [fault|scenario|seed|window] — the
+    reservoir tag ({!Sketch.Reservoir.add}) and duplicate collapser. *)
+
+val goal_lead : t -> string -> float option
+(** [goal_lead r id] — with what lead time was goal monitor [id]'s flip
+    anticipated by the ICPA subgoal monitors {e of that goal}? [Some l]
+    when the earliest such subgoal flip ran no later than the goal flip
+    plus the record's window ([l >= 0], clamped like the cell verdict's
+    lead); [None] when no eligible subgoal monitor flipped in time — the
+    residual-emergence case. For the ["collision"] pseudo-goal every
+    subgoal monitor is eligible, mirroring the cell-level verdict. *)

@@ -1,0 +1,80 @@
+(** Aggregate residual-emergence estimation (see residual.mli). *)
+
+type counters = { mutable flips : int; mutable anticipated : int }
+
+type t = {
+  goals : (string, counters) Hashtbl.t;
+  mutable cells : int;
+  mutable goal_cells : int;
+  mutable missed_cells : int;
+}
+
+let create () =
+  { goals = Hashtbl.create 16; cells = 0; goal_cells = 0; missed_cells = 0 }
+
+let counters t id =
+  match Hashtbl.find_opt t.goals id with
+  | Some c -> c
+  | None ->
+      let c = { flips = 0; anticipated = 0 } in
+      Hashtbl.replace t.goals id c;
+      c
+
+let observe t (r : Record.t) =
+  t.cells <- t.cells + 1;
+  if r.Record.goal_flips <> [] then t.goal_cells <- t.goal_cells + 1;
+  if r.Record.detection = Scenarios.Campaign.Missed then
+    t.missed_cells <- t.missed_cells + 1;
+  List.iter
+    (fun (id, _) ->
+      let c = counters t id in
+      c.flips <- c.flips + 1;
+      if Record.goal_lead r id <> None then c.anticipated <- c.anticipated + 1)
+    r.Record.goal_flips
+
+type row = {
+  goal : string;
+  flips : int;
+  anticipated : int;
+  residual : int;
+  fraction : float;
+}
+
+let mk_row goal flips anticipated =
+  let residual = flips - anticipated in
+  {
+    goal;
+    flips;
+    anticipated;
+    residual;
+    fraction = (if flips = 0 then 0. else float_of_int residual /. float_of_int flips);
+  }
+
+let rows t =
+  let per_goal =
+    Hashtbl.fold
+      (fun id (c : counters) acc -> mk_row id c.flips c.anticipated :: acc)
+      t.goals []
+    |> List.sort (fun a b -> compare a.goal b.goal)
+  in
+  let flips = List.fold_left (fun acc r -> acc + r.flips) 0 per_goal in
+  let anticipated = List.fold_left (fun acc r -> acc + r.anticipated) 0 per_goal in
+  per_goal @ [ mk_row "TOTAL" flips anticipated ]
+
+let fraction t =
+  match List.rev (rows t) with total :: _ -> total.fraction | [] -> 0.
+
+let cells t = t.cells
+let goal_cells t = t.goal_cells
+let missed_cells t = t.missed_cells
+let footprint t = Hashtbl.length t.goals + 1
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "goal,flips,anticipated,residual,residual_fraction\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Fmt.str "%s,%d,%d,%d,%g\n" r.goal r.flips r.anticipated r.residual r.fraction))
+    (rows t);
+  Buffer.contents buf

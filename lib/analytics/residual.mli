@@ -1,0 +1,58 @@
+(** Aggregate residual-emergence estimation — the thesis Ch. 5 metric at
+    campaign scale.
+
+    The ICPA decomposition argues each vehicle-level goal is implied by
+    its subgoal set; the {e residual emergence} of the composed system is
+    the fraction of goal-level violations the subgoal monitors failed to
+    anticipate — system-level behaviour invisible at every component
+    interface. The thesis computes it per evaluation table; this
+    analyzer computes it over an entire campaign stream: every goal
+    monitor flip (including fault-induced collisions, as the
+    ["collision"] pseudo-goal) is attributed to its goal, checked
+    against that goal's own subgoal monitors within the record's window
+    ({!Record.goal_lead}), and the undetected remainder reported per
+    goal and in aggregate. Live state is one counter pair per goal id —
+    constant regardless of stream length. *)
+
+type t
+(** Accumulator over a record stream. Not thread-safe on its own; the
+    {!Analyze} driver serializes access. *)
+
+val create : unit -> t
+
+val observe : t -> Record.t -> unit
+(** Fold one record's goal flips into the estimate. Order-independent. *)
+
+type row = {
+  goal : string;  (** ["1"]..["9"], ["collision"], or ["TOTAL"] *)
+  flips : int;  (** cells in which this goal's monitor flipped *)
+  anticipated : int;  (** flips the goal's own subgoal monitors caught *)
+  residual : int;  (** flips no eligible subgoal monitor anticipated *)
+  fraction : float;  (** residual / flips (0 when no flip) *)
+}
+
+val rows : t -> row list
+(** Per-goal rows sorted by goal id, followed by the aggregate [TOTAL]
+    row (always present, zeros included). *)
+
+val fraction : t -> float
+(** The aggregate residual-emergence fraction — the [TOTAL] row's
+    {!field-row.fraction}. *)
+
+val cells : t -> int
+(** Records streamed. *)
+
+val goal_cells : t -> int
+(** Records with at least one goal-level effect. *)
+
+val missed_cells : t -> int
+(** Records whose own cell verdict was [Missed] — the cell-granularity
+    residual count (a cell verdict accepts {e any} subgoal monitor as
+    anticipation; the per-goal attribution above is stricter). *)
+
+val footprint : t -> int
+(** Live keyed entries (bounded-state measure; see
+    {!Cascade.footprint}). *)
+
+val to_csv : t -> string
+(** Deterministic CSV of {!rows} (header included). *)

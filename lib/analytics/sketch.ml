@@ -1,0 +1,90 @@
+(** Order-independent, bounded-memory streaming statistics (see
+    sketch.mli). *)
+
+module Moments = struct
+  type t = { count : int; sum : float; min_v : float; max_v : float }
+
+  let empty = { count = 0; sum = 0.; min_v = infinity; max_v = neg_infinity }
+
+  let add t x =
+    {
+      count = t.count + 1;
+      sum = t.sum +. x;
+      min_v = Float.min t.min_v x;
+      max_v = Float.max t.max_v x;
+    }
+
+  let count t = t.count
+  let minimum t = if t.count = 0 then 0. else t.min_v
+  let maximum t = if t.count = 0 then 0. else t.max_v
+  let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+end
+
+module Reservoir = struct
+  (* The priority hash: FNV-1a over the tag and the value's bit pattern,
+     finished with the SplitMix64 mixer for avalanche. Pure arithmetic on
+     the observation's identity — no PRNG state, so the priority (and
+     with it the kept bottom-k set) cannot depend on arrival order. *)
+  let fnv64 s =
+    let open Int64 in
+    let prime = 0x100000001b3L in
+    let h = ref 0xcbf29ce484222325L in
+    String.iter
+      (fun c -> h := mul (logxor !h (of_int (Char.code c))) prime)
+      s;
+    !h
+
+  let mix z =
+    let open Int64 in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+    logxor z (shift_right_logical z 31)
+
+  let priority ~tag value =
+    mix (fnv64 (tag ^ "\x00" ^ Int64.to_string (Int64.bits_of_float value)))
+
+  module Elt = struct
+    type t = { prio : int64; tag : string; value : float }
+
+    (* Total order on (priority, tag, value): ties on the hash are broken
+       by the full identity, so the bottom-k cut is unambiguous and two
+       genuinely identical observations compare equal (set semantics
+       collapse them). *)
+    let compare a b =
+      match Int64.unsigned_compare a.prio b.prio with
+      | 0 -> (
+          match String.compare a.tag b.tag with
+          | 0 -> Float.compare a.value b.value
+          | c -> c)
+      | c -> c
+  end
+
+  module S = Set.Make (Elt)
+
+  type t = { capacity : int; mutable elts : S.t }
+
+  let create ?(capacity = 64) () =
+    if capacity <= 0 then invalid_arg "Reservoir.create: capacity must be positive";
+    { capacity; elts = S.empty }
+
+  let add t ~tag value =
+    let e = { Elt.prio = priority ~tag value; tag; value } in
+    t.elts <- S.add e t.elts;
+    if S.cardinal t.elts > t.capacity then t.elts <- S.remove (S.max_elt t.elts) t.elts
+
+  let size t = S.cardinal t.elts
+
+  let values t =
+    List.sort Float.compare (List.map (fun e -> e.Elt.value) (S.elements t.elts))
+
+  let percentile t p =
+    match values t with
+    | [] -> 0.
+    | vs ->
+        let n = List.length vs in
+        let rank =
+          (* nearest rank, clamped into [1, n] *)
+          Stdlib.max 1 (Stdlib.min n (int_of_float (ceil (p /. 100. *. float_of_int n))))
+        in
+        List.nth vs (rank - 1)
+end

@@ -1,0 +1,129 @@
+(** Per-goal rate surfaces over the fault × window × seed grid (see
+    trajectory.mli). *)
+
+type point = {
+  mutable cells : int;
+  mutable hits : int;
+  mutable false_negatives : int;
+  mutable false_positives : int;
+  mutable inhibited : int;
+  mutable flips : int;
+  mutable anticipated : int;
+  leads : Sketch.Reservoir.t;
+}
+
+type t = { points : (int * string * int * float, point) Hashtbl.t }
+
+let create () = { points = Hashtbl.create 64 }
+
+let point t key =
+  match Hashtbl.find_opt t.points key with
+  | Some p -> p
+  | None ->
+      let p =
+        {
+          cells = 0;
+          hits = 0;
+          false_negatives = 0;
+          false_positives = 0;
+          inhibited = 0;
+          flips = 0;
+          anticipated = 0;
+          leads = Sketch.Reservoir.create ();
+        }
+      in
+      Hashtbl.replace t.points key p;
+      p
+
+let observe t (r : Record.t) =
+  List.iter
+    (fun (g : Scenarios.Campaign.goal_counts) ->
+      let goal = g.Scenarios.Campaign.goal in
+      let p = point t (goal, r.Record.fault, r.Record.seed, r.Record.window) in
+      p.cells <- p.cells + 1;
+      p.hits <- p.hits + g.Scenarios.Campaign.goal_hits;
+      p.false_negatives <- p.false_negatives + g.Scenarios.Campaign.goal_false_negatives;
+      p.false_positives <- p.false_positives + g.Scenarios.Campaign.goal_false_positives;
+      p.inhibited <- p.inhibited + g.Scenarios.Campaign.goal_inhibited;
+      let id = string_of_int goal in
+      if List.mem_assoc id r.Record.goal_flips then begin
+        p.flips <- p.flips + 1;
+        match Record.goal_lead r id with
+        | Some lead ->
+            p.anticipated <- p.anticipated + 1;
+            Sketch.Reservoir.add p.leads ~tag:(Record.key r) lead
+        | None -> ()
+      end)
+    r.Record.per_goal
+
+type row = {
+  goal : int;
+  fault : string;
+  seed : int;
+  window : float;
+  cells : int;
+  hits : int;
+  false_negatives : int;
+  false_positives : int;
+  inhibited : int;
+  flips : int;
+  anticipated : int;
+  hit_rate : float;
+  false_negative_rate : float;
+  false_positive_rate : float;
+  inhibited_rate : float;
+  flip_rate : float;
+  lead_p50 : float;
+  lead_p95 : float;
+}
+
+let rows t =
+  Hashtbl.fold
+    (fun (goal, fault, seed, window) (p : point) acc ->
+      let rate n = float_of_int n /. float_of_int p.cells in
+      {
+        goal;
+        fault;
+        seed;
+        window;
+        cells = p.cells;
+        hits = p.hits;
+        false_negatives = p.false_negatives;
+        false_positives = p.false_positives;
+        inhibited = p.inhibited;
+        flips = p.flips;
+        anticipated = p.anticipated;
+        hit_rate = rate p.hits;
+        false_negative_rate = rate p.false_negatives;
+        false_positive_rate = rate p.false_positives;
+        inhibited_rate = rate p.inhibited;
+        flip_rate = rate p.flips;
+        lead_p50 = Sketch.Reservoir.percentile p.leads 50.;
+        lead_p95 = Sketch.Reservoir.percentile p.leads 95.;
+      }
+      :: acc)
+    t.points []
+  |> List.sort (fun a b ->
+         compare (a.goal, a.fault, a.seed, a.window) (b.goal, b.fault, b.seed, b.window))
+
+let points t = Hashtbl.length t.points
+
+let footprint t =
+  Hashtbl.fold (fun _ p acc -> acc + 1 + Sketch.Reservoir.size p.leads) t.points 0
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "goal,fault,seed,window_s,cells,hits,false_negatives,false_positives,inhibited,\
+     flips,anticipated,hit_rate,false_negative_rate,false_positive_rate,\
+     inhibited_rate,flip_rate,lead_p50_s,lead_p95_s\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Fmt.str "%d,%s,%d,%g,%d,%d,%d,%d,%d,%d,%d,%g,%g,%g,%g,%g,%g,%g\n" r.goal
+           (Scenarios.Export.escape r.fault)
+           r.seed r.window r.cells r.hits r.false_negatives r.false_positives
+           r.inhibited r.flips r.anticipated r.hit_rate r.false_negative_rate
+           r.false_positive_rate r.inhibited_rate r.flip_rate r.lead_p50 r.lead_p95))
+    (rows t);
+  Buffer.contents buf

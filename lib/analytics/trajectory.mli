@@ -1,0 +1,61 @@
+(** Behaviour-over-time trajectories: per-goal rate surfaces over the
+    fault × window × seed grid.
+
+    Each campaign cell carries per-parent-goal classification counters
+    (hits, false negatives, false positives, inhibitions) plus the goal
+    monitors it flipped. This analyzer accumulates them per
+    (goal, fault, seed, window) point, so sweeping the window or the
+    seed and re-analyzing the journals yields the goal's detection
+    behaviour {e as a surface} — rates over the grid — instead of one
+    aggregate number, using only streaming counters: live state is one
+    entry per occupied grid point (bounded by grid diversity, not record
+    count) plus a small bottom-k reservoir per point for anticipation
+    lead-time percentiles. *)
+
+type t
+(** Accumulator over a record stream. Not thread-safe on its own; the
+    {!Analyze} driver serializes access. *)
+
+val create : unit -> t
+
+val observe : t -> Record.t -> unit
+(** Fold one record's per-goal counters into the surface.
+    Order-independent. *)
+
+type row = {
+  goal : int;  (** parent goal 1–9 *)
+  fault : string;
+  seed : int;
+  window : float;
+  cells : int;  (** records at this grid point *)
+  hits : int;
+  false_negatives : int;
+  false_positives : int;
+  inhibited : int;  (** summed per-goal counters *)
+  flips : int;  (** cells where this goal's monitor flipped *)
+  anticipated : int;
+      (** flips anticipated by the goal's own subgoal monitors within the
+          window ({!Record.goal_lead}) *)
+  hit_rate : float;
+  false_negative_rate : float;
+  false_positive_rate : float;
+  inhibited_rate : float;  (** per-cell averages of the counters above *)
+  flip_rate : float;  (** flips / cells *)
+  lead_p50 : float;
+  lead_p95 : float;  (** anticipation lead percentiles (0 when no flip
+                         was anticipated) *)
+}
+
+val rows : t -> row list
+(** One row per occupied (goal, fault, seed, window) grid point, sorted
+    by that key. *)
+
+val points : t -> int
+(** Occupied grid points. *)
+
+val footprint : t -> int
+(** Live keyed entries plus retained sample elements (bounded-state
+    measure; see {!Cascade.footprint}). *)
+
+val to_csv : t -> string
+(** Deterministic CSV of {!rows} (header included). *)

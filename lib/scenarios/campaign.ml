@@ -32,15 +32,36 @@ let detection_to_string = function
   | Spurious -> "spurious"
   | No_effect -> "no effect"
 
+type goal_counts = {
+  goal : int;  (** parent goal number 1–9 *)
+  goal_hits : int;
+  goal_false_negatives : int;
+  goal_false_positives : int;
+  goal_inhibited : int;
+}
+
 type cell = {
   scenario : int;
   fault : Inject.Fault.t;
+  seed : int;  (** the campaign seed the cell ran under *)
+  window : float;  (** the classification window, seconds *)
   detection : detection;
   hits : int;
   false_negatives : int;
   false_positives : int;
   inhibited : int;  (** inhibition intervals across all monitors *)
   inhibitions : (string * int) list;  (** per-monitor (id, intervals) *)
+  goal_flips : (string * float) list;
+      (** vehicle-level goal monitors the fault flipped — monitor id
+          (["1"]..["9"], or ["collision"] for a fault-induced collision)
+          with the first new-violation time, sorted by id. A cell's
+          goal-level effect is the minimum over these times. *)
+  sub_flips : (string * int * float) list;
+      (** subgoal monitors with new violations — (id, parent goal,
+          first new-violation time), sorted by id *)
+  per_goal : goal_counts list;
+      (** per-parent-goal classification counters, goals 1–9 in order;
+          the cell hit/FN/FP totals above are their sums *)
   collided : bool;
   baseline_collided : bool;
 }
@@ -90,11 +111,6 @@ let m_cells_replayed = Obs.Metrics.counter "campaign.cells_replayed"
 (* ------------------------------------------------------------------ *)
 (* Cell classification                                                 *)
 
-let min_opt a b =
-  match (a, b) with
-  | None, x | x, None -> x
-  | Some a, Some b -> Some (Float.min a b)
-
 (** Violations of an injected run with no corresponding baseline violation
     (within the window) — the fault's own footprint. *)
 let new_intervals ~window base ivs =
@@ -113,7 +129,7 @@ let first_time = function
              Float.min acc iv.Rtmon.Violation.start_time)
            infinity ivs)
 
-let classify_cell ~window (fault : Inject.Fault.t)
+let classify_cell ~window ~seed (fault : Inject.Fault.t)
     ~(baseline : Runner.outcome) (injected : Runner.outcome) : cell =
   let base_of (r : Vehicle.Monitors.result) =
     match
@@ -126,25 +142,43 @@ let classify_cell ~window (fault : Inject.Fault.t)
     | Some b -> b.Vehicle.Monitors.violations
     | None -> []
   in
-  let fresh loc_pred =
+  (* Per-monitor first new-violation times — the raw material both for
+     the cell's own detection verdict and for the fleet-scale analytics
+     (cascade grouping, per-goal residual attribution) mined from the
+     journal later. *)
+  let flips loc_pred =
     List.filter_map
       (fun (r : Vehicle.Monitors.result) ->
-        if loc_pred r.Vehicle.Monitors.entry.Vehicle.Monitors.location then
-          first_time
-            (new_intervals ~window (base_of r) r.Vehicle.Monitors.violations)
+        let e = r.Vehicle.Monitors.entry in
+        if loc_pred e.Vehicle.Monitors.location then
+          Option.map
+            (fun t -> (e.Vehicle.Monitors.id, e.Vehicle.Monitors.parent, t))
+            (first_time
+               (new_intervals ~window (base_of r) r.Vehicle.Monitors.violations))
         else None)
       injected.Runner.results
-    |> List.fold_left (fun acc t -> min_opt acc (Some t)) None
   in
   let new_collision =
     if injected.Runner.collided && not baseline.Runner.collided then
       Some injected.Runner.end_time
     else None
   in
-  let goal_first =
-    min_opt (fresh (fun l -> l = Vehicle.Monitors.Vehicle)) new_collision
+  let goal_flips =
+    List.sort compare
+      (List.map
+         (fun (id, _, t) -> (id, t))
+         (flips (fun l -> l = Vehicle.Monitors.Vehicle))
+      @ match new_collision with None -> [] | Some t -> [ ("collision", t) ])
   in
-  let sub_first = fresh (fun l -> l <> Vehicle.Monitors.Vehicle) in
+  let sub_flips =
+    List.sort compare (flips (fun l -> l <> Vehicle.Monitors.Vehicle))
+  in
+  let first = function
+    | [] -> None
+    | ts -> Some (List.fold_left Float.min infinity ts)
+  in
+  let goal_first = first (List.map snd goal_flips) in
+  let sub_first = first (List.map (fun (_, _, t) -> t) sub_flips) in
   let detection =
     match (goal_first, sub_first) with
     | None, None -> No_effect
@@ -161,9 +195,23 @@ let classify_cell ~window (fault : Inject.Fault.t)
         | ivs -> Some (r.Vehicle.Monitors.entry.Vehicle.Monitors.id, List.length ivs))
       injected.Runner.results
   in
+  let per_goal =
+    List.map
+      (fun (n, (r : Rtmon.Report.t)) ->
+        {
+          goal = n;
+          goal_hits = r.Rtmon.Report.hits;
+          goal_false_negatives = r.Rtmon.Report.false_negatives;
+          goal_false_positives = r.Rtmon.Report.false_positives;
+          goal_inhibited = r.Rtmon.Report.inhibited;
+        })
+      injected.Runner.reports
+  in
   {
     scenario = injected.Runner.scenario.Defs.number;
     fault;
+    seed;
+    window;
     detection;
     hits = totals.Rtmon.Report.total_hits;
     false_negatives = totals.Rtmon.Report.total_false_negatives;
@@ -174,6 +222,9 @@ let classify_cell ~window (fault : Inject.Fault.t)
           acc + List.length r.Vehicle.Monitors.inhibited)
         0 injected.Runner.results;
     inhibitions;
+    goal_flips;
+    sub_flips;
+    per_goal;
     collided = injected.Runner.collided;
     baseline_collided = baseline.Runner.collided;
   }
@@ -239,13 +290,15 @@ let cell_key ~seed ~window ~defects (fault : Inject.Fault.t) (s : Defs.t) =
     daemon's executor lanes — must pass distinct labels so each gets its
     own disjoint worker processes.
 
-    [on_cell] is a progress hook, called once per cell as it settles —
-    replayed cells right after the journal replay, executed cells as
-    their results arrive. It runs on whichever thread settles the cell
-    (the coordinator for sharded runs, a pool domain otherwise), so it
-    must be thread-safe and fast: an [Atomic.incr] feeding a progress
-    gauge is the intended shape. [abort] is the campaign-service
-    cancellation probe, threaded to {!Exec.Shard.try_map} /
+    [on_cell] is a progress-and-streaming hook, called once per settled
+    cell with the cell itself — replayed cells right after the journal
+    replay, executed cells as their results arrive. It runs on whichever
+    thread settles the cell (the coordinator for sharded runs, a pool
+    domain otherwise), so it must be thread-safe and fast: an
+    [Atomic.incr] feeding a progress gauge, or an
+    [Analytics.Analyze.observe] feeding the streaming emergence miner
+    (which serializes internally), are the intended shapes. [abort] is
+    the campaign-service cancellation probe, threaded to {!Exec.Shard.try_map} /
     {!Exec.Supervise.try_map}: once it answers [true], unstarted cells
     stop executing and the run raises {!Exec.Pool.Aborted} (regardless
     of [retry]) — completed cells are already journaled, so a resumed
@@ -268,9 +321,20 @@ let run ?fleet ?domains ?shards ?batch ?use_cache
     match journal with
     | Some path when resume ->
         Obs.span "campaign.replay" (fun () ->
-            let r = (Journal.replay path : cell Journal.replay) in
-            let tbl = Hashtbl.create (List.length r.Journal.entries) in
-            List.iter (fun (k, c) -> Hashtbl.replace tbl k c) r.Journal.entries;
+            (* Streaming replay: the key→cell table is built record by
+               record ([replace] keeps the last occurrence, as a full
+               replay would), so resuming a huge journal never allocates
+               the whole record list. A torn tail — a SIGKILL landed
+               mid-append — is truncated off before the writer reopens
+               the file below: appends after a tear would be unreachable
+               on the next replay, which stops at the first invalid
+               record. *)
+            let tbl : (string, cell) Hashtbl.t = Hashtbl.create 64 in
+            let (), stats =
+              Journal.fold path ~init:() ~f:(fun () k (c : cell) ->
+                  Hashtbl.replace tbl k c)
+            in
+            if stats.Journal.fold_dropped_bytes > 0 then ignore (Journal.repair path);
             tbl)
     | _ -> Hashtbl.create 0
   in
@@ -278,8 +342,10 @@ let run ?fleet ?domains ?shards ?batch ?use_cache
     List.map (fun (pair, k) -> (pair, k, Hashtbl.find_opt journaled k)) keyed
   in
   let todo = List.filter (fun (_, _, cached) -> cached = None) slots in
-  let cell_done () = Option.iter (fun h -> h ()) on_cell in
-  List.iter (fun (_, _, cached) -> if cached <> None then cell_done ()) slots;
+  let cell_done c = Option.iter (fun h -> h c) on_cell in
+  List.iter
+    (fun (_, _, cached) -> Option.iter cell_done cached)
+    slots;
   let simulate (fault, s) =
     let baseline =
       Obs.span "cell.baseline" (fun () -> Runner.run ?use_cache ~defects ~window s)
@@ -291,7 +357,7 @@ let run ?fleet ?domains ?shards ?batch ?use_cache
             ~window s)
     in
     Obs.span "cell.classify" (fun () ->
-        classify_cell ~window fault ~baseline injected)
+        classify_cell ~window ~seed:g.seed fault ~baseline injected)
   in
   let journal_degraded = ref false in
   let reports =
@@ -316,7 +382,7 @@ let run ?fleet ?domains ?shards ?batch ?use_cache
             ~on_result:(fun i cell ->
               Option.iter (fun w -> Journal.append w ~key:keys.(i) cell) writer;
               Obs.Metrics.incr m_cells_executed;
-              cell_done ())
+              cell_done cell)
             (fun (pair, _, _) -> simulate pair)
             todo
       | None ->
@@ -324,7 +390,7 @@ let run ?fleet ?domains ?shards ?batch ?use_cache
             let cell = simulate pair in
             Option.iter (fun w -> Journal.append w ~key:k cell) writer;
             Obs.Metrics.incr m_cells_executed;
-            cell_done ();
+            cell_done cell;
             cell
           in
           Exec.Supervise.try_map ?domains ~policy ?abort task todo

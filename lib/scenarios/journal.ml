@@ -53,6 +53,7 @@ let m_bytes = Obs.Metrics.counter "journal.bytes"
 let m_replays = Obs.Metrics.counter "journal.replays"
 let m_write_errors = Obs.Metrics.counter "journal.write_errors"
 let m_dropped = Obs.Metrics.counter "journal.appends_dropped"
+let m_repaired = Obs.Metrics.counter "journal.repaired_bytes"
 let h_fsync = Obs.Metrics.histogram "journal.fsync_s"
 
 let create ?(fresh = false) ?(on_error = `Raise) ?fault path =
@@ -193,35 +194,68 @@ let read_record (type a) ic size : (string * a) option =
                 with _ -> None)
         end
 
-let replay (type a) path : a replay =
+type fold_stats = {
+  fold_records : int;
+  fold_valid_bytes : int;
+  fold_dropped_bytes : int;
+}
+
+let empty_fold_stats =
+  { fold_records = 0; fold_valid_bytes = 0; fold_dropped_bytes = 0 }
+
+let fold (type a acc) path ~(init : acc) ~(f : acc -> string -> a -> acc) :
+    acc * fold_stats =
+  (* Every full pass over a journal counts as a replay, whether it goes
+     through the list-materializing [replay] or streams through here. *)
   Obs.Metrics.incr m_replays;
-  if not (Sys.file_exists path) then empty_replay
+  if not (Sys.file_exists path) then (init, empty_fold_stats)
   else begin
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
         let size = in_channel_length ic in
-        let latest : (string, a) Hashtbl.t = Hashtbl.create 64 in
-        let order = ref [] in
-        let records = ref 0 and duplicates = ref 0 in
-        let rec loop () =
+        let rec loop acc records =
           let pos = pos_in ic in
           match (read_record ic size : (string * a) option) with
-          | None -> size - pos
-          | Some (key, v) ->
-              incr records;
-              if Hashtbl.mem latest key then incr duplicates
-              else order := key :: !order;
-              Hashtbl.replace latest key v;
-              loop ()
+          | None ->
+              ( acc,
+                {
+                  fold_records = records;
+                  fold_valid_bytes = pos;
+                  fold_dropped_bytes = size - pos;
+                } )
+          | Some (key, v) -> loop (f acc key v) (records + 1)
         in
-        let dropped_bytes = loop () in
-        {
-          entries =
-            List.rev_map (fun k -> (k, Hashtbl.find latest k)) !order;
-          records = !records;
-          duplicates = !duplicates;
-          dropped_bytes;
-        })
+        loop init 0)
+  end
+
+(* Truncation must run with the file closed for writing: the resume path
+   calls this before it reopens the journal in append mode, so the next
+   append lands exactly at the end of the valid prefix. *)
+let repair path =
+  let (), stats = fold path ~init:() ~f:(fun () _key _value -> ()) in
+  if stats.fold_dropped_bytes > 0 then begin
+    Unix.truncate path stats.fold_valid_bytes;
+    Obs.Metrics.incr ~by:stats.fold_dropped_bytes m_repaired
+  end;
+  stats.fold_dropped_bytes
+
+let replay (type a) path : a replay =
+  if not (Sys.file_exists path) then empty_replay
+  else begin
+    let latest : (string, a) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    let duplicates = ref 0 in
+    let (), stats =
+      fold path ~init:() ~f:(fun () key (v : a) ->
+          if Hashtbl.mem latest key then incr duplicates else order := key :: !order;
+          Hashtbl.replace latest key v)
+    in
+    {
+      entries = List.rev_map (fun k -> (k, Hashtbl.find latest k)) !order;
+      records = stats.fold_records;
+      duplicates = !duplicates;
+      dropped_bytes = stats.fold_dropped_bytes;
+    }
   end

@@ -83,6 +83,42 @@ val with_writer :
   'b
 (** [create], run, then [close] (also on exception). *)
 
+type fold_stats = {
+  fold_records : int;
+      (** intact records streamed to [f], duplicates included *)
+  fold_valid_bytes : int;
+      (** byte offset of the end of the last intact record — the length
+          {!repair} would truncate the file to *)
+  fold_dropped_bytes : int;
+      (** trailing bytes discarded as torn or corrupt (0 for a clean
+          file) *)
+}
+(** What {!fold} saw besides the records themselves. *)
+
+val fold : string -> init:'acc -> f:('acc -> string -> 'a -> 'acc) -> 'acc * fold_stats
+(** [fold path ~init ~f] streams every intact record of the journal at
+    [path] through [f acc key value] in append order, without ever
+    materializing the record list: live state is [f]'s accumulator plus
+    one record's payload, so a multi-gigabyte journal replays in constant
+    memory. Duplicate keys are {e not} collapsed — [f] sees every intact
+    append, last occurrence last, so a last-wins consumer (the resume
+    path, {!replay}) gets it by simply overwriting.
+
+    An absent file folds as [init]. Torn, truncated or bit-flipped tails
+    never raise: the first record that fails validation ends the fold and
+    the remaining bytes are counted in [fold_dropped_bytes], exactly as
+    in {!replay} (which is implemented on top of this). *)
+
+val repair : string -> int
+(** [repair path] truncates a torn or corrupt tail off the journal in
+    place, returning the number of bytes removed (0 for a clean or
+    absent file). Appending to a journal whose tail is torn — a resumed
+    campaign after a SIGKILL landed mid-append — would otherwise leave
+    the new records unreachable: replay stops at the first invalid
+    record, so everything written after the tear could never be read
+    back. The resume path calls this before reopening the journal for
+    appending. *)
+
 type 'a replay = {
   entries : (string * 'a) list;
       (** intact records in first-appearance order; for a duplicated key

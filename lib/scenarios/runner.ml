@@ -173,7 +173,11 @@ let run_journaled ?journal ?(resume = false) ?retry ?use_cache ?defects
   let replayed =
     match journal with
     | Some path when resume ->
-        List.assoc_opt key (Journal.replay path : outcome Journal.replay).Journal.entries
+        (* Streaming lookup: scan for [key] without materializing the
+           record list (later occurrences win, as in a full replay). *)
+        fst
+          (Journal.fold path ~init:None ~f:(fun acc k (o : outcome) ->
+               if k = key then Some o else acc))
     | _ -> None
   in
   match replayed with

@@ -585,7 +585,7 @@ let run_request s ~lane (r : req) =
     Scenarios.Campaign.run ?fleet ?domains ?shards ?window:r.spec.Wire.window
       ~journal:(cells_path s.cfg r.digest)
       ~resume:true ?retry
-      ~on_cell:(fun () -> Atomic.incr r.progress)
+      ~on_cell:(fun _cell -> Atomic.incr r.progress)
       ~abort ?chaos:s.cfg.chaos r.grid
   with
   | c ->

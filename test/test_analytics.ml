@@ -1,0 +1,296 @@
+(** The streaming journal miner: order-independent determinism
+    (live = journaled = any permutation, bit-for-bit), constant-memory
+    footprint under growing input, torn-tail tolerance, and pinned
+    goldens for the seed-42 smoke grid (the same grid CI mines). *)
+
+module A = Analytics.Analyze
+
+let tmp name =
+  let path = Filename.temp_file "analytics_test_" ("_" ^ name ^ ".jnl") in
+  Sys.remove path;
+  path
+
+let with_path name f =
+  let path = tmp name in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* ------------------------------------------------------------------ *)
+(* Sketches                                                             *)
+
+let test_moments () =
+  let open Analytics.Sketch.Moments in
+  Alcotest.(check int) "empty count" 0 (count empty);
+  Alcotest.(check (float 0.)) "empty mean" 0. (mean empty);
+  let m = List.fold_left add empty [ 3.; 1.; 2. ] in
+  Alcotest.(check int) "count" 3 (count m);
+  Alcotest.(check (float 0.)) "min" 1. (minimum m);
+  Alcotest.(check (float 0.)) "max" 3. (maximum m);
+  Alcotest.(check (float 1e-9)) "mean" 2. (mean m)
+
+let test_reservoir_order_independent () =
+  let open Analytics.Sketch.Reservoir in
+  let feed order =
+    let r = create ~capacity:8 () in
+    List.iter (fun i -> add r ~tag:(Fmt.str "cell-%d" i) (float_of_int i)) order;
+    values r
+  in
+  let forward = feed (List.init 100 Fun.id) in
+  let backward = feed (List.rev (List.init 100 Fun.id)) in
+  Alcotest.(check (list (float 0.)))
+    "retained sample independent of arrival order" forward backward;
+  Alcotest.(check int) "bounded by capacity" 8 (List.length forward)
+
+let test_reservoir_dedup_and_percentile () =
+  let open Analytics.Sketch.Reservoir in
+  let r = create () in
+  List.iter (fun v -> add r ~tag:"same-cell" v) [ 5.; 5.; 5. ];
+  Alcotest.(check int) "identical (tag, value) collapses" 1 (size r);
+  let r = create () in
+  List.iter (fun i -> add r ~tag:(string_of_int i) (float_of_int i)) [ 1; 2; 3; 4 ];
+  Alcotest.(check (float 0.)) "p50 nearest-rank" 2. (percentile r 50.);
+  Alcotest.(check (float 0.)) "p100 is the max" 4. (percentile r 100.);
+  Alcotest.(check (float 0.)) "empty percentile" 0. (percentile (create ()) 50.)
+
+(* ------------------------------------------------------------------ *)
+(* Record validation                                                    *)
+
+let sample_record () =
+  {
+    Analytics.Record.scenario = 1;
+    fault = "stuck=3:ca_accel_req";
+    seed = 42;
+    window = 0.05;
+    detection = Scenarios.Campaign.Detected 0.1;
+    hits = 4;
+    false_negatives = 0;
+    false_positives = 1;
+    inhibited = 0;
+    goal_flips = [ ("1", 7.8) ];
+    sub_flips = [ ("NA", 1, 7.7) ];
+    per_goal = [];
+  }
+
+let test_validate () =
+  let ok r = Result.is_ok (Analytics.Record.validate r) in
+  let r = sample_record () in
+  Alcotest.(check bool) "well-formed accepted" true (ok r);
+  Alcotest.(check bool) "negative counter rejected" false
+    (ok { r with Analytics.Record.hits = -1 });
+  Alcotest.(check bool) "non-finite window rejected" false
+    (ok { r with Analytics.Record.window = Float.nan });
+  Alcotest.(check bool) "non-finite flip time rejected" false
+    (ok { r with Analytics.Record.goal_flips = [ ("1", Float.infinity) ] });
+  Alcotest.(check bool) "out-of-range goal rejected" false
+    (ok
+       {
+         r with
+         Analytics.Record.per_goal =
+           [
+             {
+               Scenarios.Campaign.goal = 17;
+               goal_hits = 0;
+               goal_false_negatives = 0;
+               goal_false_positives = 0;
+               goal_inhibited = 0;
+             };
+           ];
+       })
+
+let test_goal_lead () =
+  let r = sample_record () in
+  (* Goal 1's own subgoal fired 0.1 s early: anticipated. *)
+  (match Analytics.Record.goal_lead r "1" with
+  | Some l -> Alcotest.(check (float 1e-9)) "lead" 0.1 l
+  | None -> Alcotest.fail "expected a lead");
+  (* A different goal's subgoal does not anticipate goal 2. *)
+  let r2 = { r with Analytics.Record.goal_flips = [ ("2", 7.8) ] } in
+  Alcotest.(check bool) "foreign subgoal ineligible" true
+    (Analytics.Record.goal_lead r2 "2" = None);
+  (* The collision pseudo-goal accepts any subgoal monitor. *)
+  let rc = { r with Analytics.Record.goal_flips = [ ("collision", 7.8) ] } in
+  Alcotest.(check bool) "collision accepts any subgoal" true
+    (Analytics.Record.goal_lead rc "collision" <> None);
+  (* A subgoal flip after goal + window is too late. *)
+  let late = { r with Analytics.Record.sub_flips = [ ("NA", 1, 7.9) ] } in
+  Alcotest.(check bool) "late subgoal flip ineligible" true
+    (Analytics.Record.goal_lead late "1" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Stream determinism and robustness (small 2 x 2 grid)                 *)
+
+let grid seed =
+  let smoke = Scenarios.Campaign.smoke ~seed () in
+  {
+    Scenarios.Campaign.seed;
+    faults =
+      (match smoke.Scenarios.Campaign.faults with
+      | a :: b :: _ -> [ a; b ]
+      | _ -> Alcotest.fail "smoke grid too small");
+    grid_scenarios = [ Scenarios.Defs.get 1; Scenarios.Defs.get 3 ];
+  }
+
+let tables t = (A.cascade_csv t, A.trajectory_csv t, A.residual_csv t)
+let csv3 = Alcotest.(triple string string string)
+
+let ingest_fresh path =
+  let t = A.create () in
+  A.ingest t path;
+  t
+
+let test_live_equals_journal () =
+  with_path "live" @@ fun path ->
+  let seen = ref [] in
+  let live = A.create () in
+  ignore
+    (Scenarios.Campaign.run ~domains:1 ~journal:path
+       ~on_cell:(fun c ->
+         seen := c :: !seen;
+         A.observe live c)
+       (grid 42));
+  Alcotest.(check int) "live feed saw every cell" 4 (A.records live);
+  let journaled = ingest_fresh path in
+  Alcotest.(check int) "journal ingest saw every cell" 4 (A.records journaled);
+  Alcotest.check csv3 "live tables = journaled tables, bit-for-bit"
+    (tables live) (tables journaled);
+  (* Any permutation of the same cells mines to the same bytes: the
+     analyzers are order-independent by construction. *)
+  let reversed = A.create () in
+  List.iter (A.observe reversed) !seen;
+  Alcotest.check csv3 "reversed feed order, same bytes" (tables live)
+    (tables reversed)
+
+let test_parallel_producer_same_bytes () =
+  with_path "seq" @@ fun p1 ->
+  with_path "par" @@ fun p2 ->
+  ignore (Scenarios.Campaign.run ~domains:1 ~journal:p1 (grid 42));
+  Scenarios.Runner.clear_cache ();
+  ignore (Scenarios.Campaign.run ~domains:2 ~journal:p2 (grid 42));
+  Alcotest.check csv3 "journal append order does not leak into the tables"
+    (tables (ingest_fresh p1))
+    (tables (ingest_fresh p2))
+
+let test_torn_tail_skipped () =
+  with_path "torn" @@ fun path ->
+  ignore (Scenarios.Campaign.run ~domains:1 ~journal:path (grid 42));
+  let size = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (size - 5);
+  let t = ingest_fresh path in
+  Alcotest.(check int) "intact prefix mined" 3 (A.records t);
+  Alcotest.(check bool) "the tear surfaced as a skip" true (A.skipped t >= 1);
+  Alcotest.(check int) "journal counted" 1 (A.journals t);
+  (* The tables still render — a degraded journal mines fine. *)
+  let csv = A.cascade_csv t in
+  Alcotest.(check bool) "cascade table renders" true (String.length csv > 0)
+
+let test_constant_memory_footprint () =
+  with_path "mem" @@ fun path ->
+  ignore (Scenarios.Campaign.run ~domains:1 ~journal:path (grid 42));
+  let small = ingest_fresh path in
+  (* Valid journals concatenate cleanly: 10 x the same records is a
+     journal ten times the size with zero new keyed state. *)
+  let big_path = tmp "mem10" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists big_path then Sys.remove big_path)
+    (fun () ->
+      let bytes = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin big_path (fun oc ->
+          for _ = 1 to 10 do
+            Out_channel.output_string oc bytes
+          done);
+      let big = ingest_fresh big_path in
+      Alcotest.(check int) "10x the records streamed" (10 * A.records small)
+        (A.records big);
+      Alcotest.(check int) "footprint flat at 10x the input"
+        (A.footprint small) (A.footprint big);
+      (* Raw counts scale with the stream (every record counts), but the
+         normalized surfaces are invariant under duplication: the rates
+         divide it out and the reservoirs collapse identical
+         observations. *)
+      let rates t =
+        List.map
+          (fun (r : Analytics.Trajectory.row) ->
+            ( (r.goal, r.fault, r.seed, r.window),
+              ( r.hit_rate,
+                r.false_negative_rate,
+                r.false_positive_rate,
+                r.inhibited_rate,
+                r.flip_rate,
+                r.lead_p50,
+                r.lead_p95 ) ))
+          (A.trajectory t)
+      in
+      Alcotest.(check bool) "rate surfaces invariant under duplication" true
+        (rates small = rates big);
+      Alcotest.(check (float 0.)) "residual fraction invariant"
+        (A.residual_fraction small) (A.residual_fraction big))
+
+(* ------------------------------------------------------------------ *)
+(* Pinned goldens: the seed-42 smoke grid                               *)
+
+(* The same 12-cell grid CI pins (`experiments campaign --seed 42`:
+   detected=3 missed=4 spurious=1 no_effect=4). If a deliberate model
+   change moves these bytes, re-pin them together with ANALYTICS.md and
+   bench/baselines/analytics_cascade_smoke.csv. *)
+
+let golden_cascade =
+  "fault,seed,cascade,cells,scenarios,windows,goal_monitors,goal_flips,detected,\
+   missed,spurious,no_effect,lead_min_s,lead_mean_s,lead_p50_s,lead_p95_s,\
+   lead_max_s,first_flip_min_s,first_flip_max_s\n\
+   delay=150:accel_cmd,42,1,3,3,1,1;2,4,1,2,0,0,6.85,6.85,6.85,6.85,6.85,7.042,12.354\n\
+   nan:host_jerk@2..8,42,0,3,3,1,,0,0,0,0,3,,,,,,,\n\
+   stuck=3:ca_accel_req,42,1,3,3,1,1;collision,3,2,0,1,0,7.788,7.805,7.788,\
+   7.822,7.822,7.789,9.005\n\
+   stuck=false:object_detected,42,0,3,3,1,collision,2,0,2,0,1,,,,,,7.823,9.889\n"
+
+let golden_residual =
+  "goal,flips,anticipated,residual,residual_fraction\n\
+   1,2,2,0,0\n\
+   2,3,1,2,0.666667\n\
+   collision,4,2,2,0.5\n\
+   TOTAL,9,5,4,0.444444\n"
+
+let test_smoke_goldens () =
+  let t = A.create () in
+  ignore
+    (Scenarios.Campaign.run ~domains:1 ~on_cell:(A.observe t)
+       (Scenarios.Campaign.smoke ~seed:42 ()));
+  Alcotest.(check int) "12 cells mined" 12 (A.records t);
+  Alcotest.(check string) "cascade table pinned" golden_cascade (A.cascade_csv t);
+  Alcotest.(check string) "residual table pinned" golden_residual (A.residual_csv t);
+  Alcotest.(check int) "two cascading faults" 2
+    (List.length (List.filter (fun r -> r.Analytics.Cascade.cascade) (A.cascade t)));
+  (* 9 goals x 4 faults x 1 seed x 1 window. *)
+  Alcotest.(check int) "trajectory surface shape" 36 (List.length (A.trajectory t))
+
+let () =
+  Alcotest.run "analytics"
+    [
+      ( "sketches",
+        [
+          Alcotest.test_case "moments" `Quick test_moments;
+          Alcotest.test_case "reservoir is order-independent" `Quick
+            test_reservoir_order_independent;
+          Alcotest.test_case "reservoir dedup and percentiles" `Quick
+            test_reservoir_dedup_and_percentile;
+        ] );
+      ( "records",
+        [
+          Alcotest.test_case "validation" `Quick test_validate;
+          Alcotest.test_case "per-goal lead attribution" `Quick test_goal_lead;
+        ] );
+      ( "streams",
+        [
+          Alcotest.test_case "live = journaled = any permutation" `Slow
+            test_live_equals_journal;
+          Alcotest.test_case "parallel producer, same bytes" `Slow
+            test_parallel_producer_same_bytes;
+          Alcotest.test_case "torn tail skipped, tables intact" `Slow
+            test_torn_tail_skipped;
+          Alcotest.test_case "constant-memory footprint at 10x input" `Slow
+            test_constant_memory_footprint;
+        ] );
+      ( "goldens",
+        [ Alcotest.test_case "seed-42 smoke grid pinned" `Slow test_smoke_goldens ] );
+    ]

@@ -110,6 +110,45 @@ let test_fresh_truncates_append_extends () =
     [ ("c", (3, "three")) ]
     r.Journal_access.entries
 
+let test_fold_streams_with_stats () =
+  with_path "fold" @@ fun path ->
+  Journal_access.with_writer path (fun w ->
+      Journal_access.append w ~key:"a" (1, "one");
+      Journal_access.append w ~key:"b" (2, "two");
+      Journal_access.append w ~key:"a" (3, "fresh"));
+  (* fold streams every intact record in append order — duplicates
+     included; last-wins collapsing is replay's job, not fold's. *)
+  let keys, stats =
+    Journal_access.fold path ~init:[] ~f:(fun acc k ((_ : int), (_ : string)) ->
+        k :: acc)
+  in
+  Alcotest.(check (list string)) "append order, duplicates kept" [ "a"; "b"; "a" ]
+    (List.rev keys);
+  Alcotest.(check int) "records counted" 3 stats.Journal_access.fold_records;
+  Alcotest.(check int) "nothing dropped" 0 stats.Journal_access.fold_dropped_bytes;
+  Alcotest.(check int) "valid bytes = file size"
+    (Unix.stat path).Unix.st_size stats.Journal_access.fold_valid_bytes
+
+let test_repair_reclaims_torn_tail () =
+  with_path "repair" @@ fun path ->
+  Journal_access.with_writer path (fun w ->
+      Journal_access.append w ~key:"a" (1, "one");
+      Journal_access.append w ~key:"b" (2, "two"));
+  let size = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (size - 5);
+  (* Without repair, appends after the tear would be unreachable: replay
+     stops at the first invalid record, so anything written beyond it is
+     durable but dead. repair truncates the torn bytes first. *)
+  let dropped = Journal_access.repair path in
+  Alcotest.(check bool) "torn bytes reclaimed" true (dropped > 0);
+  Journal_access.with_writer path (fun w ->
+      Journal_access.append w ~key:"c" (3, "three"));
+  let r = Journal_access.replay path in
+  Alcotest.check entries_t "post-repair appends replay"
+    [ ("a", (1, "one")); ("c", (3, "three")) ]
+    r.Journal_access.entries;
+  Alcotest.(check int) "file is clean again" 0 (Journal_access.repair path)
+
 let test_crc32_vector () =
   (* The standard check value: CRC-32("123456789") = 0xCBF43926. *)
   Alcotest.(check int32) "IEEE 802.3 check vector" 0xCBF43926l
@@ -287,7 +326,15 @@ let test_campaign_journal_corrupt_tail_recovers () =
     (strip_robustness baseline) (strip_robustness resumed);
   let r = resumed.Scenarios.Campaign.robustness in
   Alcotest.(check int) "torn cell re-executed" 1 r.Scenarios.Campaign.executed;
-  Alcotest.(check int) "intact cells replayed" 3 r.Scenarios.Campaign.replayed
+  Alcotest.(check int) "intact cells replayed" 3 r.Scenarios.Campaign.replayed;
+  (* The resume repaired the tear before appending, so the re-executed
+     cell is reachable: a second resume replays the full grid instead of
+     silently re-simulating it forever. *)
+  let again = Scenarios.Campaign.run ~domains:1 ~journal:path ~resume:true g in
+  Alcotest.(check int) "second resume replays everything" 4
+    again.Scenarios.Campaign.robustness.Scenarios.Campaign.replayed;
+  Alcotest.(check int) "second resume executes nothing" 0
+    again.Scenarios.Campaign.robustness.Scenarios.Campaign.executed
 
 let test_campaign_survives_journal_write_fault () =
   with_path "chaosjnl" @@ fun path ->
@@ -333,6 +380,10 @@ let () =
             test_duplicate_last_wins;
           Alcotest.test_case "fresh truncates, append extends" `Quick
             test_fresh_truncates_append_extends;
+          Alcotest.test_case "fold streams with stats" `Quick
+            test_fold_streams_with_stats;
+          Alcotest.test_case "repair reclaims a torn tail" `Quick
+            test_repair_reclaims_torn_tail;
           Alcotest.test_case "crc32 check vector" `Quick test_crc32_vector;
         ] );
       ( "device failures",
